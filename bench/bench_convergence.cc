@@ -1,0 +1,106 @@
+// Theorem 1 (Section 5.5): the hopping algorithm converges in
+// O(M log n / ((1 - p) gamma)) rounds in expectation and w.h.p.
+//
+// Three sweeps hold everything but one variable fixed:
+//   (1) n     -> rounds should grow ~ log n
+//   (2) p     -> rounds should grow ~ 1 / (1 - p)
+//   (3) gamma -> rounds should grow ~ 1 / gamma
+// Each row also prints the theorem's bound shape, normalized to the first
+// data point, so the trend comparison is direct.
+#include <cmath>
+#include <iostream>
+
+#include "cellfi/baseline/hopping_game.h"
+#include "cellfi/common/stats.h"
+#include "cellfi/common/table.h"
+
+using namespace cellfi;
+using namespace cellfi::baseline;
+
+namespace {
+
+// Ring graph with degree-2 neighbourhoods: gamma is independent of n.
+Graph Ring(int n) {
+  Graph g(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    g[static_cast<std::size_t>(v)] = {(v + 1) % n, (v + n - 1) % n};
+  }
+  return g;
+}
+
+double MeanRounds(const Graph& g, const std::vector<int>& demands,
+                  const HoppingGameConfig& cfg, int reps, std::uint64_t seed) {
+  Summary s;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng rng(seed + static_cast<std::uint64_t>(rep));
+    const auto result = RunHoppingGame(g, demands, cfg, rng);
+    if (result.converged) s.Add(result.rounds);
+  }
+  return s.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CellFi reproduction -- Theorem 1 convergence bounds\n\n";
+  const int reps = 30;
+
+  // --- Sweep 1: n, fixed gamma = 0.5 (d = 2, ring, M = 12), p = 0 -------
+  {
+    Table t({"n", "mean_rounds", "theory O(log n) (normalized)"});
+    double base_rounds = 0.0;
+    for (int n : {8, 16, 32, 64, 128, 256}) {
+      HoppingGameConfig cfg;
+      cfg.num_subchannels = 12;
+      const double rounds =
+          MeanRounds(Ring(n), std::vector<int>(static_cast<std::size_t>(n), 2), cfg,
+                     reps, static_cast<std::uint64_t>(n));
+      if (base_rounds == 0.0) base_rounds = rounds;
+      const double theory = base_rounds * std::log(n) / std::log(8);
+      t.AddRow({std::to_string(n), Table::Num(rounds, 2), Table::Num(theory, 2)});
+    }
+    t.Print(std::cout, "Rounds vs n (ring, demand 2, M = 12, gamma = 0.5, p = 0)");
+  }
+
+  // --- Sweep 2: fading probability p, fixed n and gamma ------------------
+  {
+    Table t({"p", "mean_rounds", "theory O(1/(1-p)) (normalized)"});
+    const Graph g = Ring(64);
+    const std::vector<int> demands(64, 2);
+    double base_rounds = 0.0;
+    for (double p : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+      HoppingGameConfig cfg;
+      cfg.num_subchannels = 12;
+      cfg.fading_probability = p;
+      const double rounds =
+          MeanRounds(g, demands, cfg, reps, static_cast<std::uint64_t>(p * 100 + 7));
+      if (base_rounds == 0.0) base_rounds = rounds;
+      t.AddRow({Table::Num(p, 1), Table::Num(rounds, 2),
+                Table::Num(base_rounds / (1.0 - p), 2)});
+    }
+    t.Print(std::cout, "Rounds vs fading p (n = 64, gamma = 0.5)");
+  }
+
+  // --- Sweep 3: slack gamma via M, fixed n and p --------------------------
+  {
+    Table t({"M", "gamma", "mean_rounds", "theory O(M/gamma) (normalized)"});
+    const Graph g = Ring(64);
+    const std::vector<int> demands(64, 2);
+    double base = 0.0;
+    for (int m : {7, 8, 10, 12, 16, 24}) {
+      HoppingGameConfig cfg;
+      cfg.num_subchannels = m;
+      const double gamma = DemandSlack(g, demands, m);
+      const double rounds = MeanRounds(g, demands, cfg, reps, static_cast<std::uint64_t>(m));
+      const double shape = m / gamma;
+      if (base == 0.0) base = rounds / shape;
+      t.AddRow({std::to_string(m), Table::Num(gamma, 3), Table::Num(rounds, 2),
+                Table::Num(base * shape, 2)});
+    }
+    t.Print(std::cout, "Rounds vs slack (n = 64, demand 2, p = 0)");
+  }
+
+  std::cout << "Expected: measured trends track the theory columns (same order of "
+               "growth; constants differ).\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Section 6.3.2: CQI interference detector quality.
+//
+// Paper measurements on real hardware: <2 % false positives on a clean
+// (but fading) channel and ~80 % detection probability when interference
+// is strong. Reproduced here over the simulated channel: repeated trials
+// with a clean phase followed by a strong-interferer phase.
+#include <iostream>
+
+#include "cellfi/common/table.h"
+#include "cellfi/core/cqi_detector.h"
+#include "cellfi/lte/network.h"
+#include "cellfi/radio/pathloss.h"
+
+using namespace cellfi;
+
+namespace {
+
+struct TrialResult {
+  int clean_reports = 0;
+  int clean_detections = 0;  // detector asserted on any subchannel (FP)
+  bool detected_after_onset = false;
+};
+
+TrialResult RunTrial(std::uint64_t seed) {
+  HataUrbanPathLoss pathloss(15.0, 1.5);
+  RadioEnvironmentConfig env_cfg;
+  env_cfg.carrier_freq_hz = 600e6;
+  env_cfg.shadowing_sigma_db = 0.0;
+  env_cfg.enable_fading = true;
+  env_cfg.seed = seed;
+  Simulator sim;
+  RadioEnvironment env(pathloss, env_cfg);
+
+  const RadioNodeId serving = env.AddNode({.position = {0, 0}, .tx_power_dbm = 30.0});
+  const RadioNodeId interferer = env.AddNode({.position = {450, 0}, .tx_power_dbm = 30.0});
+  const RadioNodeId client = env.AddNode({.position = {180, 0}, .tx_power_dbm = 20.0});
+  const RadioNodeId iclient = env.AddNode({.position = {470, 30}, .tx_power_dbm = 20.0});
+
+  lte::LteNetworkConfig net_cfg;
+  net_cfg.seed = seed ^ 0x99;
+  lte::LteNetwork net(sim, env, net_cfg);
+  lte::LteMacConfig mac;
+  mac.bandwidth = LteBandwidth::k5MHz;
+  const lte::CellId c0 = net.AddCell(mac, serving);
+  const lte::CellId c1 = net.AddCell(mac, interferer);
+  const lte::UeId ue = net.AddUe(client, c0);
+  const lte::UeId iue = net.AddUe(iclient, c1);
+
+  const SimTime onset = 2 * kSecond;
+  net.SetCellActive(c1, false);
+  sim.ScheduleAt(onset, [&] { net.SetCellActive(c1, true); });
+
+  core::CqiInterferenceDetector detector(13);
+  TrialResult result;
+  net.on_cqi_report = [&](lte::CellId cell, lte::UeId u, const CqiMeasurement& m) {
+    if (cell != c0 || u != ue) return;
+    detector.AddReport(m.subband_cqi);
+    bool any = false;
+    for (int s = 0; s < 13; ++s) any |= detector.Detected(s);
+    if (sim.Now() < onset) {
+      // Skip the first 200 ms while the max-window establishes itself.
+      if (sim.Now() > 200 * kMillisecond) {
+        ++result.clean_reports;
+        if (any) ++result.clean_detections;
+      }
+    } else if (any) {
+      result.detected_after_onset = true;
+    }
+  };
+
+  sim.SchedulePeriodic(100 * kMillisecond, [&] {
+    net.OfferDownlink(ue, 4 << 20);
+    net.OfferDownlink(iue, 4 << 20);
+  });
+  net.Start();
+  sim.RunUntil(onset + 1 * kSecond);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CellFi reproduction -- Section 6.3.2 (CQI interference detector)\n\n";
+
+  int total_clean = 0, total_fp = 0, detected = 0;
+  const int trials = 25;
+  for (int t = 0; t < trials; ++t) {
+    const TrialResult r = RunTrial(500 + static_cast<std::uint64_t>(t));
+    total_clean += r.clean_reports;
+    total_fp += r.clean_detections;
+    if (r.detected_after_onset) ++detected;
+  }
+
+  Table t({"metric", "paper", "measured"});
+  t.AddRow({"False-positive rate (clean channel)", "< 2%",
+            Table::Num(100.0 * total_fp / std::max(total_clean, 1), 2) + "% of reports"});
+  t.AddRow({"Detection probability (strong interferer, within 1 s)", "~80%",
+            Table::Num(100.0 * detected / trials, 0) + "%"});
+  t.AddRow({"Trials", "-", std::to_string(trials)});
+  t.Print(std::cout, "CQI detector quality (60% of max rule, 10 consecutive samples)");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Fig. 7: outdoor LTE interference experiment.
+//
+// Two small cells on one rooftop with sector antennas pointing apart; the
+// client samples positions along an arc so the serving RSSI and the
+// interference level both sweep. Three conditions per position:
+//   (i)   interferer off            -> baseline goodput
+//   (ii)  interferer on, no users   -> "signalling interference" (CRS only
+//         inside the victim's data region)
+//   (iii) interferer fully backlogged -> data interference
+// Paper findings: (ii) within ~20 % of (i) even at very low SINR; (iii)
+// halves goodput at SINR < 10 dB and causes disconnections.
+#include <cmath>
+#include <iostream>
+
+#include "cellfi/common/stats.h"
+#include "cellfi/common/table.h"
+#include "cellfi/lte/network.h"
+#include "cellfi/radio/pathloss.h"
+
+using namespace cellfi;
+
+namespace {
+
+enum class Interference { kNone, kSignalling, kFull };
+
+struct Sample {
+  double rssi_dbm = 0;
+  double sinr_db = 0;
+  double goodput_bits_per_symbol = 0;
+  std::uint64_t disconnections = 0;
+};
+
+Sample RunPosition(double angle_rad, Interference mode, std::uint64_t seed) {
+  HataUrbanPathLoss pathloss(15.0, 1.5);
+  RadioEnvironmentConfig env_cfg;
+  env_cfg.carrier_freq_hz = 600e6;
+  env_cfg.shadowing_sigma_db = 0.0;  // controlled walk: geometry drives SINR
+  env_cfg.enable_fading = true;
+  env_cfg.seed = seed;
+  Simulator sim;
+  RadioEnvironment env(pathloss, env_cfg);
+
+  const double beam = 2.1;  // ~120 degrees
+  const RadioNodeId serving = env.AddNode(
+      {.position = {0, 0}, .antenna = Antenna::Sector(7.0, 0.0, beam), .tx_power_dbm = 23.0});
+  const RadioNodeId interferer = env.AddNode({.position = {0, 15},
+                                              .antenna = Antenna::Sector(7.0, M_PI / 3, beam),
+                                              .tx_power_dbm = 23.0});
+  const Point client_pos{250.0 * std::cos(angle_rad), 250.0 * std::sin(angle_rad)};
+  const RadioNodeId client = env.AddNode({.position = client_pos, .tx_power_dbm = 20.0});
+  // The interferer's own backlogged client sits in its boresight.
+  const RadioNodeId other = env.AddNode(
+      {.position = {100.0 * std::cos(M_PI / 3), 15 + 100.0 * std::sin(M_PI / 3)},
+       .tx_power_dbm = 20.0});
+
+  lte::LteNetworkConfig net_cfg;
+  net_cfg.seed = seed ^ 0x77;
+  lte::LteNetwork net(sim, env, net_cfg);
+  lte::LteMacConfig mac;
+  mac.bandwidth = LteBandwidth::k5MHz;
+  net.AddCell(mac, serving);
+  const lte::CellId icell = net.AddCell(mac, interferer);
+  const lte::UeId ue = net.AddUe(client, /*force_cell=*/0);
+  const lte::UeId iue = net.AddUe(other, /*force_cell=*/icell);
+
+  if (mode == Interference::kNone) net.SetCellActive(icell, false);
+
+  std::uint64_t delivered_bits = 0;
+  const SimTime warmup = 500 * kMillisecond;
+  net.on_dl_delivered = [&](lte::UeId u, std::uint64_t bytes, SimTime now) {
+    if (u == ue && now >= warmup) delivered_bits += 8 * bytes;
+  };
+  sim.SchedulePeriodic(200 * kMillisecond, [&] {
+    net.OfferDownlink(ue, 2 << 20);
+    if (mode == Interference::kFull) net.OfferDownlink(iue, 2 << 20);
+  });
+  sim.ScheduleAt(warmup, [&] {
+    if (net.ue(ue).serving == 0) net.cell(0).ResetScheduleStats();
+  });
+  net.Start();
+  sim.RunUntil(3 * kSecond);
+
+  Sample s;
+  s.rssi_dbm = env.MeanRxPowerDbm(serving, client);
+  s.disconnections = net.ue(ue).disconnections;
+  // SINR under full data interference (the x-axis condition of Fig. 7(c)).
+  s.sinr_db = env.MeanRxPowerDbm(serving, client) - env.MeanRxPowerDbm(interferer, client);
+
+  // Goodput in information bits per scheduled data resource element.
+  const auto& stats = net.cell(0).schedule_stats();
+  const auto it = stats.ue_subchannel_subframes.find(ue);
+  if (it != stats.ue_subchannel_subframes.end()) {
+    const auto& grid = net.cell(0).grid();
+    double res = 0.0;
+    for (int sc = 0; sc < grid.num_subchannels(); ++sc) {
+      res += static_cast<double>(it->second[static_cast<std::size_t>(sc)]) *
+             grid.SubchannelRbCount(sc) * grid.DataResourceElementsPerRb();
+    }
+    if (res > 0) s.goodput_bits_per_symbol = static_cast<double>(delivered_bits) / res;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CellFi reproduction -- Fig. 7 (control vs data interference)\n\n";
+
+  Table b({"angle_deg", "rssi_dbm", "sinr_db", "none b/sym", "signalling b/sym", "ratio"});
+  Distribution cdf_signalling, cdf_full;
+  std::uint64_t disconnects_full = 0, disconnects_signalling = 0;
+  Summary signalling_drop;
+
+  for (double deg = -30; deg <= 95; deg += 12.5) {
+    const double rad = deg * M_PI / 180.0;
+    const std::uint64_t seed = static_cast<std::uint64_t>(deg * 10 + 1000);
+    const Sample none = RunPosition(rad, Interference::kNone, seed);
+    const Sample sig = RunPosition(rad, Interference::kSignalling, seed);
+    const Sample full = RunPosition(rad, Interference::kFull, seed);
+    const double ratio = none.goodput_bits_per_symbol > 0
+                             ? sig.goodput_bits_per_symbol / none.goodput_bits_per_symbol
+                             : 0.0;
+    b.AddRow({Table::Num(deg, 0), Table::Num(none.rssi_dbm, 1), Table::Num(full.sinr_db, 1),
+              Table::Num(none.goodput_bits_per_symbol, 3),
+              Table::Num(sig.goodput_bits_per_symbol, 3), Table::Num(ratio, 2)});
+    if (none.goodput_bits_per_symbol > 0) signalling_drop.Add(1.0 - ratio);
+    // Fig. 7(c) restricts to SINR < 10 dB.
+    if (full.sinr_db < 10.0) {
+      cdf_signalling.Add(sig.goodput_bits_per_symbol);
+      cdf_full.Add(full.goodput_bits_per_symbol);
+      disconnects_full += full.disconnections;
+      disconnects_signalling += sig.disconnections;
+    }
+  }
+  b.Print(std::cout, "Fig. 7(b): goodput vs RSSI, no interference vs signalling-only");
+  std::cout << "Mean signalling-interference degradation: "
+            << Table::Num(100.0 * signalling_drop.mean(), 0)
+            << "% (paper: at most ~20%, usually much less)\n\n";
+
+  Table c({"percentile", "signalling b/sym", "full b/sym"});
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
+    c.AddRow({Table::Num(q, 2),
+              cdf_signalling.empty() ? "-" : Table::Num(cdf_signalling.Percentile(q), 3),
+              cdf_full.empty() ? "-" : Table::Num(cdf_full.Percentile(q), 3)});
+  }
+  c.Print(std::cout, "Fig. 7(c): goodput CDF at SINR < 10 dB");
+  std::cout << "Median full/signalling: "
+            << Table::Num(cdf_full.Median() / std::max(cdf_signalling.Median(), 1e-6), 2)
+            << " (paper: data interference costs up to ~50%)\n"
+            << "Disconnections at SINR < 10 dB: full=" << disconnects_full
+            << " signalling=" << disconnects_signalling
+            << " (paper: disconnects only under data interference)\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Fig. 8: PHY throughput and reported CQI during four states of an
+// interfering radio (OFF / ON / OFF / ON-faded).
+//
+// The last ON period uses a distant interferer whose signal arrives too
+// weak to matter — the paper's illustration that a detector must not
+// trigger on interference the channel has already faded away.
+#include <iostream>
+
+#include "cellfi/common/table.h"
+#include "cellfi/core/cqi_detector.h"
+#include "cellfi/lte/network.h"
+#include "cellfi/radio/pathloss.h"
+
+using namespace cellfi;
+
+int main() {
+  std::cout << "CellFi reproduction -- Fig. 8 (throughput + CQI under ON/OFF interferer)\n\n";
+
+  HataUrbanPathLoss pathloss(15.0, 1.5);
+  RadioEnvironmentConfig env_cfg;
+  env_cfg.carrier_freq_hz = 600e6;
+  env_cfg.shadowing_sigma_db = 0.0;
+  env_cfg.enable_fading = true;
+  env_cfg.seed = 42;
+  Simulator sim;
+  RadioEnvironment env(pathloss, env_cfg);
+
+  const RadioNodeId serving = env.AddNode({.position = {0, 0}, .tx_power_dbm = 30.0});
+  const RadioNodeId strong_int = env.AddNode({.position = {400, 0}, .tx_power_dbm = 30.0});
+  const RadioNodeId weak_int = env.AddNode({.position = {1900, 0}, .tx_power_dbm = 30.0});
+  const RadioNodeId client = env.AddNode({.position = {150, 0}, .tx_power_dbm = 20.0});
+  const RadioNodeId near_strong = env.AddNode({.position = {410, 30}, .tx_power_dbm = 20.0});
+  const RadioNodeId near_weak = env.AddNode({.position = {1910, 30}, .tx_power_dbm = 20.0});
+
+  lte::LteNetworkConfig net_cfg;
+  net_cfg.seed = 7;
+  lte::LteNetwork net(sim, env, net_cfg);
+  lte::LteMacConfig mac;
+  mac.bandwidth = LteBandwidth::k5MHz;
+  const lte::CellId c0 = net.AddCell(mac, serving);
+  const lte::CellId c_strong = net.AddCell(mac, strong_int);
+  const lte::CellId c_weak = net.AddCell(mac, weak_int);
+  const lte::UeId ue = net.AddUe(client, c0);
+  const lte::UeId ue_s = net.AddUe(near_strong, c_strong);
+  const lte::UeId ue_w = net.AddUe(near_weak, c_weak);
+
+  // Interferer schedule: OFF 0-1 s, ON 1-2 s, OFF 2-3 s, ON(faded) 3-4 s.
+  // The interferer radios stay on-air (their idle CRS is the signalling
+  // interference of Fig. 7); ON/OFF gates their DATA traffic — exactly the
+  // distinction the figure illustrates. The "faded" ON uses a far
+  // interferer whose data arrives too weak to matter.
+  bool strong_on = false, weak_on = false;
+  sim.ScheduleAt(1 * kSecond, [&] { strong_on = true; });
+  sim.ScheduleAt(2 * kSecond, [&] {
+    strong_on = false;
+    net.ClearDownlinkQueue(ue_s);
+  });
+  sim.ScheduleAt(3 * kSecond, [&] { weak_on = true; });
+
+  // Track throughput per 100 ms bucket and the reported wideband CQI.
+  const int buckets = 40;
+  std::vector<double> bits(static_cast<std::size_t>(buckets), 0.0);
+  std::vector<int> cqi(static_cast<std::size_t>(buckets), 0);
+  core::CqiInterferenceDetector detector(13);
+  std::vector<bool> detected(static_cast<std::size_t>(buckets), false);
+
+  net.on_dl_delivered = [&](lte::UeId u, std::uint64_t bytes, SimTime now) {
+    if (u != ue) return;
+    const auto b = static_cast<std::size_t>(now / (100 * kMillisecond));
+    if (b < bits.size()) bits[b] += 8.0 * static_cast<double>(bytes);
+  };
+  net.on_cqi_report = [&](lte::CellId cell, lte::UeId u, const CqiMeasurement& m) {
+    if (cell != c0 || u != ue) return;
+    const auto b = static_cast<std::size_t>(sim.Now() / (100 * kMillisecond));
+    if (b < cqi.size()) cqi[b] = m.wideband_cqi;
+    detector.AddReport(m.subband_cqi);
+    bool any = false;
+    for (int s = 0; s < 13; ++s) any |= detector.Detected(s);
+    if (b < detected.size() && any) detected[b] = true;
+  };
+
+  sim.SchedulePeriodic(100 * kMillisecond, [&] {
+    net.OfferDownlink(ue, 4 << 20);
+    if (strong_on) net.OfferDownlink(ue_s, 4 << 20);
+    if (weak_on) net.OfferDownlink(ue_w, 4 << 20);
+  });
+  net.Start();
+  sim.RunUntil(4 * kSecond);
+
+  Table t({"t_s", "state", "throughput_mbps", "wideband_cqi", "detector"});
+  for (int b = 1; b < buckets; ++b) {
+    const double t_s = b * 0.1;
+    const char* state = t_s < 1.0   ? "OFF"
+                        : t_s < 2.0 ? "ON"
+                        : t_s < 3.0 ? "OFF"
+                                    : "ON (faded)";
+    t.AddRow({Table::Num(t_s, 1), state,
+              Table::Num(bits[static_cast<std::size_t>(b)] / 0.1 / 1e6, 2),
+              std::to_string(cqi[static_cast<std::size_t>(b)]),
+              detected[static_cast<std::size_t>(b)] ? "interference" : "-"});
+  }
+  t.Print(std::cout, "Fig. 8: PHY throughput and CQI (100 ms buckets)");
+
+  // Summaries per state.
+  auto mean_over = [&](double from_s, double to_s) {
+    double sum = 0.0;
+    int n = 0;
+    for (int b = 0; b < buckets; ++b) {
+      const double t_s = b * 0.1;
+      if (t_s >= from_s && t_s < to_s) {
+        sum += bits[static_cast<std::size_t>(b)] / 0.1 / 1e6;
+        ++n;
+      }
+    }
+    return n ? sum / n : 0.0;
+  };
+  Table s({"period", "state", "mean_mbps"});
+  s.AddRow({"0-1 s", "OFF", Table::Num(mean_over(0.2, 1.0), 2)});
+  s.AddRow({"1-2 s", "ON (strong)", Table::Num(mean_over(1.0, 2.0), 2)});
+  s.AddRow({"2-3 s", "OFF", Table::Num(mean_over(2.0, 3.0), 2)});
+  s.AddRow({"3-4 s", "ON (faded/weak)", Table::Num(mean_over(3.0, 4.0), 2)});
+  s.Print(std::cout,
+          "Expected shape: strong ON halves throughput; faded ON barely matters");
+  return 0;
+}

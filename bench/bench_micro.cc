@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical library
+// primitives: FFT/DFT, PRACH detection, SINR aggregation, scheduler and
+// interference-manager epochs, JSON parsing for PAWS.
+#include <benchmark/benchmark.h>
+
+#include "cellfi/common/fft.h"
+#include "cellfi/common/json.h"
+#include "cellfi/core/interference_manager.h"
+#include "cellfi/lte/enodeb.h"
+#include "cellfi/phy/prach.h"
+#include "cellfi/radio/environment.h"
+#include "cellfi/radio/pathloss.h"
+
+using namespace cellfi;
+
+namespace {
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<Complex> data(n);
+  for (auto& v : data) v = Complex(rng.Normal(), rng.Normal());
+  for (auto _ : state) {
+    auto copy = data;
+    Fft(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BluesteinDft839(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<Complex> data(839);
+  for (auto& v : data) v = Complex(rng.Normal(), rng.Normal());
+  for (auto _ : state) {
+    auto out = Dft(data);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BluesteinDft839);
+
+void BM_PrachDetect(benchmark::State& state) {
+  PrachConfig cfg;
+  PrachDetector detector(cfg);
+  Rng rng(3);
+  const auto rx = PassThroughAwgn(GeneratePreamble(cfg, 17), 5, -10.0, rng);
+  for (auto _ : state) {
+    auto det = detector.Detect(rx);
+    benchmark::DoNotOptimize(&det);
+  }
+}
+BENCHMARK(BM_PrachDetect);
+
+void BM_SinrAggregation(benchmark::State& state) {
+  static HataUrbanPathLoss pathloss;
+  RadioEnvironmentConfig cfg;
+  cfg.enable_fading = true;
+  RadioEnvironment env(pathloss, cfg);
+  Rng rng(4);
+  std::vector<ActiveTransmitter> interferers;
+  const RadioNodeId rx = env.AddNode({.position = {0, 0}});
+  const RadioNodeId tx = env.AddNode({.position = {200, 0}, .tx_power_dbm = 30});
+  for (int i = 0; i < state.range(0); ++i) {
+    interferers.push_back({env.AddNode({.position = {rng.Uniform(-2000, 2000),
+                                                     rng.Uniform(-2000, 2000)},
+                                        .tx_power_dbm = 30}),
+                           1.0 / 13.0});
+  }
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += kMillisecond;
+    benchmark::DoNotOptimize(env.SinrDb(tx, rx, 3, now, interferers, 360e3, 1.0 / 13.0));
+  }
+}
+BENCHMARK(BM_SinrAggregation)->Arg(4)->Arg(14)->Arg(50);
+
+void BM_SchedulerSubframe(benchmark::State& state) {
+  lte::LteMacConfig mac;
+  lte::EnodeB enb(0, mac);
+  Rng rng(5);
+  for (int u = 0; u < state.range(0); ++u) {
+    auto& ue = enb.AddUe(u);
+    ue.EnqueueDownlink(1 << 20);
+    std::vector<int> cqi(13);
+    for (auto& c : cqi) c = static_cast<int>(rng.UniformInt(3, 15));
+    ue.UpdateCqi(10, cqi);
+  }
+  for (auto _ : state) {
+    auto plan = enb.PlanDownlink();
+    benchmark::DoNotOptimize(&plan);
+  }
+}
+BENCHMARK(BM_SchedulerSubframe)->Arg(2)->Arg(6)->Arg(16);
+
+void BM_InterferenceManagerEpoch(benchmark::State& state) {
+  core::InterferenceManagerConfig cfg;
+  core::InterferenceManager im(cfg, 6);
+  core::EpochInputs in;
+  in.own_active_clients = 6;
+  in.estimated_contenders = 12;
+  in.utility.assign(13, 1.0);
+  in.interference_pressure.assign(13, 0.1);
+  in.free_for_reuse.assign(13, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&im.OnEpoch(in));
+  }
+}
+BENCHMARK(BM_InterferenceManagerEpoch);
+
+void BM_PawsJsonRoundTrip(benchmark::State& state) {
+  json::Value v;
+  v["jsonrpc"] = "2.0";
+  v["method"] = "spectrum.paws.getSpectrum";
+  v["params"]["deviceDesc"]["serialNumber"] = "cellfi-ap-001";
+  v["params"]["location"]["point"]["center"]["latitude"] = 47.64;
+  v["params"]["location"]["point"]["center"]["longitude"] = -122.13;
+  v["id"] = 17;
+  const std::string body = v.Dump();
+  for (auto _ : state) {
+    auto parsed = json::Parse(body);
+    benchmark::DoNotOptimize(&parsed);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_PawsJsonRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Section 6.3.3: blind PRACH detection.
+//
+// (1) Detection probability vs SNR for the frequency-domain blind detector
+//     (no preamble index, no timing) — paper: reliable at -10 dB.
+// (2) False-alarm rate on noise-only occasions.
+// (3) Wall-clock speed against the required line rate: one PRACH occasion
+//     per millisecond on a 10 MHz channel — paper: the modified detector
+//     runs 16x faster than line rate on an i7.
+#include <chrono>
+#include <iostream>
+
+#include "cellfi/common/table.h"
+#include "cellfi/phy/prach.h"
+
+using namespace cellfi;
+
+int main() {
+  std::cout << "CellFi reproduction -- Section 6.3.3 (blind PRACH detector)\n\n";
+
+  PrachConfig cfg;
+  PrachDetector detector(cfg);
+  Rng rng(2024);
+
+  Table t({"snr_db", "detection_rate", "correct_preamble_rate"});
+  const int trials = 300;
+  for (double snr : {-20.0, -16.0, -14.0, -12.0, -10.0, -8.0, -5.0, 0.0}) {
+    int detected = 0, correct = 0;
+    for (int i = 0; i < trials; ++i) {
+      const int idx = i % NumPreambles(cfg);
+      const int offset = i % cfg.cyclic_shift_step;  // inside the guard zone
+      const auto rx = PassThroughAwgn(GeneratePreamble(cfg, idx), offset, snr, rng);
+      const auto det = detector.Detect(rx);
+      if (det.detected) {
+        ++detected;
+        if (det.preamble_estimate == idx) ++correct;
+      }
+    }
+    t.AddRow({Table::Num(snr, 0), Table::Num(100.0 * detected / trials, 1) + "%",
+              Table::Num(100.0 * correct / trials, 1) + "%"});
+  }
+  t.Print(std::cout, "Detection probability vs SNR (paper: reliable at -10 dB)");
+
+  int false_alarms = 0;
+  const int noise_trials = 2000;
+  for (int i = 0; i < noise_trials; ++i) {
+    if (detector.Detect(NoiseOnly(cfg.sequence_length, rng)).detected) ++false_alarms;
+  }
+  std::cout << "False alarms on noise-only occasions: " << false_alarms << "/"
+            << noise_trials << "\n\n";
+
+  // Speed: process occasions for ~1 s of wall clock and compare against the
+  // 1-occasion-per-ms line rate.
+  std::vector<std::vector<Complex>> occasions;
+  for (int i = 0; i < 64; ++i) {
+    occasions.push_back(PassThroughAwgn(GeneratePreamble(cfg, i), i % 13, -10.0, rng));
+  }
+  int processed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::chrono::duration<double> elapsed{};
+  do {
+    for (const auto& occ : occasions) {
+      detector.Detect(occ);
+      ++processed;
+    }
+    elapsed = std::chrono::steady_clock::now() - start;
+  } while (elapsed.count() < 1.0);
+
+  const double per_second = processed / elapsed.count();
+  const double line_rate = 1000.0;  // one PRACH occasion per 1 ms subframe
+  Table s({"metric", "paper", "measured"});
+  s.AddRow({"Occasions/s", "-", Table::Num(per_second, 0)});
+  s.AddRow({"Speed vs line rate (1000/s)", "16x", Table::Num(per_second / line_rate, 1) + "x"});
+  s.AddRow({"Correlations per occasion", "2 (blind)", "1 circular + peak test"});
+  s.Print(std::cout, "Detector throughput (single core)");
+  return 0;
+}

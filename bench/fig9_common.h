@@ -1,0 +1,58 @@
+// Shared configuration for the Fig. 9 large-scale benches (paper Section
+// 6.3.4): 2 km x 2 km, random AP placement, 5 MHz LTE TDD config 4 /
+// 6 MHz Wi-Fi, 30 dBm APs, 20 dBm LTE clients, 30 dBm Wi-Fi clients.
+#pragma once
+
+#include <cstdlib>
+
+#include "cellfi/scenario/harness.h"
+
+namespace fig9 {
+
+using namespace cellfi;
+using namespace cellfi::scenario;
+
+inline ScenarioConfig BaseConfig(Technology tech, int num_aps, int clients_per_ap,
+                                 std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.tech = tech;
+  cfg.workload = WorkloadKind::kBacklogged;
+  cfg.propagation = PropagationKind::kSuburbanUhf;
+  cfg.topology.area_m = 2000.0;
+  cfg.topology.num_aps = num_aps;
+  cfg.topology.clients_per_ap = clients_per_ap;
+  cfg.topology.client_radius_m = 250.0;
+  cfg.ap_power_dbm = 30.0;
+  cfg.client_power_dbm = 20.0;
+  cfg.wifi_client_power_dbm = 30.0;
+  cfg.lte_bandwidth = LteBandwidth::k5MHz;
+  cfg.lte_tdd_config = 4;
+  cfg.wifi_channel_width_hz = 6e6;
+  cfg.warmup = 3 * kSecond;
+  cfg.duration = 15 * kSecond;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Repetitions per data point; CELLFI_BENCH_REPS overrides (quick runs).
+inline int Reps(int default_reps) {
+  if (const char* env = std::getenv("CELLFI_BENCH_REPS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return default_reps;
+}
+
+inline const char* TechName(Technology tech) {
+  switch (tech) {
+    case Technology::kCellFi: return "CellFi";
+    case Technology::kLte: return "LTE";
+    case Technology::kOracle: return "Oracle";
+    case Technology::kLaaLte: return "LAA-LTE";
+    case Technology::kWifi80211af: return "802.11af";
+    case Technology::kWifi80211ac: return "802.11ac";
+  }
+  return "?";
+}
+
+}  // namespace fig9

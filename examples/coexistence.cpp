@@ -1,0 +1,90 @@
+// Coexistence: two independent operators deploy CellFi access points in
+// overlapping coverage — no X2, no coordination, not even awareness of
+// each other. Watch the distributed interference management converge:
+// PRACH counting establishes spectrum shares, CQI-based detection drains
+// buckets on contested subchannels, and the masks disentangle.
+#include <cstdio>
+
+#include "cellfi/core/cellfi_controller.h"
+#include "cellfi/lte/network.h"
+#include "cellfi/radio/pathloss.h"
+
+using namespace cellfi;
+
+namespace {
+void PrintMasks(const core::CellfiController& controller, SimTime now) {
+  std::printf("t=%4.0fs  operatorA [", ToSeconds(now));
+  for (int s = 0; s < 13; ++s) std::printf("%c", controller.manager(0).mask()[s] ? 'A' : '.');
+  std::printf("]  operatorB [");
+  for (int s = 0; s < 13; ++s) std::printf("%c", controller.manager(1).mask()[s] ? 'B' : '.');
+  std::printf("]  hops=%llu\n", static_cast<unsigned long long>(controller.total_hops()));
+}
+}  // namespace
+
+int main() {
+  std::printf("CellFi coexistence demo -- two operators, one TV channel, zero coordination\n\n");
+
+  HataUrbanPathLoss pathloss;
+  RadioEnvironmentConfig env_cfg;
+  env_cfg.carrier_freq_hz = 600e6;
+  env_cfg.shadowing_sigma_db = 0.0;
+  Simulator sim;
+  RadioEnvironment env(pathloss, env_cfg);
+
+  // Operator A on one rooftop, operator B 700 m away; their customers are
+  // scattered between them, so the cells interfere strongly.
+  const RadioNodeId ap_a = env.AddNode(
+      {.position = {0, 0}, .antenna = Antenna::Omni(6.0), .tx_power_dbm = 30.0});
+  const RadioNodeId ap_b = env.AddNode(
+      {.position = {700, 0}, .antenna = Antenna::Omni(6.0), .tx_power_dbm = 30.0});
+
+  lte::LteNetwork net(sim, env, {});
+  lte::LteMacConfig mac;
+  const lte::CellId cell_a = net.AddCell(mac, ap_a);
+  const lte::CellId cell_b = net.AddCell(mac, ap_b);
+
+  std::vector<lte::UeId> customers_a, customers_b;
+  for (Point p : {Point{-120, 40}, Point{310, 30}, Point{220, -90}}) {
+    customers_a.push_back(net.AddUe(env.AddNode({.position = p, .tx_power_dbm = 20.0}),
+                                    cell_a));
+  }
+  for (Point p : {Point{830, -30}, Point{390, -40}, Point{480, 100}}) {
+    customers_b.push_back(net.AddUe(env.AddNode({.position = p, .tx_power_dbm = 20.0}),
+                                    cell_b));
+  }
+
+  core::CellfiController controller(sim, net, {});
+  controller.Start();
+
+  sim.SchedulePeriodic(500 * kMillisecond, [&] {
+    for (auto ue : customers_a) net.OfferDownlink(ue, 2 << 20);
+    for (auto ue : customers_b) net.OfferDownlink(ue, 2 << 20);
+  });
+  net.Start();
+
+  std::printf("subchannel masks over time ('.' = left for others):\n");
+  for (int t = 2; t <= 20; t += 2) {
+    sim.RunUntil(static_cast<SimTime>(t) * kSecond);
+    PrintMasks(controller, sim.Now());
+  }
+
+  std::printf("\ncontender estimates: A hears %d clients (own %d), B hears %d (own %d)\n",
+              controller.sensor(cell_a).EstimateContenders(sim.Now()),
+              controller.sensor(cell_a).OwnActive(sim.Now()),
+              controller.sensor(cell_b).EstimateContenders(sim.Now()),
+              controller.sensor(cell_b).OwnActive(sim.Now()));
+
+  std::printf("\nper-customer downlink over the run:\n");
+  auto report = [&](const char* who, const std::vector<lte::UeId>& ues, lte::CellId cell) {
+    for (auto ue : ues) {
+      const auto* ctx = net.cell(cell).FindUe(ue);
+      std::printf("  %s client %d: %.2f Mbps\n", who, ue,
+                  ctx != nullptr ? static_cast<double>(ctx->dl_delivered_bits) / 20e6 : 0.0);
+    }
+  };
+  report("A", customers_a, cell_a);
+  report("B", customers_b, cell_b);
+  std::printf("\nno AP ever exchanged a message with the other: shares came from PRACH\n"
+              "overhearing, contested subchannels from the clients' CQI reports.\n");
+  return 0;
+}

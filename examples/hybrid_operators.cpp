@@ -1,0 +1,83 @@
+// Hybrid control plane demo (paper Section 7): one operator owns several
+// cells and coordinates them centrally over its own backhaul, while
+// different operators coexist purely through CellFi's distributed
+// interference management — no cross-operator messages, ever.
+#include <cstdio>
+
+#include "cellfi/core/hybrid_controller.h"
+#include "cellfi/core/power_planner.h"
+#include "cellfi/lte/network.h"
+#include "cellfi/radio/pathloss.h"
+
+using namespace cellfi;
+
+int main() {
+  std::printf("CellFi hybrid control plane -- operator A (2 cells) + operator B (1 cell)\n\n");
+
+  HataUrbanPathLoss pathloss;
+  RadioEnvironmentConfig env_cfg;
+  env_cfg.carrier_freq_hz = 600e6;
+  env_cfg.shadowing_sigma_db = 0.0;
+  Simulator sim;
+  RadioEnvironment env(pathloss, env_cfg);
+
+  // Power planning: operator A sizes both its sites for 600 m cells rather
+  // than blasting the regulatory cap — a smaller interference footprint
+  // means smaller contender counts for everyone.
+  core::CoverageTarget coverage;
+  coverage.range_m = 600.0;
+  bool achievable = false;
+  const double planned_dbm =
+      core::PlanTxPowerDbm(pathloss, env_cfg.carrier_freq_hz, coverage, 36.0, &achievable);
+  std::printf("power planning: %.1f dBm EIRP covers %.0f m (cap 36 dBm, %s)\n\n",
+              planned_dbm, coverage.range_m, achievable ? "achievable" : "capped");
+
+  lte::LteNetwork net(sim, env, {});
+  lte::LteMacConfig mac;
+  const auto a1 = net.AddCell(mac, env.AddNode({.position = {0, 0}, .tx_power_dbm = planned_dbm}));
+  const auto a2 =
+      net.AddCell(mac, env.AddNode({.position = {600, 0}, .tx_power_dbm = planned_dbm}));
+  const auto b1 =
+      net.AddCell(mac, env.AddNode({.position = {300, 500}, .tx_power_dbm = planned_dbm}));
+
+  std::vector<lte::UeId> ues;
+  ues.push_back(net.AddUe(env.AddNode({.position = {150, 30}, .tx_power_dbm = 20.0}), a1));
+  ues.push_back(net.AddUe(env.AddNode({.position = {320, -20}, .tx_power_dbm = 20.0}), a1));
+  ues.push_back(net.AddUe(env.AddNode({.position = {450, 40}, .tx_power_dbm = 20.0}), a2));
+  ues.push_back(net.AddUe(env.AddNode({.position = {700, 10}, .tx_power_dbm = 20.0}), a2));
+  ues.push_back(net.AddUe(env.AddNode({.position = {280, 420}, .tx_power_dbm = 20.0}), b1));
+  ues.push_back(net.AddUe(env.AddNode({.position = {380, 560}, .tx_power_dbm = 20.0}), b1));
+
+  // Cells a1 and a2 belong to operator 0; b1 to operator 1.
+  core::HybridControllerConfig cfg;
+  cfg.base.seed = 5;
+  core::HybridController hybrid(sim, net, {0, 0, 1}, cfg);
+  hybrid.Start();
+
+  sim.SchedulePeriodic(500 * kMillisecond, [&] {
+    for (auto ue : ues) net.OfferDownlink(ue, 2 << 20);
+  });
+  net.Start();
+  sim.RunUntil(15 * kSecond);
+
+  auto print_mask = [&](const char* name, lte::CellId c) {
+    std::printf("  %-14s [", name);
+    for (bool b : net.cell(c).allowed_mask()) std::printf("%c", b ? '#' : '.');
+    std::printf("]\n");
+  };
+  std::printf("effective subchannel masks after 15 s:\n");
+  print_mask("operatorA/a1", a1);
+  print_mask("operatorA/a2", a2);
+  print_mask("operatorB/b1", b1);
+
+  std::printf("\nintra-operator conflicts resolved centrally: %llu\n",
+              static_cast<unsigned long long>(hybrid.conflicts_resolved()));
+  std::printf("cross-operator coexistence: PRACH + CQI sensing only\n\n");
+
+  for (auto ue : ues) {
+    const auto* ctx = net.cell(net.ue(ue).serving).FindUe(ue);
+    std::printf("client %d (cell %d): %.2f Mbps\n", ue, net.ue(ue).serving,
+                ctx != nullptr ? static_cast<double>(ctx->dl_delivered_bits) / 15e6 : 0.0);
+  }
+  return 0;
+}

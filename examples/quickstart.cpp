@@ -1,0 +1,88 @@
+// Quickstart: bring up one CellFi access point end-to-end.
+//
+//  1. Lease a TVWS channel from the spectrum database over PAWS.
+//  2. Start an LTE cell on that channel with the CellFi interference
+//     manager attached.
+//  3. Attach two clients, run downlink traffic, print what happened.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "cellfi/core/cellfi_controller.h"
+#include "cellfi/core/channel_selector.h"
+#include "cellfi/lte/network.h"
+#include "cellfi/radio/pathloss.h"
+
+using namespace cellfi;
+
+int main() {
+  Simulator sim;
+
+  // --- 1. Spectrum database + channel selection --------------------------
+  tvws::SpectrumDatabase db;  // US channels 14..51, nothing protected yet
+  db.AddIncumbent({.id = "tv-station", .channel = 14,
+                   .location = {47.60, -122.30}, .protection_radius_m = 50'000});
+  tvws::PawsServer dbserver(db);
+  tvws::PawsClient dbclient({.serial_number = "quickstart-ap"}, tvws::Regulatory::kUs);
+  core::QuietScanner scanner;
+  core::ChannelSelectorConfig sel_cfg;
+  sel_cfg.location = {47.64, -122.13};  // inside the TV station's contour
+  core::ChannelSelector selector(sim, dbclient, dbserver, scanner, sel_cfg);
+  selector.Start();
+  sim.RunUntil(200 * kSecond);  // AP boot + client cell search
+
+  if (!selector.current_channel()) {
+    std::printf("no channel available - cannot start\n");
+    return 1;
+  }
+  const auto channel = *selector.current_channel();
+  std::printf("leased TV channel %d (%.1f MHz, max %g dBm EIRP, blocked ch14)\n",
+              channel.channel.number, channel.channel.CentreFrequencyHz() / 1e6,
+              channel.max_eirp_dbm);
+
+  // --- 2. Radio environment + LTE cell ------------------------------------
+  HataUrbanPathLoss pathloss;
+  RadioEnvironmentConfig env_cfg;
+  env_cfg.carrier_freq_hz = channel.channel.CentreFrequencyHz();
+  RadioEnvironment env(pathloss, env_cfg);
+
+  const RadioNodeId ap = env.AddNode({.position = {0, 0},
+                                      .antenna = Antenna::Omni(6.0),
+                                      .tx_power_dbm = 30.0});
+  const RadioNodeId phone1 = env.AddNode({.position = {150, 80}, .tx_power_dbm = 20.0});
+  const RadioNodeId phone2 = env.AddNode({.position = {700, -200}, .tx_power_dbm = 20.0});
+
+  lte::LteNetwork net(sim, env, {});
+  lte::LteMacConfig mac;  // 5 MHz TDD config 4 - the paper's setup
+  net.AddCell(mac, ap);
+  const lte::UeId ue1 = net.AddUe(phone1);
+  const lte::UeId ue2 = net.AddUe(phone2);
+
+  // --- 3. CellFi interference management ---------------------------------
+  core::CellfiController controller(sim, net, {});
+  controller.Start();
+
+  // --- 4. Traffic ----------------------------------------------------------
+  sim.SchedulePeriodic(500 * kMillisecond, [&] {
+    net.OfferDownlink(ue1, 2 << 20);
+    net.OfferDownlink(ue2, 2 << 20);
+  });
+  net.Start();
+  const SimTime t0 = sim.Now();
+  sim.RunUntil(t0 + 10 * kSecond);
+
+  for (lte::UeId ue : {ue1, ue2}) {
+    const auto& info = net.ue(ue);
+    const auto* ctx =
+        info.serving != lte::kInvalidCell ? net.cell(info.serving).FindUe(ue) : nullptr;
+    const double mbps =
+        ctx != nullptr ? static_cast<double>(ctx->dl_delivered_bits) / 10e6 : 0.0;
+    std::printf("client %d: %s, SNR %.1f dB, downlink %.2f Mbps\n", ue,
+                info.state == lte::UeState::kConnected ? "connected" : "not connected",
+                net.ServingSnrDb(ue), mbps);
+  }
+  std::printf("interference manager: %d of 13 subchannels in use, %llu hops\n",
+              controller.manager(0).owned_count(),
+              static_cast<unsigned long long>(controller.total_hops()));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Rural coverage study: the paper's deployed use case (Section 6) — one
+// CellFi access point serving under-privileged households with no
+// broadband, from a rooftop, over a TVWS channel.
+//
+// Sweeps households at increasing distance and reports whether the Section
+// 2 requirements hold: >= 1 km range with >= 1 Mbps per user.
+#include <cstdio>
+#include <vector>
+
+#include "cellfi/lte/network.h"
+#include "cellfi/radio/pathloss.h"
+
+using namespace cellfi;
+
+namespace {
+
+struct SurveyPoint {
+  double snr_db = 0;
+  int cqi = 0;
+  double capacity_mbps = 0;
+};
+
+// Measure one household's achievable rate with the cell to itself (a
+// drive-test style coverage survey, like the paper's Fig. 1 walk).
+SurveyPoint Survey(double distance_m, std::uint64_t seed) {
+  HataUrbanPathLoss pathloss(15.0, 1.5);  // 15 m rooftop, 1.5 m client
+  RadioEnvironmentConfig env_cfg;
+  env_cfg.carrier_freq_hz = 600e6;
+  env_cfg.shadowing_sigma_db = 6.0;
+  env_cfg.seed = seed;
+  Simulator sim;
+  RadioEnvironment env(pathloss, env_cfg);
+
+  // 29 dBm PA + 7 dBi sector antenna toward the village = 36 dBm EIRP.
+  const RadioNodeId ap = env.AddNode({.position = {0, 0},
+                                      .antenna = Antenna::Sector(7.0, 0.0, 2.1),
+                                      .tx_power_dbm = 29.0});
+  const RadioNodeId radio =
+      env.AddNode({.position = {distance_m, 0}, .tx_power_dbm = 20.0});
+
+  lte::LteNetwork net(sim, env, {});
+  lte::LteMacConfig mac;
+  net.AddCell(mac, ap);
+  const lte::UeId ue = net.AddUe(radio);
+
+  sim.SchedulePeriodic(500 * kMillisecond, [&] { net.OfferDownlink(ue, 2 << 20); });
+  net.Start();
+  sim.RunUntil(8 * kSecond);
+
+  SurveyPoint p;
+  p.snr_db = net.ServingSnrDb(ue);
+  const auto& info = net.ue(ue);
+  if (info.serving != lte::kInvalidCell) {
+    const auto* ctx = net.cell(info.serving).FindUe(ue);
+    if (ctx != nullptr) {
+      p.cqi = ctx->wideband_cqi();
+      p.capacity_mbps = static_cast<double>(ctx->dl_delivered_bits) / 8e6;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CellFi rural coverage survey -- one rooftop AP, 36 dBm EIRP, 5 MHz TVWS\n\n");
+  std::printf("%10s %10s %6s %16s %s\n", "distance", "SNR dB", "CQI", "capacity Mbps",
+              "meets 1 Mbps?");
+  int covered = 0, points = 0;
+  for (double d : {200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0, 1400.0}) {
+    const SurveyPoint p = Survey(d, static_cast<std::uint64_t>(d) + 7);
+    const bool ok = p.capacity_mbps >= 1.0;
+    ++points;
+    covered += ok;
+    std::printf("%8.0f m %10.1f %6d %16.2f %s\n", d, p.snr_db, p.cqi, p.capacity_mbps,
+                ok ? "yes" : "no");
+  }
+  std::printf("\n%d/%d surveyed households can sustain 1 Mbps (paper Section 2: >= 1 km\n"
+              "range with >= 1 Mbps; distant households lean on low code rates + HARQ,\n"
+              "the LTE PHY features Table 1 credits for long range)\n",
+              covered, points);
+  return 0;
+}

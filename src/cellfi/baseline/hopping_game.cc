@@ -1,0 +1,108 @@
+#include "cellfi/baseline/hopping_game.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cellfi::baseline {
+
+double DemandSlack(const Graph& graph, const std::vector<int>& demands,
+                   int num_subchannels) {
+  double gamma = 1.0;
+  for (std::size_t v = 0; v < graph.size(); ++v) {
+    int sum = demands[v];
+    for (int n : graph[v]) sum += demands[static_cast<std::size_t>(n)];
+    gamma = std::min(gamma, 1.0 - static_cast<double>(sum) /
+                                      static_cast<double>(num_subchannels));
+  }
+  return gamma;
+}
+
+HoppingGameResult RunHoppingGame(const Graph& graph, const std::vector<int>& demands,
+                                 const HoppingGameConfig& config, Rng& rng) {
+  const int n = static_cast<int>(graph.size());
+  const int m = config.num_subchannels;
+  assert(static_cast<int>(demands.size()) == n);
+
+  // owner[v][s]: node v holds subchannel s.
+  std::vector<std::vector<bool>> owned(static_cast<std::size_t>(n),
+                                       std::vector<bool>(static_cast<std::size_t>(m), false));
+  std::vector<int> held(static_cast<std::size_t>(n), 0);
+
+  auto neighbourhood_free = [&](int v, int s) {
+    if (owned[static_cast<std::size_t>(v)][static_cast<std::size_t>(s)]) return false;
+    for (int u : graph[static_cast<std::size_t>(v)]) {
+      if (owned[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)]) return false;
+    }
+    return true;
+  };
+
+  HoppingGameResult result;
+  std::vector<int> choice(static_cast<std::size_t>(n), -1);
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    bool anyone_unsatisfied = false;
+
+    // Phase 1: simultaneous random choices among sensed-free subchannels.
+    for (int v = 0; v < n; ++v) {
+      choice[static_cast<std::size_t>(v)] = -1;
+      if (held[static_cast<std::size_t>(v)] >= demands[static_cast<std::size_t>(v)]) continue;
+      anyone_unsatisfied = true;
+      int free_count = 0;
+      int picked = -1;
+      for (int s = 0; s < m; ++s) {
+        if (!neighbourhood_free(v, s)) continue;
+        ++free_count;
+        if (rng.Uniform() < 1.0 / static_cast<double>(free_count)) picked = s;
+      }
+      choice[static_cast<std::size_t>(v)] = picked;
+    }
+
+    if (!anyone_unsatisfied) {
+      result.converged = true;
+      result.rounds = round - 1;
+      break;
+    }
+
+    // Phase 2: resolve clashes (same choice within a neighbourhood) and
+    // fading; survivors acquire.
+    for (int v = 0; v < n; ++v) {
+      const int s = choice[static_cast<std::size_t>(v)];
+      if (s < 0) continue;
+      bool clash = false;
+      for (int u : graph[static_cast<std::size_t>(v)]) {
+        if (choice[static_cast<std::size_t>(u)] == s) clash = true;
+      }
+      if (clash) continue;
+      if (rng.Uniform() < config.fading_probability) continue;  // faded
+      owned[static_cast<std::size_t>(v)][static_cast<std::size_t>(s)] = true;
+      ++held[static_cast<std::size_t>(v)];
+    }
+    result.rounds = round;
+  }
+
+  if (result.converged) {
+    result.allocation.resize(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      for (int s = 0; s < m; ++s) {
+        if (owned[static_cast<std::size_t>(v)][static_cast<std::size_t>(s)]) {
+          result.allocation[static_cast<std::size_t>(v)].push_back(s);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Graph RandomGraph(int nodes, double edge_probability, Rng& rng) {
+  Graph g(static_cast<std::size_t>(nodes));
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = a + 1; b < nodes; ++b) {
+      if (rng.Bernoulli(edge_probability)) {
+        g[static_cast<std::size_t>(a)].push_back(b);
+        g[static_cast<std::size_t>(b)].push_back(a);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace cellfi::baseline

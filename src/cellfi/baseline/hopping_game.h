@@ -1,0 +1,49 @@
+// Abstract hopping game for Theorem 1 (paper Section 5.5).
+//
+// Vertices are access points with integer subchannel demands d_i on an
+// interference graph G; M subchannels are shared. Each round, every node
+// with unmet demand hops onto a uniformly random subchannel it senses free
+// in its neighbourhood; the acquisition fails if another contender chose
+// the same subchannel this round (clash) or the subchannel is faded
+// (independent probability p). Theorem 1: under the demand-slack
+// assumption (sum of neighbourhood demands <= (1-gamma) M), the game
+// converges in O(M log n / ((1-p) gamma)) rounds w.h.p.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellfi/common/rng.h"
+
+namespace cellfi::baseline {
+
+/// Undirected interference graph as adjacency lists (symmetric).
+using Graph = std::vector<std::vector<int>>;
+
+struct HoppingGameConfig {
+  int num_subchannels = 25;
+  double fading_probability = 0.0;  // p in the theorem
+  int max_rounds = 100'000;
+};
+
+struct HoppingGameResult {
+  bool converged = false;
+  int rounds = 0;  // rounds until every demand was met
+  /// Final allocation: per node, owned subchannels.
+  std::vector<std::vector<int>> allocation;
+};
+
+/// Validity check for the Demand Assumption: returns the largest gamma such
+/// that every neighbourhood satisfies sum(d) <= (1-gamma) M, or a negative
+/// value if the instance is infeasible under the assumption.
+double DemandSlack(const Graph& graph, const std::vector<int>& demands,
+                   int num_subchannels);
+
+/// Run the game until convergence or max_rounds.
+HoppingGameResult RunHoppingGame(const Graph& graph, const std::vector<int>& demands,
+                                 const HoppingGameConfig& config, Rng& rng);
+
+/// Random G(n, p) interference graph generator for benches/tests.
+Graph RandomGraph(int nodes, double edge_probability, Rng& rng);
+
+}  // namespace cellfi::baseline

@@ -1,0 +1,84 @@
+#include "cellfi/baseline/oracle_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace cellfi::baseline {
+
+int OracleFairShare(const OracleInput& input, int cell) {
+  const int own = input.clients_per_cell[static_cast<std::size_t>(cell)];
+  if (own <= 0) return 0;
+  int total = own;
+  for (int n : input.conflicts[static_cast<std::size_t>(cell)]) {
+    total += input.clients_per_cell[static_cast<std::size_t>(n)];
+  }
+  const int share = (own * input.num_subchannels) / std::max(total, 1);
+  return std::clamp(share, 1, input.num_subchannels);
+}
+
+std::vector<std::vector<bool>> OracleAllocate(const OracleInput& input) {
+  const int cells = static_cast<int>(input.clients_per_cell.size());
+  const int s_total = input.num_subchannels;
+  std::vector<std::vector<bool>> masks(
+      static_cast<std::size_t>(cells),
+      std::vector<bool>(static_cast<std::size_t>(s_total), false));
+
+  // Greedy multicoloring: most-constrained (highest weighted degree) first.
+  std::vector<int> order(static_cast<std::size_t>(cells));
+  std::iota(order.begin(), order.end(), 0);
+  auto degree = [&](int c) {
+    int d = input.clients_per_cell[static_cast<std::size_t>(c)];
+    for (int n : input.conflicts[static_cast<std::size_t>(c)]) {
+      d += input.clients_per_cell[static_cast<std::size_t>(n)];
+    }
+    return d;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return degree(a) > degree(b); });
+
+  for (int c : order) {
+    const int share = OracleFairShare(input, c);
+    if (share == 0) continue;
+    // Subchannels already taken in this cell's neighbourhood.
+    std::vector<bool> blocked(static_cast<std::size_t>(s_total), false);
+    for (int n : input.conflicts[static_cast<std::size_t>(c)]) {
+      for (int s = 0; s < s_total; ++s) {
+        if (masks[static_cast<std::size_t>(n)][static_cast<std::size_t>(s)]) {
+          blocked[static_cast<std::size_t>(s)] = true;
+        }
+      }
+    }
+    int granted = 0;
+    for (int s = 0; s < s_total && granted < share; ++s) {
+      if (blocked[static_cast<std::size_t>(s)]) continue;
+      masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(s)] = true;
+      ++granted;
+    }
+  }
+
+  // Spatial reuse: grow every mask into subchannels its neighbourhood
+  // leaves idle (round-robin so growth stays fair).
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (int c : order) {
+      if (input.clients_per_cell[static_cast<std::size_t>(c)] <= 0) continue;
+      for (int s = 0; s < s_total; ++s) {
+        if (masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(s)]) continue;
+        bool neighbour_uses = false;
+        for (int n : input.conflicts[static_cast<std::size_t>(c)]) {
+          neighbour_uses |= masks[static_cast<std::size_t>(n)][static_cast<std::size_t>(s)];
+        }
+        if (!neighbour_uses) {
+          masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(s)] = true;
+          grew = true;
+          break;  // one per pass
+        }
+      }
+    }
+  }
+  return masks;
+}
+
+}  // namespace cellfi::baseline

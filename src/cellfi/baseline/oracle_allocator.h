@@ -1,0 +1,32 @@
+// Centralized oracle subchannel allocation (the paper's upper-bound
+// comparator, standing in for FERMI [20]).
+//
+// Unlike CellFi, the oracle sees the exact interference conflict graph and
+// every cell's client count. It computes per-cell fair shares on each
+// neighbourhood and assigns subchannels by greedy weighted multicoloring so
+// that conflicting cells never share a subchannel, then hands out any
+// subchannels left unused in a cell's neighbourhood (spatial reuse).
+#pragma once
+
+#include <vector>
+
+namespace cellfi::baseline {
+
+struct OracleInput {
+  int num_subchannels = 13;
+  /// Active clients per cell (weights).
+  std::vector<int> clients_per_cell;
+  /// conflicts[i] = cells that interfere with cell i (symmetric).
+  std::vector<std::vector<int>> conflicts;
+};
+
+/// Per-cell subchannel masks. Guarantees: conflicting cells receive
+/// disjoint masks; every cell with clients receives at least one
+/// subchannel when its neighbourhood size permits.
+std::vector<std::vector<bool>> OracleAllocate(const OracleInput& input);
+
+/// Fair share of cell `i`: S * N_i / (N_i + sum of neighbour N_j),
+/// at least 1 when the cell has clients.
+int OracleFairShare(const OracleInput& input, int cell);
+
+}  // namespace cellfi::baseline

@@ -1,0 +1,75 @@
+// Umbrella header: the full CellFi library surface.
+//
+// Layering (lower layers never include higher ones):
+//
+//   common   -- units, RNG, geometry, FFT, JSON, statistics
+//   sim      -- discrete-event engine
+//   radio    -- propagation, fading, antennas, SINR, mobility
+//   phy      -- LTE resource grid, CQI/MCS, HARQ, PRACH, CQI reports
+//   tvws     -- spectrum database + PAWS protocol
+//   wifi     -- 802.11af/ac CSMA/CA MAC
+//   lte      -- eNodeB MAC + LTE system simulator
+//   core     -- CellFi: channel selection + interference management
+//   baseline -- oracle allocator, Theorem-1 hopping game
+//   traffic  -- flows and web workloads
+//   scenario -- topologies, evaluation harness, JSON reports
+//
+// Include this for prototyping; production users should include the
+// specific module headers they need.
+#pragma once
+
+#include "cellfi/common/fft.h"
+#include "cellfi/common/geometry.h"
+#include "cellfi/common/json.h"
+#include "cellfi/common/logging.h"
+#include "cellfi/common/rng.h"
+#include "cellfi/common/stats.h"
+#include "cellfi/common/table.h"
+#include "cellfi/common/time.h"
+#include "cellfi/common/units.h"
+
+#include "cellfi/sim/event_queue.h"
+
+#include "cellfi/radio/antenna.h"
+#include "cellfi/radio/environment.h"
+#include "cellfi/radio/fading.h"
+#include "cellfi/radio/mobility.h"
+#include "cellfi/radio/pathloss.h"
+
+#include "cellfi/phy/cqi_mcs.h"
+#include "cellfi/phy/cqi_report.h"
+#include "cellfi/phy/harq.h"
+#include "cellfi/phy/ofdm.h"
+#include "cellfi/phy/prach.h"
+#include "cellfi/phy/resource_grid.h"
+
+#include "cellfi/tvws/database.h"
+#include "cellfi/tvws/paws.h"
+#include "cellfi/tvws/types.h"
+
+#include "cellfi/wifi/phy_rates.h"
+#include "cellfi/wifi/wifi_network.h"
+
+#include "cellfi/lte/enodeb.h"
+#include "cellfi/lte/network.h"
+#include "cellfi/lte/scheduler.h"
+#include "cellfi/lte/types.h"
+#include "cellfi/lte/ue_context.h"
+
+#include "cellfi/core/cellfi_controller.h"
+#include "cellfi/core/channel_selector.h"
+#include "cellfi/core/cqi_detector.h"
+#include "cellfi/core/hybrid_controller.h"
+#include "cellfi/core/interference_manager.h"
+#include "cellfi/core/power_planner.h"
+#include "cellfi/core/prach_sensor.h"
+
+#include "cellfi/baseline/hopping_game.h"
+#include "cellfi/baseline/oracle_allocator.h"
+
+#include "cellfi/traffic/flow_tracker.h"
+#include "cellfi/traffic/web_workload.h"
+
+#include "cellfi/scenario/harness.h"
+#include "cellfi/scenario/report.h"
+#include "cellfi/scenario/topology.h"

@@ -1,0 +1,154 @@
+#include "cellfi/common/fft.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cellfi {
+
+bool IsPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+void FftImpl(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  assert(IsPowerOfTwo(n));
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1 : -1);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void Fft(std::vector<Complex>& data) { FftImpl(data, /*inverse=*/false); }
+
+void Ifft(std::vector<Complex>& data) { FftImpl(data, /*inverse=*/true); }
+
+std::vector<Complex> CircularCorrelate(const std::vector<Complex>& a,
+                                       const std::vector<Complex>& b) {
+  assert(a.size() == b.size());
+  std::vector<Complex> fa = a;
+  std::vector<Complex> fb = b;
+  Fft(fa);
+  Fft(fb);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= std::conj(fb[i]);
+  Ifft(fa);
+  return fa;
+}
+
+namespace {
+
+// Bluestein: X[k] = conj(w[k]) * sum_n (x[n] conj(w[n])) w[k-n],
+// with w[n] = exp(-i pi n^2 / N); the convolution runs over a padded
+// power-of-two FFT. The chirp and the chirp-filter spectrum depend only on
+// (n, direction), so they are planned once and cached — the PRACH detector
+// calls this at line rate.
+struct BluesteinPlan {
+  std::vector<Complex> w;       // chirp
+  std::vector<Complex> b_freq;  // FFT of the symmetric conj-chirp filter
+  std::size_t m = 0;            // padded length
+};
+
+const BluesteinPlan& PlanFor(std::size_t n, bool inverse) {
+  thread_local std::vector<std::pair<std::size_t, BluesteinPlan>> cache[2];
+  auto& entries = cache[inverse ? 1 : 0];
+  for (auto& entry : entries) {
+    if (entry.first == n) return entry.second;
+  }
+  BluesteinPlan plan;
+  const double sign = inverse ? 1.0 : -1.0;
+  plan.w.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // i^2 mod 2n avoids precision loss for large i.
+    const std::size_t sq = (i * i) % (2 * n);
+    const double ang = sign * M_PI * static_cast<double>(sq) / static_cast<double>(n);
+    plan.w[i] = Complex(std::cos(ang), std::sin(ang));
+  }
+  plan.m = NextPowerOfTwo(2 * n - 1);
+  plan.b_freq.assign(plan.m, Complex(0, 0));
+  plan.b_freq[0] = std::conj(plan.w[0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    plan.b_freq[i] = plan.b_freq[plan.m - i] = std::conj(plan.w[i]);
+  }
+  Fft(plan.b_freq);
+  entries.emplace_back(n, std::move(plan));
+  return entries.back().second;
+}
+
+std::vector<Complex> Bluestein(const std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  assert(n >= 1);
+  if (IsPowerOfTwo(n)) {
+    std::vector<Complex> copy = x;
+    if (inverse) {
+      Ifft(copy);
+    } else {
+      Fft(copy);
+    }
+    return copy;
+  }
+
+  const BluesteinPlan& plan = PlanFor(n, inverse);
+  std::vector<Complex> a(plan.m, Complex(0, 0));
+  for (std::size_t i = 0; i < n; ++i) a[i] = x[i] * plan.w[i];
+  Fft(a);
+  for (std::size_t i = 0; i < plan.m; ++i) a[i] *= plan.b_freq[i];
+  Ifft(a);
+
+  std::vector<Complex> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * plan.w[i];
+  if (inverse) {
+    for (auto& v : out) v /= static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Complex> Dft(const std::vector<Complex>& data) {
+  return Bluestein(data, /*inverse=*/false);
+}
+
+std::vector<Complex> Idft(const std::vector<Complex>& data) {
+  return Bluestein(data, /*inverse=*/true);
+}
+
+std::vector<Complex> CircularCorrelateAny(const std::vector<Complex>& a,
+                                          const std::vector<Complex>& b) {
+  assert(a.size() == b.size());
+  std::vector<Complex> fa = Dft(a);
+  std::vector<Complex> fb = Dft(b);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= std::conj(fb[i]);
+  return Idft(fa);
+}
+
+}  // namespace cellfi

@@ -1,0 +1,43 @@
+// In-place iterative radix-2 FFT.
+//
+// Used by the PRACH generator/detector (`cellfi/phy/prach*`). Sizes must be
+// powers of two; PRACH sequences of prime length are zero-padded by callers.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace cellfi {
+
+using Complex = std::complex<double>;
+
+/// Returns true if n is a power of two (n >= 1).
+bool IsPowerOfTwo(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// In-place forward FFT. `data.size()` must be a power of two.
+void Fft(std::vector<Complex>& data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void Ifft(std::vector<Complex>& data);
+
+/// Circular cross-correlation of `a` against `b` (both same power-of-two
+/// length): result[k] = sum_n a[n] * conj(b[n-k mod N]).
+std::vector<Complex> CircularCorrelate(const std::vector<Complex>& a,
+                                       const std::vector<Complex>& b);
+
+/// Forward DFT of arbitrary length via Bluestein's chirp-z algorithm
+/// (O(N log N) using the radix-2 FFT above). Needed for LTE PRACH
+/// sequences, whose length (839) is prime.
+std::vector<Complex> Dft(const std::vector<Complex>& data);
+
+/// Inverse DFT of arbitrary length (includes the 1/N normalization).
+std::vector<Complex> Idft(const std::vector<Complex>& data);
+
+/// Circular cross-correlation for arbitrary (equal) lengths via Dft/Idft.
+std::vector<Complex> CircularCorrelateAny(const std::vector<Complex>& a,
+                                          const std::vector<Complex>& b);
+
+}  // namespace cellfi

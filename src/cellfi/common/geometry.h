@@ -1,0 +1,36 @@
+// Minimal 2-D geometry for node placement and antenna sectors.
+#pragma once
+
+#include <cmath>
+
+namespace cellfi {
+
+/// A point (or vector) in the simulation plane, metres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Euclidean distance between two points, metres.
+inline double Distance(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Bearing from `from` to `to` in radians, in (-pi, pi], 0 = +x axis.
+inline double Bearing(Point from, Point to) {
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+/// Smallest absolute angular difference between two bearings, radians.
+inline double AngleDiff(double a, double b) {
+  double d = std::fmod(a - b, 2.0 * M_PI);
+  if (d > M_PI) d -= 2.0 * M_PI;
+  if (d < -M_PI) d += 2.0 * M_PI;
+  return std::fabs(d);
+}
+
+}  // namespace cellfi

@@ -1,0 +1,47 @@
+// Leveled logging with a process-wide minimum level.
+//
+// Intended for examples and debugging; hot simulation paths should not log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cellfi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit one log line (used by the CELLFI_LOG macro).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cellfi
+
+#define CELLFI_LOG(level)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::cellfi::GetLogLevel())) { \
+  } else                                                    \
+    ::cellfi::detail::LogLine(level)
+
+#define CELLFI_DEBUG CELLFI_LOG(::cellfi::LogLevel::kDebug)
+#define CELLFI_INFO CELLFI_LOG(::cellfi::LogLevel::kInfo)
+#define CELLFI_WARN CELLFI_LOG(::cellfi::LogLevel::kWarn)
+#define CELLFI_ERROR CELLFI_LOG(::cellfi::LogLevel::kError)

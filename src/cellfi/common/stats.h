@@ -1,0 +1,65 @@
+// Small statistics helpers used by benches and the evaluation harness:
+// running summaries, empirical CDFs and percentiles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cellfi {
+
+/// Online mean / variance / min / max accumulator (Welford).
+class Summary {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers percentile / CDF queries.
+class Distribution {
+ public:
+  void Add(double x) { samples_.push_back(x); sorted_ = false; }
+  void AddAll(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+  double Mean() const;
+
+  /// Empirical CDF evaluated at `x`: fraction of samples <= x.
+  double CdfAt(double x) const;
+
+  /// Fraction of samples strictly below `x` (e.g. starvation threshold).
+  double FractionBelow(double x) const;
+
+  /// `points` evenly spaced (value, cdf) pairs spanning the sample range,
+  /// suitable for plotting a CDF series.
+  std::vector<std::pair<double, double>> CdfSeries(std::size_t points = 50) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void Sort() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace cellfi

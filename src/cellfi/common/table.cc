@@ -1,0 +1,47 @@
+#include "cellfi/common/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace cellfi {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+void Table::Print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "  ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) out << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+
+  out << "== " << title << " ==\n";
+  print_row(header_);
+  std::size_t total = 2;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out << "  " << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  out << '\n';
+}
+
+}  // namespace cellfi

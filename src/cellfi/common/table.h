@@ -1,0 +1,30 @@
+// Aligned plain-text table printer used by benches to emit the rows/series
+// of each paper table and figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cellfi {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Add a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string Num(double v, int precision = 2);
+
+  /// Render to the stream with a title, header, separator and rows.
+  void Print(std::ostream& out, const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cellfi

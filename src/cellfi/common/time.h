@@ -1,0 +1,40 @@
+// Simulation time: integer nanoseconds since simulation start.
+//
+// An integer time base keeps event ordering exact; helpers below convert to
+// and from seconds/milliseconds for configuration and reporting.
+#pragma once
+
+#include <cstdint>
+
+namespace cellfi {
+
+/// Simulation timestamp or duration in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Build a SimTime from fractional seconds (rounded to nearest ns).
+inline constexpr SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Build a SimTime from fractional milliseconds.
+inline constexpr SimTime FromMilliseconds(double ms) {
+  return FromSeconds(ms * 1e-3);
+}
+
+/// Build a SimTime from fractional microseconds.
+inline constexpr SimTime FromMicroseconds(double us) {
+  return FromSeconds(us * 1e-6);
+}
+
+/// SimTime to fractional seconds.
+inline constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+/// SimTime to fractional milliseconds.
+inline constexpr double ToMilliseconds(SimTime t) { return static_cast<double>(t) * 1e-6; }
+
+}  // namespace cellfi

@@ -1,0 +1,46 @@
+// Power, frequency and bandwidth unit helpers.
+//
+// All link-budget arithmetic in the library is done in dB / dBm where
+// possible; conversions to linear (mW / W) happen only where powers must be
+// summed (interference aggregation).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace cellfi {
+
+/// Convert a power in dBm to milliwatts.
+inline double DbmToMw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Convert a power in milliwatts to dBm. `mw` must be > 0.
+inline double MwToDbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Convert a dB ratio to a linear ratio.
+inline double DbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert a linear ratio to dB. `linear` must be > 0.
+inline double LinearToDb(double linear) { return 10.0 * std::log10(linear); }
+
+/// Thermal noise power spectral density at 290 K, in dBm/Hz.
+inline constexpr double kThermalNoiseDbmPerHz = -174.0;
+
+/// Thermal noise power over `bandwidth_hz`, with receiver `noise_figure_db`.
+inline double NoisePowerDbm(double bandwidth_hz, double noise_figure_db) {
+  return kThermalNoiseDbmPerHz + 10.0 * std::log10(bandwidth_hz) +
+         noise_figure_db;
+}
+
+/// Speed of light, m/s.
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+
+/// Wavelength in metres for a carrier frequency in Hz.
+inline double WavelengthM(double freq_hz) { return kSpeedOfLightMps / freq_hz; }
+
+namespace units {
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+}  // namespace units
+
+}  // namespace cellfi

@@ -1,0 +1,77 @@
+// CellfiController: wires one InterferenceManager per cell into a live
+// LteNetwork.
+//
+// The controller is the glue the paper describes in Fig. 3: it consumes the
+// network's PRACH observations and CQI reports (the only sensing CellFi
+// allows itself — no X2, no inter-AP messages), builds each cell's
+// EpochInputs once a second, and pushes the resulting subchannel mask into
+// the standard scheduler. Measurement imperfections from Section 6.3
+// (80 % interference-detection probability, 2 % false positives) are
+// injected here, exactly as in the paper's ns-3 setup.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cellfi/core/cqi_detector.h"
+#include "cellfi/core/interference_manager.h"
+#include "cellfi/core/prach_sensor.h"
+#include "cellfi/lte/network.h"
+
+namespace cellfi::core {
+
+struct CellfiControllerConfig {
+  InterferenceManagerConfig im;  // num_subchannels filled from the network
+  CqiDetectorConfig detector;
+  SimTime epoch = 1 * kSecond;
+  /// Probability that real interference on a subchannel is detected in an
+  /// epoch (paper Section 6.3.2: ~80 %). 1.0 = ideal sensing.
+  double detection_probability = 0.8;
+  /// Probability of a spurious detection per (client, subchannel) epoch
+  /// (paper: <2 %).
+  double false_positive_rate = 0.02;
+  std::uint64_t seed = 1;
+};
+
+class CellfiController {
+ public:
+  /// Attaches to `net`'s observer hooks. Call before net.Start().
+  CellfiController(Simulator& sim, lte::LteNetwork& net, CellfiControllerConfig config);
+
+  /// Schedule the per-cell epochs (randomly staggered: APs need no mutual
+  /// synchronization).
+  void Start();
+
+  const InterferenceManager& manager(lte::CellId cell) const {
+    return *managers_[static_cast<std::size_t>(cell)];
+  }
+  const PrachSensor& sensor(lte::CellId cell) const {
+    return sensors_[static_cast<std::size_t>(cell)];
+  }
+
+  /// Total bucket-exhaustion hops across all cells (convergence metric).
+  std::uint64_t total_hops() const;
+
+  /// Cells that hopped in their most recent epoch (non-convergence probe).
+  int cells_hopping_recently() const;
+
+ private:
+  void RunEpoch(lte::CellId cell);
+  EpochInputs BuildInputs(lte::CellId cell);
+
+  Simulator& sim_;
+  lte::LteNetwork& net_;
+  CellfiControllerConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<InterferenceManager>> managers_;
+  std::vector<PrachSensor> sensors_;
+  /// Detector per (cell, ue): fed from that cell's CQI reports.
+  std::vector<std::unordered_map<lte::UeId, CqiInterferenceDetector>> detectors_;
+  /// Per-cell, per-subchannel epochs since last detection (re-use packing).
+  std::vector<std::vector<int>> free_streak_;
+  std::vector<int> last_epoch_hops_;
+  int num_subchannels_ = 0;
+};
+
+}  // namespace cellfi::core

@@ -1,0 +1,247 @@
+#include "cellfi/core/channel_selector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cellfi::core {
+
+ChannelSelector::ChannelSelector(Simulator& sim, tvws::PawsClient& client,
+                                 const tvws::PawsServer& server,
+                                 const NetworkListenScanner& scanner,
+                                 ChannelSelectorConfig config)
+    : sim_(sim), client_(client), server_(server), scanner_(scanner), config_(config) {
+  assert(config_.db_poll_interval + config_.vacate_delay <= config_.etsi_vacate_budget);
+}
+
+void ChannelSelector::Start() {
+  Record("selector_started", -1);
+  // PAWS INIT handshake: required before the database answers spectrum
+  // queries (RFC 7545); also tells us the regulatory ruleset in force.
+  const auto init_resp =
+      server_.Handle(client_.BuildInitRequest(config_.location), sim_.Now());
+  if (const auto ruleset = client_.ParseInitResponse(init_resp); ruleset.has_value()) {
+    Record("registered_" + *ruleset, -1);
+  }
+  Poll();
+  poll_event_ = sim_.SchedulePeriodic(config_.db_poll_interval, [this] { Poll(); });
+}
+
+void ChannelSelector::Record(const std::string& what, int channel) {
+  timeline_.push_back({sim_.Now(), what, channel});
+}
+
+void ChannelSelector::Poll() {
+  // The paper queries downlink and uplink availability independently
+  // (master device for the AP, generic slave parameters for all clients)
+  // and uses a channel valid for both.
+  const auto dl_body =
+      server_.Handle(client_.BuildAvailSpectrumRequest(config_.location, /*master=*/true),
+                     sim_.Now());
+  const auto ul_body =
+      server_.Handle(client_.BuildAvailSpectrumRequest(config_.location, /*master=*/false),
+                     sim_.Now());
+  const auto dl = client_.ParseAvailSpectrumResponse(dl_body);
+  const auto ul = client_.ParseAvailSpectrumResponse(ul_body);
+
+  // Every channel of the aggregate must stay leased in both directions.
+  bool current_still_valid = current_.has_value() && dl.has_value() && ul.has_value();
+  if (current_still_valid) {
+    for (const ChannelAvailability& used : aggregated_) {
+      const bool dl_ok = std::any_of(dl->channels.begin(), dl->channels.end(),
+                                     [&](const ChannelAvailability& a) {
+                                       return a.channel == used.channel &&
+                                              a.lease_expiry > sim_.Now();
+                                     });
+      const bool ul_ok = std::any_of(ul->channels.begin(), ul->channels.end(),
+                                     [&](const ChannelAvailability& a) {
+                                       return a.channel == used.channel;
+                                     });
+      if (!dl_ok || !ul_ok) {
+        current_still_valid = false;
+        break;
+      }
+    }
+  }
+
+  switch (state_) {
+    case ApRadioState::kOn:
+      if (!current_still_valid) {
+        // Lease lost: stop transmitting. Clients stop with the AP because
+        // uplink needs per-transmission grants (paper Section 4.2).
+        sim_.ScheduleAfter(config_.vacate_delay, [this] { RadioOff("lease_lost"); });
+      } else {
+        // Stay compliant: refresh the lease bookkeeping.
+        current_->lease_expiry = std::max(current_->lease_expiry, sim_.Now());
+      }
+      break;
+    case ApRadioState::kOff: {
+      if (!dl || !ul) break;
+      const auto best = PickBest(dl->channels, ul->channels);
+      if (best.has_value()) BeginReboot(*best);
+      break;
+    }
+    case ApRadioState::kRebooting:
+      break;  // finish the reboot first; validity is rechecked after
+  }
+}
+
+void ChannelSelector::RadioOff(const char* reason) {
+  if (state_ == ApRadioState::kOff) return;
+  state_ = ApRadioState::kOff;
+  if (clients_connected_) {
+    clients_connected_ = false;
+    Record("client_stopped", current_ ? current_->channel.number : -1);
+  }
+  Record(reason, current_ ? current_->channel.number : -1);
+  Record("ap_off", current_ ? current_->channel.number : -1);
+  current_.reset();
+  aggregated_.clear();
+  sim_.Cancel(pending_transition_);
+  pending_transition_ = EventId{};
+  if (on_channel_lost) on_channel_lost();
+}
+
+void ChannelSelector::BeginReboot(const ChannelAvailability& target) {
+  state_ = ApRadioState::kRebooting;
+  Record("ap_rebooting", target.channel.number);
+  pending_transition_ = sim_.ScheduleAfter(config_.reboot_duration, [this, target] {
+    // Re-validate the lease after the reboot (it may have expired).
+    if (target.lease_expiry <= sim_.Now()) {
+      state_ = ApRadioState::kOff;
+      Record("reboot_abandoned_lease_expired", target.channel.number);
+      return;
+    }
+    state_ = ApRadioState::kOn;
+    current_ = target;
+    Record("ap_on", target.channel.number);
+    // Re-derive the aggregate from a fresh query (leases may have moved
+    // during the reboot).
+    aggregated_ = {target};
+    const auto dl_body = server_.Handle(
+        client_.BuildAvailSpectrumRequest(config_.location, /*master=*/true), sim_.Now());
+    const auto ul_body = server_.Handle(
+        client_.BuildAvailSpectrumRequest(config_.location, /*master=*/false), sim_.Now());
+    const auto dl = client_.ParseAvailSpectrumResponse(dl_body);
+    const auto ul = client_.ParseAvailSpectrumResponse(ul_body);
+    if (dl && ul && config_.max_aggregated_channels > 1) {
+      aggregated_ = BuildAggregate(target, UsableBoth(dl->channels, ul->channels));
+      if (aggregated_.size() > 1) {
+        Record("aggregated_" + std::to_string(aggregated_.size()) + "_channels",
+               target.channel.number);
+      }
+    }
+    // Notify the database of actual use (SPECTRUM_USE_NOTIFY).
+    for (const ChannelAvailability& used : aggregated_) {
+      server_.Handle(client_.BuildSpectrumUseNotify(config_.location, used), sim_.Now());
+    }
+    if (on_channel_acquired) on_channel_acquired(target);
+    pending_transition_ = sim_.ScheduleAfter(config_.client_reacquire, [this] {
+      if (state_ == ApRadioState::kOn) {
+        clients_connected_ = true;
+        Record("client_connected", current_ ? current_->channel.number : -1);
+      }
+    });
+  });
+}
+
+double ChannelSelector::AggregatedBandwidthHz() const {
+  double total = 0.0;
+  for (const ChannelAvailability& a : aggregated_) {
+    total += tvws::TvChannelWidthHz(a.channel.regulatory);
+  }
+  return total;
+}
+
+double ChannelSelector::MaxPowerDbm() const {
+  double cap = 1e9;
+  for (const ChannelAvailability& a : aggregated_) cap = std::min(cap, a.max_eirp_dbm);
+  return aggregated_.empty() ? 0.0 : cap;
+}
+
+std::vector<ChannelAvailability> ChannelSelector::UsableBoth(
+    const std::vector<ChannelAvailability>& downlink,
+    const std::vector<ChannelAvailability>& uplink) const {
+  std::vector<ChannelAvailability> usable;
+  for (const ChannelAvailability& a : downlink) {
+    if (a.lease_expiry <= sim_.Now()) continue;
+    const bool in_uplink =
+        std::any_of(uplink.begin(), uplink.end(), [&](const ChannelAvailability& u) {
+          return u.channel == a.channel;
+        });
+    if (in_uplink) usable.push_back(a);
+  }
+  return usable;
+}
+
+std::vector<ChannelAvailability> ChannelSelector::BuildAggregate(
+    const ChannelAvailability& primary,
+    const std::vector<ChannelAvailability>& usable) const {
+  std::vector<ChannelAvailability> block{primary};
+  auto find = [&](int number) -> const ChannelAvailability* {
+    for (const ChannelAvailability& a : usable) {
+      if (a.channel.number == number &&
+          scanner_.OccupancyScore(number) <= config_.idle_occupancy_threshold) {
+        return &a;
+      }
+    }
+    return nullptr;
+  };
+  // Grow upward then downward from the primary, keeping the block
+  // contiguous in channel numbers.
+  int up = primary.channel.number + 1;
+  int down = primary.channel.number - 1;
+  while (static_cast<int>(block.size()) < config_.max_aggregated_channels) {
+    if (const ChannelAvailability* a = find(up)) {
+      block.push_back(*a);
+      ++up;
+      continue;
+    }
+    if (const ChannelAvailability* a = find(down)) {
+      block.push_back(*a);
+      --down;
+      continue;
+    }
+    break;
+  }
+  return block;
+}
+
+std::optional<ChannelAvailability> ChannelSelector::PickBest(
+    const std::vector<ChannelAvailability>& downlink,
+    const std::vector<ChannelAvailability>& uplink) const {
+  std::optional<ChannelAvailability> best;
+  int best_rank = 3;
+  double best_occupancy = 2.0;
+  for (const ChannelAvailability& a : downlink) {
+    if (a.lease_expiry <= sim_.Now()) continue;
+    const bool in_uplink =
+        std::any_of(uplink.begin(), uplink.end(), [&](const ChannelAvailability& u) {
+          return u.channel == a.channel;
+        });
+    if (!in_uplink) continue;
+
+    const double occupancy = scanner_.OccupancyScore(a.channel.number);
+    int rank;
+    if (occupancy <= config_.idle_occupancy_threshold) {
+      rank = 0;  // idle
+    } else if (scanner_.IsCellFiOccupied(a.channel.number)) {
+      rank = 1;  // sharable with CellFi interference management
+    } else {
+      rank = 2;  // occupied by another technology
+    }
+    const bool better =
+        rank < best_rank ||
+        (rank == best_rank &&
+         (occupancy < best_occupancy ||
+          (occupancy == best_occupancy && best.has_value() &&
+           a.channel.number < best->channel.number)));
+    if (!best.has_value() || better) {
+      best = a;
+      best_rank = rank;
+      best_occupancy = occupancy;
+    }
+  }
+  return best;
+}
+
+}  // namespace cellfi::core

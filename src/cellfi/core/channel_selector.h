@@ -1,0 +1,152 @@
+// CellFi channel-selection component (paper Section 4.2, evaluated in
+// Section 6.2 / Fig. 6).
+//
+// Responsibilities:
+//  * keep a list of available channels fresh by polling the spectrum
+//    database over PAWS;
+//  * vacate the channel within the ETSI 60 s budget once the lease is lost
+//    (measured: ~2 s in the paper's testbed);
+//  * select the best channel available for BOTH downlink and uplink,
+//    preferring channels that network-listen finds idle, then channels
+//    occupied by other CellFi cells (whose interference management can
+//    share), then anything else;
+//  * model the AP radio lifecycle: retuning requires a reboot (1 m 36 s on
+//    the paper's E40), after which clients need a cell search (~56 s) to
+//    reconnect.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cellfi/sim/event_queue.h"
+#include "cellfi/tvws/paws.h"
+
+namespace cellfi::core {
+
+using tvws::ChannelAvailability;
+using tvws::GeoLocation;
+
+/// What network-listen hears on each candidate channel.
+class NetworkListenScanner {
+ public:
+  virtual ~NetworkListenScanner() = default;
+
+  /// Received energy from other networks on `channel`, normalized to
+  /// [0, 1] (0 = idle). Idle threshold is 0.05.
+  virtual double OccupancyScore(int channel) const = 0;
+
+  /// True if the occupant was identified as a CellFi/LTE cell (via PSS/SSS
+  /// detection during network listen).
+  virtual bool IsCellFiOccupied(int channel) const = 0;
+};
+
+/// Scanner for environments with no other transmitters.
+class QuietScanner final : public NetworkListenScanner {
+ public:
+  double OccupancyScore(int) const override { return 0.0; }
+  bool IsCellFiOccupied(int) const override { return false; }
+};
+
+struct ChannelSelectorConfig {
+  GeoLocation location;
+  /// Channel aggregation (paper Section 7, "future work"): lease up to
+  /// this many CONTIGUOUS TV channels when available, widening the LTE
+  /// carrier (two 6 MHz channels fit a 10 MHz carrier). All aggregated
+  /// channels must be valid for both downlink and uplink; losing any of
+  /// them vacates the whole block (conservative compliance).
+  int max_aggregated_channels = 1;
+  SimTime db_poll_interval = 1 * kSecond;
+  SimTime vacate_delay = 1 * kSecond;          // radio-off latency after loss
+  SimTime reboot_duration = 96 * kSecond;      // E40: 1 min 36 s
+  SimTime client_reacquire = 56 * kSecond;     // cell search on the client
+  double idle_occupancy_threshold = 0.05;
+  // ETSI EN 301 598: transmissions must stop within 60 s of losing the
+  // channel; db_poll_interval + vacate_delay must stay below this.
+  SimTime etsi_vacate_budget = 60 * kSecond;
+};
+
+enum class ApRadioState { kOff, kRebooting, kOn };
+
+/// One timeline entry for the Fig. 6 style report.
+struct TimelineEvent {
+  SimTime time = 0;
+  std::string what;  // "ap_on", "ap_off", "client_connected", ...
+  int channel = -1;
+};
+
+/// Channel-selection state machine for one access point.
+class ChannelSelector {
+ public:
+  /// All referenced objects must outlive the selector.
+  ChannelSelector(Simulator& sim, tvws::PawsClient& client, const tvws::PawsServer& server,
+                  const NetworkListenScanner& scanner, ChannelSelectorConfig config);
+
+  /// Begin polling the database and bring the radio up on the best channel.
+  void Start();
+
+  ApRadioState state() const { return state_; }
+
+  /// Primary channel currently transmitted on (only when state == kOn).
+  std::optional<ChannelAvailability> current_channel() const { return current_; }
+
+  /// All channels in use (primary first); size > 1 under aggregation.
+  const std::vector<ChannelAvailability>& current_channels() const { return aggregated_; }
+
+  /// Total leased bandwidth in Hz (0 when off the air).
+  double AggregatedBandwidthHz() const;
+
+  /// Most restrictive EIRP cap across the aggregated channels, dBm
+  /// (power optimization must respect every channel's limit).
+  double MaxPowerDbm() const;
+
+  /// True while attached clients may transmit (AP on + cell search done).
+  bool clients_connected() const { return clients_connected_; }
+
+  /// Ordered record of every state change.
+  const std::vector<TimelineEvent>& timeline() const { return timeline_; }
+
+  /// Invoked on acquiring / losing a channel (optional).
+  std::function<void(const ChannelAvailability&)> on_channel_acquired;
+  std::function<void()> on_channel_lost;
+
+ private:
+  void Poll();
+  void RadioOff(const char* reason);
+  void BeginReboot(const ChannelAvailability& target);
+  void Record(const std::string& what, int channel);
+
+  /// Rank candidates: idle first, then CellFi-occupied, then the rest;
+  /// ties broken by lower occupancy, then lower channel number.
+  std::optional<ChannelAvailability> PickBest(
+      const std::vector<ChannelAvailability>& downlink,
+      const std::vector<ChannelAvailability>& uplink) const;
+
+  /// Channels valid for both directions (lease not expired).
+  std::vector<ChannelAvailability> UsableBoth(
+      const std::vector<ChannelAvailability>& downlink,
+      const std::vector<ChannelAvailability>& uplink) const;
+
+  /// Extend `primary` with contiguous usable channels up to the
+  /// aggregation cap.
+  std::vector<ChannelAvailability> BuildAggregate(
+      const ChannelAvailability& primary,
+      const std::vector<ChannelAvailability>& usable) const;
+
+  Simulator& sim_;
+  tvws::PawsClient& client_;
+  const tvws::PawsServer& server_;
+  const NetworkListenScanner& scanner_;
+  ChannelSelectorConfig config_;
+
+  ApRadioState state_ = ApRadioState::kOff;
+  bool clients_connected_ = false;
+  std::optional<ChannelAvailability> current_;
+  std::vector<ChannelAvailability> aggregated_;
+  std::vector<TimelineEvent> timeline_;
+  EventId poll_event_;
+  EventId pending_transition_;
+};
+
+}  // namespace cellfi::core

@@ -1,0 +1,59 @@
+#include "cellfi/core/cqi_detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cellfi::core {
+
+CqiInterferenceDetector::CqiInterferenceDetector(int num_subchannels,
+                                                 CqiDetectorConfig config)
+    : config_(config), bands_(static_cast<std::size_t>(num_subchannels)) {}
+
+void CqiInterferenceDetector::AddReport(const std::vector<int>& subband_cqi) {
+  const std::size_t n = std::min(subband_cqi.size(), bands_.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    Band& band = bands_[s];
+    band.window.push_back(subband_cqi[s]);
+    if (static_cast<int>(band.window.size()) > config_.max_window) {
+      band.window.pop_front();
+    }
+    const int max_cqi = *std::max_element(band.window.begin(), band.window.end());
+    const double threshold = config_.ratio * static_cast<double>(max_cqi);
+    if (static_cast<double>(subband_cqi[s]) < threshold) {
+      ++band.low_streak;
+    } else {
+      band.low_streak = 0;
+    }
+    band.smoothed = band.smoothed < 0.0
+                        ? static_cast<double>(subband_cqi[s])
+                        : (1.0 - config_.smoothing) * band.smoothed +
+                              config_.smoothing * static_cast<double>(subband_cqi[s]);
+  }
+
+  if (config_.enable_spectral_rule) {
+    double best = 0.0;
+    for (std::size_t s = 0; s < n; ++s) best = std::max(best, bands_[s].smoothed);
+    for (std::size_t s = 0; s < n; ++s) {
+      Band& band = bands_[s];
+      if (band.smoothed < config_.ratio * best) {
+        ++band.spectral_streak;
+      } else {
+        band.spectral_streak = 0;
+      }
+    }
+  }
+}
+
+bool CqiInterferenceDetector::Detected(int s) const {
+  const Band& band = bands_[static_cast<std::size_t>(s)];
+  return band.low_streak >= config_.consecutive ||
+         band.spectral_streak >= config_.consecutive;
+}
+
+int CqiInterferenceDetector::MaxCqi(int s) const {
+  const Band& band = bands_[static_cast<std::size_t>(s)];
+  if (band.window.empty()) return 0;
+  return *std::max_element(band.window.begin(), band.window.end());
+}
+
+}  // namespace cellfi::core

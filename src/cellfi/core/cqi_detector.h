@@ -1,0 +1,68 @@
+// CQI-based interference detector (paper Section 6.3.2).
+//
+// Two complementary rules, both requiring 10 consecutive low reports:
+//
+//  * Temporal: the AP tracks, per client and sub-band, the maximum CQI
+//    observed within a sliding window as the interference-free estimate,
+//    and flags samples below 60 % of that maximum. This is the paper's
+//    measured rule; it catches an interferer that *arrives* on a
+//    previously clean sub-band.
+//  * Spectral: a sub-band whose smoothed CQI sits below 60 % of the
+//    client's best smoothed sub-band is flagged. Sub-band reports make the
+//    across-frequency contrast directly observable, and this closes the
+//    cold-start case where a sub-band has been interfered for the entire
+//    window (the temporal max never saw it clean).
+//
+// The paper measured <2 % false positives and ~80 % detection probability
+// on real hardware; large-scale runs inject those imperfections on top
+// (see CellfiControllerConfig).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace cellfi::core {
+
+struct CqiDetectorConfig {
+  double ratio = 0.6;     // "below 60 % of the maximum"
+  int consecutive = 10;   // consecutive low samples to trigger
+  int max_window = 500;   // samples kept for the running max (1 s at 2 ms)
+  double smoothing = 0.1; // EWMA weight for the spectral rule
+  bool enable_spectral_rule = true;
+};
+
+/// Detector state for one client (all sub-bands).
+class CqiInterferenceDetector {
+ public:
+  CqiInterferenceDetector(int num_subchannels, CqiDetectorConfig config = {});
+
+  /// Feed one decoded report (per-subchannel CQI).
+  void AddReport(const std::vector<int>& subband_cqi);
+
+  /// True if subchannel `s` currently triggers the interference rule.
+  bool Detected(int s) const;
+
+  /// Interference-free CQI estimate (window max) for subchannel `s`.
+  int MaxCqi(int s) const;
+
+  /// Number of consecutive low samples on `s` (temporal rule).
+  int LowStreak(int s) const { return bands_[static_cast<std::size_t>(s)].low_streak; }
+
+  /// Smoothed CQI on subchannel `s` (spectral rule input).
+  double SmoothedCqi(int s) const { return bands_[static_cast<std::size_t>(s)].smoothed; }
+
+  int num_subchannels() const { return static_cast<int>(bands_.size()); }
+
+ private:
+  struct Band {
+    std::deque<int> window;  // recent samples for the running max
+    int low_streak = 0;      // temporal rule
+    double smoothed = -1.0;  // EWMA; -1 = no samples yet
+    int spectral_streak = 0; // spectral rule
+  };
+  CqiDetectorConfig config_;
+  std::vector<Band> bands_;
+};
+
+}  // namespace cellfi::core

@@ -1,0 +1,73 @@
+#include "cellfi/core/hybrid_controller.h"
+
+#include <cassert>
+
+namespace cellfi::core {
+
+using lte::CellId;
+
+HybridController::HybridController(Simulator& sim, lte::LteNetwork& net,
+                                   std::vector<int> operator_of,
+                                   HybridControllerConfig config)
+    : sim_(sim), net_(net), operator_of_(std::move(operator_of)), config_(config) {
+  assert(operator_of_.size() == net.cell_count());
+  distributed_ = std::make_unique<CellfiController>(sim, net, config.base);
+}
+
+void HybridController::Start() {
+  distributed_->Start();
+  // Refinement runs more often than the IM epoch so a cell's own epoch
+  // push is corrected quickly; it is a pure post-pass over the distributed
+  // masks (the IM state stays canonical).
+  sim_.SchedulePeriodic(config_.base.epoch / 4, [this] { Refine(); });
+}
+
+void HybridController::Refine() {
+  const std::size_t cells = net_.cell_count();
+  // Current masks as the distributed layer computed them.
+  std::vector<std::vector<bool>> masks(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    masks[c] = distributed_->manager(static_cast<CellId>(c)).mask();
+    if (distributed_->manager(static_cast<CellId>(c)).owned_count() == 0) {
+      // Mirror the controller's idle-cell fallback.
+      masks[c].assign(masks[c].size(), true);
+    }
+  }
+
+  // Resolve conflicts with the information the operator actually has: its
+  // own cells' geometry, masks and client counts.
+  for (std::size_t i = 0; i < cells; ++i) {
+    for (std::size_t j = i + 1; j < cells; ++j) {
+      if (operator_of_[i] != operator_of_[j]) continue;
+      if (!net_.CellsWithinDistance(static_cast<CellId>(i), static_cast<CellId>(j),
+                                    config_.intra_operator_conflict_m)) {
+        continue;
+      }
+      // Resolve every shared subchannel: the cell with fewer attached
+      // clients yields and substitutes a subchannel unused by either.
+      const std::size_t yielder =
+          net_.cell(static_cast<CellId>(i)).ues().size() <=
+                  net_.cell(static_cast<CellId>(j)).ues().size()
+              ? i
+              : j;
+      const std::size_t keeper = yielder == i ? j : i;
+      for (std::size_t s = 0; s < masks[i].size(); ++s) {
+        if (!masks[i][s] || !masks[j][s]) continue;
+        masks[yielder][s] = false;
+        ++conflicts_resolved_;
+        for (std::size_t alt = 0; alt < masks[yielder].size(); ++alt) {
+          if (!masks[yielder][alt] && !masks[keeper][alt]) {
+            masks[yielder][alt] = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < cells; ++c) {
+    net_.SetAllowedMask(static_cast<CellId>(c), masks[c]);
+  }
+}
+
+}  // namespace cellfi::core

@@ -1,0 +1,56 @@
+// Hybrid control plane (paper Section 7): "CellFi can be extended to
+// include centralized coordination among nodes from one provider, and
+// distributed coordination across multiple providers."
+//
+// Cells are grouped by operator. ACROSS operators everything stays
+// CellFi-distributed: each cell senses PRACH and client CQI and runs its
+// own InterferenceManager — no inter-operator communication. WITHIN an
+// operator, cells additionally exchange their masks over the operator's
+// own backhaul (X2-like, which a single provider does have) and run a
+// conflict-free refinement: when two same-operator cells that interfere
+// hold the same subchannel, the one whose clients value it less yields and
+// picks a substitute from its own sensing — resolving intra-operator
+// contention in one step instead of waiting for bucket drains.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cellfi/core/cellfi_controller.h"
+
+namespace cellfi::core {
+
+struct HybridControllerConfig {
+  CellfiControllerConfig base;
+  /// Same-operator cells closer than this conflict (the operator knows its
+  /// own deployment geometry).
+  double intra_operator_conflict_m = 900.0;
+};
+
+class HybridController {
+ public:
+  /// `operator_of[c]` assigns each cell of `net` to an operator id.
+  HybridController(Simulator& sim, lte::LteNetwork& net, std::vector<int> operator_of,
+                   HybridControllerConfig config);
+
+  void Start();
+
+  const CellfiController& distributed() const { return *distributed_; }
+  int operator_of(lte::CellId cell) const {
+    return operator_of_[static_cast<std::size_t>(cell)];
+  }
+  /// Intra-operator conflicts resolved centrally so far.
+  std::uint64_t conflicts_resolved() const { return conflicts_resolved_; }
+
+ private:
+  void Refine();
+
+  Simulator& sim_;
+  lte::LteNetwork& net_;
+  std::vector<int> operator_of_;
+  HybridControllerConfig config_;
+  std::unique_ptr<CellfiController> distributed_;
+  std::uint64_t conflicts_resolved_ = 0;
+};
+
+}  // namespace cellfi::core

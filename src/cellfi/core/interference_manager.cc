@@ -1,0 +1,132 @@
+#include "cellfi/core/interference_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cellfi::core {
+
+InterferenceManager::InterferenceManager(InterferenceManagerConfig config,
+                                         std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      owned_(static_cast<std::size_t>(config.num_subchannels), false),
+      buckets_(static_cast<std::size_t>(config.num_subchannels), 0.0) {
+  assert(config.num_subchannels > 0);
+}
+
+int InterferenceManager::owned_count() const {
+  return static_cast<int>(std::count(owned_.begin(), owned_.end(), true));
+}
+
+int InterferenceManager::TargetShare(int own_clients, int contenders) const {
+  if (own_clients <= 0) return 0;
+  const int s = config_.num_subchannels;
+  contenders = std::max(contenders, own_clients);
+  const int share = (own_clients * s) / contenders;
+  return std::clamp(share, 1, s);
+}
+
+void InterferenceManager::Acquire(int s) {
+  owned_[static_cast<std::size_t>(s)] = true;
+  buckets_[static_cast<std::size_t>(s)] = rng_.Exponential(config_.bucket_lambda);
+}
+
+void InterferenceManager::Release(int s) {
+  owned_[static_cast<std::size_t>(s)] = false;
+  buckets_[static_cast<std::size_t>(s)] = 0.0;
+}
+
+int InterferenceManager::PickNewSubchannel(const std::vector<double>& utility) {
+  double best_utility = -1.0;
+  int best = -1;
+  int ties = 0;
+  for (int s = 0; s < config_.num_subchannels; ++s) {
+    if (owned_[static_cast<std::size_t>(s)]) continue;
+    const double u = utility.empty() ? 0.0 : utility[static_cast<std::size_t>(s)];
+    if (u > best_utility) {
+      best_utility = u;
+      best = s;
+      ties = 1;
+    } else if (u == best_utility) {
+      // Reservoir-sample among equal-utility candidates: randomized hopping.
+      ++ties;
+      if (rng_.Uniform() < 1.0 / static_cast<double>(ties)) best = s;
+    }
+  }
+  return best;
+}
+
+const std::vector<bool>& InterferenceManager::OnEpoch(const EpochInputs& in) {
+  ++epochs_;
+  stats_ = EpochStats{};
+  const int s_total = config_.num_subchannels;
+
+  // --- Phase 1: distributed share calculation -----------------------------
+  const int share = TargetShare(in.own_active_clients, in.estimated_contenders);
+  stats_.share = share;
+
+  // Shrink if over target (release lowest-utility owned subchannels).
+  while (owned_count() > share) {
+    int worst = -1;
+    double worst_utility = 0.0;
+    for (int s = 0; s < s_total; ++s) {
+      if (!owned_[static_cast<std::size_t>(s)]) continue;
+      const double u = in.utility.empty() ? 0.0 : in.utility[static_cast<std::size_t>(s)];
+      if (worst == -1 || u < worst_utility) {
+        worst = s;
+        worst_utility = u;
+      }
+    }
+    Release(worst);
+    ++stats_.shrank;
+  }
+
+  // --- Phase 2: bucket updates -------------------------------------------
+  for (int s = 0; s < s_total; ++s) {
+    if (!owned_[static_cast<std::size_t>(s)]) continue;
+    const double pressure =
+        in.interference_pressure.empty() ? 0.0
+                                         : in.interference_pressure[static_cast<std::size_t>(s)];
+    if (pressure > 0.0) buckets_[static_cast<std::size_t>(s)] -= pressure;
+  }
+
+  // --- Phase 3: hopping on bucket exhaustion ------------------------------
+  for (int s = 0; s < s_total; ++s) {
+    if (!owned_[static_cast<std::size_t>(s)] || buckets_[static_cast<std::size_t>(s)] > 0.0) {
+      continue;
+    }
+    Release(s);
+    const int next = PickNewSubchannel(in.utility);
+    if (next >= 0) Acquire(next);
+    ++stats_.hops;
+    ++total_hops_;
+  }
+
+  // --- Phase 4: grow toward the share -------------------------------------
+  while (owned_count() < share) {
+    const int next = PickNewSubchannel(in.utility);
+    if (next < 0) break;  // everything owned already
+    Acquire(next);
+    ++stats_.grew;
+  }
+
+  // --- Phase 5: channel re-use packing ------------------------------------
+  if (config_.enable_reuse && !in.free_for_reuse.empty()) {
+    for (int s = s_total - 1; s >= 0; --s) {
+      if (!owned_[static_cast<std::size_t>(s)]) continue;
+      for (int lower = 0; lower < s; ++lower) {
+        if (owned_[static_cast<std::size_t>(lower)]) continue;
+        if (!in.free_for_reuse[static_cast<std::size_t>(lower)]) continue;
+        Release(s);
+        Acquire(lower);
+        ++stats_.reuse_moves;
+        break;
+      }
+    }
+  }
+
+  return owned_;
+}
+
+}  // namespace cellfi::core

@@ -1,0 +1,95 @@
+// CellFi distributed interference management (paper Section 5).
+//
+// Once per epoch (1 s) each access point independently:
+//   1. computes its conservative spectrum share S_i = N_i * S / NP_i
+//      (distributed share calculation, Section 5.2),
+//   2. updates the exponential "bucket" of each owned subchannel: for every
+//      client that observed the subchannel as bad, the bucket drops by that
+//      client's scheduled-time fraction (Section 5.3, "Bucket Updates"),
+//   3. gives up subchannels whose bucket reached zero and hops to the
+//      unowned subchannel with maximum utility (Section 5.3, "Subchannel
+//      Hopping"), and
+//   4. packs toward lower-index subchannels that have been sensed free for
+//      a contiguous period (Section 5.3, "Channel re-use").
+//
+// The component is deliberately pure: all sensing arrives via EpochInputs,
+// making it drivable by the live CellfiController, by unit tests, and by
+// the Theorem-1 convergence bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellfi/common/rng.h"
+#include "cellfi/common/time.h"
+
+namespace cellfi::core {
+
+struct InterferenceManagerConfig {
+  int num_subchannels = 13;
+  /// Mean of the exponential bucket distribution (paper: lambda = 10).
+  double bucket_lambda = 10.0;
+  /// Epochs a lower-index subchannel must look free before packing onto it.
+  int reuse_free_epochs = 3;
+  /// Enable the channel re-use packing heuristic.
+  bool enable_reuse = true;
+};
+
+/// Sensing inputs for one epoch.
+struct EpochInputs {
+  int own_active_clients = 0;    // N_i (PRACH: own preambles)
+  int estimated_contenders = 0;  // NP_i (PRACH: all preambles heard)
+  /// Utility estimate per subchannel: sum over clients of achievable
+  /// throughput from CQI, scaled by their scheduled-time share.
+  std::vector<double> utility;
+  /// Bucket pressure per subchannel: sum over clients that reported the
+  /// subchannel bad of frac_j (their scheduled-time fraction on it).
+  std::vector<double> interference_pressure;
+  /// Subchannels sensed free for >= reuse_free_epochs contiguous epochs.
+  std::vector<bool> free_for_reuse;
+};
+
+/// Per-epoch statistics (for convergence reporting, Fig. 9 discussion).
+struct EpochStats {
+  int share = 0;       // S_i this epoch
+  int hops = 0;        // bucket-exhaustion hops
+  int reuse_moves = 0; // packing moves
+  int grew = 0;        // subchannels added to meet the share
+  int shrank = 0;      // subchannels released (share decrease)
+};
+
+class InterferenceManager {
+ public:
+  InterferenceManager(InterferenceManagerConfig config, std::uint64_t seed);
+
+  /// Run one epoch; returns the subchannel mask for the scheduler.
+  const std::vector<bool>& OnEpoch(const EpochInputs& in);
+
+  const std::vector<bool>& mask() const { return owned_; }
+  int owned_count() const;
+  double bucket(int s) const { return buckets_[static_cast<std::size_t>(s)]; }
+  const EpochStats& last_stats() const { return stats_; }
+  std::uint64_t total_hops() const { return total_hops_; }
+  std::uint64_t epochs() const { return epochs_; }
+
+  /// Target share for the given sensing counts (exposed for tests):
+  /// S_i = N_i * S / NP_i, at least 1 when N_i > 0 (an AP with clients
+  /// never fully silences itself), capped at S.
+  int TargetShare(int own_clients, int contenders) const;
+
+ private:
+  void Acquire(int s);
+  void Release(int s);
+  /// Best unowned subchannel by utility (ties: random among best).
+  int PickNewSubchannel(const std::vector<double>& utility);
+
+  InterferenceManagerConfig config_;
+  Rng rng_;
+  std::vector<bool> owned_;
+  std::vector<double> buckets_;
+  EpochStats stats_;
+  std::uint64_t total_hops_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace cellfi::core

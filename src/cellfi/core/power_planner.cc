@@ -1,0 +1,38 @@
+#include "cellfi/core/power_planner.h"
+
+#include <algorithm>
+
+#include "cellfi/common/units.h"
+
+namespace cellfi::core {
+
+double RequiredEirpDbm(const PathLossModel& pathloss, double freq_hz,
+                       const CoverageTarget& target) {
+  const double noise_dbm = NoisePowerDbm(target.bandwidth_hz, target.noise_figure_db);
+  return target.edge_snr_db + noise_dbm + pathloss.LossDb(target.range_m, freq_hz) +
+         target.shadowing_margin_db;
+}
+
+double PlanTxPowerDbm(const PathLossModel& pathloss, double freq_hz,
+                      const CoverageTarget& target, double cap_dbm, bool* achievable) {
+  const double required = RequiredEirpDbm(pathloss, freq_hz, target);
+  if (achievable != nullptr) *achievable = required <= cap_dbm;
+  return std::min(required, cap_dbm);
+}
+
+double AchievableRangeM(const PathLossModel& pathloss, double freq_hz,
+                        const CoverageTarget& target, double eirp_dbm) {
+  const double noise_dbm = NoisePowerDbm(target.bandwidth_hz, target.noise_figure_db);
+  const double budget_db =
+      eirp_dbm - target.edge_snr_db - noise_dbm - target.shadowing_margin_db;
+  double lo = 1.0, hi = 100'000.0;
+  if (pathloss.LossDb(lo, freq_hz) > budget_db) return 0.0;
+  if (pathloss.LossDb(hi, freq_hz) <= budget_db) return hi;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (pathloss.LossDb(mid, freq_hz) <= budget_db ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace cellfi::core

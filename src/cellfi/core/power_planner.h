@@ -1,0 +1,39 @@
+// Transmit-power planning (paper Section 7: "a more flexible channel
+// allocation that will allow channel aggregation and optimization for
+// power").
+//
+// Given a coverage target (range + SNR at the edge), compute the minimum
+// EIRP that closes the link budget, clamped to the channel's regulatory
+// cap from the spectrum lease. Running at minimum power shrinks the AP's
+// interference footprint, which directly reduces the contender counts that
+// drive CellFi's spectrum shares.
+#pragma once
+
+#include "cellfi/radio/pathloss.h"
+
+namespace cellfi::core {
+
+struct CoverageTarget {
+  double range_m = 1000.0;        // paper Section 2: 1 km cells
+  double edge_snr_db = -6.7;      // lowest LTE MCS by default
+  double bandwidth_hz = 4.5e6;    // occupied bandwidth at the receiver
+  double noise_figure_db = 7.0;
+  double shadowing_margin_db = 8.0;  // log-normal fade margin (~90 % edge)
+};
+
+/// Minimum EIRP (dBm) meeting `target` under `pathloss` at `freq_hz`.
+double RequiredEirpDbm(const PathLossModel& pathloss, double freq_hz,
+                       const CoverageTarget& target);
+
+/// RequiredEirpDbm clamped to the regulatory cap; returns the cap when the
+/// target is unreachable (and sets *achievable to false).
+double PlanTxPowerDbm(const PathLossModel& pathloss, double freq_hz,
+                      const CoverageTarget& target, double cap_dbm,
+                      bool* achievable = nullptr);
+
+/// Range achieved (metres) at `eirp_dbm` for the same target parameters
+/// (bisection over the monotone path-loss model; range cap 100 km).
+double AchievableRangeM(const PathLossModel& pathloss, double freq_hz,
+                        const CoverageTarget& target, double eirp_dbm);
+
+}  // namespace cellfi::core

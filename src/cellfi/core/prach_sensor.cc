@@ -1,0 +1,25 @@
+#include "cellfi/core/prach_sensor.h"
+
+namespace cellfi::core {
+
+void PrachSensor::OnPreamble(lte::UeId ue, lte::CellId serving, SimTime now) {
+  heard_[ue] = Entry{now, serving};
+}
+
+int PrachSensor::EstimateContenders(SimTime now) const {
+  int n = 0;
+  for (const auto& [ue, e] : heard_) {
+    if (now - e.last_heard <= expiry_) ++n;
+  }
+  return n;
+}
+
+int PrachSensor::OwnActive(SimTime now) const {
+  int n = 0;
+  for (const auto& [ue, e] : heard_) {
+    if (e.serving == self_ && now - e.last_heard <= expiry_) ++n;
+  }
+  return n;
+}
+
+}  // namespace cellfi::core

@@ -1,0 +1,42 @@
+// PRACH-based contender counting (paper Section 5.1).
+//
+// Each CellFi access point overhears PRACH preambles — its own clients'
+// and those of neighbouring cells' clients (solicited every second via
+// PDCCH-order RACH). Estimates expire after one second, so clients that go
+// inactive stop being counted.
+#pragma once
+
+#include <unordered_map>
+
+#include "cellfi/common/time.h"
+#include "cellfi/lte/types.h"
+
+namespace cellfi::core {
+
+class PrachSensor {
+ public:
+  explicit PrachSensor(lte::CellId self, SimTime expiry = 1 * kSecond)
+      : self_(self), expiry_(expiry) {}
+
+  /// Record a detected preamble from `ue` (attached to `serving`).
+  void OnPreamble(lte::UeId ue, lte::CellId serving, SimTime now);
+
+  /// NP_i: number of distinct active clients heard recently (own + foreign).
+  int EstimateContenders(SimTime now) const;
+
+  /// N_i: own active clients among the recent preambles.
+  int OwnActive(SimTime now) const;
+
+  lte::CellId self() const { return self_; }
+
+ private:
+  struct Entry {
+    SimTime last_heard = 0;
+    lte::CellId serving = lte::kInvalidCell;
+  };
+  lte::CellId self_;
+  SimTime expiry_;
+  std::unordered_map<lte::UeId, Entry> heard_;
+};
+
+}  // namespace cellfi::core

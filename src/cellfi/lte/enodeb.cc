@@ -1,0 +1,219 @@
+#include "cellfi/lte/enodeb.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cellfi/common/units.h"
+#include "cellfi/phy/cqi_mcs.h"
+
+namespace cellfi::lte {
+
+EnodeB::EnodeB(CellId id, LteMacConfig config)
+    : id_(id),
+      config_(config),
+      grid_(config.bandwidth, config.pdcch_symbols),
+      tdd_(config.tdd_config >= 0 ? TddConfig(config.tdd_config) : TddConfig::FddDownlink()),
+      scheduler_(MakeScheduler(config.scheduler)),
+      allowed_mask_(static_cast<std::size_t>(grid_.num_subchannels()), true) {}
+
+UeContext& EnodeB::AddUe(UeId ue) {
+  assert(FindUe(ue) == nullptr);
+  ues_.push_back(std::make_unique<UeContext>(ue, grid_.num_subchannels()));
+  return *ues_.back();
+}
+
+void EnodeB::RemoveUe(UeId ue) {
+  const auto it = std::find_if(ues_.begin(), ues_.end(),
+                               [&](const auto& u) { return u->id() == ue; });
+  if (it != ues_.end()) ues_.erase(it);
+}
+
+UeContext* EnodeB::FindUe(UeId ue) {
+  const auto it = std::find_if(ues_.begin(), ues_.end(),
+                               [&](const auto& u) { return u->id() == ue; });
+  return it != ues_.end() ? it->get() : nullptr;
+}
+
+void EnodeB::SetAllowedMask(std::vector<bool> mask) {
+  assert(static_cast<int>(mask.size()) == grid_.num_subchannels());
+  allowed_mask_ = std::move(mask);
+}
+
+int EnodeB::allowed_count() const {
+  return static_cast<int>(std::count(allowed_mask_.begin(), allowed_mask_.end(), true));
+}
+
+Transmission EnodeB::MakeNewBlock(UeContext& ue, int ue_index,
+                                  std::vector<int> subchannels, bool uplink) const {
+  Transmission tx;
+  tx.ue = ue.id();
+  tx.ue_index = ue_index;
+  tx.cqi = std::max(AggregateCqi(ue.subband_cqi(), subchannels),
+                    ue.has_cqi() ? 0 : kMinCqi);
+  int rbs = 0;
+  for (int s : subchannels) rbs += grid_.SubchannelRbCount(s);
+  tx.tb_bits = TransportBlockBits(tx.cqi, rbs, grid_.DataResourceElementsPerRb());
+  const std::uint64_t queued = uplink ? ue.ul_queue_bytes() : ue.dl_queue_bytes();
+  tx.payload_bytes = std::min<std::uint64_t>(queued, static_cast<std::uint64_t>(tx.tb_bits / 8));
+  tx.subchannels = std::move(subchannels);
+  return tx;
+}
+
+Transmission EnodeB::MakeRetxBlock(const UeContext& ue, int ue_index,
+                                   std::vector<int> subchannels, bool uplink) const {
+  const HarqState& h = uplink ? ue.harq_ul() : ue.harq_dl();
+  Transmission tx;
+  tx.ue = ue.id();
+  tx.ue_index = ue_index;
+  tx.cqi = h.cqi;
+  tx.tb_bits = h.tb_bits;
+  tx.payload_bytes = h.payload_bytes;
+  tx.is_harq_retx = true;
+  tx.subchannels = std::move(subchannels);
+  return tx;
+}
+
+TxPlan EnodeB::PlanDownlink() {
+  TxPlan plan;
+  plan.data_active.assign(allowed_mask_.size(), false);
+
+  std::vector<UeContext*> ue_ptrs;
+  ue_ptrs.reserve(ues_.size());
+  for (const auto& u : ues_) ue_ptrs.push_back(u.get());
+
+  const SubchannelAssignment assignment =
+      scheduler_->AssignDownlink(ue_ptrs, allowed_mask_);
+
+  // Group subchannels per UE.
+  std::vector<std::vector<int>> per_ue(ues_.size());
+  for (std::size_t s = 0; s < assignment.size(); ++s) {
+    if (assignment[s] >= 0) {
+      per_ue[static_cast<std::size_t>(assignment[s])].push_back(static_cast<int>(s));
+      plan.data_active[s] = true;
+    }
+  }
+
+  for (std::size_t u = 0; u < per_ue.size(); ++u) {
+    if (per_ue[u].empty()) continue;
+    UeContext& ue = *ues_[u];
+    plan.transmissions.push_back(
+        ue.harq_dl().active
+            ? MakeRetxBlock(ue, static_cast<int>(u), std::move(per_ue[u]), false)
+            : MakeNewBlock(ue, static_cast<int>(u), std::move(per_ue[u]), false));
+  }
+
+  ++schedule_stats_.dl_subframes;
+  for (const Transmission& tx : plan.transmissions) {
+    auto& counts = schedule_stats_.ue_subchannel_subframes[tx.ue];
+    if (counts.empty()) counts.assign(static_cast<std::size_t>(grid_.num_subchannels()), 0);
+    for (int s : tx.subchannels) ++counts[static_cast<std::size_t>(s)];
+  }
+  return plan;
+}
+
+void EnodeB::ResetScheduleStats() { schedule_stats_ = ScheduleStats{}; }
+
+TxPlan EnodeB::PlanUplink() {
+  TxPlan plan;
+  plan.data_active.assign(allowed_mask_.size(), false);
+
+  std::vector<UeContext*> ue_ptrs;
+  ue_ptrs.reserve(ues_.size());
+  for (const auto& u : ues_) ue_ptrs.push_back(u.get());
+
+  const SubchannelAssignment assignment = scheduler_->AssignUplink(
+      ue_ptrs, allowed_mask_, grid_.DataResourceElementsPerRb(), grid_.rbg_size());
+
+  std::vector<std::vector<int>> per_ue(ues_.size());
+  for (std::size_t s = 0; s < assignment.size(); ++s) {
+    if (assignment[s] >= 0) {
+      per_ue[static_cast<std::size_t>(assignment[s])].push_back(static_cast<int>(s));
+      plan.data_active[s] = true;
+    }
+  }
+
+  for (std::size_t u = 0; u < per_ue.size(); ++u) {
+    if (per_ue[u].empty()) continue;
+    UeContext& ue = *ues_[u];
+    plan.transmissions.push_back(
+        ue.harq_ul().active
+            ? MakeRetxBlock(ue, static_cast<int>(u), std::move(per_ue[u]), true)
+            : MakeNewBlock(ue, static_cast<int>(u), std::move(per_ue[u]), true));
+  }
+  return plan;
+}
+
+DeliveryResult EnodeB::Complete(const Transmission& tx, double sinr_db, Rng& rng,
+                                bool uplink) {
+  DeliveryResult result;
+  UeContext* ue = FindUe(tx.ue);
+  if (ue == nullptr) return result;
+  HarqState& h = uplink ? ue->harq_ul() : ue->harq_dl();
+
+  double combined = tx.is_harq_retx ? h.combined_sinr_linear : 0.0;
+  combined += DbToLinear(sinr_db);
+  const int attempts = (tx.is_harq_retx ? h.attempts : 0) + 1;
+  result.attempts = attempts;
+
+  if (!uplink) {
+    if (!tx.is_harq_retx) ++ue->dl_total_blocks;
+    if (attempts == 2) ++ue->dl_harq_retx_blocks;
+  }
+
+  const bool success =
+      tx.cqi >= kMinCqi && !rng.Bernoulli(BlerAt(tx.cqi, LinearToDb(combined)));
+  if (success) {
+    result.delivered = true;
+    result.payload_bytes = tx.payload_bytes;
+    if (uplink) {
+      ue->DrainUplink(tx.payload_bytes);
+      ue->ul_delivered_bits += 8 * tx.payload_bytes;
+      total_ul_bits_ += 8 * tx.payload_bytes;
+      ue->ul_code_rate_log.push_back(CqiCodeRate(tx.cqi));
+      ue->ul_channel_fraction_log.push_back(static_cast<double>(tx.subchannels.size()) /
+                                            static_cast<double>(grid_.num_subchannels()));
+    } else {
+      ue->DrainDownlink(tx.payload_bytes);
+      ue->dl_delivered_bits += 8 * tx.payload_bytes;
+      total_dl_bits_ += 8 * tx.payload_bytes;
+      ue->code_rate_log.push_back(CqiCodeRate(tx.cqi));
+      ue->channel_fraction_log.push_back(static_cast<double>(tx.subchannels.size()) /
+                                         static_cast<double>(grid_.num_subchannels()));
+    }
+    h.Clear();
+    return result;
+  }
+
+  if (attempts >= config_.harq_max_transmissions) {
+    result.dropped = true;
+    if (!uplink) ++ue->dl_lost_blocks;
+    h.Clear();  // data stays queued; a fresh block will carry it
+    return result;
+  }
+
+  h.active = true;
+  h.cqi = tx.cqi;
+  h.tb_bits = tx.tb_bits;
+  h.num_subchannels = static_cast<int>(tx.subchannels.size());
+  h.payload_bytes = tx.payload_bytes;
+  h.combined_sinr_linear = combined;
+  h.attempts = attempts;
+  return result;
+}
+
+DeliveryResult EnodeB::CompleteDownlink(const Transmission& tx, double sinr_db, Rng& rng) {
+  return Complete(tx, sinr_db, rng, /*uplink=*/false);
+}
+
+DeliveryResult EnodeB::CompleteUplink(const Transmission& tx, double sinr_db, Rng& rng) {
+  return Complete(tx, sinr_db, rng, /*uplink=*/true);
+}
+
+void EnodeB::UpdatePfAverages(const std::vector<double>& served_bits) {
+  assert(served_bits.size() == ues_.size());
+  for (std::size_t u = 0; u < ues_.size(); ++u) {
+    ues_[u]->UpdatePfAverage(served_bits[u], config_.pf_window_subframes);
+  }
+}
+
+}  // namespace cellfi::lte

@@ -1,0 +1,126 @@
+// eNodeB MAC: per-subframe transmission planning, HARQ bookkeeping and CQI
+// intake for one cell.
+//
+// The eNodeB is deliberately unaware of the radio environment: it plans
+// transmissions from reported CQI, and the LteNetwork (which owns
+// propagation) feeds back the realized SINR per transport block. The
+// interference-management component constrains it only through
+// `SetAllowedMask` — exactly the interface the paper describes between
+// CellFi's interference manager and the stock LTE scheduler.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cellfi/common/rng.h"
+#include "cellfi/lte/scheduler.h"
+#include "cellfi/lte/types.h"
+#include "cellfi/lte/ue_context.h"
+#include "cellfi/phy/resource_grid.h"
+
+namespace cellfi::lte {
+
+/// One planned transport block in a subframe.
+struct Transmission {
+  UeId ue = -1;
+  int ue_index = -1;              // index into the cell's UE list
+  std::vector<int> subchannels;   // allocated subchannels
+  int cqi = 0;                    // MCS for the block
+  int tb_bits = 0;                // transport block capacity
+  std::uint64_t payload_bytes = 0;  // actual queued bytes covered
+  bool is_harq_retx = false;
+};
+
+/// All transmissions of one cell in one subframe.
+struct TxPlan {
+  std::vector<Transmission> transmissions;
+  /// True where a subchannel carries data this subframe.
+  std::vector<bool> data_active;
+};
+
+/// Result of resolving one transport block against the channel.
+struct DeliveryResult {
+  bool delivered = false;
+  bool dropped = false;  // HARQ attempts exhausted
+  std::uint64_t payload_bytes = 0;
+  int attempts = 0;
+};
+
+class EnodeB {
+ public:
+  EnodeB(CellId id, LteMacConfig config);
+
+  CellId id() const { return id_; }
+  const LteMacConfig& config() const { return config_; }
+  const ResourceGrid& grid() const { return grid_; }
+  const TddConfig& tdd() const { return tdd_; }
+
+  // --- UE management -------------------------------------------------------
+  UeContext& AddUe(UeId ue);
+  void RemoveUe(UeId ue);
+  UeContext* FindUe(UeId ue);
+  const std::vector<std::unique_ptr<UeContext>>& ues() const { return ues_; }
+  bool has_ues() const { return !ues_.empty(); }
+
+  // --- Interference-management interface ------------------------------------
+  /// Restrict the scheduler to these subchannels (CellFi IM). Size must be
+  /// num_subchannels.
+  void SetAllowedMask(std::vector<bool> mask);
+  const std::vector<bool>& allowed_mask() const { return allowed_mask_; }
+  /// Number of subchannels currently allowed.
+  int allowed_count() const;
+
+  // --- Per-subframe MAC ------------------------------------------------------
+  /// Build the downlink plan for this subframe (only meaningful on DL
+  /// subframes).
+  TxPlan PlanDownlink();
+
+  /// Build the uplink grant plan (UL subframes).
+  TxPlan PlanUplink();
+
+  /// Resolve a downlink transport block given its realized SINR; updates
+  /// HARQ state, queues and statistics.
+  DeliveryResult CompleteDownlink(const Transmission& tx, double sinr_db, Rng& rng);
+
+  /// Resolve an uplink transport block.
+  DeliveryResult CompleteUplink(const Transmission& tx, double sinr_db, Rng& rng);
+
+  /// Update proportional-fair averages after a DL subframe. `served_bits`
+  /// is indexed like the UE list; unserved UEs decay toward zero.
+  void UpdatePfAverages(const std::vector<double>& served_bits);
+
+  // --- Cell-wide statistics ---------------------------------------------------
+  std::uint64_t total_dl_bits() const { return total_dl_bits_; }
+  std::uint64_t total_ul_bits() const { return total_ul_bits_; }
+
+  // --- Epoch schedule statistics (CellFi IM input) -------------------------------
+  /// Per-UE, per-subchannel count of DL subframes scheduled since the last
+  /// reset; frac_j in the paper's bucket update is count / dl_subframes.
+  struct ScheduleStats {
+    int dl_subframes = 0;
+    std::unordered_map<UeId, std::vector<int>> ue_subchannel_subframes;
+  };
+  const ScheduleStats& schedule_stats() const { return schedule_stats_; }
+  void ResetScheduleStats();
+
+ private:
+  Transmission MakeNewBlock(UeContext& ue, int ue_index, std::vector<int> subchannels,
+                            bool uplink) const;
+  Transmission MakeRetxBlock(const UeContext& ue, int ue_index,
+                             std::vector<int> subchannels, bool uplink) const;
+  DeliveryResult Complete(const Transmission& tx, double sinr_db, Rng& rng, bool uplink);
+
+  CellId id_;
+  LteMacConfig config_;
+  ResourceGrid grid_;
+  TddConfig tdd_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<UeContext>> ues_;
+  std::vector<bool> allowed_mask_;
+  std::uint64_t total_dl_bits_ = 0;
+  std::uint64_t total_ul_bits_ = 0;
+  ScheduleStats schedule_stats_;
+};
+
+}  // namespace cellfi::lte

@@ -1,0 +1,519 @@
+#include "cellfi/lte/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cellfi/common/units.h"
+#include "cellfi/phy/cqi_mcs.h"
+
+namespace cellfi::lte {
+
+namespace {
+/// PRACH format 0 occupies 839 subcarriers of 1.25 kHz.
+constexpr double kPrachBandwidthHz = 839 * 1250.0;
+}  // namespace
+
+LteNetwork::LteNetwork(Simulator& sim, RadioEnvironment& env, LteNetworkConfig config)
+    : sim_(sim), env_(env), config_(config), rng_(config.seed) {}
+
+CellId LteNetwork::AddCell(const LteMacConfig& mac, RadioNodeId radio) {
+  assert(!started_);
+  const CellId id = static_cast<CellId>(cells_.size());
+  CellRec rec;
+  rec.mac = std::make_unique<EnodeB>(id, mac);
+  rec.radio = radio;
+  if (!cells_.empty()) {
+    // GPS-synchronized frames: every cell must follow the same TDD pattern.
+    assert(mac.tdd_config == cells_.front().mac->config().tdd_config);
+    assert(mac.bandwidth == cells_.front().mac->config().bandwidth);
+  }
+  num_subchannels_ = rec.mac->grid().num_subchannels();
+  subchannel_bandwidth_hz_ = rec.mac->grid().rbg_size() * kRbBandwidthHz;
+  cells_.push_back(std::move(rec));
+  return id;
+}
+
+UeId LteNetwork::AddUe(RadioNodeId radio, CellId force_cell) {
+  const UeId id = static_cast<UeId>(ues_.size());
+  UeInfo info;
+  info.id = id;
+  info.radio = radio;
+  info.serving = kInvalidCell;  // set on successful attach
+  info.forced_cell = force_cell;
+  ues_.push_back(info);
+  return id;
+}
+
+void LteNetwork::SetCellActive(CellId id, bool active) {
+  cells_[static_cast<std::size_t>(id)].active = active;
+}
+
+void LteNetwork::SetAllowedMask(CellId id, std::vector<bool> mask) {
+  cells_[static_cast<std::size_t>(id)].mac->SetAllowedMask(std::move(mask));
+}
+
+void LteNetwork::OfferDownlink(UeId ue_id, std::uint64_t bytes) {
+  UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  if (info.state != UeState::kConnected) return;  // flow stalls while detached
+  UeContext* ctx = cell(info.serving).FindUe(ue_id);
+  if (ctx != nullptr) {
+    ctx->EnqueueDownlink(bytes);
+    info.last_traffic = sim_.Now();
+  }
+}
+
+void LteNetwork::OfferUplink(UeId ue_id, std::uint64_t bytes) {
+  UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  if (info.state != UeState::kConnected) return;
+  UeContext* ctx = cell(info.serving).FindUe(ue_id);
+  if (ctx != nullptr) ctx->EnqueueUplink(bytes);
+}
+
+void LteNetwork::ClearDownlinkQueue(UeId ue_id) {
+  UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  if (info.state != UeState::kConnected) return;
+  UeContext* ctx = cell(info.serving).FindUe(ue_id);
+  if (ctx != nullptr) ctx->DrainDownlink(ctx->dl_queue_bytes());
+}
+
+void LteNetwork::Start() {
+  assert(!started_);
+  started_ = true;
+  // Stagger initial attaches over the first 50 ms so RACH isn't a
+  // thundering herd; retries are periodic per-UE. A forced cell restricts
+  // the candidate set inside PickServingCell but the attach procedure is
+  // the same.
+  for (const UeInfo& info : ues_) {
+    const UeId id = info.id;
+    sim_.ScheduleAfter(rng_.UniformInt(1, 50) * kMillisecond,
+                       [this, id] { TryAttach(id); });
+  }
+  sim_.SchedulePeriodic(kSubframeDuration, [this] { StepSubframe(); });
+  sim_.SchedulePeriodic(config_.prach_solicit_period, [this] { SolicitPrach(); });
+  if (config_.enable_handover) {
+    sim_.SchedulePeriodic(config_.handover_check_period, [this] { CheckHandovers(); });
+  }
+}
+
+void LteNetwork::CheckHandovers() {
+  for (UeInfo& info : ues_) {
+    if (info.state != UeState::kConnected || info.forced_cell != kInvalidCell) continue;
+    const CellRec& serving = cells_[static_cast<std::size_t>(info.serving)];
+    const double serving_rsrp = env_.MeanRxPowerDbm(serving.radio, info.radio);
+    CellId best = info.serving;
+    double best_rsrp = serving_rsrp + config_.handover_hysteresis_db;
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      if (static_cast<CellId>(c) == info.serving || !cells_[c].active) continue;
+      const double rsrp = env_.MeanRxPowerDbm(cells_[c].radio, info.radio);
+      if (rsrp > best_rsrp) {
+        best_rsrp = rsrp;
+        best = static_cast<CellId>(c);
+      }
+    }
+    if (best != info.serving) ExecuteHandover(info.id, best);
+  }
+}
+
+void LteNetwork::ExecuteHandover(UeId ue_id, CellId target) {
+  UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  EnodeB& source = cell(info.serving);
+  const UeContext* old_ctx = source.FindUe(ue_id);
+  if (old_ctx == nullptr) return;
+  UeContext snapshot(*old_ctx);  // queues + stats forwarded over backhaul
+  source.RemoveUe(ue_id);
+  info.serving = target;
+  info.bad_cqi_since = -1;
+  ++info.handovers;
+  UeContext& fresh = cell(target).AddUe(ue_id);
+  fresh.ImportOnHandover(snapshot);
+  // The RACH toward the new cell is what neighbours overhear.
+  EmitPrach(ue_id, target);
+}
+
+CellId LteNetwork::PickServingCell(UeId ue_id) const {
+  const UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  CellId best = kInvalidCell;
+  double best_snr = CqiTable(kMinCqi).sinr_threshold_db;  // must support CQI 1
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    if (!cells_[c].active) continue;
+    if (info.forced_cell != kInvalidCell && static_cast<CellId>(c) != info.forced_cell) {
+      continue;
+    }
+    const double snr = env_.MeanSnrDb(cells_[c].radio, info.radio,
+                                      OccupiedBandwidthHz(cells_[c].mac->config().bandwidth));
+    if (snr > best_snr) {
+      best_snr = snr;
+      best = static_cast<CellId>(c);
+    }
+  }
+  return best;
+}
+
+void LteNetwork::TryAttach(UeId ue_id) {
+  UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  if (info.state == UeState::kConnected) return;
+  const CellId target = PickServingCell(ue_id);
+  if (target == kInvalidCell) {
+    info.state = UeState::kIdle;
+    sim_.ScheduleAfter(config_.attach_retry_period, [this, ue_id] { TryAttach(ue_id); });
+    return;
+  }
+  info.state = UeState::kAttaching;
+  info.serving = target;
+  EmitPrach(ue_id, target);
+  sim_.ScheduleAfter(config_.attach_delay, [this, ue_id] {
+    UeInfo& u = ues_[static_cast<std::size_t>(ue_id)];
+    if (u.state != UeState::kAttaching) return;
+    u.state = UeState::kConnected;
+    u.bad_cqi_since = -1;
+    cell(u.serving).AddUe(ue_id);
+  });
+}
+
+void LteNetwork::Detach(UeId ue_id, bool count_disconnection) {
+  UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  if (info.state == UeState::kConnected && info.serving != kInvalidCell) {
+    cell(info.serving).RemoveUe(ue_id);
+  }
+  info.state = UeState::kRadioLinkFailure;
+  info.serving = kInvalidCell;
+  info.bad_cqi_since = -1;
+  if (count_disconnection) ++info.disconnections;
+  sim_.ScheduleAfter(config_.rlf.reattach_delay, [this, ue_id] { TryAttach(ue_id); });
+}
+
+void LteNetwork::EmitPrach(UeId ue_id, CellId serving) {
+  if (!on_prach) return;
+  const UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  const CellRec& srv = cells_[static_cast<std::size_t>(serving)];
+  // Open-loop power control: transmit power set so the serving cell
+  // receives prach_target_rx_dbm (capped at the client PA limit). Without
+  // power control the preamble goes out at full client power.
+  const double gain_to_serving = env_.LinkGainDb(info.radio, srv.radio);
+  const double tx_dbm =
+      config_.prach_power_control
+          ? std::min(config_.prach_target_rx_dbm - gain_to_serving,
+                     env_.node(info.radio).tx_power_dbm)
+          : env_.node(info.radio).tx_power_dbm;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    if (!cells_[c].active) continue;
+    const double rx_dbm = tx_dbm + env_.LinkGainDb(info.radio, cells_[c].radio);
+    const double snr =
+        rx_dbm - NoisePowerDbm(kPrachBandwidthHz, env_.node(cells_[c].radio).noise_figure_db);
+    if (snr < config_.prach_detect_snr_db) continue;
+    on_prach(PrachObservation{.observer = static_cast<CellId>(c),
+                              .serving = serving,
+                              .ue = ue_id,
+                              .snr_db = snr});
+  }
+}
+
+void LteNetwork::SolicitPrach() {
+  // PDCCH-order RACH: every connected UE with recent traffic replays a
+  // preamble so neighbour cells can refresh their contender estimates.
+  // Idle clients are not solicited, so estimates expire within a second
+  // and the spectrum shares track the instantaneous load.
+  for (UeInfo& info : ues_) {
+    if (info.state != UeState::kConnected) continue;
+    bool active = sim_.Now() - info.last_traffic <= kSecond;
+    if (!active) {
+      UeContext* ctx = cell(info.serving).FindUe(info.id);
+      active = ctx != nullptr && ctx->dl_queue_bytes() > 0;
+    }
+    if (active) EmitPrach(info.id, info.serving);
+  }
+}
+
+void LteNetwork::CollectDownlinkInterferers(CellId except, int subchannel,
+                                            std::vector<ActiveTransmitter>& out) const {
+  out.clear();
+  const double psd_share = 1.0 / static_cast<double>(num_subchannels_);
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    if (static_cast<CellId>(c) == except || !cells_[c].active) continue;
+    const CellRec& rec = cells_[c];
+    if (rec.plan_is_data &&
+        rec.current_plan.data_active[static_cast<std::size_t>(subchannel)]) {
+      out.push_back(ActiveTransmitter{.node = rec.radio, .power_scale = psd_share});
+    }
+    // Cells idle on this subchannel still radiate CRS, handled as a coding
+    // penalty by IdleCrsPenaltyDb (puncturing, not wideband noise).
+  }
+}
+
+double LteNetwork::IdleCrsPenaltyDb(CellId serving, RadioNodeId rx) const {
+  const CellRec& srv = cells_[static_cast<std::size_t>(serving)];
+  const double signal_mw = env_.MeanRxPowerMw(srv.radio, rx);
+  if (signal_mw <= 0.0) return 0.0;
+  double penalty = 0.0;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    if (static_cast<CellId>(c) == serving || !cells_[c].active) continue;
+    const double ratio = env_.MeanRxPowerMw(cells_[c].radio, rx) / signal_mw;
+    penalty += std::min(1.0, ratio);  // ~1 dB per comparable-power idle cell
+  }
+  return std::min(penalty, 2.0);
+}
+
+std::vector<double> LteNetwork::MeasureDownlinkSinr(UeId ue_id) const {
+  const UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  std::vector<double> sinr(static_cast<std::size_t>(num_subchannels_), -40.0);
+  if (info.serving == kInvalidCell) return sinr;
+  const CellRec& serving = cells_[static_cast<std::size_t>(info.serving)];
+  if (!serving.active) return sinr;
+  const double signal_scale = 1.0 / static_cast<double>(num_subchannels_);
+  const double crs_penalty = IdleCrsPenaltyDb(info.serving, info.radio);
+  std::vector<ActiveTransmitter> interferers;
+  for (int s = 0; s < num_subchannels_; ++s) {
+    CollectDownlinkInterferers(info.serving, s, interferers);
+    sinr[static_cast<std::size_t>(s)] =
+        env_.SinrDb(serving.radio, info.radio, static_cast<std::uint32_t>(s), sim_.Now(),
+                    interferers, subchannel_bandwidth_hz_, signal_scale) -
+        crs_penalty;
+  }
+  return sinr;
+}
+
+double LteNetwork::ServingSnrDb(UeId ue_id) const {
+  const UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
+  if (info.serving == kInvalidCell) return -99.0;
+  const CellRec& serving = cells_[static_cast<std::size_t>(info.serving)];
+  return env_.MeanSnrDb(serving.radio, info.radio,
+                        OccupiedBandwidthHz(serving.mac->config().bandwidth));
+}
+
+bool LteNetwork::CellsWithinDistance(CellId a, CellId b, double distance_m) const {
+  const Point pa = env_.node(cells_[static_cast<std::size_t>(a)].radio).position;
+  const Point pb = env_.node(cells_[static_cast<std::size_t>(b)].radio).position;
+  return Distance(pa, pb) <= distance_m;
+}
+
+std::uint64_t LteNetwork::total_dl_bits() const {
+  std::uint64_t total = 0;
+  for (const CellRec& rec : cells_) total += rec.mac->total_dl_bits();
+  return total;
+}
+
+void LteNetwork::StepSubframe() {
+  if (cells_.empty()) return;
+  const SubframeType type = cells_.front().mac->tdd().TypeAt(sim_.Now());
+
+  for (UeInfo& info : ues_) {
+    if (info.state == UeState::kConnected) info.connected_time += kSubframeDuration;
+  }
+
+  switch (type) {
+    case SubframeType::kDownlink:
+      RunDownlinkSubframe();
+      break;
+    case SubframeType::kUplink:
+      RunUplinkSubframe();
+      break;
+    case SubframeType::kSpecial:
+      break;  // guard/pilot subframe: no data in this model
+  }
+}
+
+bool LteNetwork::LbtMayTransmit(CellRec& rec) {
+  // Mid-burst: keep going until the channel-occupancy budget runs out.
+  if (rec.lbt_burst_remaining > 0) {
+    --rec.lbt_burst_remaining;
+    if (rec.lbt_burst_remaining == 0) rec.lbt_backoff = -1;  // fresh draw next time
+    return true;
+  }
+
+  // Clear-channel assessment against the PREVIOUS subframe's transmitters
+  // (carrier sense is inherently one decision epoch stale).
+  const LbtConfig& lbt = rec.mac->config().lbt;
+  double energy_mw = 0.0;
+  for (const CellRec& other : cells_) {
+    if (&other == &rec || !other.active || !other.transmitted_last_subframe) continue;
+    energy_mw += env_.MeanRxPowerMw(other.radio, rec.radio);
+  }
+  const bool busy = energy_mw > DbmToMw(lbt.ed_threshold_dbm);
+
+  if (busy) {
+    // Freeze the backoff counter while the medium is occupied; a fresh
+    // draw happens only once the medium clears.
+    ++rec.lbt_deferrals;
+    return false;
+  }
+  if (rec.lbt_backoff < 0) {
+    // Every burst (and every arrival after an idle period) pays a full
+    // random backoff, which is what gives contenders their turns.
+    rec.lbt_backoff = static_cast<int>(rng_.UniformInt(0, rec.lbt_cw));
+  }
+  if (rec.lbt_backoff > 0) {
+    --rec.lbt_backoff;  // count down idle subframes
+    return false;
+  }
+  rec.lbt_backoff = -1;
+  rec.lbt_burst_remaining = lbt.max_burst_subframes - 1;
+  return true;
+}
+
+void LteNetwork::RunDownlinkSubframe() {
+  // Phase 1: every cell commits to a plan (interference depends on all).
+  for (CellRec& rec : cells_) {
+    rec.current_plan = TxPlan{};
+    rec.current_plan.data_active.assign(static_cast<std::size_t>(num_subchannels_), false);
+    rec.plan_is_data = false;
+    if (!rec.active || !rec.mac->has_ues()) continue;
+    if (rec.mac->config().access_mode == AccessMode::kListenBeforeTalk) {
+      bool has_data = false;
+      for (const auto& ue : rec.mac->ues()) {
+        has_data |= ue->dl_queue_bytes() > 0 || ue->harq_dl().active;
+      }
+      if (!has_data) {
+        rec.lbt_burst_remaining = 0;
+        continue;
+      }
+      if (!LbtMayTransmit(rec)) continue;
+    }
+    rec.current_plan = rec.mac->PlanDownlink();
+    rec.plan_is_data = true;
+  }
+
+  // Phase 2: resolve each transport block.
+  const double signal_scale = 1.0 / static_cast<double>(num_subchannels_);
+  std::vector<ActiveTransmitter> interferers;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    CellRec& rec = cells_[c];
+    if (!rec.plan_is_data) continue;
+    std::vector<double> served_bits(rec.mac->ues().size(), 0.0);
+    for (const Transmission& tx : rec.current_plan.transmissions) {
+      const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
+      const double crs_penalty = IdleCrsPenaltyDb(static_cast<CellId>(c), info.radio);
+      double sinr_linear_sum = 0.0;
+      for (int s : tx.subchannels) {
+        CollectDownlinkInterferers(static_cast<CellId>(c), s, interferers);
+        const double sinr_db =
+            env_.SinrDb(rec.radio, info.radio, static_cast<std::uint32_t>(s), sim_.Now(),
+                        interferers, subchannel_bandwidth_hz_, signal_scale);
+        sinr_linear_sum += DbToLinear(sinr_db);
+      }
+      const double tb_sinr_db =
+          LinearToDb(sinr_linear_sum / static_cast<double>(tx.subchannels.size())) -
+          crs_penalty;
+      const DeliveryResult result = rec.mac->CompleteDownlink(tx, tb_sinr_db, rng_);
+      if (result.delivered) {
+        if (tx.ue_index >= 0 && tx.ue_index < static_cast<int>(served_bits.size())) {
+          served_bits[static_cast<std::size_t>(tx.ue_index)] +=
+              8.0 * static_cast<double>(result.payload_bytes);
+        }
+        // TCP ACK clocking: delivered downlink generates uplink demand.
+        UeContext* ctx = rec.mac->FindUe(tx.ue);
+        if (ctx != nullptr) {
+          ctx->EnqueueUplink(static_cast<std::uint64_t>(
+              static_cast<double>(result.payload_bytes) * info.ul_ack_ratio));
+        }
+        if (on_dl_delivered) on_dl_delivered(tx.ue, result.payload_bytes, sim_.Now());
+      }
+    }
+    rec.mac->UpdatePfAverages(served_bits);
+  }
+
+  // Update LBT carrier-sense state for the next subframe.
+  for (CellRec& rec : cells_) {
+    bool any_data = false;
+    if (rec.plan_is_data) {
+      for (bool b : rec.current_plan.data_active) any_data |= b;
+    }
+    rec.transmitted_last_subframe = any_data;
+  }
+
+  // Phase 3: CQI reporting on this subframe's realized interference.
+  const auto period_subframes =
+      std::max<SimTime>(1, cells_.front().mac->config().cqi_report_period / kSubframeDuration);
+  if ((sim_.Now() / kSubframeDuration) % period_subframes == 0) GenerateCqiReports();
+}
+
+void LteNetwork::RunUplinkSubframe() {
+  // Phase 1: plans + per-cell allocation width per UE (for power scaling).
+  struct UlActivity {
+    UeId ue;
+    RadioNodeId radio;
+    int alloc_count;
+  };
+  std::vector<std::vector<UlActivity>> active_per_subchannel(
+      static_cast<std::size_t>(num_subchannels_));
+
+  for (CellRec& rec : cells_) {
+    rec.current_plan = TxPlan{};
+    rec.current_plan.data_active.assign(static_cast<std::size_t>(num_subchannels_), false);
+    rec.plan_is_data = false;
+    if (!rec.active || !rec.mac->has_ues()) continue;
+    rec.current_plan = rec.mac->PlanUplink();
+    for (const Transmission& tx : rec.current_plan.transmissions) {
+      const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
+      for (int s : tx.subchannels) {
+        active_per_subchannel[static_cast<std::size_t>(s)].push_back(
+            UlActivity{tx.ue, info.radio, static_cast<int>(tx.subchannels.size())});
+      }
+    }
+  }
+
+  // Phase 2: resolve. Signal: UE concentrates its full power in its grant.
+  std::vector<ActiveTransmitter> interferers;
+  for (CellRec& rec : cells_) {
+    if (!rec.active) continue;
+    for (const Transmission& tx : rec.current_plan.transmissions) {
+      const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
+      const double signal_scale = 1.0 / static_cast<double>(tx.subchannels.size());
+      double sinr_linear_sum = 0.0;
+      for (int s : tx.subchannels) {
+        interferers.clear();
+        for (const UlActivity& act : active_per_subchannel[static_cast<std::size_t>(s)]) {
+          if (act.ue == tx.ue) continue;
+          interferers.push_back(ActiveTransmitter{
+              .node = act.radio, .power_scale = 1.0 / static_cast<double>(act.alloc_count)});
+        }
+        const double sinr_db =
+            env_.SinrDb(info.radio, rec.radio, static_cast<std::uint32_t>(s), sim_.Now(),
+                        interferers, subchannel_bandwidth_hz_, signal_scale);
+        sinr_linear_sum += DbToLinear(sinr_db);
+      }
+      const double tb_sinr_db =
+          LinearToDb(sinr_linear_sum / static_cast<double>(tx.subchannels.size()));
+      rec.mac->CompleteUplink(tx, tb_sinr_db, rng_);
+    }
+  }
+}
+
+void LteNetwork::GenerateCqiReports() {
+  for (UeInfo& info : ues_) {
+    if (info.state != UeState::kConnected) continue;
+    UeContext* ctx = cell(info.serving).FindUe(info.id);
+    if (ctx == nullptr) continue;
+
+    const double margin = cell(info.serving).config().link_adaptation_margin_db;
+    const std::vector<double> sinr = MeasureDownlinkSinr(info.id);
+    CqiMeasurement m;
+    m.subband_cqi.reserve(sinr.size());
+    double wideband_linear = 0.0;
+    for (double s : sinr) {
+      m.subband_cqi.push_back(SinrToCqi(s + margin));
+      wideband_linear += DbToLinear(s);
+    }
+    wideband_linear /= static_cast<double>(sinr.size());
+    m.wideband_cqi = SinrToCqi(LinearToDb(wideband_linear) + margin);
+
+    CqiMeasurement decoded = m;
+    if (cell(info.serving).config().use_mode30_wire_format) {
+      // Literal wire format: the 2-bit differential clamp applies.
+      decoded = DecodeMode30(EncodeMode30(m));
+    }
+    ctx->UpdateCqi(decoded.wideband_cqi, decoded.subband_cqi);
+    if (on_cqi_report) on_cqi_report(info.serving, info.id, decoded);
+
+    // Radio-link failure: sustained out-of-range CQI.
+    if (m.wideband_cqi == 0) {
+      if (info.bad_cqi_since < 0) info.bad_cqi_since = sim_.Now();
+      if (sim_.Now() - info.bad_cqi_since >= config_.rlf.rlf_window) {
+        Detach(info.id, /*count_disconnection=*/true);
+      }
+    } else {
+      info.bad_cqi_since = -1;
+    }
+  }
+}
+
+}  // namespace cellfi::lte

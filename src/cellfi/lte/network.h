@@ -1,0 +1,208 @@
+// LteNetwork: binds cells, UEs, the radio environment and the subframe
+// clock into a running system simulation.
+//
+// Every 1 ms subframe the network
+//   1. asks each cell for its transmission plan (DL or UL per the
+//      GPS-synchronized TDD pattern),
+//   2. resolves each transport block against the realized SINR — with all
+//      concurrently transmitting cells/UEs as interferers, idle cells still
+//      contributing their control/reference-symbol power (Fig. 7's
+//      "signalling interference"),
+//   3. generates sub-band CQI reports from what UEs actually measured, and
+//   4. emits PRACH observations to every cell that can hear an attaching or
+//      solicited client (CellFi's contender-counting input).
+//
+// CellFi's interference manager attaches via the observer callbacks and
+// `SetAllowedMask`; plain LTE simply never restricts the mask.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cellfi/lte/enodeb.h"
+#include "cellfi/lte/types.h"
+#include "cellfi/phy/cqi_report.h"
+#include "cellfi/radio/environment.h"
+#include "cellfi/sim/event_queue.h"
+
+namespace cellfi::lte {
+
+/// Network-level record of one UE.
+struct UeInfo {
+  UeId id = -1;
+  RadioNodeId radio = 0;
+  CellId serving = kInvalidCell;
+  /// When set, the UE only ever attaches to this cell (controlled
+  /// experiments); kInvalidCell = normal strongest-cell selection.
+  CellId forced_cell = kInvalidCell;
+  UeState state = UeState::kIdle;
+  SimTime bad_cqi_since = -1;   // RLF tracking
+  std::uint64_t disconnections = 0;
+  SimTime connected_time = 0;   // accumulated while kConnected
+  std::uint64_t handovers = 0;
+  /// Last time this UE had downlink traffic (offered or delivered). PDCCH-
+  /// order PRACH solicitation only covers clients active within the last
+  /// second, so contender estimates track instantaneous load (paper
+  /// Section 5.1: estimates expire and "account for nodes that become
+  /// inactive").
+  SimTime last_traffic = -kSecond;
+  /// Uplink bytes enqueued per delivered downlink byte (TCP ACK coupling;
+  /// ~66 B ACK per 2 x 1500 B segments).
+  double ul_ack_ratio = 66.0 / 3000.0;
+};
+
+/// A PRACH preamble heard by a (possibly non-serving) cell.
+struct PrachObservation {
+  CellId observer = kInvalidCell;
+  CellId serving = kInvalidCell;  // cell the UE is attaching/attached to
+  UeId ue = -1;
+  double snr_db = 0.0;
+};
+
+struct LteNetworkConfig {
+  RlfConfig rlf;
+  /// PDCCH-order PRACH solicitation period (paper: every second).
+  SimTime prach_solicit_period = 1 * kSecond;
+  /// Minimum PRACH SNR for a neighbour cell to count the client
+  /// (paper Section 6.3.4: "we count only users whose PRACH can be heard
+  /// at -10 dB").
+  double prach_detect_snr_db = -10.0;
+  /// Open-loop PRACH power control (36.213 Section 6): the client sets its
+  /// preamble power so the SERVING cell receives `prach_target_rx_dbm`
+  /// (-104 dBm is the standard's typical initial target). This confines
+  /// contender counting to cells within ~13 dB of the serving path — the
+  /// "clients likely affected" neighbourhood the share formula needs.
+  /// Disabling it sends full-power preambles (audible across a whole 2 km
+  /// map, driving every share to its floor); see DESIGN.md.
+  bool prach_power_control = true;
+  double prach_target_rx_dbm = -104.0;
+  /// Retry period for UEs that find no cell.
+  SimTime attach_retry_period = 5 * kSecond;
+  /// Time from PRACH to connected.
+  SimTime attach_delay = 100 * kMillisecond;
+  /// Measurement-based handover (A3-style): hand over when a neighbour's
+  /// RSRP exceeds serving by `handover_hysteresis_db` at a periodic check.
+  /// UEs pinned to a forced cell never hand over. Paper Section 7: CellFi
+  /// inherits seamless roaming from the LTE architecture.
+  bool enable_handover = true;
+  double handover_hysteresis_db = 3.0;
+  SimTime handover_check_period = 200 * kMillisecond;
+  std::uint64_t seed = 1;
+};
+
+class LteNetwork {
+ public:
+  /// `env` must outlive the network; all cells must share one TDD config
+  /// (GPS-synchronized frames, as CellFi requires).
+  LteNetwork(Simulator& sim, RadioEnvironment& env, LteNetworkConfig config);
+
+  // --- Topology ---------------------------------------------------------------
+  CellId AddCell(const LteMacConfig& mac, RadioNodeId radio);
+  /// Adds a UE. If `force_cell` is set, cell selection is skipped.
+  UeId AddUe(RadioNodeId radio, CellId force_cell = kInvalidCell);
+
+  EnodeB& cell(CellId id) { return *cells_[static_cast<std::size_t>(id)].mac; }
+  const EnodeB& cell(CellId id) const { return *cells_[static_cast<std::size_t>(id)].mac; }
+  std::size_t cell_count() const { return cells_.size(); }
+  const UeInfo& ue(UeId id) const { return ues_[static_cast<std::size_t>(id)]; }
+  std::size_t ue_count() const { return ues_.size(); }
+
+  /// Enable/disable a cell's radio entirely (channel selection / Fig. 8
+  /// style scripted interferers).
+  void SetCellActive(CellId id, bool active);
+  bool cell_active(CellId id) const { return cells_[static_cast<std::size_t>(id)].active; }
+
+  // --- Traffic ----------------------------------------------------------------
+  /// Offer downlink bytes for a UE (queued at its serving cell; dropped if
+  /// unattached).
+  void OfferDownlink(UeId ue, std::uint64_t bytes);
+  /// Offer uplink bytes (beyond the automatic TCP-ACK coupling).
+  void OfferUplink(UeId ue, std::uint64_t bytes);
+
+  /// Drop any queued downlink bytes for a UE (scripted traffic gating).
+  void ClearDownlinkQueue(UeId ue);
+
+  /// Fired on every delivered downlink transport block.
+  std::function<void(UeId, std::uint64_t bytes, SimTime now)> on_dl_delivered;
+
+  // --- CellFi observer hooks -----------------------------------------------------
+  std::function<void(const PrachObservation&)> on_prach;
+  std::function<void(CellId, UeId, const CqiMeasurement&)> on_cqi_report;
+
+  /// Restrict a cell's scheduler (CellFi interference management).
+  void SetAllowedMask(CellId id, std::vector<bool> mask);
+
+  // --- Run ----------------------------------------------------------------------
+  /// Schedule the subframe loop and attach procedures. Call once.
+  void Start();
+
+  // --- Measurement -----------------------------------------------------------------
+  /// Realized per-subchannel downlink SINR for a UE in the *current*
+  /// subframe (what a CQI measurement would see).
+  std::vector<double> MeasureDownlinkSinr(UeId ue) const;
+
+  /// Mean (no-fading) SNR from a UE's serving cell.
+  double ServingSnrDb(UeId ue) const;
+
+  /// Distance between two cells' radios (an operator knows its own sites).
+  bool CellsWithinDistance(CellId a, CellId b, double distance_m) const;
+
+  std::uint64_t total_dl_bits() const;
+
+ private:
+  struct CellRec {
+    std::unique_ptr<EnodeB> mac;
+    RadioNodeId radio = 0;
+    bool active = true;
+    TxPlan current_plan;          // plan for the in-progress subframe
+    bool plan_is_data = false;    // true if current_plan carries DL data
+    // Listen-before-talk state (AccessMode::kListenBeforeTalk only).
+    bool transmitted_last_subframe = false;
+    int lbt_burst_remaining = 0;
+    int lbt_backoff = -1;         // -1 = no backoff pending
+    int lbt_cw = 4;
+    std::uint64_t lbt_deferrals = 0;
+  };
+
+  /// LBT gate: may this cell transmit data in the current subframe?
+  bool LbtMayTransmit(CellRec& rec);
+
+  void StepSubframe();
+  void RunDownlinkSubframe();
+  void RunUplinkSubframe();
+  void GenerateCqiReports();
+  void SolicitPrach();
+  void TryAttach(UeId ue);
+  void Detach(UeId ue, bool count_disconnection);
+  void CheckHandovers();
+  void ExecuteHandover(UeId ue, CellId target);
+  void EmitPrach(UeId ue, CellId serving);
+  CellId PickServingCell(UeId ue) const;
+
+  /// Interference contribution of every cell except `except` on
+  /// `subchannel` in the current DL subframe. Only cells actively sending
+  /// data on the subchannel contribute power; idle cells' always-on CRS is
+  /// modelled as a small coding penalty instead (see IdleCrsPenaltyDb).
+  void CollectDownlinkInterferers(CellId except, int subchannel,
+                                  std::vector<ActiveTransmitter>& out) const;
+
+  /// Effective SINR penalty (dB) from idle neighbouring cells whose
+  /// reference symbols puncture ~6 % of the victim's data REs. Measured in
+  /// the paper's Fig. 7(b) as at most ~20 % goodput loss, i.e. a coding
+  /// penalty of roughly 1 dB per strong idle interferer, capped at 2 dB.
+  double IdleCrsPenaltyDb(CellId serving, RadioNodeId rx) const;
+
+  Simulator& sim_;
+  RadioEnvironment& env_;
+  LteNetworkConfig config_;
+  Rng rng_;
+  std::vector<CellRec> cells_;
+  std::vector<UeInfo> ues_;
+  double subchannel_bandwidth_hz_ = 360e3;
+  int num_subchannels_ = 13;
+  bool started_ = false;
+};
+
+}  // namespace cellfi::lte

@@ -1,0 +1,220 @@
+#include "cellfi/lte/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "cellfi/phy/cqi_mcs.h"
+
+namespace cellfi::lte {
+
+namespace {
+
+/// CQI used for a UE that has not reported yet (just attached): the most
+/// robust MCS.
+int EffectiveSubbandCqi(const UeContext& ue, int subchannel) {
+  if (!ue.has_cqi()) return kMinCqi;
+  return ue.SubbandCqi(subchannel);
+}
+
+/// Claim up to `count` of the UE's best allowed, unassigned subchannels.
+int ClaimBest(const UeContext& ue, int count, const std::vector<bool>& allowed_mask,
+              SubchannelAssignment& assignment, int ue_index) {
+  const auto ranked = RankSubchannelsByCqi(ue, allowed_mask);
+  int claimed = 0;
+  for (int s : ranked) {
+    if (claimed >= count) break;
+    if (assignment[static_cast<std::size_t>(s)] != -1) continue;
+    assignment[static_cast<std::size_t>(s)] = ue_index;
+    ++claimed;
+  }
+  return claimed;
+}
+
+class ProportionalFairScheduler final : public Scheduler {
+ public:
+  SubchannelAssignment AssignDownlink(const std::vector<UeContext*>& ues,
+                                      const std::vector<bool>& allowed_mask) override {
+    SubchannelAssignment assignment(allowed_mask.size(), -1);
+
+    // HARQ retransmissions first: same width as the original block.
+    for (std::size_t u = 0; u < ues.size(); ++u) {
+      const HarqState& h = ues[u]->harq_dl();
+      if (h.active) {
+        ClaimBest(*ues[u], h.num_subchannels, allowed_mask, assignment,
+                  static_cast<int>(u));
+      }
+    }
+
+    // PF metric per (subchannel, ue): instantaneous rate / average rate.
+    for (std::size_t s = 0; s < allowed_mask.size(); ++s) {
+      if (!allowed_mask[s] || assignment[s] != -1) continue;
+      double best_metric = 0.0;
+      int best_ue = -1;
+      for (std::size_t u = 0; u < ues.size(); ++u) {
+        const UeContext& ue = *ues[u];
+        if (ue.harq_dl().active || ue.dl_queue_bytes() == 0) continue;
+        const int cqi = EffectiveSubbandCqi(ue, static_cast<int>(s));
+        if (cqi < kMinCqi) continue;
+        const double metric = CqiEfficiency(cqi) / ue.average_rate();
+        if (metric > best_metric) {
+          best_metric = metric;
+          best_ue = static_cast<int>(u);
+        }
+      }
+      assignment[s] = best_ue;
+    }
+    return assignment;
+  }
+
+  SubchannelAssignment AssignUplink(const std::vector<UeContext*>& ues,
+                                    const std::vector<bool>& allowed_mask,
+                                    int data_re_per_rb, int rbs_per_subchannel) override {
+    SubchannelAssignment assignment(allowed_mask.size(), -1);
+
+    // Serve UEs in decreasing backlog; size each grant to the demand so a
+    // TCP-ACK-only uplink occupies a single (best) subchannel.
+    std::vector<std::size_t> order(ues.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return ues[a]->ul_queue_bytes() > ues[b]->ul_queue_bytes();
+    });
+
+    for (std::size_t u : order) {
+      UeContext& ue = *ues[u];
+      std::uint64_t needed_bits = 8 * ue.ul_queue_bytes();
+      if (ue.harq_ul().active) {
+        ClaimBest(ue, ue.harq_ul().num_subchannels, allowed_mask, assignment,
+                  static_cast<int>(u));
+        continue;
+      }
+      if (needed_bits == 0) continue;
+      for (int s : RankSubchannelsByCqi(ue, allowed_mask)) {
+        if (needed_bits == 0) break;
+        if (assignment[static_cast<std::size_t>(s)] != -1) continue;
+        assignment[static_cast<std::size_t>(s)] = static_cast<int>(u);
+        const int cqi = EffectiveSubbandCqi(ue, s);
+        const std::uint64_t tb =
+            static_cast<std::uint64_t>(TransportBlockBits(cqi, rbs_per_subchannel,
+                                                          data_re_per_rb));
+        needed_bits -= std::min(needed_bits, std::max<std::uint64_t>(tb, 1));
+      }
+    }
+    return assignment;
+  }
+};
+
+// Greedy: every subchannel to whoever can move the most bits through it.
+// Maximizes cell throughput; cell-edge users starve whenever someone with
+// better CQI wants the same subchannels (the classic fairness trade-off the
+// PF scheduler exists to fix).
+class MaxCqiScheduler final : public Scheduler {
+ public:
+  SubchannelAssignment AssignDownlink(const std::vector<UeContext*>& ues,
+                                      const std::vector<bool>& allowed_mask) override {
+    SubchannelAssignment assignment(allowed_mask.size(), -1);
+    for (std::size_t u = 0; u < ues.size(); ++u) {
+      const HarqState& h = ues[u]->harq_dl();
+      if (h.active) {
+        ClaimBest(*ues[u], h.num_subchannels, allowed_mask, assignment,
+                  static_cast<int>(u));
+      }
+    }
+    for (std::size_t s = 0; s < allowed_mask.size(); ++s) {
+      if (!allowed_mask[s] || assignment[s] != -1) continue;
+      int best_cqi = 0;
+      int best_ue = -1;
+      for (std::size_t u = 0; u < ues.size(); ++u) {
+        const UeContext& ue = *ues[u];
+        if (ue.harq_dl().active || ue.dl_queue_bytes() == 0) continue;
+        const int cqi = EffectiveSubbandCqi(ue, static_cast<int>(s));
+        if (cqi > best_cqi) {
+          best_cqi = cqi;
+          best_ue = static_cast<int>(u);
+        }
+      }
+      assignment[s] = best_ue;
+    }
+    return assignment;
+  }
+
+  SubchannelAssignment AssignUplink(const std::vector<UeContext*>& ues,
+                                    const std::vector<bool>& allowed_mask,
+                                    int data_re_per_rb, int rbs_per_subchannel) override {
+    ProportionalFairScheduler pf;
+    return pf.AssignUplink(ues, allowed_mask, data_re_per_rb, rbs_per_subchannel);
+  }
+};
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  SubchannelAssignment AssignDownlink(const std::vector<UeContext*>& ues,
+                                      const std::vector<bool>& allowed_mask) override {
+    SubchannelAssignment assignment(allowed_mask.size(), -1);
+    for (std::size_t u = 0; u < ues.size(); ++u) {
+      const HarqState& h = ues[u]->harq_dl();
+      if (h.active) {
+        ClaimBest(*ues[u], h.num_subchannels, allowed_mask, assignment,
+                  static_cast<int>(u));
+      }
+    }
+    if (ues.empty()) return assignment;
+    std::size_t cursor = cursor_++ % ues.size();
+    for (std::size_t s = 0; s < allowed_mask.size(); ++s) {
+      if (!allowed_mask[s] || assignment[s] != -1) continue;
+      for (std::size_t probe = 0; probe < ues.size(); ++probe) {
+        const UeContext& ue = *ues[cursor % ues.size()];
+        if (!ue.harq_dl().active && ue.dl_queue_bytes() > 0 &&
+            EffectiveSubbandCqi(ue, static_cast<int>(s)) >= kMinCqi) {
+          assignment[s] = static_cast<int>(cursor % ues.size());
+          ++cursor;
+          break;
+        }
+        ++cursor;
+      }
+    }
+    return assignment;
+  }
+
+  SubchannelAssignment AssignUplink(const std::vector<UeContext*>& ues,
+                                    const std::vector<bool>& allowed_mask,
+                                    int data_re_per_rb, int rbs_per_subchannel) override {
+    // Uplink sizing is demand-driven either way; reuse the PF logic.
+    ProportionalFairScheduler pf;
+    return pf.AssignUplink(ues, allowed_mask, data_re_per_rb, rbs_per_subchannel);
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::vector<int> RankSubchannelsByCqi(const UeContext& ue,
+                                      const std::vector<bool>& allowed_mask) {
+  std::vector<int> ranked;
+  ranked.reserve(allowed_mask.size());
+  for (std::size_t s = 0; s < allowed_mask.size(); ++s) {
+    if (allowed_mask[s]) ranked.push_back(static_cast<int>(s));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+    const int ca = ue.has_cqi() ? ue.SubbandCqi(a) : kMinCqi;
+    const int cb = ue.has_cqi() ? ue.SubbandCqi(b) : kMinCqi;
+    return ca > cb;
+  });
+  return ranked;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerType type) {
+  switch (type) {
+    case SchedulerType::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerType::kMaxCqi:
+      return std::make_unique<MaxCqiScheduler>();
+    case SchedulerType::kProportionalFair:
+    default:
+      return std::make_unique<ProportionalFairScheduler>();
+  }
+}
+
+}  // namespace cellfi::lte

@@ -1,0 +1,48 @@
+// Subframe schedulers: proportional fair and round robin.
+//
+// The scheduler assigns CellFi subchannels (RBGs) to UEs within the set of
+// subchannels the interference-management component has made available
+// (paper Section 4.3: "The scheduler is free to schedule any client in any
+// of the resource blocks made available by the interference management
+// system"). Plain LTE runs with an all-true mask.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cellfi/lte/types.h"
+#include "cellfi/lte/ue_context.h"
+
+namespace cellfi::lte {
+
+/// Assignment output: subchannel -> index into the UE list (-1 = unused).
+using SubchannelAssignment = std::vector<int>;
+
+/// Scheduler interface. Implementations must be stateless across cells but
+/// may keep per-cell cursors (e.g. round-robin position).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Assign allowed subchannels to the UEs in `ues` that have downlink
+  /// data. UEs with a pending HARQ retransmission take priority and must
+  /// receive exactly their original allocation width (HARQ retransmits the
+  /// same transport block).
+  virtual SubchannelAssignment AssignDownlink(const std::vector<UeContext*>& ues,
+                                              const std::vector<bool>& allowed_mask) = 0;
+
+  /// Assign subchannels for uplink demand. Uplink allocations are sized to
+  /// the demand: a UE with only TCP ACKs to send gets the single best
+  /// subchannel rather than the whole band (Fig. 1(c)).
+  virtual SubchannelAssignment AssignUplink(const std::vector<UeContext*>& ues,
+                                            const std::vector<bool>& allowed_mask,
+                                            int data_re_per_rb, int rbs_per_subchannel) = 0;
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerType type);
+
+/// Shared helper: subchannels a UE would pick first (descending CQI).
+std::vector<int> RankSubchannelsByCqi(const UeContext& ue,
+                                      const std::vector<bool>& allowed_mask);
+
+}  // namespace cellfi::lte

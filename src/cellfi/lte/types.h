@@ -1,0 +1,81 @@
+// Shared LTE MAC types and configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "cellfi/common/time.h"
+#include "cellfi/phy/resource_grid.h"
+
+namespace cellfi::lte {
+
+using CellId = int;
+using UeId = int;
+inline constexpr CellId kInvalidCell = -1;
+
+enum class SchedulerType {
+  kProportionalFair,  // rate / average-rate metric (default)
+  kRoundRobin,        // equal turns
+  kMaxCqi,            // greedy throughput-maximizing, starves edge users
+};
+
+/// Channel-access discipline for a cell.
+///  * kScheduled — stock LTE / CellFi: transmit whenever there is data
+///    (CellFi constrains WHERE via the subchannel mask, never WHEN).
+///  * kListenBeforeTalk — LAA / MulteFire style: clear-channel assessment
+///    before a bounded burst, random backoff when busy. The paper (Section
+///    8) argues this class inherits Wi-Fi's long-range MAC inefficiencies;
+///    the ablation bench quantifies that.
+enum class AccessMode { kScheduled, kListenBeforeTalk };
+
+/// Listen-before-talk parameters (rough LAA Cat-4 shape).
+struct LbtConfig {
+  /// Energy-detect threshold over the occupied bandwidth.
+  double ed_threshold_dbm = -82.0;
+  /// Maximum channel-occupancy time, in subframes (LAA: 8-10 ms).
+  int max_burst_subframes = 8;
+  /// Contention window (slots are subframes here: CCA granularity 1 ms).
+  int cw_min = 4;
+  int cw_max = 64;
+};
+
+/// Per-cell MAC configuration.
+struct LteMacConfig {
+  LteBandwidth bandwidth = LteBandwidth::k5MHz;
+  AccessMode access_mode = AccessMode::kScheduled;
+  LbtConfig lbt;
+  /// TDD UL/DL configuration index (paper uses 4); -1 = FDD downlink-only
+  /// carrier (used to model the testbed's band-13 FDD cell).
+  int tdd_config = 4;
+  int pdcch_symbols = 3;
+  SchedulerType scheduler = SchedulerType::kProportionalFair;
+  int harq_max_transmissions = 4;
+  /// Link-adaptation aggressiveness: dB added to the measured SINR before
+  /// CQI quantization. Real eNodeBs run aggressive MCS selection and lean
+  /// on HARQ (~10 % first-transmission BLER target); 0 disables errors on
+  /// tracked channels entirely, which is unrealistically conservative.
+  double link_adaptation_margin_db = 3.0;
+  /// Aperiodic mode 3-0 sub-band CQI reporting period (paper: 2 ms).
+  SimTime cqi_report_period = 2 * kMillisecond;
+  /// If true, reports pass through the literal mode 3-0 wire format, whose
+  /// 2-bit differential clamps sub-band CQI to [wideband-1, wideband+2].
+  /// That clamp erases the cross-frequency contrast CellFi's interference
+  /// detector relies on, so system simulations default to full-resolution
+  /// (4-bit) sub-band values — matching the paper's ns-3 setup — while the
+  /// wire format itself is exercised by the signalling-overhead bench.
+  bool use_mode30_wire_format = false;
+  /// EWMA window for the proportional-fair average rate, in subframes.
+  double pf_window_subframes = 100.0;
+};
+
+/// UE radio-link state.
+enum class UeState : std::uint8_t { kIdle, kAttaching, kConnected, kRadioLinkFailure };
+
+/// Radio-link-failure model: a UE declares RLF after `rlf_window` of
+/// consecutive out-of-range wideband CQI, then needs `reattach_delay` to
+/// come back (cell search + RACH).
+struct RlfConfig {
+  SimTime rlf_window = 200 * kMillisecond;
+  SimTime reattach_delay = 2 * kSecond;
+};
+
+}  // namespace cellfi::lte

@@ -1,0 +1,97 @@
+// Per-UE state kept at the serving eNodeB: RLC queues, CQI, HARQ, and the
+// proportional-fair average rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellfi/lte/types.h"
+#include "cellfi/phy/cqi_mcs.h"
+
+namespace cellfi::lte {
+
+/// One in-flight HARQ transport block awaiting retransmission.
+struct HarqState {
+  bool active = false;
+  int cqi = 0;               // MCS locked at first transmission
+  int tb_bits = 0;           // transport block size
+  int num_subchannels = 0;   // allocation width to reproduce on retx
+  std::uint64_t payload_bytes = 0;  // queued bytes covered by the block
+  double combined_sinr_linear = 0.0;
+  int attempts = 0;
+
+  void Clear() { *this = HarqState{}; }
+};
+
+/// eNodeB-side context for one connected UE.
+class UeContext {
+ public:
+  UeContext(UeId id, int num_subchannels);
+
+  UeId id() const { return id_; }
+
+  // --- RLC queues (bytes) -------------------------------------------------
+  void EnqueueDownlink(std::uint64_t bytes) { dl_queue_bytes_ += bytes; }
+  void EnqueueUplink(std::uint64_t bytes) { ul_queue_bytes_ += bytes; }
+  std::uint64_t dl_queue_bytes() const { return dl_queue_bytes_; }
+  std::uint64_t ul_queue_bytes() const { return ul_queue_bytes_; }
+  void DrainDownlink(std::uint64_t bytes);
+  void DrainUplink(std::uint64_t bytes);
+
+  // --- CQI ----------------------------------------------------------------
+  /// Store a decoded mode 3-0 report (wideband + per-subchannel).
+  void UpdateCqi(int wideband, const std::vector<int>& subband);
+  int wideband_cqi() const { return wideband_cqi_; }
+  int SubbandCqi(int subchannel) const { return subband_cqi_[static_cast<std::size_t>(subchannel)]; }
+  const std::vector<int>& subband_cqi() const { return subband_cqi_; }
+  bool has_cqi() const { return has_cqi_; }
+
+  // --- Proportional fair --------------------------------------------------
+  /// EWMA of the served rate, bits per subframe.
+  double average_rate() const { return average_rate_; }
+  /// Update the EWMA with the bits served this subframe (0 if unserved).
+  void UpdatePfAverage(double bits_served, double window_subframes);
+
+  /// Carry state across a handover: pending queue bytes (data forwarding
+  /// over the backhaul) and cumulative statistics move to the new cell's
+  /// context; CQI and HARQ state do not (new radio link).
+  void ImportOnHandover(const UeContext& old);
+
+  // --- HARQ ---------------------------------------------------------------
+  HarqState& harq_dl() { return harq_dl_; }
+  HarqState& harq_ul() { return harq_ul_; }
+  const HarqState& harq_dl() const { return harq_dl_; }
+  const HarqState& harq_ul() const { return harq_ul_; }
+
+  // --- Statistics ---------------------------------------------------------
+  std::uint64_t dl_delivered_bits = 0;
+  std::uint64_t ul_delivered_bits = 0;
+  std::uint64_t dl_lost_blocks = 0;
+  std::uint64_t dl_total_blocks = 0;
+  std::uint64_t dl_harq_retx_blocks = 0;
+  /// Histogram of code rates used, one entry per delivered block (for
+  /// Fig. 1(b)), split by direction.
+  std::vector<double> code_rate_log;
+  std::vector<double> ul_code_rate_log;
+  /// Fraction of the channel used per scheduled subframe (Fig. 1(c)).
+  std::vector<double> channel_fraction_log;
+  std::vector<double> ul_channel_fraction_log;
+
+ private:
+  UeId id_;
+  std::uint64_t dl_queue_bytes_ = 0;
+  std::uint64_t ul_queue_bytes_ = 0;
+  bool has_cqi_ = false;
+  int wideband_cqi_ = 0;
+  std::vector<int> subband_cqi_;
+  double average_rate_ = 1.0;  // avoid div-by-zero in PF metric
+  HarqState harq_dl_;
+  HarqState harq_ul_;
+};
+
+/// Aggregate CQI for a multi-subchannel allocation: the CQI whose spectral
+/// efficiency best matches the mean efficiency of the allocated
+/// subchannels (one MCS covers the whole transport block in LTE).
+int AggregateCqi(const std::vector<int>& subband_cqi, const std::vector<int>& subchannels);
+
+}  // namespace cellfi::lte

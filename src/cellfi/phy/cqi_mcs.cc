@@ -1,0 +1,71 @@
+#include "cellfi/phy/cqi_mcs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cellfi {
+
+namespace {
+// 36.213 Table 7.2.3-1 with SINR switching thresholds from standard
+// link-level AWGN curves (10 % BLER).
+constexpr CqiEntry kTable[kMaxCqi] = {
+    {1, Modulation::kQpsk, 78.0 / 1024.0, 0.1523, -6.7},
+    {2, Modulation::kQpsk, 120.0 / 1024.0, 0.2344, -4.7},
+    {3, Modulation::kQpsk, 193.0 / 1024.0, 0.3770, -2.3},
+    {4, Modulation::kQpsk, 308.0 / 1024.0, 0.6016, 0.2},
+    {5, Modulation::kQpsk, 449.0 / 1024.0, 0.8770, 2.4},
+    {6, Modulation::kQpsk, 602.0 / 1024.0, 1.1758, 4.3},
+    {7, Modulation::kQam16, 378.0 / 1024.0, 1.4766, 5.9},
+    {8, Modulation::kQam16, 490.0 / 1024.0, 1.9141, 8.1},
+    {9, Modulation::kQam16, 616.0 / 1024.0, 2.4063, 10.3},
+    {10, Modulation::kQam64, 466.0 / 1024.0, 2.7305, 11.7},
+    {11, Modulation::kQam64, 567.0 / 1024.0, 3.3223, 14.1},
+    {12, Modulation::kQam64, 666.0 / 1024.0, 3.9023, 16.3},
+    {13, Modulation::kQam64, 772.0 / 1024.0, 4.5234, 18.7},
+    {14, Modulation::kQam64, 873.0 / 1024.0, 5.1152, 21.0},
+    {15, Modulation::kQam64, 948.0 / 1024.0, 5.5547, 22.7},
+};
+}  // namespace
+
+const CqiEntry& CqiTable(int cqi) {
+  assert(cqi >= kMinCqi && cqi <= kMaxCqi);
+  return kTable[cqi - 1];
+}
+
+int SinrToCqi(double sinr_db) {
+  int best = 0;
+  for (const CqiEntry& e : kTable) {
+    if (sinr_db >= e.sinr_threshold_db) best = e.cqi;
+  }
+  return best;
+}
+
+double CqiEfficiency(int cqi) {
+  return cqi >= kMinCqi && cqi <= kMaxCqi ? CqiTable(cqi).efficiency : 0.0;
+}
+
+double CqiCodeRate(int cqi) {
+  return cqi >= kMinCqi && cqi <= kMaxCqi ? CqiTable(cqi).code_rate : 0.0;
+}
+
+double BlerAt(int cqi, double sinr_db) {
+  if (cqi < kMinCqi) return 1.0;
+  const double thr = CqiTable(std::min(cqi, kMaxCqi)).sinr_threshold_db;
+  // Logistic: BLER(thr) = 0.10, slope ~2 per dB.
+  const double k = 2.0;
+  const double x = k * (sinr_db - thr) + std::log(9.0);
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+int TransportBlockBits(int cqi, int num_rbs, int data_re_per_rb) {
+  if (cqi < kMinCqi || num_rbs <= 0) return 0;
+  const double bits = CqiEfficiency(std::min(cqi, kMaxCqi)) *
+                      static_cast<double>(num_rbs) *
+                      static_cast<double>(data_re_per_rb);
+  return static_cast<int>(bits);
+}
+
+int QuantizeCqi(int cqi) { return std::clamp(cqi, 0, kMaxCqi); }
+
+}  // namespace cellfi

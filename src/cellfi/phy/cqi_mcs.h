@@ -1,0 +1,51 @@
+// CQI / MCS tables and link adaptation.
+//
+// Implements the 3GPP 36.213 Table 7.2.3-1 CQI table (modulation, code rate,
+// spectral efficiency), an SINR -> CQI mapping targeting 10 % BLER, a
+// logistic BLER model around each CQI's switching threshold, and transport
+// block sizing from spectral efficiency and the resource-grid RE budget.
+#pragma once
+
+#include <cstdint>
+
+namespace cellfi {
+
+enum class Modulation : std::uint8_t { kQpsk = 2, kQam16 = 4, kQam64 = 6 };
+
+/// One row of the CQI table.
+struct CqiEntry {
+  int cqi;                  // 1..15
+  Modulation modulation;    // bits per symbol = static_cast<int>(modulation)
+  double code_rate;         // channel code rate in (0, 1)
+  double efficiency;        // information bits per resource element
+  double sinr_threshold_db; // minimum SINR for ~10 % BLER
+};
+
+inline constexpr int kMinCqi = 1;
+inline constexpr int kMaxCqi = 15;
+
+/// Table lookup; `cqi` must be in [1, 15].
+const CqiEntry& CqiTable(int cqi);
+
+/// Highest CQI whose 10 % BLER threshold is <= `sinr_db`; 0 = out of range
+/// (link cannot be served).
+int SinrToCqi(double sinr_db);
+
+/// Spectral efficiency (bits per RE) for `cqi`; 0 for cqi == 0.
+double CqiEfficiency(int cqi);
+
+/// Channel code rate for `cqi`; 0 for cqi == 0.
+double CqiCodeRate(int cqi);
+
+/// Block error rate of a transport block sent with `cqi` at actual
+/// `sinr_db`: logistic in dB, equal to 10 % exactly at the CQI threshold.
+double BlerAt(int cqi, double sinr_db);
+
+/// Transport block size in bits for `cqi` over `num_rbs` RBs with
+/// `data_re_per_rb` usable resource elements per RB.
+int TransportBlockBits(int cqi, int num_rbs, int data_re_per_rb);
+
+/// 4-bit wideband CQI quantization used in reports.
+int QuantizeCqi(int cqi);
+
+}  // namespace cellfi

@@ -1,0 +1,54 @@
+#include "cellfi/phy/cqi_report.h"
+
+#include <algorithm>
+
+#include "cellfi/phy/cqi_mcs.h"
+
+namespace cellfi {
+
+int DiffToOffset(std::uint8_t diff) {
+  switch (diff & 0x3) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return 2;
+    default: return -1;  // "less than or equal to -1"
+  }
+}
+
+namespace {
+std::uint8_t OffsetToDiff(int offset) {
+  if (offset <= -1) return 3;
+  if (offset >= 2) return 2;
+  return static_cast<std::uint8_t>(offset);
+}
+}  // namespace
+
+Mode30Report EncodeMode30(const CqiMeasurement& m) {
+  Mode30Report r;
+  r.wideband = static_cast<std::uint8_t>(QuantizeCqi(m.wideband_cqi));
+  r.subband_diff.reserve(m.subband_cqi.size());
+  for (int sb : m.subband_cqi) {
+    r.subband_diff.push_back(OffsetToDiff(QuantizeCqi(sb) - r.wideband));
+  }
+  return r;
+}
+
+CqiMeasurement DecodeMode30(const Mode30Report& r) {
+  CqiMeasurement m;
+  m.wideband_cqi = r.wideband;
+  m.subband_cqi.reserve(r.subband_diff.size());
+  for (std::uint8_t d : r.subband_diff) {
+    m.subband_cqi.push_back(std::clamp(r.wideband + DiffToOffset(d), 0, kMaxCqi));
+  }
+  return m;
+}
+
+int PayloadBits(const Mode30Report& r) {
+  return 4 + 2 * static_cast<int>(r.subband_diff.size());
+}
+
+double SignallingOverheadBps(int payload_bits, double period_ms) {
+  return static_cast<double>(payload_bits) / (period_ms * 1e-3);
+}
+
+}  // namespace cellfi

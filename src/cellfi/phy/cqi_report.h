@@ -1,0 +1,44 @@
+// CQI reporting formats (3GPP 36.213 Section 7.2.1).
+//
+// CellFi configures clients for higher-layer-configured aperiodic mode 3-0
+// sub-band reports every 2 ms (paper Sections 5.1, 6.3.4): one 4-bit
+// wideband CQI plus a 2-bit differential CQI per sub-band. The encoder and
+// decoder here are exact round-trips of that quantization, and
+// `PayloadBits` is what the paper's signalling-overhead estimate counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cellfi {
+
+/// An unquantized measurement: wideband CQI plus per-subband CQI.
+struct CqiMeasurement {
+  int wideband_cqi = 0;
+  std::vector<int> subband_cqi;
+};
+
+/// Wire form of an aperiodic mode 3-0 report.
+struct Mode30Report {
+  std::uint8_t wideband = 0;             // 4 bits
+  std::vector<std::uint8_t> subband_diff; // 2 bits each
+};
+
+/// Differential offsets representable by the 2-bit subband field
+/// (36.213 Table 7.2.1-2): {0, +1, +2, <= -1}.
+int DiffToOffset(std::uint8_t diff);
+
+/// Encode a measurement into mode 3-0 wire form.
+Mode30Report EncodeMode30(const CqiMeasurement& m);
+
+/// Decode back to (quantized) CQI values.
+CqiMeasurement DecodeMode30(const Mode30Report& r);
+
+/// Report payload in bits: 4 + 2 * num_subbands.
+int PayloadBits(const Mode30Report& r);
+
+/// Uplink overhead in bits/s for a report of `payload_bits` every
+/// `period_ms` milliseconds.
+double SignallingOverheadBps(int payload_bits, double period_ms);
+
+}  // namespace cellfi

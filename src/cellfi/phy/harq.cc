@@ -1,0 +1,55 @@
+#include "cellfi/phy/harq.h"
+
+#include <cassert>
+
+#include "cellfi/common/units.h"
+#include "cellfi/phy/cqi_mcs.h"
+
+namespace cellfi {
+
+HarqProcess::HarqProcess(int max_transmissions)
+    : max_transmissions_(max_transmissions) {
+  assert(max_transmissions >= 1);
+}
+
+HarqOutcome HarqProcess::Deliver(int cqi, const std::vector<double>& sinr_per_attempt_db,
+                                 Rng& rng) const {
+  HarqOutcome out;
+  if (cqi < kMinCqi || sinr_per_attempt_db.empty()) return out;
+
+  double combined_linear = 0.0;
+  for (int attempt = 0; attempt < max_transmissions_; ++attempt) {
+    const std::size_t idx =
+        std::min(static_cast<std::size_t>(attempt), sinr_per_attempt_db.size() - 1);
+    combined_linear += DbToLinear(sinr_per_attempt_db[idx]);
+    out.transmissions = attempt + 1;
+    out.effective_sinr_db = LinearToDb(combined_linear);
+    if (!rng.Bernoulli(BlerAt(cqi, out.effective_sinr_db))) {
+      out.delivered = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+HarqOutcome HarqProcess::Deliver(int cqi, double sinr_db, Rng& rng) const {
+  return Deliver(cqi, std::vector<double>{sinr_db}, rng);
+}
+
+void HarqStats::Record(const HarqOutcome& o) {
+  ++blocks;
+  total_transmissions += o.transmissions;
+  if (o.transmissions > 1) ++blocks_retransmitted;
+  if (!o.delivered) ++blocks_lost;
+}
+
+double HarqStats::RetransmissionFraction() const {
+  return blocks ? static_cast<double>(blocks_retransmitted) / static_cast<double>(blocks)
+                : 0.0;
+}
+
+double HarqStats::ResidualLossRate() const {
+  return blocks ? static_cast<double>(blocks_lost) / static_cast<double>(blocks) : 0.0;
+}
+
+}  // namespace cellfi

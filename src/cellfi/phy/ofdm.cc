@@ -1,0 +1,160 @@
+#include "cellfi/phy/ofdm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cellfi {
+
+int BitsPerSymbol(Modulation mod) { return static_cast<int>(mod); }
+
+namespace {
+
+// Per-axis Gray mappings (levels in units of the step, centred on zero).
+int GrayToLevel(unsigned bits, int bits_per_axis) {
+  switch (bits_per_axis) {
+    case 1:
+      return bits ? -1 : 1;
+    case 2: {
+      // 00 01 11 10  ->  -3 -1 +1 +3
+      static constexpr int kMap[4] = {-3, -1, +3, +1};
+      return kMap[bits & 0x3];
+    }
+    case 3: {
+      // Gray sequence 000 001 011 010 110 111 101 100 -> -7 .. +7
+      static constexpr int kMap[8] = {-7, -5, -1, -3, +7, +5, +1, +3};
+      return kMap[bits & 0x7];
+    }
+    default:
+      assert(false);
+      return 0;
+  }
+}
+
+unsigned LevelToGray(double level, int bits_per_axis) {
+  // Quantize to the nearest valid level, then invert the map.
+  const int max_level = (1 << bits_per_axis) - 1;  // 1, 3, 7
+  int q = static_cast<int>(std::lround((level + max_level) / 2.0));
+  q = std::clamp(q, 0, max_level);
+  const int quantized = 2 * q - max_level;
+  for (unsigned bits = 0; bits <= static_cast<unsigned>(max_level); ++bits) {
+    if (GrayToLevel(bits, bits_per_axis) == quantized) return bits;
+  }
+  return 0;
+}
+
+double AxisScale(Modulation mod) {
+  switch (mod) {
+    case Modulation::kQpsk: return std::sqrt(2.0);
+    case Modulation::kQam16: return std::sqrt(10.0);
+    case Modulation::kQam64: return std::sqrt(42.0);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::vector<Complex> ModulateQam(const std::vector<std::uint8_t>& bits, Modulation mod) {
+  const int k = BitsPerSymbol(mod);
+  const int per_axis = k / 2;
+  assert(bits.size() % static_cast<std::size_t>(k) == 0);
+  const double scale = AxisScale(mod);
+  std::vector<Complex> out;
+  out.reserve(bits.size() / static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < bits.size(); i += static_cast<std::size_t>(k)) {
+    unsigned bi = 0, bq = 0;
+    for (int b = 0; b < per_axis; ++b) {
+      bi = (bi << 1) | bits[i + static_cast<std::size_t>(b)];
+      bq = (bq << 1) | bits[i + static_cast<std::size_t>(per_axis + b)];
+    }
+    out.emplace_back(GrayToLevel(bi, per_axis) / scale, GrayToLevel(bq, per_axis) / scale);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> DemodulateQamHard(const std::vector<Complex>& symbols,
+                                            Modulation mod) {
+  const int k = BitsPerSymbol(mod);
+  const int per_axis = k / 2;
+  const double scale = AxisScale(mod);
+  std::vector<std::uint8_t> bits;
+  bits.reserve(symbols.size() * static_cast<std::size_t>(k));
+  for (const Complex& s : symbols) {
+    const unsigned bi = LevelToGray(s.real() * scale, per_axis);
+    const unsigned bq = LevelToGray(s.imag() * scale, per_axis);
+    for (int b = per_axis - 1; b >= 0; --b) bits.push_back((bi >> b) & 1);
+    for (int b = per_axis - 1; b >= 0; --b) bits.push_back((bq >> b) & 1);
+  }
+  return bits;
+}
+
+double TheoreticalBerQam(Modulation mod, double snr_db) {
+  const double snr = std::pow(10.0, snr_db / 10.0);
+  const int k = BitsPerSymbol(mod);
+  const double m = std::pow(2.0, k);
+  const auto q = [](double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); };
+  // Gray-coded square M-QAM over AWGN (standard approximation).
+  return (4.0 / k) * (1.0 - 1.0 / std::sqrt(m)) * q(std::sqrt(3.0 * snr / (m - 1.0)));
+}
+
+std::vector<Complex> AddAwgn(const std::vector<Complex>& symbols, double snr_db, Rng& rng) {
+  const double sigma = std::sqrt(0.5 / std::pow(10.0, snr_db / 10.0));
+  std::vector<Complex> out;
+  out.reserve(symbols.size());
+  for (const Complex& s : symbols) {
+    out.emplace_back(s.real() + sigma * rng.Normal(), s.imag() + sigma * rng.Normal());
+  }
+  return out;
+}
+
+std::vector<Complex> OfdmModulate(const OfdmParams& params,
+                                  const std::vector<Complex>& subcarriers) {
+  assert(static_cast<int>(subcarriers.size()) == params.used_subcarriers);
+  assert(params.used_subcarriers < params.fft_size);
+  assert(IsPowerOfTwo(static_cast<std::size_t>(params.fft_size)));
+  std::vector<Complex> bins(static_cast<std::size_t>(params.fft_size), Complex(0, 0));
+  for (int i = 0; i < params.used_subcarriers; ++i) {
+    bins[static_cast<std::size_t>(i + 1)] = subcarriers[static_cast<std::size_t>(i)];
+  }
+  Ifft(bins);
+  std::vector<Complex> out;
+  out.reserve(static_cast<std::size_t>(params.fft_size + params.cp_len));
+  for (int i = params.fft_size - params.cp_len; i < params.fft_size; ++i) {
+    out.push_back(bins[static_cast<std::size_t>(i)]);
+  }
+  out.insert(out.end(), bins.begin(), bins.end());
+  return out;
+}
+
+std::vector<Complex> OfdmDemodulate(const OfdmParams& params,
+                                    const std::vector<Complex>& time_samples) {
+  assert(static_cast<int>(time_samples.size()) >= params.fft_size + params.cp_len);
+  std::vector<Complex> bins(
+      time_samples.begin() + params.cp_len,
+      time_samples.begin() + params.cp_len + params.fft_size);
+  Fft(bins);
+  return std::vector<Complex>(bins.begin() + 1,
+                              bins.begin() + 1 + params.used_subcarriers);
+}
+
+std::vector<Complex> ApplyChannel(const std::vector<Complex>& samples,
+                                  const std::vector<Complex>& taps) {
+  std::vector<Complex> out(samples.size(), Complex(0, 0));
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    for (std::size_t t = 0; t < taps.size() && t <= n; ++t) {
+      out[n] += taps[t] * samples[n - t];
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> ChannelFrequencyResponse(const OfdmParams& params,
+                                              const std::vector<Complex>& taps) {
+  std::vector<Complex> bins(static_cast<std::size_t>(params.fft_size), Complex(0, 0));
+  for (std::size_t t = 0; t < taps.size(); ++t) bins[t] = taps[t];
+  Fft(bins);
+  return std::vector<Complex>(bins.begin() + 1,
+                              bins.begin() + 1 + params.used_subcarriers);
+}
+
+}  // namespace cellfi

@@ -1,0 +1,65 @@
+// Signal-level OFDM/QAM chain.
+//
+// Grounds the table-driven PHY abstractions in actual waveforms: Gray-coded
+// QPSK/16-QAM/64-QAM constellations (unit average energy), an OFDM
+// modulator/demodulator with cyclic prefix, an AWGN channel, one-tap
+// equalization, and closed-form BER references. The test suite uses this
+// chain to cross-validate the CQI table's SINR thresholds (a threshold is
+// only credible if the raw symbol stream at that SINR is correctable by the
+// row's code rate) and the PRACH detector shares its FFT machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellfi/common/fft.h"
+#include "cellfi/common/rng.h"
+#include "cellfi/phy/cqi_mcs.h"
+
+namespace cellfi {
+
+/// Bits per symbol for a modulation order.
+int BitsPerSymbol(Modulation mod);
+
+/// Gray-coded constellation mapping; output has unit average energy.
+/// `bits.size()` must be a multiple of BitsPerSymbol(mod).
+std::vector<Complex> ModulateQam(const std::vector<std::uint8_t>& bits, Modulation mod);
+
+/// Hard-decision demapping (nearest constellation point).
+std::vector<std::uint8_t> DemodulateQamHard(const std::vector<Complex>& symbols,
+                                            Modulation mod);
+
+/// Theoretical bit error rate of Gray-coded square QAM over AWGN at the
+/// given per-symbol SNR (standard Q-function approximations).
+double TheoreticalBerQam(Modulation mod, double snr_db);
+
+/// Complex AWGN at per-symbol SNR `snr_db` (signal assumed unit energy).
+std::vector<Complex> AddAwgn(const std::vector<Complex>& symbols, double snr_db, Rng& rng);
+
+/// OFDM parameters: `fft_size` total bins, `used_subcarriers` active
+/// (centred, DC skipped is not modelled), `cp_len` cyclic-prefix samples.
+struct OfdmParams {
+  int fft_size = 512;
+  int used_subcarriers = 300;  // 25 RB x 12, LTE 5 MHz
+  int cp_len = 36;
+};
+
+/// One OFDM symbol: map `used_subcarriers` QAM symbols to bins, IFFT,
+/// prepend the cyclic prefix. Output length = fft_size + cp_len.
+std::vector<Complex> OfdmModulate(const OfdmParams& params,
+                                  const std::vector<Complex>& subcarriers);
+
+/// Inverse of OfdmModulate: strip CP, FFT, extract the used bins.
+std::vector<Complex> OfdmDemodulate(const OfdmParams& params,
+                                    const std::vector<Complex>& time_samples);
+
+/// Convolve with a (short) channel impulse response, linearly.
+std::vector<Complex> ApplyChannel(const std::vector<Complex>& samples,
+                                  const std::vector<Complex>& taps);
+
+/// Per-subcarrier channel frequency response of `taps` (for one-tap ZF
+/// equalization of the used bins).
+std::vector<Complex> ChannelFrequencyResponse(const OfdmParams& params,
+                                              const std::vector<Complex>& taps);
+
+}  // namespace cellfi

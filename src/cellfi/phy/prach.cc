@@ -1,0 +1,161 @@
+#include "cellfi/phy/prach.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "cellfi/common/units.h"
+
+namespace cellfi {
+
+std::vector<Complex> ZadoffChu(int root, int length) {
+  assert(length >= 3);
+  assert(root >= 1 && root < length);
+  std::vector<Complex> seq(static_cast<std::size_t>(length));
+  for (int n = 0; n < length; ++n) {
+    // n(n+1) grows to ~7e5 for N_ZC=839; reduce mod 2N to keep the phase
+    // argument small and exact.
+    const long long q = (static_cast<long long>(n) * (n + 1)) % (2LL * length);
+    const double ang = -M_PI * static_cast<double>(root) * static_cast<double>(q) /
+                       static_cast<double>(length);
+    seq[static_cast<std::size_t>(n)] = Complex(std::cos(ang), std::sin(ang));
+  }
+  return seq;
+}
+
+int NumPreambles(const PrachConfig& config) {
+  return config.sequence_length / config.cyclic_shift_step;
+}
+
+std::vector<Complex> GeneratePreamble(const PrachConfig& config, int preamble_index) {
+  assert(preamble_index >= 0 && preamble_index < NumPreambles(config));
+  const auto root = ZadoffChu(config.root, config.sequence_length);
+  const int n = config.sequence_length;
+  const int shift = preamble_index * config.cyclic_shift_step;
+  // Delay convention: preamble v is the root sequence delayed by v * N_CS
+  // samples, so the detector's correlation peak lands at lag
+  // v * N_CS + timing_offset. (36.211 writes the shift as an advance; the
+  // two are equivalent up to the correlation direction.)
+  std::vector<Complex> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        root[static_cast<std::size_t>(((i - shift) % n + n) % n)];
+  }
+  return out;
+}
+
+PrachDetector::PrachDetector(const PrachConfig& config) : config_(config) {
+  root_freq_ = Dft(ZadoffChu(config.root, config.sequence_length));
+}
+
+PrachDetection PrachDetector::Detect(const std::vector<Complex>& received) const {
+  assert(static_cast<int>(received.size()) == config_.sequence_length);
+
+  // Correlation 1: one frequency-domain circular correlation against the
+  // root sequence covers every cyclic shift at once.
+  std::vector<Complex> rx_freq = Dft(received);
+  for (std::size_t i = 0; i < rx_freq.size(); ++i) rx_freq[i] *= std::conj(root_freq_[i]);
+  const std::vector<Complex> corr = Idft(rx_freq);
+
+  // Correlation 2 (the "check"): compare the strongest lag's power against
+  // the average correlation power.
+  double total_power = 0.0;
+  double peak_power = 0.0;
+  std::size_t peak_lag = 0;
+  for (std::size_t i = 0; i < corr.size(); ++i) {
+    const double p = std::norm(corr[i]);
+    total_power += p;
+    if (p > peak_power) {
+      peak_power = p;
+      peak_lag = i;
+    }
+  }
+  const double avg = total_power / static_cast<double>(corr.size());
+
+  PrachDetection det;
+  det.peak_to_average = avg > 0.0 ? peak_power / avg : 0.0;
+  det.detected = det.peak_to_average >= config_.detection_threshold;
+  det.shift_estimate = static_cast<int>(peak_lag);
+  det.preamble_estimate = det.shift_estimate / config_.cyclic_shift_step;
+  return det;
+}
+
+std::vector<PrachDetection> PrachDetector::DetectAll(
+    const std::vector<Complex>& received) const {
+  assert(static_cast<int>(received.size()) == config_.sequence_length);
+  std::vector<Complex> rx_freq = Dft(received);
+  for (std::size_t i = 0; i < rx_freq.size(); ++i) rx_freq[i] *= std::conj(root_freq_[i]);
+  const std::vector<Complex> corr = Idft(rx_freq);
+
+  std::vector<double> power(corr.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < corr.size(); ++i) {
+    power[i] = std::norm(corr[i]);
+    total += power[i];
+  }
+
+  std::vector<PrachDetection> found;
+  const int guard = config_.cyclic_shift_step;
+  double remaining = total;
+  std::size_t remaining_lags = power.size();
+  // Iteratively peel peaks; the noise floor re-estimates after each peel so
+  // a strong preamble does not mask a weak one.
+  for (int iter = 0; iter < NumPreambles(config_); ++iter) {
+    const double avg = remaining / static_cast<double>(std::max<std::size_t>(remaining_lags, 1));
+    std::size_t peak_lag = 0;
+    double peak_power = 0.0;
+    for (std::size_t i = 0; i < power.size(); ++i) {
+      if (power[i] > peak_power) {
+        peak_power = power[i];
+        peak_lag = i;
+      }
+    }
+    if (avg <= 0.0 || peak_power / avg < config_.detection_threshold) break;
+
+    PrachDetection det;
+    det.detected = true;
+    det.peak_to_average = peak_power / avg;
+    det.shift_estimate = static_cast<int>(peak_lag);
+    det.preamble_estimate = det.shift_estimate / config_.cyclic_shift_step;
+    found.push_back(det);
+
+    // Erase the whole cyclic-shift zone around the peak.
+    for (int off = -guard + 1; off < guard; ++off) {
+      const std::size_t idx = static_cast<std::size_t>(
+          ((static_cast<int>(peak_lag) + off) % config_.sequence_length +
+           config_.sequence_length) %
+          config_.sequence_length);
+      if (power[idx] > 0.0) {
+        remaining -= power[idx];
+        power[idx] = 0.0;
+        --remaining_lags;
+      }
+    }
+  }
+  return found;
+}
+
+std::vector<Complex> PassThroughAwgn(const std::vector<Complex>& preamble,
+                                     int timing_offset, double snr_db, Rng& rng) {
+  const int n = static_cast<int>(preamble.size());
+  assert(timing_offset >= 0);
+  // Per-sample SNR: preamble samples have unit magnitude; noise variance
+  // sigma^2 = 1 / snr_linear split across I and Q.
+  const double snr_linear = DbToLinear(snr_db);
+  const double sigma = std::sqrt(1.0 / (2.0 * snr_linear));
+  std::vector<Complex> out(preamble.size());
+  for (int i = 0; i < n; ++i) {
+    const Complex s = preamble[static_cast<std::size_t>(((i - timing_offset) % n + n) % n)];
+    out[static_cast<std::size_t>(i)] =
+        s + Complex(sigma * rng.Normal(), sigma * rng.Normal());
+  }
+  return out;
+}
+
+std::vector<Complex> NoiseOnly(int length, Rng& rng) {
+  const double sigma = std::sqrt(0.5);
+  std::vector<Complex> out(static_cast<std::size_t>(length));
+  for (auto& v : out) v = Complex(sigma * rng.Normal(), sigma * rng.Normal());
+  return out;
+}
+
+}  // namespace cellfi

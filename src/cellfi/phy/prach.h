@@ -1,0 +1,82 @@
+// PRACH preamble generation and blind detection (paper Section 6.3.3).
+//
+// LTE random-access preambles are cyclic shifts of Zadoff-Chu root
+// sequences (3GPP 36.211, N_ZC = 839). CellFi access points overhear
+// preambles from clients of *other* cells to count contenders, without
+// knowing the preamble index or timing. The detector exploits the CAZAC
+// structure: a single circular correlation against the root sequence turns
+// any cyclic shift / timing offset into a movable peak, so detection is two
+// operations — locate the strongest shift, then test its correlation value
+// against a noise-floor threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellfi/common/fft.h"
+#include "cellfi/common/rng.h"
+
+namespace cellfi {
+
+/// PRACH parameters (format 0 defaults).
+struct PrachConfig {
+  int sequence_length = 839;  // N_ZC, prime
+  int root = 129;             // root index u, coprime with N_ZC
+  int cyclic_shift_step = 13; // N_CS: shift granularity -> 64 preambles
+  // Peak-to-average power threshold. Noise-only correlations have
+  // exponentially distributed lag powers, so the max of N_ZC lags sits near
+  // ln(N_ZC) ~ 6.7x the average; 20x keeps the false-alarm rate ~1e-6 while
+  // still detecting preambles below -10 dB SNR.
+  double detection_threshold = 20.0;
+};
+
+/// Generate the Zadoff-Chu root sequence x_u[n] = exp(-j pi u n (n+1) / N).
+std::vector<Complex> ZadoffChu(int root, int length);
+
+/// Generate preamble `index` (cyclic shift index) from the configured root.
+std::vector<Complex> GeneratePreamble(const PrachConfig& config, int preamble_index);
+
+/// Number of distinct preambles available from one root.
+int NumPreambles(const PrachConfig& config);
+
+/// Result of a blind detection pass over one PRACH occasion.
+struct PrachDetection {
+  bool detected = false;
+  int shift_estimate = 0;     // sample offset of the peak (shift + timing)
+  int preamble_estimate = 0;  // shift_estimate / N_CS
+  double peak_to_average = 0; // detection metric
+};
+
+/// Blind PRACH detector: correlates received samples against the root
+/// sequence only (no per-preamble correlation, no timing knowledge).
+class PrachDetector {
+ public:
+  explicit PrachDetector(const PrachConfig& config);
+
+  /// Detect a preamble in `received` (must be sequence_length samples).
+  PrachDetection Detect(const std::vector<Complex>& received) const;
+
+  /// Detect MULTIPLE superimposed preambles in one occasion: every
+  /// correlation peak above the threshold, peaks separated by at least one
+  /// cyclic-shift step (each zone belongs to one preamble index). This is
+  /// what lets a CellFi AP count several contenders answering the same
+  /// PDCCH-order solicitation.
+  std::vector<PrachDetection> DetectAll(const std::vector<Complex>& received) const;
+
+  const PrachConfig& config() const { return config_; }
+
+ private:
+  PrachConfig config_;
+  std::vector<Complex> root_freq_;  // precomputed DFT of the root sequence
+};
+
+/// Test-channel helper: delay a preamble by `timing_offset` samples
+/// (cyclic, models propagation delay within the guard period), scale it to
+/// `snr_db` against unit-variance complex AWGN, and add the noise.
+std::vector<Complex> PassThroughAwgn(const std::vector<Complex>& preamble,
+                                     int timing_offset, double snr_db, Rng& rng);
+
+/// Noise-only occasion (for false-alarm measurement).
+std::vector<Complex> NoiseOnly(int length, Rng& rng);
+
+}  // namespace cellfi

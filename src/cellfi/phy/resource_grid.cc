@@ -1,0 +1,139 @@
+#include "cellfi/phy/resource_grid.h"
+
+#include <cassert>
+
+#include "cellfi/common/units.h"
+
+namespace cellfi {
+
+int NumResourceBlocks(LteBandwidth bw) {
+  switch (bw) {
+    case LteBandwidth::k1_4MHz: return 6;
+    case LteBandwidth::k3MHz: return 15;
+    case LteBandwidth::k5MHz: return 25;
+    case LteBandwidth::k10MHz: return 50;
+    case LteBandwidth::k15MHz: return 75;
+    case LteBandwidth::k20MHz: return 100;
+  }
+  return 0;
+}
+
+int ResourceBlockGroupSize(LteBandwidth bw) {
+  switch (bw) {
+    case LteBandwidth::k1_4MHz: return 1;
+    case LteBandwidth::k3MHz: return 2;
+    case LteBandwidth::k5MHz: return 2;
+    case LteBandwidth::k10MHz: return 3;
+    case LteBandwidth::k15MHz: return 4;
+    case LteBandwidth::k20MHz: return 4;
+  }
+  return 1;
+}
+
+double OccupiedBandwidthHz(LteBandwidth bw) {
+  return NumResourceBlocks(bw) * kRbBandwidthHz;
+}
+
+double ChannelBandwidthHz(LteBandwidth bw) {
+  switch (bw) {
+    case LteBandwidth::k1_4MHz: return 1.4 * units::MHz;
+    case LteBandwidth::k3MHz: return 3.0 * units::MHz;
+    case LteBandwidth::k5MHz: return 5.0 * units::MHz;
+    case LteBandwidth::k10MHz: return 10.0 * units::MHz;
+    case LteBandwidth::k15MHz: return 15.0 * units::MHz;
+    case LteBandwidth::k20MHz: return 20.0 * units::MHz;
+  }
+  return 0.0;
+}
+
+ResourceGrid::ResourceGrid(LteBandwidth bw, int pdcch_symbols)
+    : bw_(bw),
+      num_rbs_(NumResourceBlocks(bw)),
+      rbg_size_(ResourceBlockGroupSize(bw)),
+      pdcch_symbols_(pdcch_symbols) {
+  assert(pdcch_symbols >= 1 && pdcch_symbols <= 3);
+  num_subchannels_ = (num_rbs_ + rbg_size_ - 1) / rbg_size_;
+}
+
+int ResourceGrid::SubchannelRbCount(int s) const {
+  assert(s >= 0 && s < num_subchannels_);
+  const int first = s * rbg_size_;
+  const int remaining = num_rbs_ - first;
+  return remaining < rbg_size_ ? remaining : rbg_size_;
+}
+
+int ResourceGrid::DataResourceElementsPerRb() const {
+  // Per RB-pair per subframe: 12 subcarriers * 14 symbols, minus the PDCCH
+  // region (12 * pdcch_symbols) and 8 cell-specific reference symbols
+  // outside the control region (2 antenna-port CRS pattern, simplified).
+  const int total = kSubcarriersPerRb * kSymbolsPerSubframe;
+  const int control = kSubcarriersPerRb * pdcch_symbols_;
+  const int crs = 8;
+  return total - control - crs;
+}
+
+double ResourceGrid::ControlPowerFraction() const {
+  // CRS REs falling inside the victim's data symbols, as a fraction of the
+  // data-region REs: 8 CRS per RB-pair over 12 x (14 - pdcch) REs.
+  const int crs_in_data_region = 8;
+  const int data_region = kSubcarriersPerRb * (kSymbolsPerSubframe - pdcch_symbols_);
+  return static_cast<double>(crs_in_data_region) / static_cast<double>(data_region);
+}
+
+namespace {
+// 3GPP 36.211 Table 4.2-2 (D = downlink, S = special, U = uplink).
+constexpr const char* kTddPatterns[7] = {
+    "DSUUUDSUUU",  // 0
+    "DSUUDDSUUD",  // 1
+    "DSUDDDSUDD",  // 2
+    "DSUUUDDDDD",  // 3
+    "DSUUDDDDDD",  // 4
+    "DSUDDDDDDD",  // 5
+    "DSUUUDSUUD",  // 6
+};
+}  // namespace
+
+TddConfig::TddConfig(int config_index) : index_(config_index) {
+  assert(config_index >= 0 && config_index <= 6);
+  pattern_.resize(10);
+  for (int i = 0; i < 10; ++i) {
+    switch (kTddPatterns[config_index][i]) {
+      case 'D': pattern_[i] = SubframeType::kDownlink; break;
+      case 'U': pattern_[i] = SubframeType::kUplink; break;
+      default: pattern_[i] = SubframeType::kSpecial; break;
+    }
+  }
+}
+
+TddConfig TddConfig::FddDownlink() {
+  TddConfig c;
+  c.index_ = -1;
+  c.pattern_.assign(10, SubframeType::kDownlink);
+  return c;
+}
+
+SubframeType TddConfig::TypeOf(int subframe_in_frame) const {
+  assert(subframe_in_frame >= 0 && subframe_in_frame < 10);
+  return pattern_[subframe_in_frame];
+}
+
+SubframeType TddConfig::TypeAt(SimTime now) const {
+  const auto subframe = static_cast<int>((now / kSubframeDuration) % 10);
+  return TypeOf(subframe);
+}
+
+int TddConfig::downlink_subframes_per_frame() const {
+  int n = 0;
+  for (auto t : pattern_)
+    if (t == SubframeType::kDownlink) ++n;
+  return n;
+}
+
+int TddConfig::uplink_subframes_per_frame() const {
+  int n = 0;
+  for (auto t : pattern_)
+    if (t == SubframeType::kUplink) ++n;
+  return n;
+}
+
+}  // namespace cellfi

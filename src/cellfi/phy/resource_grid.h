@@ -1,0 +1,110 @@
+// LTE resource-grid geometry: resource blocks, resource-block groups,
+// CellFi subchannels, subframe symbol budget and TDD frame patterns.
+//
+// A CellFi "subchannel" (paper Section 5) is the minimal schedulable set of
+// resource blocks for which channel quality can be reported: one RBG. That
+// yields 13 subchannels on a 5 MHz carrier and 25 on 20 MHz, matching the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellfi/common/time.h"
+
+namespace cellfi {
+
+/// LTE channel bandwidth options.
+enum class LteBandwidth { k1_4MHz, k3MHz, k5MHz, k10MHz, k15MHz, k20MHz };
+
+/// Number of resource blocks for a bandwidth (3GPP 36.101 Table 5.6-1).
+int NumResourceBlocks(LteBandwidth bw);
+
+/// Resource-block-group size P (3GPP 36.213 Table 7.1.6.1-1).
+int ResourceBlockGroupSize(LteBandwidth bw);
+
+/// Occupied bandwidth in Hz (RBs * 180 kHz).
+double OccupiedBandwidthHz(LteBandwidth bw);
+
+/// Nominal channel bandwidth in Hz.
+double ChannelBandwidthHz(LteBandwidth bw);
+
+/// Grid constants.
+inline constexpr int kSubcarriersPerRb = 12;
+inline constexpr int kSymbolsPerSubframe = 14;   // normal CP, 2 slots
+inline constexpr double kRbBandwidthHz = 180e3;
+inline constexpr SimTime kSubframeDuration = 1 * kMillisecond;
+inline constexpr SimTime kFrameDuration = 10 * kMillisecond;
+
+/// Geometry of one carrier: subchannel <-> RB mapping and symbol budget.
+class ResourceGrid {
+ public:
+  explicit ResourceGrid(LteBandwidth bw, int pdcch_symbols = 3);
+
+  LteBandwidth bandwidth() const { return bw_; }
+  int num_rbs() const { return num_rbs_; }
+  int rbg_size() const { return rbg_size_; }
+
+  /// Number of CellFi subchannels (= RBGs; last one may be smaller).
+  int num_subchannels() const { return num_subchannels_; }
+
+  /// RBs covered by subchannel `s` (the last group may be truncated).
+  int SubchannelRbCount(int s) const;
+  int SubchannelFirstRb(int s) const { return s * rbg_size_; }
+
+  /// Subchannel containing resource block `rb`.
+  int SubchannelOfRb(int rb) const { return rb / rbg_size_; }
+
+  /// PDCCH control region length in OFDM symbols (1-3).
+  int pdcch_symbols() const { return pdcch_symbols_; }
+
+  /// Data resource elements per RB per subframe, after removing the PDCCH
+  /// region and cell-specific reference symbols.
+  int DataResourceElementsPerRb() const;
+
+  /// All resource elements per RB per subframe.
+  int TotalResourceElementsPerRb() const { return kSubcarriersPerRb * kSymbolsPerSubframe; }
+
+  /// Interference PSD fraction a cell with NO data imposes on a
+  /// neighbouring cell's DATA region — the "signalling interference" of
+  /// Fig. 7. Subframes are time-aligned across cells (GPS), so the idle
+  /// cell's PDCCH region overlaps only the victim's PDCCH region; inside
+  /// the victim's data symbols the idle cell radiates only its
+  /// cell-specific reference symbols (~6 % of REs).
+  double ControlPowerFraction() const;
+
+ private:
+  LteBandwidth bw_;
+  int num_rbs_;
+  int rbg_size_;
+  int num_subchannels_;
+  int pdcch_symbols_;
+};
+
+/// TDD uplink-downlink configuration (3GPP 36.211 Table 4.2-2).
+enum class SubframeType : std::uint8_t { kDownlink, kUplink, kSpecial };
+
+/// Frame pattern for a TDD configuration index (0-6). Configuration 4
+/// (used by the paper: 7 DL + 2 UL + 1 special) is the CellFi default.
+class TddConfig {
+ public:
+  explicit TddConfig(int config_index);
+
+  /// Pattern over the 10 subframes of a frame.
+  SubframeType TypeOf(int subframe_in_frame) const;
+  SubframeType TypeAt(SimTime now) const;
+
+  int downlink_subframes_per_frame() const;
+  int uplink_subframes_per_frame() const;
+  int config_index() const { return index_; }
+
+  /// FDD carriers are modelled as "all downlink" on the DL carrier.
+  static TddConfig FddDownlink();
+
+ private:
+  TddConfig() = default;
+  int index_ = -1;
+  std::vector<SubframeType> pattern_;
+};
+
+}  // namespace cellfi

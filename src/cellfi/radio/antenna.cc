@@ -1,0 +1,39 @@
+#include "cellfi/radio/antenna.h"
+
+#include <algorithm>
+
+namespace cellfi {
+
+Antenna Antenna::Omni(double gain_dbi) {
+  Antenna a;
+  a.omni_ = true;
+  a.gain_dbi_ = gain_dbi;
+  return a;
+}
+
+Antenna Antenna::Sector(double gain_dbi, double boresight_rad, double beamwidth_rad,
+                        double front_to_back_db) {
+  Antenna a;
+  a.omni_ = false;
+  a.gain_dbi_ = gain_dbi;
+  a.boresight_rad_ = boresight_rad;
+  a.beamwidth_rad_ = beamwidth_rad;
+  a.front_to_back_db_ = front_to_back_db;
+  return a;
+}
+
+double Antenna::GainDbi(double bearing_rad) const {
+  if (omni_) return gain_dbi_;
+  const double theta = AngleDiff(bearing_rad, boresight_rad_);
+  // 3GPP TR 36.814 horizontal pattern: -min(12*(theta/theta3dB)^2, Am).
+  const double ratio = theta / (beamwidth_rad_ / 2.0);
+  const double attenuation = std::min(12.0 * ratio * ratio, front_to_back_db_);
+  return gain_dbi_ - attenuation;
+}
+
+double Antenna::GainTowards(Point self, Point other) const {
+  if (omni_) return gain_dbi_;
+  return GainDbi(Bearing(self, other));
+}
+
+}  // namespace cellfi

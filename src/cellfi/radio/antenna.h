@@ -1,0 +1,42 @@
+// Antenna gain patterns.
+//
+// The paper's access points use a 6-7 dBi directional antenna with ~120
+// degree sector width (Sections 3.1, 6.1); clients are omnidirectional.
+#pragma once
+
+#include <cmath>
+
+#include "cellfi/common/geometry.h"
+
+namespace cellfi {
+
+/// Antenna pattern: peak gain plus a 3GPP-style parabolic sector rolloff.
+class Antenna {
+ public:
+  /// Omnidirectional antenna with `gain_dbi` in every direction.
+  static Antenna Omni(double gain_dbi);
+
+  /// Sector antenna: `gain_dbi` at boresight, parabolic rolloff with the
+  /// given 3 dB beamwidth, floor at `gain_dbi - front_to_back_db`.
+  static Antenna Sector(double gain_dbi, double boresight_rad,
+                        double beamwidth_rad, double front_to_back_db = 20.0);
+
+  /// Gain in dBi toward absolute bearing `bearing_rad`.
+  double GainDbi(double bearing_rad) const;
+
+  /// Gain toward another point, given this antenna's position.
+  double GainTowards(Point self, Point other) const;
+
+  double peak_gain_dbi() const { return gain_dbi_; }
+  bool omni() const { return omni_; }
+
+ private:
+  Antenna() = default;
+  bool omni_ = true;
+  double gain_dbi_ = 0.0;
+  double boresight_rad_ = 0.0;
+  double beamwidth_rad_ = 2.0 * M_PI;
+  double front_to_back_db_ = 0.0;
+};
+
+}  // namespace cellfi

@@ -1,0 +1,100 @@
+#include "cellfi/radio/environment.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cellfi {
+
+RadioEnvironment::RadioEnvironment(const PathLossModel& pathloss,
+                                   RadioEnvironmentConfig config)
+    : pathloss_(pathloss),
+      config_(config),
+      shadowing_(config.seed, config.shadowing_sigma_db),
+      fading_(config.seed ^ 0xFAD1FAD1FAD1FAD1ull, config.fading_coherence_time,
+              config.rician_k) {}
+
+RadioNodeId RadioEnvironment::AddNode(RadioNode node) {
+  nodes_.push_back(node);
+  gain_cache_.assign(nodes_.size() * nodes_.size(),
+                     std::numeric_limits<double>::quiet_NaN());
+  rx_mw_cache_.assign(nodes_.size() * nodes_.size(),
+                      std::numeric_limits<double>::quiet_NaN());
+  return static_cast<RadioNodeId>(nodes_.size() - 1);
+}
+
+void RadioEnvironment::MoveNode(RadioNodeId id, Point new_position) {
+  assert(id < nodes_.size());
+  nodes_[id].position = new_position;
+  const std::size_t n = nodes_.size();
+  for (std::size_t other = 0; other < n; ++other) {
+    gain_cache_[id * n + other] = std::numeric_limits<double>::quiet_NaN();
+    gain_cache_[other * n + id] = std::numeric_limits<double>::quiet_NaN();
+    rx_mw_cache_[id * n + other] = std::numeric_limits<double>::quiet_NaN();
+    rx_mw_cache_[other * n + id] = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+double RadioEnvironment::LinkGainDb(RadioNodeId tx, RadioNodeId rx) const {
+  assert(tx < nodes_.size() && rx < nodes_.size());
+  assert(tx != rx);
+  double& cached = gain_cache_[tx * nodes_.size() + rx];
+  if (!std::isnan(cached)) return cached;
+
+  const RadioNode& t = nodes_[tx];
+  const RadioNode& r = nodes_[rx];
+  const double dist = Distance(t.position, r.position);
+  const double loss = pathloss_.LossDb(dist, config_.carrier_freq_hz);
+  const double gain = t.antenna.GainTowards(t.position, r.position) +
+                      r.antenna.GainTowards(r.position, t.position) - loss +
+                      shadowing_.ShadowDb(tx, rx);
+  cached = gain;
+  gain_cache_[rx * nodes_.size() + tx] = gain;  // reciprocal channel
+  return gain;
+}
+
+double RadioEnvironment::MeanRxPowerDbm(RadioNodeId tx, RadioNodeId rx) const {
+  return nodes_[tx].tx_power_dbm + LinkGainDb(tx, rx);
+}
+
+double RadioEnvironment::MeanRxPowerMw(RadioNodeId tx, RadioNodeId rx) const {
+  double& cached = rx_mw_cache_[tx * nodes_.size() + rx];
+  if (std::isnan(cached)) cached = DbmToMw(MeanRxPowerDbm(tx, rx));
+  return cached;
+}
+
+double RadioEnvironment::RxPowerDbm(RadioNodeId tx, RadioNodeId rx,
+                                    std::uint32_t subchannel, SimTime now) const {
+  double p = MeanRxPowerDbm(tx, rx);
+  if (config_.enable_fading) p += fading_.GainDb(tx, rx, subchannel, now);
+  return p;
+}
+
+double RadioEnvironment::NoiseDbm(RadioNodeId rx, double bandwidth_hz) const {
+  return NoisePowerDbm(bandwidth_hz, nodes_[rx].noise_figure_db);
+}
+
+double RadioEnvironment::SinrDb(RadioNodeId tx, RadioNodeId rx, std::uint32_t subchannel,
+                                SimTime now,
+                                const std::vector<ActiveTransmitter>& interferers,
+                                double bandwidth_hz, double signal_scale) const {
+  // Fully linear hot path: cached mean rx power (mW) times the linear
+  // fading gain avoids per-interferer dB conversions.
+  double signal_mw = signal_scale * MeanRxPowerMw(tx, rx);
+  if (config_.enable_fading) signal_mw *= fading_.PowerGain(tx, rx, subchannel, now);
+  double denom_mw = DbmToMw(NoiseDbm(rx, bandwidth_hz));
+  for (const ActiveTransmitter& it : interferers) {
+    if (it.node == tx || it.node == rx || it.power_scale <= 0.0) continue;
+    double p = it.power_scale * MeanRxPowerMw(it.node, rx);
+    if (config_.enable_fading) p *= fading_.PowerGain(it.node, rx, subchannel, now);
+    denom_mw += p;
+  }
+  return LinearToDb(signal_mw / denom_mw);
+}
+
+double RadioEnvironment::MeanSnrDb(RadioNodeId tx, RadioNodeId rx,
+                                   double bandwidth_hz) const {
+  return MeanRxPowerDbm(tx, rx) - NoiseDbm(rx, bandwidth_hz);
+}
+
+}  // namespace cellfi

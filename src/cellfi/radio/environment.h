@@ -1,0 +1,113 @@
+// RadioEnvironment: node registry + link budget + SINR computation.
+//
+// All MAC layers (LTE, Wi-Fi) query this one component so that coverage
+// comparisons between technologies use identical propagation (Section 6.3.4
+// of the paper: "We model loss propagation and noise floor based on our
+// range measurements").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellfi/common/geometry.h"
+#include "cellfi/common/time.h"
+#include "cellfi/common/units.h"
+#include "cellfi/radio/antenna.h"
+#include "cellfi/radio/fading.h"
+#include "cellfi/radio/pathloss.h"
+
+namespace cellfi {
+
+/// Identifies a radio node within one RadioEnvironment.
+using RadioNodeId = std::uint32_t;
+
+/// Static radio configuration of a node.
+struct RadioNode {
+  Point position;
+  Antenna antenna = Antenna::Omni(0.0);
+  double tx_power_dbm = 20.0;
+  double noise_figure_db = 7.0;
+};
+
+/// Configuration of the shared medium.
+struct RadioEnvironmentConfig {
+  double carrier_freq_hz = 600.0 * units::MHz;
+  double shadowing_sigma_db = 6.0;
+  SimTime fading_coherence_time = 50 * kMillisecond;
+  bool enable_fading = true;
+  /// Rician K-factor (linear). 0 = Rayleigh; ~6-10 for static outdoor
+  /// nodes with a line-of-sight component.
+  double rician_k = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// A transmission contributing interference at a receiver: who transmits
+/// and with what fraction of its power in the measured band.
+struct ActiveTransmitter {
+  RadioNodeId node;
+  double power_scale = 1.0;  // fraction of tx power in the observed band
+};
+
+/// Shared propagation environment for one simulation.
+class RadioEnvironment {
+ public:
+  /// `pathloss` must outlive the environment.
+  RadioEnvironment(const PathLossModel& pathloss, RadioEnvironmentConfig config);
+
+  /// Register a node; returns its id.
+  RadioNodeId AddNode(RadioNode node);
+
+  /// Move a node (mobility). Invalidates the cached link gains involving
+  /// it; O(n) per move, intended for coarse-grained position updates
+  /// (hundreds of ms), not per-subframe motion.
+  void MoveNode(RadioNodeId id, Point new_position);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const RadioNode& node(RadioNodeId id) const { return nodes_[id]; }
+
+  /// Large-scale link gain (antenna gains - path loss - shadowing), dB.
+  /// Symmetric. Cached after first computation.
+  double LinkGainDb(RadioNodeId tx, RadioNodeId rx) const;
+
+  /// Received power from `tx` at `rx` on `subchannel` at time `now`,
+  /// including fading, dBm.
+  double RxPowerDbm(RadioNodeId tx, RadioNodeId rx, std::uint32_t subchannel,
+                    SimTime now) const;
+
+  /// Average received power (no fading), dBm.
+  double MeanRxPowerDbm(RadioNodeId tx, RadioNodeId rx) const;
+
+  /// Average received power (no fading), mW — cached; the hot path for
+  /// SINR aggregation works entirely in linear units.
+  double MeanRxPowerMw(RadioNodeId tx, RadioNodeId rx) const;
+
+  /// Thermal noise power at `rx` over `bandwidth_hz`, dBm.
+  double NoiseDbm(RadioNodeId rx, double bandwidth_hz) const;
+
+  /// SINR in dB at `rx` for the signal from `tx` on `subchannel`, given the
+  /// set of concurrently active interferers (excluding `tx` itself) and the
+  /// per-subchannel bandwidth. `signal_scale` is the fraction of the
+  /// transmitter's total power radiated in the measured band (e.g. 1/13 for
+  /// one of 13 subchannels under flat PSD, or 1/n_alloc for an uplink
+  /// transmission concentrating full power into n_alloc subchannels).
+  double SinrDb(RadioNodeId tx, RadioNodeId rx, std::uint32_t subchannel, SimTime now,
+                const std::vector<ActiveTransmitter>& interferers,
+                double bandwidth_hz, double signal_scale = 1.0) const;
+
+  /// SNR in dB with no interference (wideband, no fading).
+  double MeanSnrDb(RadioNodeId tx, RadioNodeId rx, double bandwidth_hz) const;
+
+  const RadioEnvironmentConfig& config() const { return config_; }
+  const FadingProcess& fading() const { return fading_; }
+
+ private:
+  const PathLossModel& pathloss_;
+  RadioEnvironmentConfig config_;
+  ShadowingField shadowing_;
+  FadingProcess fading_;
+  std::vector<RadioNode> nodes_;
+  mutable std::vector<double> gain_cache_;   // n*n link gain dB, NaN = unset
+  mutable std::vector<double> rx_mw_cache_;  // n*n mean rx power mW, NaN = unset
+};
+
+}  // namespace cellfi

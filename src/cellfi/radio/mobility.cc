@@ -1,0 +1,77 @@
+#include "cellfi/radio/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cellfi {
+
+RandomWaypointMobility::RandomWaypointMobility(Simulator& sim, RadioEnvironment& env,
+                                               MobilityConfig config, std::uint64_t seed)
+    : sim_(sim), env_(env), config_(config), rng_(seed) {}
+
+void RandomWaypointMobility::Attach(RadioNodeId node) {
+  Walker w;
+  w.node = node;
+  PickWaypoint(w);
+  walkers_.push_back(w);
+  const std::size_t index = walkers_.size() - 1;
+  sim_.SchedulePeriodic(config_.update_period, [this, index] { Step(index); });
+}
+
+void RandomWaypointMobility::PickWaypoint(Walker& w) {
+  w.target = {rng_.Uniform(config_.area_min, config_.area_max),
+              rng_.Uniform(config_.area_min, config_.area_max)};
+  w.speed_mps = rng_.Uniform(config_.min_speed_mps, config_.max_speed_mps);
+}
+
+void RandomWaypointMobility::Step(std::size_t index) {
+  Walker& w = walkers_[index];
+  if (sim_.Now() < w.pause_until) return;
+  const Point pos = env_.node(w.node).position;
+  const double step = w.speed_mps * ToSeconds(config_.update_period);
+  const double dist = Distance(pos, w.target);
+  Point next;
+  if (dist <= step) {
+    next = w.target;
+    w.pause_until = sim_.Now() + FromSeconds(config_.pause_s);
+    PickWaypoint(w);
+  } else {
+    next = {pos.x + (w.target.x - pos.x) / dist * step,
+            pos.y + (w.target.y - pos.y) / dist * step};
+  }
+  env_.MoveNode(w.node, next);
+  if (on_moved) on_moved(w.node, next);
+}
+
+LinearPathMobility::LinearPathMobility(Simulator& sim, RadioEnvironment& env,
+                                       RadioNodeId node, Point from, Point to,
+                                       double speed_mps, SimTime update_period)
+    : sim_(sim),
+      env_(env),
+      node_(node),
+      from_(from),
+      to_(to),
+      speed_mps_(speed_mps),
+      update_period_(update_period) {}
+
+void LinearPathMobility::Start() {
+  started_at_ = sim_.Now();
+  env_.MoveNode(node_, from_);
+  sim_.SchedulePeriodic(update_period_, [this] { Step(); });
+}
+
+void LinearPathMobility::Step() {
+  if (done_) return;
+  const double travelled = speed_mps_ * ToSeconds(sim_.Now() - started_at_);
+  const double total = Distance(from_, to_);
+  if (travelled >= total) {
+    env_.MoveNode(node_, to_);
+    done_ = true;
+    if (on_done) on_done();
+    return;
+  }
+  const double f = travelled / total;
+  env_.MoveNode(node_, {from_.x + (to_.x - from_.x) * f, from_.y + (to_.y - from_.y) * f});
+}
+
+}  // namespace cellfi

@@ -1,0 +1,85 @@
+// Node mobility models.
+//
+// Positions update at a coarse period (default 100 ms) through
+// RadioEnvironment::MoveNode, which keeps the link-gain caches honest.
+// Used for drive-test style experiments and the handover machinery
+// (paper Section 7: "CellFi ... provides seamless roaming across access
+// points").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cellfi/common/geometry.h"
+#include "cellfi/common/rng.h"
+#include "cellfi/radio/environment.h"
+#include "cellfi/sim/event_queue.h"
+
+namespace cellfi {
+
+struct MobilityConfig {
+  double min_speed_mps = 0.5;   // pedestrian
+  double max_speed_mps = 3.0;
+  double pause_s = 2.0;         // dwell at each waypoint
+  double area_min = 0.0;        // square area bounds for waypoints
+  double area_max = 2000.0;
+  SimTime update_period = 100 * kMillisecond;
+};
+
+/// Random-waypoint mobility: each attached node walks to a uniformly
+/// random waypoint at a uniformly random speed, pauses, repeats.
+class RandomWaypointMobility {
+ public:
+  RandomWaypointMobility(Simulator& sim, RadioEnvironment& env, MobilityConfig config,
+                         std::uint64_t seed = 1);
+
+  /// Start moving `node`. Call before or after Simulator::Run begins.
+  void Attach(RadioNodeId node);
+
+  /// Fired after every position update (for traces).
+  std::function<void(RadioNodeId, Point)> on_moved;
+
+  std::size_t attached_count() const { return walkers_.size(); }
+
+ private:
+  struct Walker {
+    RadioNodeId node = 0;
+    Point target;
+    double speed_mps = 1.0;
+    SimTime pause_until = 0;
+  };
+  void Step(std::size_t index);
+  void PickWaypoint(Walker& w);
+
+  Simulator& sim_;
+  RadioEnvironment& env_;
+  MobilityConfig config_;
+  Rng rng_;
+  std::vector<Walker> walkers_;
+};
+
+/// Scripted linear path: node moves from `from` to `to` at `speed_mps`
+/// (drive-test / Fig. 1-style walks). Calls `on_done` at arrival.
+class LinearPathMobility {
+ public:
+  LinearPathMobility(Simulator& sim, RadioEnvironment& env, RadioNodeId node,
+                     Point from, Point to, double speed_mps,
+                     SimTime update_period = 100 * kMillisecond);
+
+  void Start();
+  std::function<void()> on_done;
+
+ private:
+  void Step();
+
+  Simulator& sim_;
+  RadioEnvironment& env_;
+  RadioNodeId node_;
+  Point from_, to_;
+  double speed_mps_;
+  SimTime update_period_;
+  SimTime started_at_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace cellfi

@@ -1,0 +1,55 @@
+#include "cellfi/radio/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cellfi/common/units.h"
+
+namespace cellfi {
+
+double FreeSpacePathLoss::LossDb(double distance_m, double freq_hz) const {
+  const double d = std::max(distance_m, 1.0);
+  // FSPL = 20 log10(4 pi d / lambda)
+  return 20.0 * std::log10(4.0 * M_PI * d / WavelengthM(freq_hz));
+}
+
+LogDistancePathLoss::LogDistancePathLoss(double exponent, double reference_m)
+    : exponent_(exponent), reference_m_(std::max(reference_m, 1.0)) {}
+
+double LogDistancePathLoss::LossDb(double distance_m, double freq_hz) const {
+  const double d = std::max(distance_m, reference_m_);
+  return free_space_.LossDb(reference_m_, freq_hz) +
+         10.0 * exponent_ * std::log10(d / reference_m_);
+}
+
+HataUrbanPathLoss::HataUrbanPathLoss(double base_height_m, double mobile_height_m,
+                                     bool small_city)
+    : base_height_m_(base_height_m),
+      mobile_height_m_(mobile_height_m),
+      small_city_(small_city) {}
+
+double HataUrbanPathLoss::LossDb(double distance_m, double freq_hz) const {
+  const double d_km = std::max(distance_m, 1.0) / 1000.0;
+  const double f_mhz = freq_hz / 1e6;
+  const double log_f = std::log10(f_mhz);
+  const double log_hb = std::log10(base_height_m_);
+
+  double a_hm;  // mobile antenna correction factor
+  if (small_city_) {
+    a_hm = (1.1 * log_f - 0.7) * mobile_height_m_ - (1.56 * log_f - 0.8);
+  } else if (f_mhz <= 300.0) {
+    const double t = std::log10(1.54 * mobile_height_m_);
+    a_hm = 8.29 * t * t - 1.1;
+  } else {
+    const double t = std::log10(11.75 * mobile_height_m_);
+    a_hm = 3.2 * t * t - 4.97;
+  }
+
+  const double loss = 69.55 + 26.16 * log_f - 13.82 * log_hb - a_hm +
+                      (44.9 - 6.55 * log_hb) * std::log10(std::max(d_km, 0.01));
+  // Below ~10 m the Hata formula under-predicts; never report less than
+  // free-space loss.
+  return std::max(loss, FreeSpacePathLoss().LossDb(distance_m, freq_hz));
+}
+
+}  // namespace cellfi

@@ -1,0 +1,57 @@
+// Path-loss models for UHF/TVWS outdoor propagation.
+//
+// Fig. 1 of the paper measures ~1.3 km range at 36 dBm EIRP in an urban
+// environment; `HataUrbanPathLoss` (Okumura-Hata, valid 150-1500 MHz, which
+// covers the TVWS band) reproduces that profile. Free-space and log-distance
+// models are provided for tests and indoor scenarios.
+#pragma once
+
+#include <memory>
+
+namespace cellfi {
+
+/// Interface: distance/frequency -> path loss in dB.
+class PathLossModel {
+ public:
+  virtual ~PathLossModel() = default;
+
+  /// Path loss in dB for a link of `distance_m` metres at `freq_hz`.
+  /// Distances below 1 m are clamped to 1 m.
+  virtual double LossDb(double distance_m, double freq_hz) const = 0;
+};
+
+/// Free-space (Friis) path loss.
+class FreeSpacePathLoss final : public PathLossModel {
+ public:
+  double LossDb(double distance_m, double freq_hz) const override;
+};
+
+/// Log-distance model: loss at reference distance (free space) plus
+/// 10*n*log10(d/d0).
+class LogDistancePathLoss final : public PathLossModel {
+ public:
+  explicit LogDistancePathLoss(double exponent, double reference_m = 1.0);
+  double LossDb(double distance_m, double freq_hz) const override;
+
+ private:
+  double exponent_;
+  double reference_m_;
+  FreeSpacePathLoss free_space_;
+};
+
+/// Okumura-Hata urban model for macro/small-cell UHF links.
+/// Valid 150-1500 MHz, base height 10-200 m, mobile height 1-10 m.
+class HataUrbanPathLoss final : public PathLossModel {
+ public:
+  /// Heights in metres; `small_city` selects the mobile-antenna correction.
+  HataUrbanPathLoss(double base_height_m = 15.0, double mobile_height_m = 1.5,
+                    bool small_city = true);
+  double LossDb(double distance_m, double freq_hz) const override;
+
+ private:
+  double base_height_m_;
+  double mobile_height_m_;
+  bool small_city_;
+};
+
+}  // namespace cellfi

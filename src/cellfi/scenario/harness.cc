@@ -1,0 +1,313 @@
+#include "cellfi/scenario/harness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "cellfi/baseline/oracle_allocator.h"
+#include "cellfi/core/cellfi_controller.h"
+#include "cellfi/lte/network.h"
+#include "cellfi/radio/pathloss.h"
+#include "cellfi/sim/event_queue.h"
+#include "cellfi/traffic/flow_tracker.h"
+#include "cellfi/wifi/wifi_network.h"
+
+namespace cellfi::scenario {
+
+namespace {
+
+const PathLossModel& PathLossFor(PropagationKind kind) {
+  static const HataUrbanPathLoss hata(15.0, 1.5);
+  static const LogDistancePathLoss suburban(3.5, 1.0);
+  static const LogDistancePathLoss indoor(3.0, 1.0);
+  switch (kind) {
+    case PropagationKind::kIndoor5GHz: return indoor;
+    case PropagationKind::kSuburbanUhf: return suburban;
+    case PropagationKind::kHataUrbanUhf:
+    default: return hata;
+  }
+}
+
+double CarrierFor(PropagationKind kind) {
+  return kind == PropagationKind::kIndoor5GHz ? 5.2e9 : 600e6;
+}
+
+RadioEnvironmentConfig EnvConfigFor(const ScenarioConfig& cfg) {
+  RadioEnvironmentConfig c;
+  c.carrier_freq_hz = CarrierFor(cfg.propagation);
+  c.shadowing_sigma_db = cfg.shadowing_sigma_db;
+  c.enable_fading = cfg.enable_fading;
+  c.seed = cfg.seed ^ 0xE17E17E17ull;
+  return c;
+}
+
+void Finalize(ScenarioResult& result, const ScenarioConfig& cfg) {
+  int connected = 0;
+  int starved = 0;
+  double total = 0.0;
+  for (ClientOutcome& c : result.clients) {
+    c.starved = c.throughput_bps < cfg.starvation_threshold_bps;
+    if (c.attached && !c.starved) ++connected;
+    if (c.starved) ++starved;
+    total += c.throughput_bps;
+    result.client_throughput_mbps.Add(c.throughput_bps / 1e6);
+    for (double plt : c.page_load_times_s) result.page_load_times_s.Add(plt);
+  }
+  const double n = std::max<std::size_t>(result.clients.size(), 1);
+  result.fraction_connected = connected / n;
+  result.fraction_starved = starved / n;
+  result.total_throughput_bps = total;
+}
+
+ScenarioResult RunLteBased(const ScenarioConfig& cfg, const Topology& topo) {
+  Simulator sim;
+  RadioEnvironment env(PathLossFor(cfg.propagation), EnvConfigFor(cfg));
+  lte::LteNetworkConfig net_cfg;
+  net_cfg.seed = cfg.seed ^ 0x17;
+  lte::LteNetwork net(sim, env, net_cfg);
+
+  lte::LteMacConfig mac;
+  mac.bandwidth = cfg.lte_bandwidth;
+  mac.tdd_config = cfg.lte_tdd_config;
+  if (cfg.tech == Technology::kLaaLte) {
+    mac.access_mode = lte::AccessMode::kListenBeforeTalk;
+  }
+
+  std::vector<RadioNodeId> ap_radios;
+  for (const Point& p : topo.aps) {
+    const RadioNodeId r = env.AddNode({.position = p, .tx_power_dbm = cfg.ap_power_dbm});
+    net.AddCell(mac, r);
+    ap_radios.push_back(r);
+  }
+  std::vector<RadioNodeId> ue_radios;
+  std::vector<lte::UeId> ues;
+  for (std::size_t u = 0; u < topo.clients.size(); ++u) {
+    const RadioNodeId r =
+        env.AddNode({.position = topo.clients[u], .tx_power_dbm = cfg.client_power_dbm});
+    ue_radios.push_back(r);
+    const lte::CellId home =
+        cfg.home_ap_association ? static_cast<lte::CellId>(topo.client_home_ap[u])
+                                : lte::kInvalidCell;
+    ues.push_back(net.AddUe(r, home));
+  }
+
+  // Oracle: centralized allocation from perfect topology knowledge.
+  if (cfg.tech == Technology::kOracle) {
+    const int s_total = lte::EnodeB(0, mac).grid().num_subchannels();
+    const double subch_bw = lte::EnodeB(0, mac).grid().rbg_size() * kRbBandwidthHz;
+    // Predict attachment (home AP, or strongest-cell when roaming is on).
+    std::vector<int> clients_per_cell(topo.aps.size(), 0);
+    std::vector<int> client_cell(ue_radios.size(), -1);
+    for (std::size_t u = 0; u < ue_radios.size(); ++u) {
+      if (cfg.home_ap_association) {
+        client_cell[u] = topo.client_home_ap[u];
+      } else {
+        double best = -1e9;
+        for (std::size_t a = 0; a < ap_radios.size(); ++a) {
+          const double rsrp = env.MeanRxPowerDbm(ap_radios[a], ue_radios[u]);
+          if (rsrp > best) {
+            best = rsrp;
+            client_cell[u] = static_cast<int>(a);
+          }
+        }
+      }
+      if (env.MeanSnrDb(ap_radios[static_cast<std::size_t>(client_cell[u])], ue_radios[u],
+                        OccupiedBandwidthHz(cfg.lte_bandwidth)) < -6.7) {
+        client_cell[u] = -1;  // out of range
+      } else {
+        ++clients_per_cell[static_cast<std::size_t>(client_cell[u])];
+      }
+    }
+    // Conflict graph: cells i != j conflict if some client of i receives
+    // cell j within 7 dB of its serving power (interference-limited link:
+    // co-scheduling them on a subchannel would badly degrade the client).
+    baseline::OracleInput oracle;
+    oracle.num_subchannels = s_total;
+    oracle.clients_per_cell = clients_per_cell;
+    oracle.conflicts.assign(topo.aps.size(), {});
+    (void)subch_bw;
+    for (std::size_t i = 0; i < topo.aps.size(); ++i) {
+      for (std::size_t j = 0; j < topo.aps.size(); ++j) {
+        if (i == j) continue;
+        bool conflict = false;
+        for (std::size_t u = 0; u < ue_radios.size(); ++u) {
+          if (client_cell[u] != static_cast<int>(i)) continue;
+          const double sir = env.MeanRxPowerDbm(ap_radios[i], ue_radios[u]) -
+                             env.MeanRxPowerDbm(ap_radios[j], ue_radios[u]);
+          if (sir < 7.0) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) oracle.conflicts[i].push_back(static_cast<int>(j));
+      }
+    }
+    // Symmetrize.
+    for (std::size_t i = 0; i < oracle.conflicts.size(); ++i) {
+      for (int j : oracle.conflicts[i]) {
+        auto& back = oracle.conflicts[static_cast<std::size_t>(j)];
+        if (std::find(back.begin(), back.end(), static_cast<int>(i)) == back.end()) {
+          back.push_back(static_cast<int>(i));
+        }
+      }
+    }
+    const auto masks = baseline::OracleAllocate(oracle);
+    for (std::size_t c = 0; c < masks.size(); ++c) {
+      net.SetAllowedMask(static_cast<lte::CellId>(c), masks[c]);
+    }
+  }
+
+  std::unique_ptr<core::CellfiController> controller;
+  if (cfg.tech == Technology::kCellFi) {
+    core::CellfiControllerConfig ctl = cfg.cellfi;
+    ctl.seed = cfg.seed ^ 0x51;
+    controller = std::make_unique<core::CellfiController>(sim, net, ctl);
+    controller->Start();
+  }
+
+  // --- Traffic and accounting ------------------------------------------------
+  std::vector<std::uint64_t> measured_bits(ues.size(), 0);
+  traffic::FlowTracker tracker;
+  std::vector<std::unique_ptr<traffic::WebSession>> sessions;
+
+  net.on_dl_delivered = [&](lte::UeId ue, std::uint64_t bytes, SimTime now) {
+    if (now >= cfg.warmup) measured_bits[static_cast<std::size_t>(ue)] += 8 * bytes;
+    tracker.OnDelivered(static_cast<traffic::ClientId>(ue), bytes, now);
+  };
+
+  Rng traffic_rng(cfg.seed ^ 0x7EB);
+  if (cfg.workload == WorkloadKind::kBacklogged) {
+    // Keep every connected client's queue topped up.
+    sim.SchedulePeriodic(500 * kMillisecond, [&] {
+      for (lte::UeId ue : ues) net.OfferDownlink(ue, 4 << 20);
+    });
+  } else {
+    tracker.on_flow_complete = [&](const traffic::FlowRecord& rec) {
+      sessions[static_cast<std::size_t>(rec.client)]->OnFlowComplete(rec);
+    };
+    for (std::size_t u = 0; u < ues.size(); ++u) {
+      sessions.push_back(std::make_unique<traffic::WebSession>(
+          sim, tracker, static_cast<traffic::ClientId>(ues[u]), cfg.web,
+          [&](traffic::ClientId client, std::uint64_t bytes) {
+            net.OfferDownlink(static_cast<lte::UeId>(client), bytes);
+          },
+          traffic_rng.Fork()));
+      sessions.back()->Start();
+    }
+  }
+
+  net.Start();
+  sim.RunUntil(cfg.duration);
+
+  ScenarioResult result;
+  const double window_s = ToSeconds(cfg.duration - cfg.warmup);
+  for (std::size_t u = 0; u < ues.size(); ++u) {
+    ClientOutcome outcome;
+    outcome.throughput_bps = static_cast<double>(measured_bits[u]) / window_s;
+    outcome.attached = net.ue(ues[u]).connected_time > 0;
+    if (!sessions.empty()) {
+      outcome.pages_completed = sessions[u]->pages_completed();
+      outcome.pages_started = sessions[u]->pages_started();
+      outcome.page_load_times_s = sessions[u]->page_load_times();
+    }
+    result.clients.push_back(std::move(outcome));
+  }
+  if (controller != nullptr) {
+    result.im_total_hops = controller->total_hops();
+    result.im_cells_still_hopping = controller->cells_hopping_recently();
+  }
+  Finalize(result, cfg);
+  return result;
+}
+
+ScenarioResult RunWifi(const ScenarioConfig& cfg, const Topology& topo) {
+  Simulator sim;
+  RadioEnvironment env(PathLossFor(cfg.propagation), EnvConfigFor(cfg));
+  wifi::WifiMacConfig mac;
+  mac.channel_width_hz = cfg.wifi_channel_width_hz;
+  mac.clock_scale =
+      cfg.tech == Technology::kWifi80211af ? cfg.wifi_clock_scale : 1.0;
+  wifi::WifiNetwork net(sim, env, mac, cfg.seed ^ 0x3F);
+
+  for (const Point& p : topo.aps) {
+    net.AddAp(env.AddNode({.position = p, .tx_power_dbm = cfg.ap_power_dbm}));
+  }
+  std::vector<wifi::StaId> stas;
+  for (std::size_t u = 0; u < topo.clients.size(); ++u) {
+    const wifi::ApId home =
+        cfg.home_ap_association ? static_cast<wifi::ApId>(topo.client_home_ap[u]) : -1;
+    stas.push_back(net.AddSta(
+        env.AddNode({.position = topo.clients[u], .tx_power_dbm = cfg.wifi_client_power_dbm}),
+        home));
+  }
+
+  std::vector<std::uint64_t> measured_bits(stas.size(), 0);
+  traffic::FlowTracker tracker;
+  std::vector<std::unique_ptr<traffic::WebSession>> sessions;
+
+  net.on_delivered = [&](wifi::StaId sta, std::uint64_t bytes, SimTime now) {
+    if (now >= cfg.warmup) measured_bits[static_cast<std::size_t>(sta)] += 8 * bytes;
+    tracker.OnDelivered(static_cast<traffic::ClientId>(sta), bytes, now);
+  };
+
+  Rng traffic_rng(cfg.seed ^ 0x7EB);
+  if (cfg.workload == WorkloadKind::kBacklogged) {
+    sim.SchedulePeriodic(500 * kMillisecond, [&] {
+      for (wifi::StaId sta : stas) {
+        net.OfferDownlink(sta, 4 << 20);
+      }
+    });
+  } else {
+    tracker.on_flow_complete = [&](const traffic::FlowRecord& rec) {
+      sessions[static_cast<std::size_t>(rec.client)]->OnFlowComplete(rec);
+    };
+    for (std::size_t s = 0; s < stas.size(); ++s) {
+      sessions.push_back(std::make_unique<traffic::WebSession>(
+          sim, tracker, static_cast<traffic::ClientId>(stas[s]), cfg.web,
+          [&](traffic::ClientId client, std::uint64_t bytes) {
+            net.OfferDownlink(static_cast<wifi::StaId>(client), bytes);
+          },
+          traffic_rng.Fork()));
+      sessions.back()->Start();
+    }
+  }
+
+  net.Start();
+  sim.RunUntil(cfg.duration);
+
+  ScenarioResult result;
+  const double window_s = ToSeconds(cfg.duration - cfg.warmup);
+  for (std::size_t s = 0; s < stas.size(); ++s) {
+    ClientOutcome outcome;
+    outcome.throughput_bps = static_cast<double>(measured_bits[s]) / window_s;
+    outcome.attached = net.sta_stats(stas[s]).associated;
+    if (!sessions.empty()) {
+      outcome.pages_completed = sessions[s]->pages_completed();
+      outcome.pages_started = sessions[s]->pages_started();
+      outcome.page_load_times_s = sessions[s]->page_load_times();
+    }
+    result.clients.push_back(std::move(outcome));
+  }
+  Finalize(result, cfg);
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult RunScenarioOn(const ScenarioConfig& cfg, const Topology& topo) {
+  switch (cfg.tech) {
+    case Technology::kWifi80211af:
+    case Technology::kWifi80211ac:
+      return RunWifi(cfg, topo);
+    default:
+      return RunLteBased(cfg, topo);
+  }
+}
+
+ScenarioResult RunScenario(const ScenarioConfig& cfg) {
+  Rng rng(cfg.seed);
+  const Topology topo = GenerateTopology(cfg.topology, rng);
+  return RunScenarioOn(cfg, topo);
+}
+
+}  // namespace cellfi::scenario

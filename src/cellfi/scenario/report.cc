@@ -1,0 +1,176 @@
+#include "cellfi/scenario/report.h"
+
+namespace cellfi::scenario {
+
+using json::Array;
+using json::Value;
+
+const char* TechnologyName(Technology tech) {
+  switch (tech) {
+    case Technology::kCellFi: return "cellfi";
+    case Technology::kLte: return "lte";
+    case Technology::kOracle: return "oracle";
+    case Technology::kLaaLte: return "laa-lte";
+    case Technology::kWifi80211af: return "80211af";
+    case Technology::kWifi80211ac: return "80211ac";
+  }
+  return "?";
+}
+
+std::optional<Technology> TechnologyFromName(const std::string& name) {
+  for (Technology t : {Technology::kCellFi, Technology::kLte, Technology::kOracle,
+                       Technology::kLaaLte, Technology::kWifi80211af,
+                       Technology::kWifi80211ac}) {
+    if (name == TechnologyName(t)) return t;
+  }
+  return std::nullopt;
+}
+
+const char* WorkloadName(WorkloadKind kind) {
+  return kind == WorkloadKind::kWeb ? "web" : "backlogged";
+}
+
+const char* PropagationName(PropagationKind kind) {
+  switch (kind) {
+    case PropagationKind::kHataUrbanUhf: return "hata-urban";
+    case PropagationKind::kSuburbanUhf: return "suburban";
+    case PropagationKind::kIndoor5GHz: return "indoor-5ghz";
+  }
+  return "?";
+}
+
+json::Value ConfigToJson(const ScenarioConfig& c) {
+  Value v;
+  v["tech"] = TechnologyName(c.tech);
+  v["workload"] = WorkloadName(c.workload);
+  v["propagation"] = PropagationName(c.propagation);
+  v["topology"]["area_m"] = c.topology.area_m;
+  v["topology"]["num_aps"] = c.topology.num_aps;
+  v["topology"]["clients_per_ap"] = c.topology.clients_per_ap;
+  v["topology"]["client_radius_m"] = c.topology.client_radius_m;
+  v["ap_power_dbm"] = c.ap_power_dbm;
+  v["client_power_dbm"] = c.client_power_dbm;
+  v["wifi_client_power_dbm"] = c.wifi_client_power_dbm;
+  v["wifi_channel_width_hz"] = c.wifi_channel_width_hz;
+  v["wifi_clock_scale"] = c.wifi_clock_scale;
+  v["warmup_s"] = ToSeconds(c.warmup);
+  v["duration_s"] = ToSeconds(c.duration);
+  v["enable_fading"] = c.enable_fading;
+  v["shadowing_sigma_db"] = c.shadowing_sigma_db;
+  v["starvation_threshold_bps"] = c.starvation_threshold_bps;
+  v["home_ap_association"] = c.home_ap_association;
+  v["web"]["think_time_mean_s"] = c.web.think_time_mean_s;
+  v["seed"] = static_cast<std::int64_t>(c.seed);
+  return v;
+}
+
+namespace {
+double NumOr(const Value& v, const std::string& key, double fallback) {
+  const Value* f = v.Find(key);
+  return f != nullptr && f->is_number() ? f->as_number() : fallback;
+}
+bool BoolOr(const Value& v, const std::string& key, bool fallback) {
+  const Value* f = v.Find(key);
+  return f != nullptr && f->is_bool() ? f->as_bool() : fallback;
+}
+}  // namespace
+
+std::optional<ScenarioConfig> ConfigFromJson(const Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  ScenarioConfig c;
+
+  if (const Value* t = v.Find("tech"); t != nullptr) {
+    if (!t->is_string()) return std::nullopt;
+    const auto tech = TechnologyFromName(t->as_string());
+    if (!tech) return std::nullopt;
+    c.tech = *tech;
+  }
+  if (const Value* w = v.Find("workload"); w != nullptr && w->is_string()) {
+    if (w->as_string() == "web") {
+      c.workload = WorkloadKind::kWeb;
+    } else if (w->as_string() == "backlogged") {
+      c.workload = WorkloadKind::kBacklogged;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (const Value* p = v.Find("propagation"); p != nullptr && p->is_string()) {
+    const std::string& name = p->as_string();
+    if (name == "hata-urban") {
+      c.propagation = PropagationKind::kHataUrbanUhf;
+    } else if (name == "suburban") {
+      c.propagation = PropagationKind::kSuburbanUhf;
+    } else if (name == "indoor-5ghz") {
+      c.propagation = PropagationKind::kIndoor5GHz;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (const Value* topo = v.Find("topology"); topo != nullptr && topo->is_object()) {
+    c.topology.area_m = NumOr(*topo, "area_m", c.topology.area_m);
+    c.topology.num_aps = static_cast<int>(NumOr(*topo, "num_aps", c.topology.num_aps));
+    c.topology.clients_per_ap =
+        static_cast<int>(NumOr(*topo, "clients_per_ap", c.topology.clients_per_ap));
+    c.topology.client_radius_m =
+        NumOr(*topo, "client_radius_m", c.topology.client_radius_m);
+  }
+  c.ap_power_dbm = NumOr(v, "ap_power_dbm", c.ap_power_dbm);
+  c.client_power_dbm = NumOr(v, "client_power_dbm", c.client_power_dbm);
+  c.wifi_client_power_dbm = NumOr(v, "wifi_client_power_dbm", c.wifi_client_power_dbm);
+  c.wifi_channel_width_hz = NumOr(v, "wifi_channel_width_hz", c.wifi_channel_width_hz);
+  c.wifi_clock_scale = NumOr(v, "wifi_clock_scale", c.wifi_clock_scale);
+  c.warmup = FromSeconds(NumOr(v, "warmup_s", ToSeconds(c.warmup)));
+  c.duration = FromSeconds(NumOr(v, "duration_s", ToSeconds(c.duration)));
+  c.enable_fading = BoolOr(v, "enable_fading", c.enable_fading);
+  c.shadowing_sigma_db = NumOr(v, "shadowing_sigma_db", c.shadowing_sigma_db);
+  c.starvation_threshold_bps =
+      NumOr(v, "starvation_threshold_bps", c.starvation_threshold_bps);
+  c.home_ap_association = BoolOr(v, "home_ap_association", c.home_ap_association);
+  if (const Value* web = v.Find("web"); web != nullptr && web->is_object()) {
+    c.web.think_time_mean_s = NumOr(*web, "think_time_mean_s", c.web.think_time_mean_s);
+  }
+  c.seed = static_cast<std::uint64_t>(NumOr(v, "seed", static_cast<double>(c.seed)));
+  if (c.duration <= c.warmup) return std::nullopt;
+  if (c.topology.num_aps <= 0 || c.topology.clients_per_ap < 0) return std::nullopt;
+  return c;
+}
+
+std::optional<ScenarioConfig> ConfigFromJsonText(const std::string& text) {
+  const auto parsed = json::Parse(text);
+  if (!parsed) return std::nullopt;
+  return ConfigFromJson(*parsed);
+}
+
+json::Value ResultToJson(const ScenarioResult& result) {
+  Value v;
+  v["fraction_connected"] = result.fraction_connected;
+  v["fraction_starved"] = result.fraction_starved;
+  v["total_throughput_bps"] = result.total_throughput_bps;
+  v["im_total_hops"] = static_cast<std::int64_t>(result.im_total_hops);
+  v["im_cells_still_hopping"] = result.im_cells_still_hopping;
+
+  Array clients;
+  for (const ClientOutcome& c : result.clients) {
+    Value cv;
+    cv["throughput_bps"] = c.throughput_bps;
+    cv["attached"] = c.attached;
+    cv["starved"] = c.starved;
+    cv["pages_started"] = c.pages_started;
+    cv["pages_completed"] = c.pages_completed;
+    Array plts;
+    for (double p : c.page_load_times_s) plts.push_back(Value(p));
+    cv["page_load_times_s"] = std::move(plts);
+    clients.push_back(std::move(cv));
+  }
+  v["clients"] = std::move(clients);
+
+  if (!result.clients.empty()) {
+    Distribution d = result.client_throughput_mbps;
+    v["throughput_mbps"]["p10"] = d.Percentile(0.10);
+    v["throughput_mbps"]["p50"] = d.Percentile(0.50);
+    v["throughput_mbps"]["p90"] = d.Percentile(0.90);
+  }
+  return v;
+}
+
+}  // namespace cellfi::scenario

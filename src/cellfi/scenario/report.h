@@ -1,0 +1,33 @@
+// JSON bindings for scenario configs and results: load experiment
+// definitions from files and emit machine-readable reports (plotting,
+// regression tracking).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cellfi/common/json.h"
+#include "cellfi/scenario/harness.h"
+
+namespace cellfi::scenario {
+
+/// Serialize a result (per-client outcomes + aggregates).
+json::Value ResultToJson(const ScenarioResult& result);
+
+/// Serialize a config (round-trips through ConfigFromJson).
+json::Value ConfigToJson(const ScenarioConfig& config);
+
+/// Parse a config. Unknown keys are ignored; missing keys keep defaults.
+/// Returns nullopt on malformed JSON or invalid enum values.
+std::optional<ScenarioConfig> ConfigFromJson(const json::Value& value);
+
+/// Convenience: parse a config from JSON text.
+std::optional<ScenarioConfig> ConfigFromJsonText(const std::string& text);
+
+/// Enum name helpers (shared with benches/CLIs).
+const char* TechnologyName(Technology tech);
+std::optional<Technology> TechnologyFromName(const std::string& name);
+const char* WorkloadName(WorkloadKind kind);
+const char* PropagationName(PropagationKind kind);
+
+}  // namespace cellfi::scenario

@@ -1,0 +1,63 @@
+#include "cellfi/scenario/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cellfi::scenario {
+
+Topology GenerateTopology(const TopologyConfig& config, Rng& rng) {
+  Topology topo;
+  topo.aps.reserve(static_cast<std::size_t>(config.num_aps));
+
+  for (int a = 0; a < config.num_aps; ++a) {
+    Point p;
+    bool placed = false;
+    for (int attempt = 0; attempt < 200 && !placed; ++attempt) {
+      p = {rng.Uniform(0.0, config.area_m), rng.Uniform(0.0, config.area_m)};
+      placed = true;
+      for (const Point& other : topo.aps) {
+        if (Distance(p, other) < config.min_ap_separation_m) {
+          placed = false;
+          break;
+        }
+      }
+    }
+    topo.aps.push_back(p);  // falls back to the last draw if crowded
+  }
+
+  for (int a = 0; a < config.num_aps; ++a) {
+    for (int c = 0; c < config.clients_per_ap; ++c) {
+      // Uniform over the disc: radius ~ sqrt(U).
+      const double r = config.client_radius_m * std::sqrt(rng.Uniform());
+      const double theta = rng.Uniform(0.0, 2.0 * M_PI);
+      Point p = topo.aps[static_cast<std::size_t>(a)] +
+                Point{r * std::cos(theta), r * std::sin(theta)};
+      p.x = std::clamp(p.x, 0.0, config.area_m);
+      p.y = std::clamp(p.y, 0.0, config.area_m);
+      topo.clients.push_back(p);
+      topo.client_home_ap.push_back(a);
+    }
+  }
+  return topo;
+}
+
+Topology ScaleTopology(const Topology& topo, double factor) {
+  // Determine the centre from the AP bounding box.
+  double cx = 0.0, cy = 0.0;
+  for (const Point& p : topo.aps) {
+    cx += p.x;
+    cy += p.y;
+  }
+  cx /= static_cast<double>(topo.aps.size());
+  cy /= static_cast<double>(topo.aps.size());
+
+  auto scale = [&](Point p) {
+    return Point{cx + (p.x - cx) * factor, cy + (p.y - cy) * factor};
+  };
+  Topology out = topo;
+  for (Point& p : out.aps) p = scale(p);
+  for (Point& p : out.clients) p = scale(p);
+  return out;
+}
+
+}  // namespace cellfi::scenario

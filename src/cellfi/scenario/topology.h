@@ -1,0 +1,36 @@
+// Random topology generation for large-scale evaluation (paper Section
+// 6.3.4: 2 km x 2 km area, randomly placed APs, clients per AP).
+#pragma once
+
+#include <vector>
+
+#include "cellfi/common/geometry.h"
+#include "cellfi/common/rng.h"
+
+namespace cellfi::scenario {
+
+struct TopologyConfig {
+  double area_m = 2000.0;
+  int num_aps = 10;
+  int clients_per_ap = 6;
+  /// Clients are placed uniformly within this radius of their AP.
+  double client_radius_m = 450.0;
+  /// Minimum AP separation (rejection sampling; relaxed if infeasible).
+  double min_ap_separation_m = 200.0;
+};
+
+struct Topology {
+  std::vector<Point> aps;
+  std::vector<Point> clients;      // num_aps * clients_per_ap
+  std::vector<int> client_home_ap; // intended AP (placement only)
+};
+
+/// Generate a random topology. Deterministic for a given rng state.
+Topology GenerateTopology(const TopologyConfig& config, Rng& rng);
+
+/// Scale every coordinate by `factor` around the area centre (used to map
+/// an outdoor 802.11af layout to an indoor 802.11ac one with the same
+/// geometry, Fig. 2).
+Topology ScaleTopology(const Topology& topo, double factor);
+
+}  // namespace cellfi::scenario

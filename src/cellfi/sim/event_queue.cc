@@ -1,0 +1,62 @@
+#include "cellfi/sim/event_queue.h"
+
+#include <cassert>
+
+namespace cellfi {
+
+EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
+  assert(when >= now_);
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(cb)});
+  return EventId(seq);
+}
+
+EventId Simulator::SchedulePeriodic(SimTime period, Callback cb) {
+  assert(period > 0);
+  auto alive = std::make_shared<bool>(true);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, cb = std::move(cb), alive, tick]() {
+    if (!*alive) return;
+    cb();
+    if (*alive) ScheduleAfter(period, [tick]() { (*tick)(); });
+  };
+  EventId first = ScheduleAfter(period, [tick]() { (*tick)(); });
+  periodic_alive_[first.seq_] = alive;
+  return first;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (!id.valid()) return;
+  auto it = periodic_alive_.find(id.seq_);
+  if (it != periodic_alive_.end()) {
+    *it->second = false;
+    periodic_alive_.erase(it);
+  }
+  cancelled_.insert(id.seq_);
+}
+
+bool Simulator::HasPending() const { return !queue_.empty(); }
+
+void Simulator::ExecuteNext() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  auto it = cancelled_.find(ev.seq);
+  if (it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  ++executed_;
+  ev.cb();
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) ExecuteNext();
+  now_ = std::max(now_, until);
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) ExecuteNext();
+}
+
+}  // namespace cellfi

@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// A `Simulator` owns a priority queue of (time, sequence, callback) events.
+// Events scheduled for the same timestamp execute in scheduling order, which
+// makes runs deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cellfi/common/time.h"
+
+namespace cellfi {
+
+/// Handle used to cancel a scheduled event.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// Single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time.
+  SimTime Now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `when` (>= Now()).
+  EventId ScheduleAt(SimTime when, Callback cb);
+
+  /// Schedule `cb` to run `delay` after Now().
+  EventId ScheduleAfter(SimTime delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule `cb` every `period`, starting at Now() + `period`.
+  /// Returns the id of the *first* occurrence; cancelling it stops the chain.
+  EventId SchedulePeriodic(SimTime period, Callback cb);
+
+  /// Cancel a pending event. Safe to call for already-fired events (no-op).
+  void Cancel(EventId id);
+
+  /// Run until the event queue drains or `until` is reached (whichever is
+  /// first). Events at exactly `until` do run.
+  void RunUntil(SimTime until);
+
+  /// Run until the queue is empty.
+  void Run();
+
+  /// Number of events executed so far (for tests / diagnostics).
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// True if any event is pending.
+  bool HasPending() const;
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  void ExecuteNext();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<bool>> periodic_alive_;
+};
+
+}  // namespace cellfi

@@ -1,0 +1,52 @@
+#include "cellfi/traffic/flow_tracker.h"
+
+#include <cassert>
+
+namespace cellfi::traffic {
+
+FlowId FlowTracker::StartFlow(ClientId client, std::uint64_t bytes, SimTime now) {
+  assert(bytes > 0);
+  FlowRecord record;
+  record.id = flows_.size();
+  record.client = client;
+  record.bytes = bytes;
+  record.started = now;
+  flows_.push_back(record);
+  outstanding_[client].push_back(record.id);
+  return record.id;
+}
+
+void FlowTracker::OnDelivered(ClientId client, std::uint64_t bytes, SimTime now) {
+  auto it = outstanding_.find(client);
+  if (it == outstanding_.end()) return;
+  auto& queue = it->second;
+  while (bytes > 0 && !queue.empty()) {
+    FlowRecord& flow = flows_[static_cast<std::size_t>(queue.front())];
+    const std::uint64_t take = std::min(bytes, flow.bytes - flow.delivered);
+    flow.delivered += take;
+    bytes -= take;
+    if (flow.delivered >= flow.bytes) {
+      flow.completed = now;
+      queue.pop_front();
+      if (on_flow_complete) on_flow_complete(flow);
+    }
+  }
+}
+
+Distribution FlowTracker::CompletionTimes() const {
+  Distribution d;
+  for (const FlowRecord& f : flows_) {
+    if (f.done()) d.Add(ToSeconds(f.completed - f.started));
+  }
+  return d;
+}
+
+int FlowTracker::StalledFlows(SimTime now, SimTime age) const {
+  int n = 0;
+  for (const FlowRecord& f : flows_) {
+    if (!f.done() && now - f.started > age) ++n;
+  }
+  return n;
+}
+
+}  // namespace cellfi::traffic

@@ -1,0 +1,58 @@
+// Flow accounting: maps byte deliveries back to application flows and
+// records flow / page completion times.
+//
+// The MAC layers report deliveries per client; the tracker attributes them
+// FIFO to that client's outstanding flows (a good model for an in-order
+// bearer such as an LTE bearer or a Wi-Fi traffic stream).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cellfi/common/stats.h"
+#include "cellfi/common/time.h"
+
+namespace cellfi::traffic {
+
+using ClientId = int;
+using FlowId = std::uint64_t;
+
+struct FlowRecord {
+  FlowId id = 0;
+  ClientId client = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t delivered = 0;
+  SimTime started = 0;
+  SimTime completed = -1;  // -1 = in flight
+  bool done() const { return completed >= 0; }
+};
+
+class FlowTracker {
+ public:
+  /// Register a new flow; bytes must be > 0.
+  FlowId StartFlow(ClientId client, std::uint64_t bytes, SimTime now);
+
+  /// Attribute `bytes` delivered to `client` (FIFO across its flows).
+  void OnDelivered(ClientId client, std::uint64_t bytes, SimTime now);
+
+  /// Fired whenever a flow completes.
+  std::function<void(const FlowRecord&)> on_flow_complete;
+
+  const FlowRecord& flow(FlowId id) const { return flows_[static_cast<std::size_t>(id)]; }
+  std::size_t flow_count() const { return flows_.size(); }
+
+  /// Completion times (seconds) of all completed flows.
+  Distribution CompletionTimes() const;
+
+  /// Flows still in flight at `now` older than `age` (stall detection).
+  int StalledFlows(SimTime now, SimTime age) const;
+
+ private:
+  std::vector<FlowRecord> flows_;
+  std::unordered_map<ClientId, std::deque<FlowId>> outstanding_;
+};
+
+}  // namespace cellfi::traffic

@@ -1,0 +1,57 @@
+#include "cellfi/traffic/web_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cellfi::traffic {
+
+std::vector<std::uint64_t> DrawPage(const WebWorkloadConfig& config, Rng& rng) {
+  const int objects = static_cast<int>(std::clamp(
+      std::round(rng.LogNormal(config.objects_mu, config.objects_sigma)), 1.0, 100.0));
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(static_cast<std::size_t>(objects));
+  for (int i = 0; i < objects; ++i) {
+    const double bytes =
+        std::clamp(rng.LogNormal(config.object_size_mu, config.object_size_sigma), 200.0,
+                   8.0 * 1024 * 1024);
+    sizes.push_back(static_cast<std::uint64_t>(bytes));
+  }
+  return sizes;
+}
+
+WebSession::WebSession(Simulator& sim, FlowTracker& tracker, ClientId client,
+                       WebWorkloadConfig config,
+                       std::function<void(ClientId, std::uint64_t)> offer, Rng rng)
+    : sim_(sim),
+      tracker_(tracker),
+      client_(client),
+      config_(config),
+      offer_(std::move(offer)),
+      rng_(rng) {}
+
+void WebSession::Start() {
+  const SimTime jitter = FromSeconds(rng_.Uniform(0.0, config_.initial_jitter_s));
+  sim_.ScheduleAfter(jitter, [this] { StartPage(); });
+}
+
+void WebSession::StartPage() {
+  const auto objects = DrawPage(config_, rng_);
+  ++pages_started_;
+  objects_pending_ = static_cast<int>(objects.size());
+  page_started_at_ = sim_.Now();
+  for (std::uint64_t bytes : objects) {
+    tracker_.StartFlow(client_, bytes, sim_.Now());
+    offer_(client_, bytes);
+  }
+}
+
+void WebSession::OnFlowComplete(const FlowRecord& record) {
+  if (record.client != client_ || objects_pending_ == 0) return;
+  if (--objects_pending_ > 0) return;
+  // Last object of the page: record PLT, think, browse on.
+  page_load_times_.push_back(ToSeconds(sim_.Now() - page_started_at_));
+  const SimTime think = FromSeconds(rng_.Exponential(config_.think_time_mean_s));
+  sim_.ScheduleAfter(think, [this] { StartPage(); });
+}
+
+}  // namespace cellfi::traffic

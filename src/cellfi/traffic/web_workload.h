@@ -1,0 +1,72 @@
+// Web-like traffic model (paper Section 6.3.4).
+//
+// Pages are composed of objects whose count and sizes follow heavy-tailed
+// distributions from web measurement studies ([28] Lee & Gupta, [29]
+// Butkiewicz et al.); think times between pages give flow inter-arrivals.
+// A session fetches a page (all objects offered to the network at once,
+// modelling parallel connections), waits for the last byte, thinks, and
+// repeats. Page-load time = last-byte time - request time.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cellfi/common/rng.h"
+#include "cellfi/common/stats.h"
+#include "cellfi/sim/event_queue.h"
+#include "cellfi/traffic/flow_tracker.h"
+
+namespace cellfi::traffic {
+
+struct WebWorkloadConfig {
+  /// Objects per page: lognormal, median ~10, heavy tail (cap at 100).
+  double objects_mu = 2.3;
+  double objects_sigma = 0.8;
+  /// Object size in bytes: lognormal, median ~8 KB, tail into MBs.
+  double object_size_mu = 9.0;
+  double object_size_sigma = 1.3;
+  /// Think time between pages: exponential (seconds).
+  double think_time_mean_s = 10.0;
+  /// First request jitter so sessions do not start synchronized.
+  double initial_jitter_s = 5.0;
+};
+
+/// One client's browsing session.
+class WebSession {
+ public:
+  /// `offer(client, bytes)` pushes bytes into the network layer for the
+  /// client. Deliveries must be routed to `tracker.OnDelivered`.
+  WebSession(Simulator& sim, FlowTracker& tracker, ClientId client,
+             WebWorkloadConfig config, std::function<void(ClientId, std::uint64_t)> offer,
+             Rng rng);
+
+  void Start();
+
+  /// Route completions of this client's flows here (e.g. from
+  /// FlowTracker::on_flow_complete keyed by FlowRecord::client).
+  void OnFlowComplete(const FlowRecord& record);
+
+  /// Completed page-load times, seconds.
+  const std::vector<double>& page_load_times() const { return page_load_times_; }
+  int pages_completed() const { return static_cast<int>(page_load_times_.size()); }
+  int pages_started() const { return pages_started_; }
+
+ private:
+  void StartPage();
+
+  Simulator& sim_;
+  FlowTracker& tracker_;
+  ClientId client_;
+  WebWorkloadConfig config_;
+  std::function<void(ClientId, std::uint64_t)> offer_;
+  Rng rng_;
+  int pages_started_ = 0;
+  int objects_pending_ = 0;
+  SimTime page_started_at_ = 0;
+  std::vector<double> page_load_times_;
+};
+
+/// Draw one page description (object sizes in bytes).
+std::vector<std::uint64_t> DrawPage(const WebWorkloadConfig& config, Rng& rng);
+
+}  // namespace cellfi::traffic

@@ -1,0 +1,56 @@
+#include "cellfi/tvws/database.h"
+
+#include <algorithm>
+
+namespace cellfi::tvws {
+
+SpectrumDatabase::SpectrumDatabase(DatabaseConfig config) : config_(config) {}
+
+bool SpectrumDatabase::AddIncumbent(Incumbent incumbent) {
+  const bool exists = std::any_of(incumbents_.begin(), incumbents_.end(),
+                                  [&](const Incumbent& i) { return i.id == incumbent.id; });
+  if (exists) return false;
+  incumbents_.push_back(std::move(incumbent));
+  return true;
+}
+
+bool SpectrumDatabase::RemoveIncumbent(const std::string& id) {
+  const auto it = std::remove_if(incumbents_.begin(), incumbents_.end(),
+                                 [&](const Incumbent& i) { return i.id == id; });
+  if (it == incumbents_.end()) return false;
+  incumbents_.erase(it, incumbents_.end());
+  return true;
+}
+
+bool SpectrumDatabase::IsAvailable(int channel, const GeoLocation& location,
+                                   SimTime now) const {
+  if (channel < config_.first_channel || channel > config_.last_channel) return false;
+  for (const Incumbent& inc : incumbents_) {
+    if (inc.channel != channel || !inc.ActiveAt(now)) continue;
+    if (GeoDistanceM(inc.location, location) <= inc.protection_radius_m) return false;
+  }
+  return true;
+}
+
+std::vector<ChannelAvailability> SpectrumDatabase::Query(const GeoLocation& location,
+                                                         SimTime now, bool master) const {
+  std::vector<ChannelAvailability> out;
+  for (int ch = config_.first_channel; ch <= config_.last_channel; ++ch) {
+    if (!IsAvailable(ch, location, now)) continue;
+    ChannelAvailability a;
+    a.channel = TvChannel{.number = ch, .regulatory = config_.regulatory};
+    a.max_eirp_dbm = master ? config_.default_max_eirp_dbm : config_.client_max_eirp_dbm;
+    a.lease_start = now;
+    a.lease_expiry = now + config_.lease_duration;
+    // The lease never outlives a scheduled incumbent on this channel.
+    for (const Incumbent& inc : incumbents_) {
+      if (inc.channel != ch || inc.start <= now) continue;
+      if (GeoDistanceM(inc.location, location) > inc.protection_radius_m) continue;
+      a.lease_expiry = std::min(a.lease_expiry, inc.start);
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace cellfi::tvws

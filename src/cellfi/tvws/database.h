@@ -1,0 +1,55 @@
+// TVWS spectrum database (the role of the certified Nominet database in the
+// paper's testbed).
+//
+// The database protects incumbents only — it does NOT coordinate secondary
+// users (paper Section 4.2). A query returns, for the given location and
+// time, every managed channel with no active incumbent whose protection
+// contour covers the device, together with the allowed EIRP and a lease
+// window.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cellfi/tvws/types.h"
+
+namespace cellfi::tvws {
+
+/// Configuration of the managed band.
+struct DatabaseConfig {
+  Regulatory regulatory = Regulatory::kUs;
+  int first_channel = 14;
+  int last_channel = 51;
+  double default_max_eirp_dbm = 36.0;   // fixed device cap
+  double client_max_eirp_dbm = 20.0;    // portable/client device cap
+  SimTime lease_duration = 12 * 3600 * kSecond;  // granularity: hours-days
+};
+
+/// In-memory authoritative spectrum database.
+class SpectrumDatabase {
+ public:
+  explicit SpectrumDatabase(DatabaseConfig config = {});
+
+  /// Register / remove incumbents (e.g. a wireless-microphone event).
+  /// Returns false if an incumbent with the same id exists / is missing.
+  bool AddIncumbent(Incumbent incumbent);
+  bool RemoveIncumbent(const std::string& id);
+  std::size_t incumbent_count() const { return incumbents_.size(); }
+
+  /// Channels available at `location` at time `now`. `master` selects the
+  /// fixed-device power cap vs the client cap.
+  std::vector<ChannelAvailability> Query(const GeoLocation& location, SimTime now,
+                                         bool master = true) const;
+
+  /// Is a specific channel available (no covering incumbent) right now?
+  bool IsAvailable(int channel, const GeoLocation& location, SimTime now) const;
+
+  const DatabaseConfig& config() const { return config_; }
+
+ private:
+  DatabaseConfig config_;
+  std::vector<Incumbent> incumbents_;
+};
+
+}  // namespace cellfi::tvws

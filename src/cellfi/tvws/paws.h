@@ -1,0 +1,101 @@
+// PAWS protocol (RFC 7545 subset) between CellFi access points and the
+// spectrum database (paper Section 4.2: "an ETSI-compliant TVWS database
+// client using the PAWS protocol").
+//
+// Implemented methods, all JSON-RPC framed:
+//   spectrum.paws.init              -> capabilities / ruleset handshake
+//   spectrum.paws.getSpectrum       -> AVAIL_SPECTRUM_REQ / RESP
+//   spectrum.paws.notifySpectrumUse -> SPECTRUM_USE_NOTIFY
+//
+// `PawsServer` answers requests against a `SpectrumDatabase`; `PawsClient`
+// builds requests and parses responses. Both sides speak JSON strings, so
+// the wire format is real even though transport is in-process.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cellfi/common/json.h"
+#include "cellfi/tvws/database.h"
+#include "cellfi/tvws/types.h"
+
+namespace cellfi::tvws {
+
+/// Parsed AVAIL_SPECTRUM_RESP.
+struct AvailSpectrumResponse {
+  std::vector<ChannelAvailability> channels;
+  std::string ruleset;  // e.g. "EtsiEn301598"
+};
+
+/// Serializes PAWS requests and parses responses. Stateless apart from the
+/// device identity and the JSON-RPC id counter.
+class PawsClient {
+ public:
+  PawsClient(DeviceDescriptor device, Regulatory regulatory);
+
+  /// Build the INIT_REQ JSON for this device at `location`.
+  std::string BuildInitRequest(const GeoLocation& location);
+
+  /// Build the AVAIL_SPECTRUM_REQ JSON.
+  std::string BuildAvailSpectrumRequest(const GeoLocation& location, bool master);
+
+  /// Build a SPECTRUM_USE_NOTIFY for the channel in use.
+  std::string BuildSpectrumUseNotify(const GeoLocation& location,
+                                     const ChannelAvailability& channel);
+
+  /// Parse an AVAIL_SPECTRUM_RESP; nullopt on malformed/error responses.
+  std::optional<AvailSpectrumResponse> ParseAvailSpectrumResponse(const std::string& body);
+
+  /// Parse the INIT_RESP; returns the ruleset authority or nullopt.
+  std::optional<std::string> ParseInitResponse(const std::string& body);
+
+  const DeviceDescriptor& device() const { return device_; }
+
+ private:
+  DeviceDescriptor device_;
+  Regulatory regulatory_;
+  int next_id_ = 1;
+};
+
+/// Answers PAWS JSON requests against a SpectrumDatabase. `now` is passed
+/// per call so the server stays clock-agnostic.
+///
+/// Protocol state (RFC 7545 Section 4.3): a device must complete the INIT
+/// handshake before the server answers its AVAIL_SPECTRUM_REQ; unregistered
+/// devices get error -201. SPECTRUM_USE_NOTIFY messages are recorded per
+/// device for audit.
+class PawsServer {
+ public:
+  explicit PawsServer(const SpectrumDatabase& db);
+
+  /// Handle any supported request; returns a JSON-RPC response (including
+  /// JSON-RPC error responses for malformed or unsupported input).
+  std::string Handle(const std::string& request, SimTime now) const;
+
+  /// Number of requests served (diagnostics).
+  int requests_served() const { return served_; }
+
+  /// Has this device completed INIT?
+  bool IsRegistered(const std::string& serial) const;
+
+  /// Channels the device last reported in use (SPECTRUM_USE_NOTIFY).
+  std::vector<int> ReportedUse(const std::string& serial) const;
+
+ private:
+  json::Value HandleInit(const json::Value& params) const;
+  json::Value HandleGetSpectrum(const json::Value& params, SimTime now) const;
+  json::Value HandleNotify(const json::Value& params) const;
+  static std::string SerialOf(const json::Value& params);
+
+  const SpectrumDatabase& db_;
+  mutable int served_ = 0;
+  mutable std::vector<std::string> registered_;
+  mutable std::vector<std::pair<std::string, std::vector<int>>> reported_use_;
+};
+
+/// Helpers shared by client/server (exposed for tests).
+json::Value GeoLocationToJson(const GeoLocation& loc);
+std::optional<GeoLocation> GeoLocationFromJson(const json::Value& v);
+
+}  // namespace cellfi::tvws

@@ -1,0 +1,28 @@
+#include "cellfi/tvws/types.h"
+
+#include <cmath>
+
+namespace cellfi::tvws {
+
+double TvChannel::CentreFrequencyHz() const {
+  if (regulatory == Regulatory::kUs) {
+    // US UHF: channel 14 spans 470-476 MHz, 6 MHz raster upward.
+    return 470.0 * units::MHz + (number - 14) * 6.0 * units::MHz + 3.0 * units::MHz;
+  }
+  // EU UHF: channel 21 spans 470-478 MHz, 8 MHz raster upward.
+  return 470.0 * units::MHz + (number - 21) * 8.0 * units::MHz + 4.0 * units::MHz;
+}
+
+double GeoDistanceM(const GeoLocation& a, const GeoLocation& b) {
+  constexpr double kEarthRadiusM = 6'371'000.0;
+  const double to_rad = M_PI / 180.0;
+  const double lat1 = a.latitude * to_rad;
+  const double lat2 = b.latitude * to_rad;
+  const double dlat = (b.latitude - a.latitude) * to_rad;
+  const double dlon = (b.longitude - a.longitude) * to_rad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusM * std::asin(std::sqrt(h));
+}
+
+}  // namespace cellfi::tvws

@@ -1,0 +1,74 @@
+// TV-white-space domain types: TV channels, geolocations, incumbents and
+// channel availability records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellfi/common/time.h"
+#include "cellfi/common/units.h"
+
+namespace cellfi::tvws {
+
+/// Regulatory domain: sets TV channel width and numbering.
+enum class Regulatory { kUs, kEu };
+
+/// TV channel raster width in Hz.
+inline double TvChannelWidthHz(Regulatory reg) {
+  return reg == Regulatory::kUs ? 6.0 * units::MHz : 8.0 * units::MHz;
+}
+
+/// UHF TV channel (e.g. US channels 14-51 cover 470-698 MHz).
+struct TvChannel {
+  int number = 0;
+  Regulatory regulatory = Regulatory::kUs;
+
+  /// Centre frequency in Hz (US: ch14 = 473 MHz; EU: ch21 = 474 MHz).
+  double CentreFrequencyHz() const;
+  double LowEdgeHz() const { return CentreFrequencyHz() - TvChannelWidthHz(regulatory) / 2; }
+  double HighEdgeHz() const { return CentreFrequencyHz() + TvChannelWidthHz(regulatory) / 2; }
+
+  friend bool operator==(const TvChannel&, const TvChannel&) = default;
+};
+
+/// WGS-84 geolocation (degrees) with an optional uncertainty radius.
+struct GeoLocation {
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double uncertainty_m = 50.0;
+};
+
+/// Great-circle distance between two locations (haversine), metres.
+double GeoDistanceM(const GeoLocation& a, const GeoLocation& b);
+
+/// Protected primary user: a TV transmitter or wireless microphone that
+/// blocks a channel inside its protection contour during [start, stop).
+struct Incumbent {
+  std::string id;
+  int channel = 0;
+  GeoLocation location;
+  double protection_radius_m = 10'000.0;
+  SimTime start = 0;
+  SimTime stop = 0;  // 0 = forever
+  bool ActiveAt(SimTime t) const { return t >= start && (stop == 0 || t < stop); }
+};
+
+/// One channel a device may use: power cap and lease validity window.
+struct ChannelAvailability {
+  TvChannel channel;
+  double max_eirp_dbm = 36.0;
+  SimTime lease_start = 0;
+  SimTime lease_expiry = 0;
+};
+
+/// Device identity per ETSI EN 301 598 / PAWS.
+struct DeviceDescriptor {
+  std::string serial_number;
+  std::string manufacturer = "cellfi";
+  std::string model = "ap-e40";
+  // ETSI device emission class / type ("A" = fixed outdoor, master).
+  std::string etsi_device_type = "A";
+};
+
+}  // namespace cellfi::tvws

@@ -1,0 +1,48 @@
+#include "cellfi/wifi/phy_rates.h"
+
+#include <cassert>
+
+namespace cellfi::wifi {
+
+namespace {
+// VHT single-stream MCS, efficiencies from 802.11ac 20 MHz rates
+// (6.5..78 Mbps over 20 MHz) and SNR switching points from standard PER
+// curves. Note the floor: BPSK 1/2 -> 0.325 b/s/Hz, code rate 1/2.
+constexpr WifiMcs kTable[kNumWifiMcs] = {
+    {0, 0.325, 2.0},   // BPSK 1/2
+    {1, 0.650, 5.0},   // QPSK 1/2
+    {2, 0.975, 9.0},   // QPSK 3/4
+    {3, 1.300, 11.0},  // 16QAM 1/2
+    {4, 1.950, 15.0},  // 16QAM 3/4
+    {5, 2.600, 18.0},  // 64QAM 2/3
+    {6, 2.925, 20.0},  // 64QAM 3/4
+    {7, 3.250, 25.0},  // 64QAM 5/6
+    {8, 3.900, 29.0},  // 256QAM 3/4
+};
+}  // namespace
+
+const WifiMcs& WifiMcsTable(int index) {
+  assert(index >= 0 && index < kNumWifiMcs);
+  return kTable[index];
+}
+
+int SinrToMcs(double sinr_db) {
+  int best = -1;
+  for (const WifiMcs& m : kTable) {
+    if (sinr_db >= m.snr_threshold_db) best = m.index;
+  }
+  return best;
+}
+
+double PhyRateBps(int mcs, double width_hz) {
+  if (mcs < 0) return 0.0;
+  return WifiMcsTable(mcs).bits_per_hz * width_hz;
+}
+
+double IdealRateBps(double sinr_db, double width_hz) {
+  return PhyRateBps(SinrToMcs(sinr_db), width_hz);
+}
+
+double BasicRateSnrDb() { return kTable[0].snr_threshold_db; }
+
+}  // namespace cellfi::wifi

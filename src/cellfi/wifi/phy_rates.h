@@ -1,0 +1,37 @@
+// 802.11ac/af PHY rate model.
+//
+// Both standards share modulation and coding (Section 3.1 of the paper:
+// 802.11af "has the same modulation and coding rates as 802.11ac"); they
+// differ in channel width (6/8 MHz TVWS channels vs 20+ MHz) and radio
+// band. Rates scale linearly with width for a fixed MCS. The lowest Wi-Fi
+// code rate is 1/2 (Table 1) — visible here as MCS0's spectral efficiency,
+// and the reason Wi-Fi's rate floor sits ~7 dB above LTE's.
+#pragma once
+
+namespace cellfi::wifi {
+
+/// One VHT MCS (single spatial stream).
+struct WifiMcs {
+  int index;
+  double bits_per_hz;        // spectral efficiency incl. coding
+  double snr_threshold_db;   // minimum SINR to sustain ~10 % PER
+};
+
+inline constexpr int kNumWifiMcs = 9;
+
+/// MCS table lookup (0..8).
+const WifiMcs& WifiMcsTable(int index);
+
+/// Highest MCS supported at `sinr_db`; -1 if below MCS0 (no link).
+int SinrToMcs(double sinr_db);
+
+/// PHY rate in bit/s for `mcs` over `width_hz`.
+double PhyRateBps(int mcs, double width_hz);
+
+/// Ideal rate adaptation: PHY rate at `sinr_db` over `width_hz` (0 = none).
+double IdealRateBps(double sinr_db, double width_hz);
+
+/// Minimum SINR for the basic (control) rate — RTS/CTS/ACK decodability.
+double BasicRateSnrDb();
+
+}  // namespace cellfi::wifi

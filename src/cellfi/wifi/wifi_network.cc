@@ -1,0 +1,275 @@
+#include "cellfi/wifi/wifi_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "cellfi/common/units.h"
+
+namespace cellfi::wifi {
+
+WifiNetwork::WifiNetwork(Simulator& sim, RadioEnvironment& env, WifiMacConfig config,
+                         std::uint64_t seed)
+    : sim_(sim), env_(env), config_(config), rng_(seed) {
+  // Down-clocked PHY (802.11af): every fixed MAC/PHY duration stretches.
+  config_.slot = static_cast<SimTime>(config_.slot * config_.clock_scale);
+  config_.sifs = static_cast<SimTime>(config_.sifs * config_.clock_scale);
+  config_.difs = static_cast<SimTime>(config_.difs * config_.clock_scale);
+}
+
+ApId WifiNetwork::AddAp(RadioNodeId radio) {
+  Ap ap;
+  ap.radio = radio;
+  ap.cw = config_.cw_min;
+  aps_.push_back(ap);
+  return static_cast<ApId>(aps_.size() - 1);
+}
+
+StaId WifiNetwork::AddSta(RadioNodeId radio, ApId forced_ap) {
+  Sta sta;
+  sta.radio = radio;
+  // Associate with the strongest permitted AP that closes the link budget
+  // in BOTH directions: downlink data at MCS0 and the station's control
+  // frames (CTS/BlockAck) at the basic rate. With a client transmit power
+  // below the AP's, the uplink is the limiting direction — one reason
+  // Wi-Fi range trails LTE, which reaches ~7 dB deeper with its lowest
+  // code rate.
+  double best_snr = WifiMcsTable(0).snr_threshold_db;
+  for (std::size_t a = 0; a < aps_.size(); ++a) {
+    if (forced_ap >= 0 && static_cast<ApId>(a) != forced_ap) continue;
+    const double down =
+        env_.MeanSnrDb(aps_[a].radio, radio, config_.channel_width_hz * 0.9);
+    const double up =
+        env_.MeanSnrDb(radio, aps_[a].radio, config_.channel_width_hz * 0.9);
+    if (up < BasicRateSnrDb()) continue;
+    if (down > best_snr) {
+      best_snr = down;
+      sta.ap = static_cast<ApId>(a);
+    }
+  }
+  sta.stats.associated = sta.ap >= 0;
+  const StaId id = static_cast<StaId>(stas_.size());
+  if (sta.ap >= 0) aps_[static_cast<std::size_t>(sta.ap)].stas.push_back(id);
+  stas_.push_back(sta);
+  return id;
+}
+
+void WifiNetwork::OfferDownlink(StaId sta_id, std::uint64_t bytes) {
+  Sta& sta = stas_[static_cast<std::size_t>(sta_id)];
+  if (sta.ap < 0) return;  // unassociated: traffic undeliverable
+  sta.queue_bytes += bytes;
+  StartContention(sta.ap);
+}
+
+void WifiNetwork::Start() {
+  for (std::size_t a = 0; a < aps_.size(); ++a) StartContention(static_cast<ApId>(a));
+}
+
+SimTime WifiNetwork::ControlFrameTime(int bytes) const {
+  // Control frames go at the basic rate (MCS0) plus a PHY preamble; the
+  // preamble is a fixed number of OFDM symbols, so it stretches with the
+  // clock-down factor.
+  const double rate = PhyRateBps(0, config_.channel_width_hz);
+  const SimTime preamble =
+      static_cast<SimTime>(FromMicroseconds(40) * config_.clock_scale);
+  return preamble + FromSeconds(static_cast<double>(bytes) * 8.0 / rate);
+}
+
+bool WifiNetwork::MediumBusyFor(RadioNodeId node, SimTime* busy_until) const {
+  const double threshold =
+      config_.cs_threshold_dbm + 10.0 * std::log10(config_.channel_width_hz / 20e6);
+  bool busy = false;
+  SimTime until = 0;
+  for (const Exchange& e : active_) {
+    const RadioNodeId ap_radio = aps_[static_cast<std::size_t>(e.ap)].radio;
+    const RadioNodeId sta_radio = stas_[static_cast<std::size_t>(e.sta)].radio;
+    bool heard = ap_radio != node && env_.MeanRxPowerDbm(ap_radio, node) > threshold;
+    if (!heard && config_.rts_cts && sta_radio != node) {
+      // The CTS/BACK from the receiver sets NAV for nodes that hear it.
+      heard = env_.MeanRxPowerDbm(sta_radio, node) > threshold;
+    }
+    if (heard) {
+      busy = true;
+      until = std::max(until, e.end);
+    }
+  }
+  if (busy_until != nullptr) *busy_until = until;
+  return busy;
+}
+
+void WifiNetwork::StartContention(ApId ap_id) {
+  Ap& ap = aps_[static_cast<std::size_t>(ap_id)];
+  if (ap.contending || ap.transmitting) return;
+  if (!HasData(ap)) return;
+  ap.contending = true;
+
+  SimTime busy_until = 0;
+  const SimTime base =
+      MediumBusyFor(ap.radio, &busy_until) ? busy_until : sim_.Now();
+  const SimTime backoff =
+      config_.difs + rng_.UniformInt(0, ap.cw) * config_.slot;
+  sim_.ScheduleAt(std::max(base, sim_.Now()) + backoff,
+                  [this, ap_id] { AttemptTransmit(ap_id); });
+}
+
+bool WifiNetwork::HasData(const Ap& ap) const {
+  for (StaId sta : ap.stas) {
+    if (stas_[static_cast<std::size_t>(sta)].queue_bytes > 0) return true;
+  }
+  return false;
+}
+
+StaId WifiNetwork::NextStaWithData(Ap& ap) {
+  for (std::size_t probe = 0; probe < ap.stas.size(); ++probe) {
+    const StaId sta = ap.stas[(ap.rr_cursor + probe) % ap.stas.size()];
+    if (stas_[static_cast<std::size_t>(sta)].queue_bytes > 0) {
+      ap.rr_cursor = (ap.rr_cursor + probe + 1) % ap.stas.size();
+      return sta;
+    }
+  }
+  return -1;
+}
+
+double WifiNetwork::ExchangeSinr(RadioNodeId tx, RadioNodeId rx,
+                                 std::size_t self_index) const {
+  std::vector<ActiveTransmitter> interferers;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (i == self_index) continue;
+    interferers.push_back(ActiveTransmitter{
+        .node = aps_[static_cast<std::size_t>(active_[i].ap)].radio, .power_scale = 1.0});
+  }
+  return env_.SinrDb(tx, rx, /*subchannel=*/0, sim_.Now(), interferers,
+                     config_.channel_width_hz * 0.9);
+}
+
+void WifiNetwork::ResolveCollisions(std::size_t new_index) {
+  Exchange& mine = active_[new_index];
+  const RadioNodeId my_ap = aps_[static_cast<std::size_t>(mine.ap)].radio;
+  const RadioNodeId my_sta = stas_[static_cast<std::size_t>(mine.sta)].radio;
+
+  // Does the aggregate of everyone else break me?
+  const double data_sinr = ExchangeSinr(my_ap, my_sta, new_index);
+  const double ack_sinr = ExchangeSinr(my_sta, my_ap, new_index);
+  if (data_sinr < WifiMcsTable(mine.mcs).snr_threshold_db ||
+      ack_sinr < BasicRateSnrDb()) {
+    mine.doomed = true;
+  }
+
+  // Does my arrival break an ongoing exchange?
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (i == new_index || active_[i].doomed) continue;
+    Exchange& other = active_[i];
+    const RadioNodeId o_ap = aps_[static_cast<std::size_t>(other.ap)].radio;
+    const RadioNodeId o_sta = stas_[static_cast<std::size_t>(other.sta)].radio;
+    const double o_data = ExchangeSinr(o_ap, o_sta, i);
+    const double o_ack = ExchangeSinr(o_sta, o_ap, i);
+    if (o_data < WifiMcsTable(other.mcs).snr_threshold_db || o_ack < BasicRateSnrDb()) {
+      other.doomed = true;
+    }
+  }
+}
+
+void WifiNetwork::AttemptTransmit(ApId ap_id) {
+  Ap& ap = aps_[static_cast<std::size_t>(ap_id)];
+  ap.contending = false;
+  if (ap.transmitting) return;
+  if (MediumBusyFor(ap.radio, nullptr)) {
+    StartContention(ap_id);  // deferral: re-contend after the medium clears
+    return;
+  }
+  const StaId sta_id = NextStaWithData(ap);
+  if (sta_id < 0) return;
+  Sta& sta = stas_[static_cast<std::size_t>(sta_id)];
+
+  const double snr = env_.MeanSnrDb(ap.radio, sta.radio, config_.channel_width_hz * 0.9);
+  const int mcs = SinrToMcs(snr);
+  if (mcs < 0) {
+    // Link no longer closes; drop this station's queue.
+    sta.queue_bytes = 0;
+    StartContention(ap_id);
+    return;
+  }
+
+  const double rate = PhyRateBps(mcs, config_.channel_width_hz);
+  const std::uint64_t cap_by_time = static_cast<std::uint64_t>(
+      rate * ToSeconds(config_.max_tx_duration) / 8.0);
+  const std::uint64_t bytes =
+      std::min({sta.queue_bytes, config_.max_ampdu_bytes, cap_by_time});
+
+  const double dist = Distance(env_.node(ap.radio).position, env_.node(sta.radio).position);
+  const SimTime prop = FromSeconds(dist / kSpeedOfLightMps);
+
+  Exchange e;
+  e.ap = ap_id;
+  e.sta = sta_id;
+  e.start = sim_.Now();
+  e.bytes = bytes;
+  e.mcs = mcs;
+  SimTime handshake = 0;
+  if (config_.rts_cts) {
+    handshake = ControlFrameTime(config_.rts_bytes) + config_.sifs +
+                ControlFrameTime(config_.cts_bytes) + config_.sifs + 2 * prop;
+  }
+  e.data_start = e.start + handshake;
+  // A-MPDU payload time plus its PHY preamble (ControlFrameTime(0)).
+  const SimTime data_time =
+      ControlFrameTime(0) + FromSeconds(static_cast<double>(bytes) * 8.0 / rate);
+  e.end = e.data_start + data_time + config_.sifs +
+          ControlFrameTime(config_.back_bytes) + 2 * prop;
+
+  ap.transmitting = true;
+  ++ap.stats.attempts;
+  active_.push_back(e);
+  ResolveCollisions(active_.size() - 1);
+
+  // A collision already present at the start fails the RTS handshake: only
+  // the (short) handshake time is wasted. Without RTS/CTS the whole A-MPDU
+  // burns.
+  SimTime finish_at = active_.back().end;
+  if (active_.back().doomed && config_.rts_cts) {
+    finish_at = e.start + handshake + config_.slot;
+    active_.back().end = finish_at;
+  }
+  sim_.ScheduleAt(finish_at, [this, ap_id, sta_id, start = e.start] {
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].ap == ap_id && active_[i].sta == sta_id && active_[i].start == start) {
+        FinishExchange(i);
+        return;
+      }
+    }
+  });
+}
+
+void WifiNetwork::FinishExchange(std::size_t exchange_index) {
+  const Exchange e = active_[exchange_index];
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(exchange_index));
+
+  Ap& ap = aps_[static_cast<std::size_t>(e.ap)];
+  Sta& sta = stas_[static_cast<std::size_t>(e.sta)];
+  ap.transmitting = false;
+  ap.stats.airtime += e.end - e.start;
+
+  if (!e.doomed) {
+    sta.queue_bytes -= std::min(sta.queue_bytes, e.bytes);
+    sta.stats.delivered_bytes += e.bytes;
+    ++sta.stats.exchanges_ok;
+    ap.cw = config_.cw_min;
+    ap.retries = 0;
+    if (on_delivered) on_delivered(e.sta, e.bytes, sim_.Now());
+  } else {
+    ++sta.stats.exchanges_failed;
+    ++ap.stats.collisions;
+    ++ap.retries;
+    ap.cw = std::min(ap.cw * 2 + 1, config_.cw_max);
+    if (ap.retries > config_.max_retries) {
+      // Drop the head A-MPDU and reset contention state.
+      sta.queue_bytes -= std::min(sta.queue_bytes, e.bytes);
+      ++ap.stats.drops;
+      ap.retries = 0;
+      ap.cw = config_.cw_min;
+    }
+  }
+  StartContention(e.ap);
+}
+
+}  // namespace cellfi::wifi

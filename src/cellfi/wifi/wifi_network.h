@@ -1,0 +1,162 @@
+// Event-driven CSMA/CA (DCF) network for 802.11af / 802.11ac comparisons.
+//
+// Models the mechanisms the paper identifies as limiting for long-range
+// Wi-Fi (Sections 3.2, 6.3.4):
+//   * carrier sense + binary exponential backoff (channel-acquisition
+//     overhead grows with range because more nodes share one collision
+//     domain),
+//   * hidden terminals: a transmitter outside carrier-sense range of an
+//     ongoing exchange can still break it at the receiver; RTS/CTS
+//     mitigates by making deferral depend on hearing *either* endpoint,
+//   * exposed terminals: nodes defer to exchanges they could not actually
+//     harm,
+//   * A-MPDU aggregation up to 64 KB within a bounded TX duration,
+//   * ideal SINR-based rate adaptation (as configured in the paper's ns-3).
+//
+// Simplifications (documented in DESIGN.md): an RTS/CTS-protected exchange
+// is modelled as one atomic sequence whose endpoints both count for
+// carrier sense; a collision detected at exchange start wastes only the
+// RTS timeout, later-arriving colliders waste the full exchange.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cellfi/common/rng.h"
+#include "cellfi/radio/environment.h"
+#include "cellfi/sim/event_queue.h"
+#include "cellfi/wifi/phy_rates.h"
+
+namespace cellfi::wifi {
+
+using ApId = int;
+using StaId = int;
+
+struct WifiMacConfig {
+  double channel_width_hz = 20e6;
+  /// 802.11af is a down-clocked VHT PHY (6-8 MHz basic channel units run
+  /// the 802.11ac waveform at ~1/4 clock), so slot, SIFS, DIFS and
+  /// preamble durations all stretch by this factor. 1.0 = 802.11ac,
+  /// ~4.0 = 802.11af. This is the "channel acquisition overhead" that the
+  /// paper identifies as a core long-range CSMA cost.
+  double clock_scale = 1.0;
+  SimTime slot = FromMicroseconds(9);
+  SimTime sifs = FromMicroseconds(16);
+  SimTime difs = FromMicroseconds(34);
+  int cw_min = 15;
+  int cw_max = 1023;
+  int max_retries = 7;
+  bool rts_cts = true;
+  std::uint64_t max_ampdu_bytes = 65'000;  // paper: 65 KB aggregation
+  SimTime max_tx_duration = 4 * kMillisecond;  // 802.11af TX cap (Table 1)
+  /// Preamble-detect carrier-sense threshold for 20 MHz (near MCS0
+  /// sensitivity; -82 dBm is the OBSS energy-detect level); scaled with
+  /// width.
+  double cs_threshold_dbm = -92.0;
+  /// Control frames sizes (bytes) sent at the basic rate.
+  int rts_bytes = 20;
+  int cts_bytes = 14;
+  int back_bytes = 32;
+};
+
+struct StaStats {
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t exchanges_ok = 0;
+  std::uint64_t exchanges_failed = 0;
+  bool associated = false;
+};
+
+struct ApStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t drops = 0;        // retry limit exceeded
+  SimTime airtime = 0;
+};
+
+/// One BSS set + stations, contending on a shared channel.
+class WifiNetwork {
+ public:
+  WifiNetwork(Simulator& sim, RadioEnvironment& env, WifiMacConfig config,
+              std::uint64_t seed = 1);
+
+  ApId AddAp(RadioNodeId radio);
+  /// Adds a station. By default it associates with the strongest AP whose
+  /// link budget closes in both directions; pass `forced_ap` to pin it to
+  /// one AP (independent unplanned networks: clients cannot roam onto a
+  /// stranger's AP even when it is stronger). Association result in
+  /// stats().associated.
+  StaId AddSta(RadioNodeId radio, ApId forced_ap = -1);
+
+  /// Queue downlink bytes for a station at its AP.
+  void OfferDownlink(StaId sta, std::uint64_t bytes);
+
+  /// Fired per delivered A-MPDU.
+  std::function<void(StaId, std::uint64_t bytes, SimTime now)> on_delivered;
+
+  void Start();
+
+  const StaStats& sta_stats(StaId sta) const { return stas_[static_cast<std::size_t>(sta)].stats; }
+  const ApStats& ap_stats(ApId ap) const { return aps_[static_cast<std::size_t>(ap)].stats; }
+  ApId sta_ap(StaId sta) const { return stas_[static_cast<std::size_t>(sta)].ap; }
+  std::size_t ap_count() const { return aps_.size(); }
+  std::size_t sta_count() const { return stas_.size(); }
+
+ private:
+  struct Sta {
+    RadioNodeId radio = 0;
+    ApId ap = -1;
+    std::uint64_t queue_bytes = 0;
+    StaStats stats;
+  };
+
+  struct Exchange {
+    ApId ap = -1;
+    StaId sta = -1;
+    SimTime start = 0;
+    SimTime end = 0;          // full-exchange end
+    SimTime data_start = 0;   // after RTS/CTS
+    std::uint64_t bytes = 0;
+    int mcs = 0;
+    bool doomed = false;
+  };
+
+  struct Ap {
+    RadioNodeId radio = 0;
+    std::vector<StaId> stas;
+    std::size_t rr_cursor = 0;
+    int cw = 15;
+    int retries = 0;
+    bool contending = false;   // a backoff attempt is scheduled
+    bool transmitting = false;
+    ApStats stats;
+  };
+
+  void StartContention(ApId ap);
+  void AttemptTransmit(ApId ap);
+  void FinishExchange(std::size_t exchange_index);
+  StaId NextStaWithData(Ap& ap);
+  bool HasData(const Ap& ap) const;
+
+  /// True if `node` senses the medium busy; fills `busy_until`.
+  bool MediumBusyFor(RadioNodeId node, SimTime* busy_until) const;
+
+  /// SINR of `tx`->`rx` given the other currently active exchanges.
+  double ExchangeSinr(RadioNodeId tx, RadioNodeId rx, std::size_t self_index) const;
+
+  /// Can the new exchange `e` break active exchange `other` (and
+  /// vice-versa)? Marks doomed flags.
+  void ResolveCollisions(std::size_t new_index);
+
+  SimTime ControlFrameTime(int bytes) const;
+
+  Simulator& sim_;
+  RadioEnvironment& env_;
+  WifiMacConfig config_;
+  Rng rng_;
+  std::vector<Ap> aps_;
+  std::vector<Sta> stas_;
+  std::vector<Exchange> active_;  // compacted on completion
+};
+
+}  // namespace cellfi::wifi

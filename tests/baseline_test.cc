@@ -1,0 +1,199 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cellfi/baseline/hopping_game.h"
+#include "cellfi/baseline/oracle_allocator.h"
+#include "cellfi/common/stats.h"
+
+namespace cellfi::baseline {
+namespace {
+
+TEST(OracleTest, IsolatedCellGetsEverything) {
+  OracleInput in;
+  in.num_subchannels = 13;
+  in.clients_per_cell = {5};
+  in.conflicts = {{}};
+  const auto masks = OracleAllocate(in);
+  ASSERT_EQ(masks.size(), 1u);
+  for (bool b : masks[0]) EXPECT_TRUE(b);
+}
+
+TEST(OracleTest, CellWithoutClientsGetsNothing) {
+  OracleInput in;
+  in.num_subchannels = 13;
+  in.clients_per_cell = {0, 4};
+  in.conflicts = {{1}, {0}};
+  const auto masks = OracleAllocate(in);
+  for (bool b : masks[0]) EXPECT_FALSE(b);
+  for (bool b : masks[1]) EXPECT_TRUE(b);  // reuse grows into the whole band
+}
+
+TEST(OracleTest, ConflictingCellsDisjoint) {
+  OracleInput in;
+  in.num_subchannels = 13;
+  in.clients_per_cell = {6, 6};
+  in.conflicts = {{1}, {0}};
+  const auto masks = OracleAllocate(in);
+  for (int s = 0; s < 13; ++s) {
+    EXPECT_FALSE(masks[0][static_cast<std::size_t>(s)] &&
+                 masks[1][static_cast<std::size_t>(s)])
+        << "subchannel " << s << " double-booked";
+  }
+  // Equal weights: the band splits near-evenly and fully.
+  const auto count = [](const std::vector<bool>& m) {
+    int n = 0;
+    for (bool b : m) n += b;
+    return n;
+  };
+  EXPECT_EQ(count(masks[0]) + count(masks[1]), 13);
+  EXPECT_GE(count(masks[0]), 6);
+  EXPECT_GE(count(masks[1]), 6);
+}
+
+TEST(OracleTest, SharesFollowClientWeights) {
+  OracleInput in;
+  in.num_subchannels = 12;
+  in.clients_per_cell = {9, 3};
+  in.conflicts = {{1}, {0}};
+  EXPECT_EQ(OracleFairShare(in, 0), 9);
+  EXPECT_EQ(OracleFairShare(in, 1), 3);
+}
+
+TEST(OracleTest, NonConflictingCellsReuseSpectrum) {
+  // Chain: 0-1 conflict, 1-2 conflict, 0 and 2 independent.
+  OracleInput in;
+  in.num_subchannels = 13;
+  in.clients_per_cell = {6, 6, 6};
+  in.conflicts = {{1}, {0, 2}, {1}};
+  const auto masks = OracleAllocate(in);
+  const auto count = [](const std::vector<bool>& m) {
+    int n = 0;
+    for (bool b : m) n += b;
+    return n;
+  };
+  // 0 and 2 may overlap; total granted exceeds the band size.
+  EXPECT_GT(count(masks[0]) + count(masks[1]) + count(masks[2]), 13);
+  for (int s = 0; s < 13; ++s) {
+    EXPECT_FALSE(masks[0][static_cast<std::size_t>(s)] && masks[1][static_cast<std::size_t>(s)]);
+    EXPECT_FALSE(masks[1][static_cast<std::size_t>(s)] && masks[2][static_cast<std::size_t>(s)]);
+  }
+}
+
+TEST(HoppingGameTest, TrivialInstanceConvergesImmediately) {
+  Rng rng(1);
+  Graph g(3);  // no edges
+  const auto result = RunHoppingGame(g, {2, 2, 2}, {.num_subchannels = 8}, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.rounds, 4);
+}
+
+TEST(HoppingGameTest, AllocationRespectsGraph) {
+  Rng rng(2);
+  Graph g = RandomGraph(12, 0.3, rng);
+  std::vector<int> demands(12, 2);
+  HoppingGameConfig cfg;
+  cfg.num_subchannels = 50;  // generous slack
+  const auto result = RunHoppingGame(g, demands, cfg, rng);
+  ASSERT_TRUE(result.converged);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(result.allocation[v].size(), 2u);
+    for (int u : g[v]) {
+      for (int s : result.allocation[v]) {
+        const auto& other = result.allocation[static_cast<std::size_t>(u)];
+        EXPECT_EQ(std::count(other.begin(), other.end(), s), 0)
+            << "neighbours " << v << " and " << u << " share subchannel " << s;
+      }
+    }
+  }
+}
+
+TEST(HoppingGameTest, DemandSlackComputation) {
+  Graph g(2);
+  g[0] = {1};
+  g[1] = {0};
+  // Neighbourhood sums = 4 + 4 = 8; M = 10 -> gamma = 0.2.
+  EXPECT_NEAR(DemandSlack(g, {4, 4}, 10), 0.2, 1e-12);
+  EXPECT_LT(DemandSlack(g, {6, 6}, 10), 0.0);  // infeasible
+}
+
+TEST(HoppingGameTest, FadingSlowsButDoesNotPreventConvergence) {
+  Rng rng(3);
+  Graph g = RandomGraph(10, 0.3, rng);
+  std::vector<int> demands(10, 1);
+  HoppingGameConfig slow;
+  slow.num_subchannels = 25;
+  slow.fading_probability = 0.6;
+  Summary rounds_fading, rounds_clean;
+  for (int rep = 0; rep < 30; ++rep) {
+    Rng r1(100 + rep), r2(100 + rep);
+    auto with = RunHoppingGame(g, demands, slow, r1);
+    HoppingGameConfig clean = slow;
+    clean.fading_probability = 0.0;
+    auto without = RunHoppingGame(g, demands, clean, r2);
+    ASSERT_TRUE(with.converged);
+    ASSERT_TRUE(without.converged);
+    rounds_fading.Add(with.rounds);
+    rounds_clean.Add(without.rounds);
+  }
+  EXPECT_GT(rounds_fading.mean(), rounds_clean.mean());
+}
+
+// Theorem 1: convergence rounds grow logarithmically with n for fixed M
+// and gamma. Verify the growth from n = 8 to n = 64 is far slower than
+// linear.
+TEST(HoppingGameTest, ConvergenceScalesSubLinearly) {
+  auto mean_rounds = [](int n) {
+    Summary s;
+    for (int rep = 0; rep < 20; ++rep) {
+      Rng rng(static_cast<std::uint64_t>(n * 1000 + rep));
+      // Ring graph: every node has 2 neighbours, demand 2 each ->
+      // neighbourhood sum 6, M = 12 -> gamma = 0.5 independent of n.
+      Graph g(static_cast<std::size_t>(n));
+      for (int v = 0; v < n; ++v) {
+        g[static_cast<std::size_t>(v)] = {(v + 1) % n, (v + n - 1) % n};
+      }
+      const auto result =
+          RunHoppingGame(g, std::vector<int>(static_cast<std::size_t>(n), 2),
+                         {.num_subchannels = 12}, rng);
+      EXPECT_TRUE(result.converged);
+      s.Add(result.rounds);
+    }
+    return s.mean();
+  };
+  const double r8 = mean_rounds(8);
+  const double r64 = mean_rounds(64);
+  EXPECT_LT(r64, r8 * 3.0);  // log growth: ~x2, linear would be x8
+}
+
+// Property sweep: the game always converges when the demand assumption
+// holds, across graph densities and fading levels.
+class HoppingGameSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(HoppingGameSweep, ConvergesUnderDemandAssumption) {
+  const auto [edge_prob, fading] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(edge_prob * 100 + fading * 10 + 1));
+  const int n = 16;
+  Graph g = RandomGraph(n, edge_prob, rng);
+  std::vector<int> demands(static_cast<std::size_t>(n), 1);
+  HoppingGameConfig cfg;
+  // Size M so gamma > 0 even for the densest neighbourhood.
+  int max_neighbourhood = 0;
+  for (const auto& adj : g) {
+    max_neighbourhood = std::max(max_neighbourhood, static_cast<int>(adj.size()) + 1);
+  }
+  cfg.num_subchannels = 2 * max_neighbourhood;
+  cfg.fading_probability = fading;
+  ASSERT_GT(DemandSlack(g, demands, cfg.num_subchannels), 0.0);
+  const auto result = RunHoppingGame(g, demands, cfg, rng);
+  EXPECT_TRUE(result.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityAndFading, HoppingGameSweep,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.6),
+                       ::testing::Values(0.0, 0.3, 0.7)));
+
+}  // namespace
+}  // namespace cellfi::baseline

@@ -1,0 +1,158 @@
+#include "cellfi/common/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cellfi/common/rng.h"
+
+namespace cellfi {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(FftTest, PowerOfTwoPredicate) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(839));
+}
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(839), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1677), 2048u);
+}
+
+TEST(FftTest, DeltaTransformsToConstant) {
+  std::vector<Complex> x(8, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  Fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, kTol);
+    EXPECT_NEAR(v.imag(), 0.0, kTol);
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(7);
+  std::vector<Complex> x(64);
+  for (auto& v : x) v = Complex(rng.Normal(), rng.Normal());
+  auto y = x;
+  Fft(y);
+  Ifft(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(3);
+  std::vector<Complex> x(128);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = Complex(rng.Normal(), rng.Normal());
+    time_energy += std::norm(v);
+  }
+  Fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy, 1e-6);
+}
+
+TEST(FftTest, MatchesNaiveDftOnPowerOfTwo) {
+  Rng rng(11);
+  const std::size_t n = 16;
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.Normal(), rng.Normal());
+
+  std::vector<Complex> naive(n, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t m = 0; m < n; ++m) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k * m) / static_cast<double>(n);
+      naive[k] += x[m] * Complex(std::cos(ang), std::sin(ang));
+    }
+  }
+
+  auto fast = x;
+  Fft(fast);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), naive[k].real(), 1e-8);
+    EXPECT_NEAR(fast[k].imag(), naive[k].imag(), 1e-8);
+  }
+}
+
+TEST(BluesteinTest, MatchesNaiveDftOnPrimeLength) {
+  Rng rng(13);
+  const std::size_t n = 17;
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.Normal(), rng.Normal());
+
+  std::vector<Complex> naive(n, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t m = 0; m < n; ++m) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k * m) / static_cast<double>(n);
+      naive[k] += x[m] * Complex(std::cos(ang), std::sin(ang));
+    }
+  }
+
+  const auto fast = Dft(x);
+  ASSERT_EQ(fast.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), naive[k].real(), 1e-8);
+    EXPECT_NEAR(fast[k].imag(), naive[k].imag(), 1e-8);
+  }
+}
+
+TEST(BluesteinTest, RoundTripLength839) {
+  Rng rng(5);
+  std::vector<Complex> x(839);
+  for (auto& v : x) v = Complex(rng.Normal(), rng.Normal());
+  const auto y = Idft(Dft(x));
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-7);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-7);
+  }
+}
+
+TEST(CorrelateTest, FindsCyclicShift) {
+  // Correlating a sequence with a shifted copy peaks at the shift.
+  Rng rng(9);
+  const std::size_t n = 64;
+  std::vector<Complex> base(n);
+  for (auto& v : base) v = Complex(rng.Normal(), rng.Normal());
+
+  const std::size_t shift = 13;
+  std::vector<Complex> shifted(n);
+  for (std::size_t i = 0; i < n; ++i) shifted[i] = base[(i + n - shift) % n];
+
+  const auto corr = CircularCorrelate(shifted, base);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (std::norm(corr[i]) > std::norm(corr[peak])) peak = i;
+  }
+  EXPECT_EQ(peak, shift);
+}
+
+TEST(CorrelateTest, AnyLengthAgreesWithPowerOfTwoVersion) {
+  Rng rng(21);
+  const std::size_t n = 32;
+  std::vector<Complex> a(n), b(n);
+  for (auto& v : a) v = Complex(rng.Normal(), rng.Normal());
+  for (auto& v : b) v = Complex(rng.Normal(), rng.Normal());
+  const auto c1 = CircularCorrelate(a, b);
+  const auto c2 = CircularCorrelateAny(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(c1[i].real(), c2[i].real(), 1e-7);
+    EXPECT_NEAR(c1[i].imag(), c2[i].imag(), 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace cellfi

@@ -1,0 +1,106 @@
+#include "cellfi/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "cellfi/common/rng.h"
+#include "cellfi/common/table.h"
+#include "cellfi/common/units.h"
+
+namespace cellfi {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(DistributionTest, PercentilesOnKnownData) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.Add(static_cast<double>(i));
+  EXPECT_NEAR(d.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(d.Percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(d.Percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(d.Percentile(0.25), 25.75, 1e-9);
+}
+
+TEST(DistributionTest, CdfMonotone) {
+  Distribution d;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) d.Add(rng.Normal());
+  double prev = -1.0;
+  for (auto [x, p] : d.CdfSeries(40)) {
+    (void)x;
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(d.CdfAt(1e9), 1.0, 1e-12);
+  EXPECT_NEAR(d.CdfAt(-1e9), 0.0, 1e-12);
+}
+
+TEST(DistributionTest, FractionBelowCountsStrictly) {
+  Distribution d;
+  d.Add(1.0);
+  d.Add(1.0);
+  d.Add(2.0);
+  d.Add(3.0);
+  EXPECT_DOUBLE_EQ(d.FractionBelow(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.FractionBelow(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.FractionBelow(100.0), 1.0);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(2);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.Exponential(10.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.3);
+}
+
+TEST(RngTest, ForkProducesDifferentStream) {
+  Rng a(5);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SameSeedReproduces) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(UnitsTest, DbmConversionsRoundTrip) {
+  EXPECT_NEAR(DbmToMw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(DbmToMw(30.0), 1000.0, 1e-9);
+  EXPECT_NEAR(MwToDbm(DbmToMw(-93.7)), -93.7, 1e-9);
+  EXPECT_NEAR(LinearToDb(DbToLinear(13.2)), 13.2, 1e-9);
+}
+
+TEST(UnitsTest, NoiseFloorValues) {
+  // kT over 10 MHz with 7 dB NF: -174 + 70 + 7 = -97 dBm.
+  EXPECT_NEAR(NoisePowerDbm(10e6, 7.0), -97.0, 0.01);
+}
+
+TEST(TableTest, FormatsNumbers) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace cellfi

@@ -1,0 +1,126 @@
+// Channel aggregation (paper Section 7 extension): leasing multiple
+// contiguous TV channels for a wider LTE carrier.
+#include <gtest/gtest.h>
+
+#include "cellfi/core/channel_selector.h"
+
+namespace cellfi::core {
+namespace {
+
+using tvws::Incumbent;
+using tvws::PawsClient;
+using tvws::PawsServer;
+using tvws::Regulatory;
+using tvws::SpectrumDatabase;
+
+const GeoLocation kHere{.latitude = 47.64, .longitude = -122.13};
+
+class AggregationFixture : public ::testing::Test {
+ protected:
+  AggregationFixture()
+      : server_(db_), client_({.serial_number = "agg-ap"}, Regulatory::kUs) {}
+
+  void BlockAllExcept(const std::vector<int>& keep) {
+    for (int ch = 14; ch <= 51; ++ch) {
+      if (std::find(keep.begin(), keep.end(), ch) != keep.end()) continue;
+      db_.AddIncumbent({.id = "b" + std::to_string(ch), .channel = ch,
+                        .location = kHere, .protection_radius_m = 10'000.0});
+    }
+  }
+
+  ChannelSelector Make(int max_channels, const NetworkListenScanner& scanner) {
+    ChannelSelectorConfig cfg;
+    cfg.location = kHere;
+    cfg.max_aggregated_channels = max_channels;
+    return ChannelSelector(sim_, client_, server_, scanner, cfg);
+  }
+
+  Simulator sim_;
+  SpectrumDatabase db_;
+  PawsServer server_;
+  PawsClient client_;
+  QuietScanner quiet_;
+};
+
+TEST_F(AggregationFixture, AggregatesContiguousChannels) {
+  BlockAllExcept({20, 21, 22, 30});
+  auto sel = Make(2, quiet_);
+  sel.Start();
+  sim_.RunUntil(200 * kSecond);
+  ASSERT_EQ(sel.state(), ApRadioState::kOn);
+  ASSERT_EQ(sel.current_channels().size(), 2u);
+  const int a = sel.current_channels()[0].channel.number;
+  const int b = sel.current_channels()[1].channel.number;
+  EXPECT_EQ(std::abs(a - b), 1);  // contiguous
+  EXPECT_DOUBLE_EQ(sel.AggregatedBandwidthHz(), 12e6);  // two US channels
+}
+
+TEST_F(AggregationFixture, CapsAtConfiguredMaximum) {
+  BlockAllExcept({20, 21, 22, 23, 24, 25});
+  auto sel = Make(3, quiet_);
+  sel.Start();
+  sim_.RunUntil(200 * kSecond);
+  EXPECT_EQ(sel.current_channels().size(), 3u);
+}
+
+TEST_F(AggregationFixture, FallsBackToSingleWhenNoNeighbourFree) {
+  BlockAllExcept({20, 30, 40});  // nothing contiguous
+  auto sel = Make(4, quiet_);
+  sel.Start();
+  sim_.RunUntil(200 * kSecond);
+  ASSERT_EQ(sel.state(), ApRadioState::kOn);
+  EXPECT_EQ(sel.current_channels().size(), 1u);
+  EXPECT_DOUBLE_EQ(sel.AggregatedBandwidthHz(), 6e6);
+}
+
+TEST_F(AggregationFixture, DefaultIsSingleChannel) {
+  auto sel = Make(1, quiet_);
+  sel.Start();
+  sim_.RunUntil(200 * kSecond);
+  EXPECT_EQ(sel.current_channels().size(), 1u);
+}
+
+TEST_F(AggregationFixture, LosingSecondaryVacatesBlock) {
+  BlockAllExcept({20, 21});
+  auto sel = Make(2, quiet_);
+  sel.Start();
+  sim_.RunUntil(200 * kSecond);
+  ASSERT_EQ(sel.current_channels().size(), 2u);
+  const int secondary = sel.current_channels()[1].channel.number;
+  db_.AddIncumbent({.id = "mic", .channel = secondary, .location = kHere,
+                    .protection_radius_m = 10'000.0});
+  sim_.RunUntil(210 * kSecond);
+  // Conservative compliance: the whole block goes down, then the AP
+  // reacquires whatever remains (the single surviving channel).
+  EXPECT_TRUE(sel.current_channels().empty() || sel.current_channels().size() == 1u);
+}
+
+TEST_F(AggregationFixture, PowerCapIsMostRestrictive) {
+  BlockAllExcept({20, 21});
+  auto sel = Make(2, quiet_);
+  sel.Start();
+  sim_.RunUntil(200 * kSecond);
+  ASSERT_EQ(sel.current_channels().size(), 2u);
+  EXPECT_DOUBLE_EQ(sel.MaxPowerDbm(), 36.0);  // DB default for fixed devices
+}
+
+class BusyNeighbourScanner final : public NetworkListenScanner {
+ public:
+  double OccupancyScore(int channel) const override { return channel == 21 ? 0.9 : 0.0; }
+  bool IsCellFiOccupied(int) const override { return false; }
+};
+
+TEST_F(AggregationFixture, SkipsBusySecondary) {
+  BlockAllExcept({20, 21, 22});
+  BusyNeighbourScanner scanner;
+  auto sel = Make(2, scanner);
+  sel.Start();
+  sim_.RunUntil(200 * kSecond);
+  ASSERT_EQ(sel.state(), ApRadioState::kOn);
+  for (const auto& a : sel.current_channels()) {
+    EXPECT_NE(a.channel.number, 21) << "must not aggregate a busy channel";
+  }
+}
+
+}  // namespace
+}  // namespace cellfi::core

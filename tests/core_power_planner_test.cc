@@ -1,0 +1,92 @@
+#include "cellfi/core/power_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "cellfi/common/units.h"
+
+namespace cellfi::core {
+namespace {
+
+constexpr double kFreq = 600e6;
+
+TEST(PowerPlannerTest, RequiredEirpMatchesManualBudget) {
+  HataUrbanPathLoss hata(15.0, 1.5);
+  CoverageTarget t;
+  t.range_m = 1000.0;
+  t.edge_snr_db = -6.7;
+  t.bandwidth_hz = 4.5e6;
+  t.noise_figure_db = 7.0;
+  t.shadowing_margin_db = 8.0;
+  const double expected = -6.7 + NoisePowerDbm(4.5e6, 7.0) +
+                          hata.LossDb(1000.0, kFreq) + 8.0;
+  EXPECT_NEAR(RequiredEirpDbm(hata, kFreq, t), expected, 1e-9);
+  // Sanity: a 1 km TVWS cell fits comfortably inside the 36 dBm cap.
+  EXPECT_LT(expected, 36.0);
+}
+
+TEST(PowerPlannerTest, MonotoneInRangeAndSnr) {
+  HataUrbanPathLoss hata;
+  CoverageTarget t;
+  double prev = -1e9;
+  for (double r : {200.0, 500.0, 1000.0, 2000.0}) {
+    t.range_m = r;
+    const double p = RequiredEirpDbm(hata, kFreq, t);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  CoverageTarget lo = t, hi = t;
+  lo.edge_snr_db = -6.7;
+  hi.edge_snr_db = 10.0;
+  EXPECT_GT(RequiredEirpDbm(hata, kFreq, hi), RequiredEirpDbm(hata, kFreq, lo));
+}
+
+TEST(PowerPlannerTest, ClampsToRegulatoryCap) {
+  HataUrbanPathLoss hata;
+  CoverageTarget t;
+  t.range_m = 20'000.0;  // unreachable at TVWS power caps
+  bool achievable = true;
+  const double p = PlanTxPowerDbm(hata, kFreq, t, 36.0, &achievable);
+  EXPECT_DOUBLE_EQ(p, 36.0);
+  EXPECT_FALSE(achievable);
+
+  t.range_m = 500.0;
+  const double q = PlanTxPowerDbm(hata, kFreq, t, 36.0, &achievable);
+  EXPECT_LT(q, 36.0);
+  EXPECT_TRUE(achievable);
+}
+
+TEST(PowerPlannerTest, AchievableRangeInvertsRequiredPower) {
+  HataUrbanPathLoss hata(15.0, 1.5);
+  CoverageTarget t;
+  t.range_m = 900.0;
+  const double eirp = RequiredEirpDbm(hata, kFreq, t);
+  EXPECT_NEAR(AchievableRangeM(hata, kFreq, t, eirp), 900.0, 2.0);
+  // More power, more range; less power, less range.
+  EXPECT_GT(AchievableRangeM(hata, kFreq, t, eirp + 6.0), 900.0);
+  EXPECT_LT(AchievableRangeM(hata, kFreq, t, eirp - 6.0), 900.0);
+}
+
+TEST(PowerPlannerTest, ZeroRangeWhenBudgetHopeless) {
+  FreeSpacePathLoss fs;
+  CoverageTarget t;
+  EXPECT_DOUBLE_EQ(AchievableRangeM(fs, kFreq, t, -100.0), 0.0);
+}
+
+TEST(PowerPlannerTest, MinimumPowerShrinksInterferenceFootprint) {
+  // The point of power planning: serving 500 m instead of blasting 36 dBm
+  // shrinks the distance at which a neighbour still hears you above its
+  // noise floor.
+  HataUrbanPathLoss hata(15.0, 1.5);
+  CoverageTarget t;
+  t.range_m = 500.0;
+  const double planned = PlanTxPowerDbm(hata, kFreq, t, 36.0);
+  CoverageTarget interference;  // where our PSD is still at noise level
+  interference.edge_snr_db = 0.0;
+  interference.shadowing_margin_db = 0.0;
+  const double footprint_planned = AchievableRangeM(hata, kFreq, interference, planned);
+  const double footprint_max = AchievableRangeM(hata, kFreq, interference, 36.0);
+  EXPECT_LT(footprint_planned, footprint_max * 0.8);
+}
+
+}  // namespace
+}  // namespace cellfi::core

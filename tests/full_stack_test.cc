@@ -1,0 +1,101 @@
+// Full-stack integration: spectrum database -> channel selection -> LTE
+// network + CellFi interference management -> traffic -> incumbent
+// arrival -> vacate -> retune -> service resumes. The composition every
+// deployment would run, end to end in one simulator.
+#include <gtest/gtest.h>
+
+#include "cellfi/cellfi.h"
+
+namespace cellfi {
+namespace {
+
+TEST(FullStackTest, LeaseServeVacateRetuneResume) {
+  Simulator sim;
+
+  // --- Spectrum database: two usable channels ------------------------------
+  const tvws::GeoLocation here{.latitude = 47.64, .longitude = -122.13};
+  tvws::SpectrumDatabase db;
+  for (int ch = 14; ch <= 51; ++ch) {
+    if (ch == 21 || ch == 36) continue;
+    db.AddIncumbent({.id = "tv-" + std::to_string(ch), .channel = ch, .location = here,
+                     .protection_radius_m = 100'000});
+  }
+  tvws::PawsServer dbserver(db);
+  tvws::PawsClient dbclient({.serial_number = "fullstack-ap"}, tvws::Regulatory::kUs);
+  core::QuietScanner scanner;
+  core::ChannelSelectorConfig sel_cfg;
+  sel_cfg.location = here;
+  core::ChannelSelector selector(sim, dbclient, dbserver, scanner, sel_cfg);
+
+  // --- Radio + LTE + CellFi -------------------------------------------------
+  HataUrbanPathLoss pathloss;
+  RadioEnvironmentConfig env_cfg;
+  env_cfg.carrier_freq_hz = 600e6;  // retuned below once leased
+  env_cfg.shadowing_sigma_db = 0.0;
+  RadioEnvironment env(pathloss, env_cfg);
+  const RadioNodeId ap = env.AddNode({.position = {0, 0}, .tx_power_dbm = 30.0});
+  const RadioNodeId phone = env.AddNode({.position = {250, 0}, .tx_power_dbm = 20.0});
+
+  lte::LteNetwork net(sim, env, {});
+  net.AddCell(lte::LteMacConfig{}, ap);
+  const lte::UeId ue = net.AddUe(phone);
+  core::CellfiController cellfi(sim, net, {});
+
+  // Couple channel selection to the radio: lease gained -> cell on, lease
+  // lost -> cell silent (the quickstart wiring).
+  int acquisitions = 0;
+  selector.on_channel_acquired = [&](const tvws::ChannelAvailability&) {
+    ++acquisitions;
+    net.SetCellActive(0, true);
+  };
+  selector.on_channel_lost = [&] { net.SetCellActive(0, false); };
+
+  net.SetCellActive(0, false);  // off the air until a lease exists
+  cellfi.Start();
+  selector.Start();
+  net.Start();
+  sim.SchedulePeriodic(500 * kMillisecond, [&] { net.OfferDownlink(ue, 1 << 20); });
+
+  // Phase 1: acquire + serve.
+  sim.RunUntil(200 * kSecond);
+  ASSERT_EQ(selector.state(), core::ApRadioState::kOn);
+  const int first_channel = selector.current_channel()->channel.number;
+  sim.RunUntil(215 * kSecond);
+  const auto* ctx1 = net.ue(ue).serving != lte::kInvalidCell
+                         ? net.cell(net.ue(ue).serving).FindUe(ue)
+                         : nullptr;
+  ASSERT_NE(ctx1, nullptr);
+  const std::uint64_t served_before = ctx1->dl_delivered_bits;
+  EXPECT_GT(served_before, std::uint64_t{20} * 1000 * 1000);
+
+  // Phase 2: a wireless microphone takes the channel in use.
+  db.AddIncumbent({.id = "mic", .channel = first_channel, .location = here,
+                   .protection_radius_m = 1000, .start = sim.Now(), .stop = 0});
+  sim.RunUntil(sim.Now() + 70 * kSecond);
+  // ETSI: the AP must be off or already rebooting onto the other channel.
+  EXPECT_NE(selector.current_channel().has_value() &&
+                selector.current_channel()->channel.number == first_channel,
+            true);
+
+  // Phase 3: the selector retunes to the remaining channel and service
+  // resumes (reboot 96 s + client reacquire 56 s + margin).
+  sim.RunUntil(sim.Now() + 300 * kSecond);
+  ASSERT_EQ(selector.state(), core::ApRadioState::kOn);
+  EXPECT_NE(selector.current_channel()->channel.number, first_channel);
+  EXPECT_EQ(acquisitions, 2);
+
+  const std::uint64_t before_resume =
+      net.cell(net.ue(ue).serving).FindUe(ue) != nullptr
+          ? net.cell(net.ue(ue).serving).FindUe(ue)->dl_delivered_bits
+          : 0;
+  sim.RunUntil(sim.Now() + 10 * kSecond);
+  const auto* ctx2 = net.ue(ue).serving != lte::kInvalidCell
+                         ? net.cell(net.ue(ue).serving).FindUe(ue)
+                         : nullptr;
+  ASSERT_NE(ctx2, nullptr);
+  EXPECT_GT(ctx2->dl_delivered_bits, before_resume)
+      << "service did not resume on the new channel";
+}
+
+}  // namespace
+}  // namespace cellfi

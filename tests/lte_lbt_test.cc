@@ -1,0 +1,119 @@
+// Listen-before-talk (LAA/MulteFire-style) channel access for LTE cells.
+#include <gtest/gtest.h>
+
+#include "cellfi/lte/network.h"
+#include "cellfi/radio/pathloss.h"
+
+namespace cellfi::lte {
+namespace {
+
+class LbtFixture : public ::testing::Test {
+ protected:
+  LbtFixture() : env_(pathloss_, EnvCfg()), net_(sim_, env_, NetCfg()) {}
+
+  static RadioEnvironmentConfig EnvCfg() {
+    RadioEnvironmentConfig c;
+    c.carrier_freq_hz = 600e6;
+    c.shadowing_sigma_db = 0.0;
+    c.enable_fading = false;
+    return c;
+  }
+  static LteNetworkConfig NetCfg() {
+    LteNetworkConfig c;
+    c.seed = 5;
+    return c;
+  }
+
+  CellId AddLbtCellAt(Point p) {
+    LteMacConfig mac;
+    mac.access_mode = AccessMode::kListenBeforeTalk;
+    return net_.AddCell(mac, env_.AddNode({.position = p, .tx_power_dbm = 30.0}));
+  }
+
+  UeId AddUeAt(Point p, CellId force) {
+    return net_.AddUe(env_.AddNode({.position = p, .tx_power_dbm = 20.0}), force);
+  }
+
+  std::uint64_t Delivered(CellId c, UeId ue) {
+    const auto* ctx = net_.cell(c).FindUe(ue);
+    return ctx != nullptr ? ctx->dl_delivered_bits : 0;
+  }
+
+  HataUrbanPathLoss pathloss_;
+  Simulator sim_;
+  RadioEnvironment env_;
+  LteNetwork net_;
+};
+
+TEST_F(LbtFixture, SingleLbtCellDeliversNormally) {
+  const CellId c = AddLbtCellAt({0, 0});
+  const UeId ue = AddUeAt({200, 0}, c);
+  net_.Start();
+  sim_.RunUntil(300 * kMillisecond);
+  net_.OfferDownlink(ue, 8 << 20);
+  sim_.RunUntil(2300 * kMillisecond);
+  // No contender: LBT always finds the channel clear.
+  EXPECT_GT(Delivered(c, ue), 8.0e6);
+}
+
+TEST_F(LbtFixture, TwoLbtCellsInRangeTimeShare) {
+  // 300 m apart: each receives the other far above the -82 dBm ED
+  // threshold, so they must alternate bursts.
+  const CellId a = AddLbtCellAt({0, 0});
+  const CellId b = AddLbtCellAt({300, 0});
+  const UeId ua = AddUeAt({0, 60}, a);
+  const UeId ub = AddUeAt({300, 60}, b);
+  net_.Start();
+  sim_.RunUntil(300 * kMillisecond);
+  net_.OfferDownlink(ua, 64 << 20);
+  net_.OfferDownlink(ub, 64 << 20);
+  sim_.RunUntil(5300 * kMillisecond);
+
+  const double mbps_a = static_cast<double>(Delivered(a, ua)) / 5e6;
+  const double mbps_b = static_cast<double>(Delivered(b, ub)) / 5e6;
+  // Both progress (no deadlock), neither gets the full isolated rate.
+  EXPECT_GT(mbps_a, 1.0);
+  EXPECT_GT(mbps_b, 1.0);
+  EXPECT_LT(mbps_a, 8.0);
+  EXPECT_LT(mbps_b, 8.0);
+  // Rough fairness between identical contenders.
+  EXPECT_LT(std::max(mbps_a, mbps_b) / std::min(mbps_a, mbps_b), 2.5);
+}
+
+TEST_F(LbtFixture, ScheduledCellIgnoresLbtNeighbour) {
+  // A plain-LTE cell never defers: it transmits every subframe even with
+  // an active LBT neighbour (the coexistence asymmetry LAA worries about).
+  LteMacConfig scheduled;
+  const CellId a =
+      net_.AddCell(scheduled, env_.AddNode({.position = {0, 0}, .tx_power_dbm = 30.0}));
+  const CellId b = AddLbtCellAt({300, 0});
+  const UeId ua = AddUeAt({0, 60}, a);
+  const UeId ub = AddUeAt({300, 60}, b);
+  net_.Start();
+  sim_.RunUntil(300 * kMillisecond);
+  net_.OfferDownlink(ua, 64 << 20);
+  net_.OfferDownlink(ub, 64 << 20);
+  sim_.RunUntil(5300 * kMillisecond);
+  // The scheduled cell keeps the channel busy; the polite LBT cell gets
+  // almost nothing.
+  EXPECT_GT(Delivered(a, ua), 4 * Delivered(b, ub));
+}
+
+TEST_F(LbtFixture, HiddenLbtCellsDoNotDefer) {
+  // 3 km apart: below the ED threshold, both transmit continuously.
+  const CellId a = AddLbtCellAt({0, 0});
+  const CellId b = AddLbtCellAt({3000, 0});
+  const UeId ua = AddUeAt({0, 60}, a);
+  const UeId ub = AddUeAt({3000, 60}, b);
+  net_.Start();
+  sim_.RunUntil(300 * kMillisecond);
+  net_.OfferDownlink(ua, 64 << 20);
+  net_.OfferDownlink(ub, 64 << 20);
+  sim_.RunUntil(5300 * kMillisecond);
+  // Full spatial reuse: both near their isolated rate.
+  EXPECT_GT(Delivered(a, ua), 30e6);
+  EXPECT_GT(Delivered(b, ub), 30e6);
+}
+
+}  // namespace
+}  // namespace cellfi::lte

@@ -1,0 +1,246 @@
+// Integration tests: LteNetwork over a real RadioEnvironment.
+#include "cellfi/lte/network.h"
+
+#include <gtest/gtest.h>
+
+#include "cellfi/radio/pathloss.h"
+
+namespace cellfi::lte {
+namespace {
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture() : env_(pathloss_, EnvConfig()), net_(sim_, env_, NetConfig()) {}
+
+  static RadioEnvironmentConfig EnvConfig() {
+    RadioEnvironmentConfig c;
+    c.carrier_freq_hz = 600e6;
+    c.shadowing_sigma_db = 0.0;
+    c.enable_fading = false;
+    c.seed = 7;
+    return c;
+  }
+
+  static LteNetworkConfig NetConfig() {
+    LteNetworkConfig c;
+    c.seed = 11;
+    return c;
+  }
+
+  CellId AddCellAt(Point p, double power_dbm = 30.0) {
+    const RadioNodeId r = env_.AddNode(
+        {.position = p, .antenna = Antenna::Omni(6.0), .tx_power_dbm = power_dbm});
+    LteMacConfig mac;
+    mac.bandwidth = LteBandwidth::k5MHz;
+    mac.tdd_config = 4;
+    return net_.AddCell(mac, r);
+  }
+
+  UeId AddUeAt(Point p) {
+    const RadioNodeId r = env_.AddNode({.position = p, .tx_power_dbm = 20.0});
+    return net_.AddUe(r);
+  }
+
+  double ThroughputMbps(UeId ue, SimTime duration) {
+    std::uint64_t bits = 0;
+    for (std::size_t c = 0; c < net_.cell_count(); ++c) {
+      for (const auto& ctx : net_.cell(static_cast<CellId>(c)).ues()) {
+        if (ctx->id() == ue) bits = ctx->dl_delivered_bits;
+      }
+    }
+    return static_cast<double>(bits) / ToSeconds(duration) / 1e6;
+  }
+
+  HataUrbanPathLoss pathloss_;
+  Simulator sim_;
+  RadioEnvironment env_;
+  LteNetwork net_;
+};
+
+TEST_F(NetworkFixture, SingleCellDeliversBackloggedTraffic) {
+  AddCellAt({0, 0});
+  const UeId ue = AddUeAt({200, 0});
+  net_.OfferDownlink(ue, 1 << 24);  // dropped: not attached yet
+  net_.Start();
+  sim_.RunUntil(200 * kMillisecond);
+  ASSERT_EQ(net_.ue(ue).state, UeState::kConnected);
+  net_.OfferDownlink(ue, 32 << 20);
+  sim_.RunUntil(1200 * kMillisecond);
+  // 5 MHz TDD cfg 4 (7/10 DL), good link: several Mbps.
+  const double mbps = ThroughputMbps(ue, kSecond);
+  EXPECT_GT(mbps, 5.0);
+  EXPECT_LT(mbps, 15.0);
+}
+
+TEST_F(NetworkFixture, NearUeFasterThanFarUe) {
+  AddCellAt({0, 0});
+  const UeId near = AddUeAt({100, 0});
+  const UeId far = AddUeAt({1200, 0});
+  net_.Start();
+  sim_.RunUntil(200 * kMillisecond);
+  net_.OfferDownlink(near, 64 << 20);
+  net_.OfferDownlink(far, 64 << 20);
+  sim_.RunUntil(2200 * kMillisecond);
+  EXPECT_GT(ThroughputMbps(near, 2 * kSecond), ThroughputMbps(far, 2 * kSecond));
+  EXPECT_GT(ThroughputMbps(far, 2 * kSecond), 0.1);  // still served (PF)
+}
+
+TEST_F(NetworkFixture, UeAttachesToStrongestCell) {
+  const CellId c0 = AddCellAt({0, 0});
+  const CellId c1 = AddCellAt({2000, 0});
+  const UeId ue = AddUeAt({1900, 0});
+  net_.Start();
+  sim_.RunUntil(300 * kMillisecond);
+  EXPECT_EQ(net_.ue(ue).serving, c1);
+  EXPECT_EQ(net_.cell(c0).ues().size(), 0u);
+  EXPECT_EQ(net_.cell(c1).ues().size(), 1u);
+}
+
+TEST_F(NetworkFixture, UnreachableUeStaysIdle) {
+  AddCellAt({0, 0});
+  const UeId ue = AddUeAt({30000, 0});
+  net_.Start();
+  sim_.RunUntil(500 * kMillisecond);
+  EXPECT_NE(net_.ue(ue).state, UeState::kConnected);
+}
+
+TEST_F(NetworkFixture, CqiReportsArriveAndReflectDistance) {
+  AddCellAt({0, 0});
+  const UeId near = AddUeAt({100, 0});
+  const UeId far = AddUeAt({1300, 0});
+  int near_cqi = -1, far_cqi = -1;
+  net_.on_cqi_report = [&](CellId, UeId ue, const CqiMeasurement& m) {
+    if (ue == near) near_cqi = m.wideband_cqi;
+    if (ue == far) far_cqi = m.wideband_cqi;
+  };
+  net_.Start();
+  sim_.RunUntil(500 * kMillisecond);
+  ASSERT_GE(near_cqi, 0);
+  ASSERT_GE(far_cqi, 0);
+  EXPECT_GT(near_cqi, far_cqi);
+  EXPECT_EQ(near_cqi, 15);
+}
+
+TEST_F(NetworkFixture, PrachHeardByNeighbouringCell) {
+  const CellId c0 = AddCellAt({0, 0});
+  const CellId c1 = AddCellAt({800, 0});
+  // Attaches to c0; with open-loop PRACH power control a neighbour hears
+  // the preamble only if its path is within ~13 dB of the serving path —
+  // here c1 is 2x farther (11 dB on the Hata slope), so it is counted.
+  const UeId ue = AddUeAt({400, 0});
+  std::vector<PrachObservation> observations;
+  net_.on_prach = [&](const PrachObservation& o) { observations.push_back(o); };
+  net_.Start();
+  sim_.RunUntil(500 * kMillisecond);
+  // Keep the client active: solicitation only covers clients with traffic.
+  sim_.SchedulePeriodic(200 * kMillisecond, [&] { net_.OfferDownlink(ue, 1 << 20); });
+  sim_.RunUntil(3500 * kMillisecond);
+  bool c0_heard = false, c1_heard = false;
+  for (const auto& o : observations) {
+    EXPECT_EQ(o.ue, ue);
+    EXPECT_GE(o.snr_db, -10.0);
+    if (o.observer == c0) c0_heard = true;
+    if (o.observer == c1) c1_heard = true;
+  }
+  EXPECT_TRUE(c0_heard);
+  EXPECT_TRUE(c1_heard);
+  // Solicitation refreshes observations every second while active.
+  EXPECT_GE(observations.size(), 4u);
+}
+
+TEST_F(NetworkFixture, PrachPowerControlHidesDistantClients) {
+  const CellId c1 = AddCellAt({3000, 0});
+  AddCellAt({0, 0});
+  const UeId ue = AddUeAt({100, 0});  // very close to c0, far from c1
+  std::vector<PrachObservation> observations;
+  net_.on_prach = [&](const PrachObservation& o) { observations.push_back(o); };
+  net_.Start();
+  sim_.SchedulePeriodic(200 * kMillisecond, [&] { net_.OfferDownlink(ue, 1 << 20); });
+  sim_.RunUntil(2500 * kMillisecond);
+  for (const auto& o : observations) {
+    EXPECT_NE(o.observer, c1) << "power-controlled preamble must not reach c1";
+  }
+  EXPECT_FALSE(observations.empty());
+}
+
+TEST_F(NetworkFixture, IdleClientsNotSolicited) {
+  AddCellAt({0, 0});
+  const UeId ue = AddUeAt({200, 0});
+  int preambles = 0;
+  net_.on_prach = [&](const PrachObservation&) { ++preambles; };
+  net_.Start();
+  sim_.RunUntil(5 * kSecond);
+  // Only the initial attach preamble: the client never had traffic.
+  EXPECT_LE(preambles, 1);
+  (void)ue;
+}
+
+TEST_F(NetworkFixture, UplinkAckTrafficFlowsAutomatically) {
+  AddCellAt({0, 0});
+  const UeId ue = AddUeAt({200, 0});
+  net_.Start();
+  sim_.RunUntil(200 * kMillisecond);
+  net_.OfferDownlink(ue, 8 << 20);
+  sim_.RunUntil(1200 * kMillisecond);
+  std::uint64_t ul_bits = 0;
+  for (const auto& ctx : net_.cell(net_.ue(ue).serving).ues()) {
+    if (ctx->id() == ue) ul_bits = ctx->ul_delivered_bits;
+  }
+  EXPECT_GT(ul_bits, 0u);  // TCP ACK clocking produced uplink traffic
+}
+
+TEST_F(NetworkFixture, StrongInterferenceWithFullMasksDegradesThroughput) {
+  // Two overlapping cells, both backlogged, full masks (plain LTE): the
+  // cell-edge UE suffers heavy SINR degradation vs. the isolated case.
+  AddCellAt({0, 0});
+  const CellId c1 = AddCellAt({600, 0});
+  const UeId victim = AddUeAt({250, 0});  // edge of c0, close to c1
+  const UeId other = AddUeAt({620, 0});   // c1's own client
+  net_.Start();
+  sim_.RunUntil(200 * kMillisecond);
+  net_.OfferDownlink(victim, 64 << 20);
+  net_.OfferDownlink(other, 64 << 20);
+  sim_.RunUntil(2200 * kMillisecond);
+  const double with_interference = ThroughputMbps(victim, 2 * kSecond);
+
+  // Disjoint subchannel masks (what CellFi IM would converge to) protect it.
+  std::vector<bool> low(13, false), high(13, false);
+  for (int s = 0; s < 13; ++s) (s < 6 ? low : high)[static_cast<std::size_t>(s)] = true;
+  net_.SetAllowedMask(0, low);
+  net_.SetAllowedMask(c1, high);
+  const std::uint64_t before =
+      net_.cell(net_.ue(victim).serving).FindUe(victim)->dl_delivered_bits;
+  net_.OfferDownlink(victim, 64 << 20);
+  net_.OfferDownlink(other, 64 << 20);
+  sim_.RunUntil(4200 * kMillisecond);
+  const std::uint64_t after =
+      net_.cell(net_.ue(victim).serving).FindUe(victim)->dl_delivered_bits;
+  const double with_masks = static_cast<double>(after - before) / 2.0 / 1e6;
+  EXPECT_GT(with_masks, with_interference);
+}
+
+TEST_F(NetworkFixture, DisablingServingCellCausesRlf) {
+  const CellId c0 = AddCellAt({0, 0});
+  AddCellAt({1000, 0});
+  const UeId ue = AddUeAt({100, 0});
+  net_.Start();
+  sim_.RunUntil(300 * kMillisecond);
+  ASSERT_EQ(net_.ue(ue).serving, c0);
+  net_.SetCellActive(c0, false);
+  sim_.RunUntil(5 * kSecond);
+  EXPECT_GE(net_.ue(ue).disconnections, 1u);
+  // The UE eventually reattaches to the remaining cell if reachable.
+  EXPECT_NE(net_.ue(ue).serving, c0);
+}
+
+TEST_F(NetworkFixture, ConnectedTimeAccumulates) {
+  AddCellAt({0, 0});
+  const UeId ue = AddUeAt({100, 0});
+  net_.Start();
+  sim_.RunUntil(1 * kSecond);
+  EXPECT_GT(net_.ue(ue).connected_time, 800 * kMillisecond);
+  EXPECT_LE(net_.ue(ue).connected_time, 1 * kSecond);
+}
+
+}  // namespace
+}  // namespace cellfi::lte

@@ -1,0 +1,216 @@
+#include "cellfi/lte/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "cellfi/lte/enodeb.h"
+#include "cellfi/phy/cqi_mcs.h"
+
+namespace cellfi::lte {
+namespace {
+
+std::vector<int> Cqis(int n, int value) { return std::vector<int>(static_cast<std::size_t>(n), value); }
+
+class SchedulerFixture : public ::testing::Test {
+ protected:
+  static constexpr int kSubchannels = 13;
+
+  UeContext& MakeUe(UeId id, std::uint64_t dl_bytes, int cqi) {
+    ues_.push_back(std::make_unique<UeContext>(id, kSubchannels));
+    ues_.back()->EnqueueDownlink(dl_bytes);
+    ues_.back()->UpdateCqi(cqi, Cqis(kSubchannels, cqi));
+    ptrs_.push_back(ues_.back().get());
+    return *ues_.back();
+  }
+
+  std::vector<bool> AllAllowed() { return std::vector<bool>(kSubchannels, true); }
+
+  std::vector<std::unique_ptr<UeContext>> ues_;
+  std::vector<UeContext*> ptrs_;
+};
+
+TEST_F(SchedulerFixture, PfUsesAllSubchannelsForOneBackloggedUe) {
+  MakeUe(0, 1 << 20, 10);
+  auto sched = MakeScheduler(SchedulerType::kProportionalFair);
+  const auto a = sched->AssignDownlink(ptrs_, AllAllowed());
+  for (int owner : a) EXPECT_EQ(owner, 0);
+}
+
+TEST_F(SchedulerFixture, PfRespectsAllowedMask) {
+  MakeUe(0, 1 << 20, 10);
+  std::vector<bool> mask(kSubchannels, false);
+  mask[2] = mask[5] = true;
+  auto sched = MakeScheduler(SchedulerType::kProportionalFair);
+  const auto a = sched->AssignDownlink(ptrs_, mask);
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    if (s == 2 || s == 5) {
+      EXPECT_EQ(a[s], 0);
+    } else {
+      EXPECT_EQ(a[s], -1);
+    }
+  }
+}
+
+TEST_F(SchedulerFixture, PfSkipsUesWithoutData) {
+  MakeUe(0, 0, 10);
+  MakeUe(1, 1 << 20, 10);
+  auto sched = MakeScheduler(SchedulerType::kProportionalFair);
+  const auto a = sched->AssignDownlink(ptrs_, AllAllowed());
+  for (int owner : a) EXPECT_EQ(owner, 1);
+}
+
+TEST_F(SchedulerFixture, PfFavoursUnderservedUe) {
+  UeContext& a = MakeUe(0, 1 << 20, 10);
+  UeContext& b = MakeUe(1, 1 << 20, 10);
+  // UE 0 has been served heavily, UE 1 starved -> PF must pick UE 1.
+  for (int i = 0; i < 200; ++i) {
+    a.UpdatePfAverage(10000.0, 100.0);
+    b.UpdatePfAverage(0.0, 100.0);
+  }
+  auto sched = MakeScheduler(SchedulerType::kProportionalFair);
+  const auto assign = sched->AssignDownlink(ptrs_, AllAllowed());
+  for (int owner : assign) EXPECT_EQ(owner, 1);
+}
+
+TEST_F(SchedulerFixture, PfPrefersPerSubchannelQuality) {
+  // Two UEs with equal averages but complementary subband CQI: each should
+  // win the subchannels where it is stronger (OFDMA frequency selectivity).
+  UeContext& a = MakeUe(0, 1 << 20, 10);
+  UeContext& b = MakeUe(1, 1 << 20, 10);
+  std::vector<int> cq_a(kSubchannels, 4), cq_b(kSubchannels, 4);
+  for (int s = 0; s < kSubchannels; ++s) (s < 6 ? cq_a : cq_b)[static_cast<std::size_t>(s)] = 14;
+  a.UpdateCqi(9, cq_a);
+  b.UpdateCqi(9, cq_b);
+  auto sched = MakeScheduler(SchedulerType::kProportionalFair);
+  const auto assign = sched->AssignDownlink(ptrs_, AllAllowed());
+  for (int s = 0; s < 6; ++s) EXPECT_EQ(assign[static_cast<std::size_t>(s)], 0) << s;
+  for (int s = 6; s < kSubchannels; ++s) EXPECT_EQ(assign[static_cast<std::size_t>(s)], 1) << s;
+}
+
+TEST_F(SchedulerFixture, HarqRetxClaimsOriginalWidth) {
+  UeContext& a = MakeUe(0, 1 << 20, 10);
+  MakeUe(1, 1 << 20, 15);
+  a.harq_dl().active = true;
+  a.harq_dl().num_subchannels = 4;
+  a.harq_dl().cqi = 10;
+  auto sched = MakeScheduler(SchedulerType::kProportionalFair);
+  const auto assign = sched->AssignDownlink(ptrs_, AllAllowed());
+  int ue0 = 0;
+  for (int owner : assign) {
+    if (owner == 0) ++ue0;
+  }
+  EXPECT_EQ(ue0, 4);  // exactly the retransmission width
+}
+
+TEST_F(SchedulerFixture, UplinkAckOnlyGetsSingleSubchannel) {
+  // Fig. 1(c): a TCP-ACK uplink (66 bytes queued) fits one subchannel.
+  UeContext& a = MakeUe(0, 0, 10);
+  a.EnqueueUplink(66);
+  auto sched = MakeScheduler(SchedulerType::kProportionalFair);
+  const auto assign = sched->AssignUplink(ptrs_, AllAllowed(), 124, 2);
+  int count = 0;
+  for (int owner : assign) {
+    if (owner == 0) ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(SchedulerFixture, UplinkPicksBestSubchannel) {
+  UeContext& a = MakeUe(0, 0, 10);
+  std::vector<int> cq(kSubchannels, 5);
+  cq[7] = 14;
+  a.UpdateCqi(6, cq);
+  a.EnqueueUplink(66);
+  auto sched = MakeScheduler(SchedulerType::kProportionalFair);
+  const auto assign = sched->AssignUplink(ptrs_, AllAllowed(), 124, 2);
+  EXPECT_EQ(assign[7], 0);
+}
+
+TEST_F(SchedulerFixture, UplinkBackloggedFillsBand) {
+  UeContext& a = MakeUe(0, 0, 10);
+  a.EnqueueUplink(1 << 20);
+  auto sched = MakeScheduler(SchedulerType::kProportionalFair);
+  const auto assign = sched->AssignUplink(ptrs_, AllAllowed(), 124, 2);
+  for (int owner : assign) EXPECT_EQ(owner, 0);
+}
+
+TEST_F(SchedulerFixture, RoundRobinSharesAcrossUes) {
+  MakeUe(0, 1 << 20, 10);
+  MakeUe(1, 1 << 20, 10);
+  MakeUe(2, 1 << 20, 10);
+  auto sched = MakeScheduler(SchedulerType::kRoundRobin);
+  std::vector<int> counts(3, 0);
+  for (int round = 0; round < 3; ++round) {
+    const auto assign = sched->AssignDownlink(ptrs_, AllAllowed());
+    for (int owner : assign) {
+      ASSERT_GE(owner, 0);
+      ++counts[static_cast<std::size_t>(owner)];
+    }
+  }
+  // 39 grants over 3 UEs: equal shares.
+  EXPECT_EQ(counts[0], 13);
+  EXPECT_EQ(counts[1], 13);
+  EXPECT_EQ(counts[2], 13);
+}
+
+
+TEST_F(SchedulerFixture, MaxCqiGivesEverythingToBestUe) {
+  UeContext& a = MakeUe(0, 1 << 20, 6);
+  UeContext& b = MakeUe(1, 1 << 20, 14);
+  (void)a;
+  (void)b;
+  auto sched = MakeScheduler(SchedulerType::kMaxCqi);
+  const auto assign = sched->AssignDownlink(ptrs_, AllAllowed());
+  for (int owner : assign) EXPECT_EQ(owner, 1);  // edge UE starves
+}
+
+TEST_F(SchedulerFixture, MaxCqiStillPicksPerSubchannelWinner) {
+  UeContext& a = MakeUe(0, 1 << 20, 8);
+  UeContext& b = MakeUe(1, 1 << 20, 8);
+  std::vector<int> cq_a(kSubchannels, 4), cq_b(kSubchannels, 4);
+  for (int s = 0; s < kSubchannels; ++s) (s % 2 == 0 ? cq_a : cq_b)[static_cast<std::size_t>(s)] = 13;
+  a.UpdateCqi(8, cq_a);
+  b.UpdateCqi(8, cq_b);
+  auto sched = MakeScheduler(SchedulerType::kMaxCqi);
+  const auto assign = sched->AssignDownlink(ptrs_, AllAllowed());
+  for (int s = 0; s < kSubchannels; ++s) {
+    EXPECT_EQ(assign[static_cast<std::size_t>(s)], s % 2 == 0 ? 0 : 1) << s;
+  }
+}
+
+TEST_F(SchedulerFixture, MaxCqiFallsBackWhenBestHasNoData) {
+  MakeUe(0, 0, 15);        // best channel, empty queue
+  MakeUe(1, 1 << 20, 5);   // worse channel, has data
+  auto sched = MakeScheduler(SchedulerType::kMaxCqi);
+  const auto assign = sched->AssignDownlink(ptrs_, AllAllowed());
+  for (int owner : assign) EXPECT_EQ(owner, 1);
+}
+
+TEST_F(SchedulerFixture, RankSubchannelsDescending) {
+  UeContext& a = MakeUe(0, 100, 5);
+  std::vector<int> cq(kSubchannels, 3);
+  cq[4] = 15;
+  cq[9] = 10;
+  a.UpdateCqi(4, cq);
+  const auto ranked = RankSubchannelsByCqi(a, AllAllowed());
+  EXPECT_EQ(ranked[0], 4);
+  EXPECT_EQ(ranked[1], 9);
+}
+
+TEST(AggregateCqiTest, MeanEfficiencyQuantizedDown) {
+  std::vector<int> cq = {15, 1, 1, 1};
+  // Mean efficiency of {15,1} over subchannels {0,1} = (5.55+0.15)/2 = 2.85
+  // -> CQI 10 (2.73) is the largest not exceeding it.
+  EXPECT_EQ(AggregateCqi(cq, {0, 1}), 10);
+  EXPECT_EQ(AggregateCqi(cq, {0}), 15);
+  EXPECT_EQ(AggregateCqi(cq, {1}), 1);
+  EXPECT_EQ(AggregateCqi(cq, {}), 0);
+}
+
+TEST(AggregateCqiTest, ZeroCqiSubchannelDragsDown) {
+  std::vector<int> cq = {0, 0, 0, 6};
+  const int agg = AggregateCqi(cq, {0, 1, 2, 3});
+  EXPECT_LT(agg, 6);
+}
+
+}  // namespace
+}  // namespace cellfi::lte

@@ -1,0 +1,151 @@
+// Signal-level QAM/OFDM chain, and cross-validation of the CQI table's
+// SINR thresholds against raw constellation error rates.
+#include "cellfi/phy/ofdm.h"
+
+#include <gtest/gtest.h>
+
+#include "cellfi/common/stats.h"
+
+namespace cellfi {
+namespace {
+
+std::vector<std::uint8_t> RandomBits(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.Bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+double MeasuredBer(Modulation mod, double snr_db, std::size_t symbols, Rng& rng) {
+  const auto k = static_cast<std::size_t>(BitsPerSymbol(mod));
+  const auto bits = RandomBits(symbols * k, rng);
+  const auto rx = DemodulateQamHard(AddAwgn(ModulateQam(bits, mod), snr_db, rng), mod);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += bits[i] != rx[i];
+  return static_cast<double>(errors) / static_cast<double>(bits.size());
+}
+
+class QamSweep : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(QamSweep, UnitAveragePower) {
+  const Modulation mod = GetParam();
+  Rng rng(3);
+  const auto bits = RandomBits(6000 * static_cast<std::size_t>(BitsPerSymbol(mod)), rng);
+  const auto symbols = ModulateQam(bits, mod);
+  double energy = 0.0;
+  for (const auto& s : symbols) energy += std::norm(s);
+  EXPECT_NEAR(energy / static_cast<double>(symbols.size()), 1.0, 0.03);
+}
+
+TEST_P(QamSweep, NoiselessRoundTrip) {
+  const Modulation mod = GetParam();
+  Rng rng(5);
+  const auto bits = RandomBits(960, rng);
+  EXPECT_EQ(DemodulateQamHard(ModulateQam(bits, mod), mod), bits);
+}
+
+TEST_P(QamSweep, BerMatchesTheory) {
+  const Modulation mod = GetParam();
+  Rng rng(7);
+  // Pick an SNR where BER ~ 1e-2 for a statistically stable comparison.
+  const double snr_db = mod == Modulation::kQpsk ? 7.0
+                        : mod == Modulation::kQam16 ? 13.5
+                                                    : 19.5;
+  const double measured = MeasuredBer(mod, snr_db, 120'000, rng);
+  const double theory = TheoreticalBerQam(mod, snr_db);
+  EXPECT_GT(measured, theory * 0.7);
+  EXPECT_LT(measured, theory * 1.4);
+}
+
+TEST_P(QamSweep, GrayCodingLimitsErrorsPerSymbol) {
+  // At moderate SNR, almost every symbol error flips exactly one bit —
+  // the whole point of Gray mapping. Bit errors / symbol errors ~ 1.
+  const Modulation mod = GetParam();
+  Rng rng(9);
+  const auto k = static_cast<std::size_t>(BitsPerSymbol(mod));
+  const double snr_db = mod == Modulation::kQpsk ? 6.0
+                        : mod == Modulation::kQam16 ? 12.0
+                                                    : 18.0;
+  const auto bits = RandomBits(60'000 * k, rng);
+  const auto rx = DemodulateQamHard(AddAwgn(ModulateQam(bits, mod), snr_db, rng), mod);
+  std::size_t bit_errors = 0, symbol_errors = 0;
+  for (std::size_t s = 0; s < bits.size() / k; ++s) {
+    std::size_t in_symbol = 0;
+    for (std::size_t b = 0; b < k; ++b) in_symbol += bits[s * k + b] != rx[s * k + b];
+    bit_errors += in_symbol;
+    symbol_errors += in_symbol > 0;
+  }
+  ASSERT_GT(symbol_errors, 50u);
+  EXPECT_LT(static_cast<double>(bit_errors) / static_cast<double>(symbol_errors), 1.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modulations, QamSweep,
+                         ::testing::Values(Modulation::kQpsk, Modulation::kQam16,
+                                           Modulation::kQam64));
+
+TEST(OfdmTest, NoiselessRoundTrip) {
+  OfdmParams params;
+  Rng rng(11);
+  const auto bits = RandomBits(static_cast<std::size_t>(params.used_subcarriers) * 2, rng);
+  const auto tx = ModulateQam(bits, Modulation::kQpsk);
+  const auto rx = OfdmDemodulate(params, OfdmModulate(params, tx));
+  ASSERT_EQ(rx.size(), tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i) {
+    EXPECT_NEAR(rx[i].real(), tx[i].real(), 1e-9);
+    EXPECT_NEAR(rx[i].imag(), tx[i].imag(), 1e-9);
+  }
+}
+
+TEST(OfdmTest, CyclicPrefixAbsorbsMultipath) {
+  // Two-tap channel with delay < CP: after OFDM demod the channel is a
+  // per-subcarrier complex scalar, so one-tap ZF equalization is exact.
+  OfdmParams params;
+  Rng rng(13);
+  const auto bits = RandomBits(static_cast<std::size_t>(params.used_subcarriers) * 4, rng);
+  const auto tx = ModulateQam(bits, Modulation::kQam16);
+  const std::vector<Complex> taps = {Complex(0.9, 0.1), Complex(0, 0), Complex(0.3, -0.2)};
+  const auto time = ApplyChannel(OfdmModulate(params, tx), taps);
+  auto rx = OfdmDemodulate(params, time);
+  const auto h = ChannelFrequencyResponse(params, taps);
+  for (std::size_t i = 0; i < rx.size(); ++i) rx[i] /= h[i];
+  EXPECT_EQ(DemodulateQamHard(rx, Modulation::kQam16), bits);
+}
+
+TEST(OfdmTest, DelayBeyondCpBreaksOrthogonality) {
+  OfdmParams params;
+  params.cp_len = 4;
+  Rng rng(17);
+  const auto bits = RandomBits(static_cast<std::size_t>(params.used_subcarriers) * 2, rng);
+  const auto tx = ModulateQam(bits, Modulation::kQpsk);
+  std::vector<Complex> taps(params.cp_len + 30, Complex(0, 0));
+  taps[0] = Complex(1, 0);
+  taps.back() = Complex(0.8, 0.0);  // echo far outside the CP
+  const auto time = ApplyChannel(OfdmModulate(params, tx), taps);
+  auto rx = OfdmDemodulate(params, time);
+  const auto h = ChannelFrequencyResponse(params, taps);
+  for (std::size_t i = 0; i < rx.size(); ++i) rx[i] /= h[i];
+  // ISI shows up as residual error even after per-subcarrier equalization.
+  const auto decoded = DemodulateQamHard(rx, Modulation::kQpsk);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += bits[i] != decoded[i];
+  EXPECT_GT(errors, 0u);
+}
+
+// Cross-validation: at each CQI row's SINR threshold, the raw bit error
+// rate of the row's modulation must be within what the row's code rate can
+// plausibly correct (a rate-r code handles error fractions well below
+// (1-r)/2), and the row above's modulation choice must not be trivially
+// error-free (else the table would be leaving rate on the table).
+TEST(CqiCrossValidationTest, ThresholdsConsistentWithRawBer) {
+  Rng rng(19);
+  for (int cqi = kMinCqi; cqi <= kMaxCqi; ++cqi) {
+    const CqiEntry& e = CqiTable(cqi);
+    const double ber = MeasuredBer(e.modulation, e.sinr_threshold_db, 40'000, rng);
+    const double correctable = (1.0 - e.code_rate) / 2.0;
+    EXPECT_LT(ber, correctable)
+        << "CQI " << cqi << ": raw BER " << ber << " exceeds what rate " << e.code_rate
+        << " coding can correct";
+  }
+}
+
+}  // namespace
+}  // namespace cellfi

@@ -1,0 +1,186 @@
+#include "cellfi/phy/prach.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cellfi {
+namespace {
+
+TEST(ZadoffChuTest, UnitModulus) {
+  const auto seq = ZadoffChu(129, 839);
+  for (const auto& v : seq) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(ZadoffChuTest, IdealPeriodicAutocorrelation) {
+  // CAZAC property: autocorrelation is N at lag 0 and ~0 elsewhere.
+  const auto seq = ZadoffChu(25, 839);
+  const auto corr = CircularCorrelateAny(seq, seq);
+  EXPECT_NEAR(std::abs(corr[0]), 839.0, 1e-6);
+  for (std::size_t lag = 1; lag < corr.size(); ++lag) {
+    EXPECT_LT(std::abs(corr[lag]), 1e-6) << "lag " << lag;
+  }
+}
+
+TEST(ZadoffChuTest, DifferentRootsLowCrossCorrelation) {
+  const auto a = ZadoffChu(25, 839);
+  const auto b = ZadoffChu(129, 839);
+  const auto corr = CircularCorrelateAny(a, b);
+  // Cross-correlation of distinct ZC roots has magnitude sqrt(N).
+  for (const auto& v : corr) EXPECT_LT(std::abs(v), 2.0 * std::sqrt(839.0));
+}
+
+TEST(PrachPreambleTest, CountAndDistinctness) {
+  PrachConfig cfg;
+  EXPECT_EQ(NumPreambles(cfg), 64);  // 839 / 13
+  const auto p0 = GeneratePreamble(cfg, 0);
+  const auto p1 = GeneratePreamble(cfg, 1);
+  double diff = 0;
+  for (std::size_t i = 0; i < p0.size(); ++i) diff += std::abs(p0[i] - p1[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(PrachDetectorTest, DetectsCleanPreamble) {
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  for (int idx : {0, 1, 31, 63}) {
+    const auto d = det.Detect(GeneratePreamble(cfg, idx));
+    EXPECT_TRUE(d.detected);
+    EXPECT_EQ(d.preamble_estimate, idx);
+  }
+}
+
+TEST(PrachDetectorTest, TimingOffsetShiftsPeakNotDetection) {
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  Rng rng(17);
+  const auto preamble = GeneratePreamble(cfg, 5);
+  const auto rx = PassThroughAwgn(preamble, /*timing_offset=*/7, /*snr_db=*/20.0, rng);
+  const auto d = det.Detect(rx);
+  EXPECT_TRUE(d.detected);
+  // Peak lands at shift + timing offset: 5*13 + 7 = 72.
+  EXPECT_EQ(d.shift_estimate, 72);
+}
+
+TEST(PrachDetectorTest, DetectsAtMinus10dB) {
+  // Paper Section 6.3.3: preambles are reliably detectable at -10 dB SNR.
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  Rng rng(23);
+  int detected = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto preamble = GeneratePreamble(cfg, t % NumPreambles(cfg));
+    const auto rx = PassThroughAwgn(preamble, t % 13, -10.0, rng);
+    if (det.Detect(rx).detected) ++detected;
+  }
+  EXPECT_GE(detected, trials * 95 / 100);
+}
+
+TEST(PrachDetectorTest, LowFalseAlarmOnNoise) {
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  Rng rng(29);
+  int false_alarms = 0;
+  for (int t = 0; t < 500; ++t) {
+    if (det.Detect(NoiseOnly(cfg.sequence_length, rng)).detected) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 1);
+}
+
+TEST(PrachDetectorTest, MissesAtVeryLowSnr) {
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  Rng rng(31);
+  int detected = 0;
+  for (int t = 0; t < 100; ++t) {
+    const auto rx = PassThroughAwgn(GeneratePreamble(cfg, 3), 0, -25.0, rng);
+    if (det.Detect(rx).detected) ++detected;
+  }
+  EXPECT_LT(detected, 20);  // -25 dB is beyond the detector's design point
+}
+
+
+TEST(PrachDetectAllTest, FindsThreeSuperimposedPreambles) {
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  Rng rng(41);
+  const std::vector<int> indices = {3, 20, 47};
+  std::vector<Complex> rx(static_cast<std::size_t>(cfg.sequence_length), Complex(0, 0));
+  for (int idx : indices) {
+    const auto p = PassThroughAwgn(GeneratePreamble(cfg, idx), idx % 7, 0.0, rng);
+    for (std::size_t i = 0; i < rx.size(); ++i) rx[i] += p[i];
+  }
+  const auto found = det.DetectAll(rx);
+  ASSERT_EQ(found.size(), indices.size());
+  std::vector<int> got;
+  for (const auto& d : found) got.push_back(d.preamble_estimate);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, indices);
+}
+
+TEST(PrachDetectAllTest, WeakPreambleNotMaskedByStrongOne) {
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  Rng rng(43);
+  // One preamble 15 dB stronger than the other.
+  auto strong = GeneratePreamble(cfg, 10);
+  auto weak = GeneratePreamble(cfg, 40);
+  std::vector<Complex> rx(strong.size());
+  const double weak_amp = std::pow(10.0, -15.0 / 20.0);
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    rx[i] = strong[i] + weak_amp * weak[i];
+  }
+  const auto noisy = PassThroughAwgn(rx, 0, 10.0, rng);  // mild noise on top
+  const auto found = det.DetectAll(noisy);
+  ASSERT_GE(found.size(), 2u);
+  std::vector<int> got;
+  for (const auto& d : found) got.push_back(d.preamble_estimate);
+  EXPECT_NE(std::find(got.begin(), got.end(), 10), got.end());
+  EXPECT_NE(std::find(got.begin(), got.end(), 40), got.end());
+}
+
+TEST(PrachDetectAllTest, SinglePreambleYieldsSingleDetection) {
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  Rng rng(47);
+  const auto rx = PassThroughAwgn(GeneratePreamble(cfg, 5), 2, 0.0, rng);
+  const auto found = det.DetectAll(rx);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].preamble_estimate, 5);
+}
+
+TEST(PrachDetectAllTest, NoiseYieldsNothing) {
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  Rng rng(53);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_TRUE(det.DetectAll(NoiseOnly(cfg.sequence_length, rng)).empty());
+  }
+}
+
+// Detection probability is monotone in SNR across the design range.
+class PrachSnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrachSnrSweep, ReasonableDetectionRate) {
+  const double snr = GetParam();
+  PrachConfig cfg;
+  PrachDetector det(cfg);
+  Rng rng(static_cast<std::uint64_t>(1000 + snr));
+  int detected = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    const auto rx = PassThroughAwgn(GeneratePreamble(cfg, t % 64), t % 5, snr, rng);
+    if (det.Detect(rx).detected) ++detected;
+  }
+  if (snr >= -10.0) {
+    EXPECT_GE(detected, 90);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrPoints, PrachSnrSweep,
+                         ::testing::Values(-14.0, -12.0, -10.0, -6.0, 0.0, 10.0));
+
+}  // namespace
+}  // namespace cellfi

@@ -1,0 +1,243 @@
+// Cross-module parameterized property sweeps: invariants that must hold
+// across whole parameter ranges, not just at the defaults.
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "cellfi/common/fft.h"
+#include "cellfi/common/stats.h"
+#include "cellfi/core/interference_manager.h"
+#include "cellfi/lte/network.h"
+#include "cellfi/phy/cqi_mcs.h"
+#include "cellfi/phy/resource_grid.h"
+#include "cellfi/radio/fading.h"
+#include "cellfi/radio/pathloss.h"
+#include "cellfi/wifi/phy_rates.h"
+
+namespace cellfi {
+namespace {
+
+// ---------------------------------------------------------------- FFT ----
+class FftSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSizeSweep, RoundTripAndParseval) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(GetParam());
+  std::vector<Complex> x(n);
+  double energy = 0.0;
+  for (auto& v : x) {
+    v = Complex(rng.Normal(), rng.Normal());
+    energy += std::norm(v);
+  }
+  const auto y = Idft(Dft(x));
+  double freq_energy = 0.0;
+  for (const auto& v : Dft(x)) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), energy, energy * 1e-9);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-7);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeSweep,
+                         ::testing::Values(2, 3, 5, 17, 64, 120, 839, 1024));
+
+// --------------------------------------------------------------- PHY -----
+class CqiSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CqiSweep, BlerMonotoneAndAnchored) {
+  const int cqi = GetParam();
+  // BLER decreases in SINR and equals 10 % at the table threshold.
+  double prev = 1.0;
+  for (double s = -20.0; s <= 30.0; s += 0.5) {
+    const double b = BlerAt(cqi, s);
+    EXPECT_LE(b, prev + 1e-12);
+    prev = b;
+  }
+  EXPECT_NEAR(BlerAt(cqi, CqiTable(cqi).sinr_threshold_db), 0.1, 1e-9);
+}
+
+TEST_P(CqiSweep, TransportBlockScalesLinearly) {
+  const int cqi = GetParam();
+  const int one = TransportBlockBits(cqi, 1, 124);
+  for (int rbs = 2; rbs <= 100; rbs *= 2) {
+    EXPECT_NEAR(TransportBlockBits(cqi, rbs, 124), rbs * one, rbs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCqis, CqiSweep, ::testing::Range(1, 16));
+
+class BandwidthSweep : public ::testing::TestWithParam<LteBandwidth> {};
+
+TEST_P(BandwidthSweep, GridInvariants) {
+  const ResourceGrid grid(GetParam());
+  EXPECT_EQ(grid.num_subchannels(),
+            (grid.num_rbs() + grid.rbg_size() - 1) / grid.rbg_size());
+  int total_rbs = 0;
+  for (int s = 0; s < grid.num_subchannels(); ++s) {
+    EXPECT_EQ(grid.SubchannelOfRb(grid.SubchannelFirstRb(s)), s);
+    total_rbs += grid.SubchannelRbCount(s);
+  }
+  EXPECT_EQ(total_rbs, grid.num_rbs());
+  EXPECT_GT(grid.DataResourceElementsPerRb(), 0);
+  EXPECT_LT(grid.DataResourceElementsPerRb(), grid.TotalResourceElementsPerRb());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBandwidths, BandwidthSweep,
+                         ::testing::Values(LteBandwidth::k1_4MHz, LteBandwidth::k3MHz,
+                                           LteBandwidth::k5MHz, LteBandwidth::k10MHz,
+                                           LteBandwidth::k15MHz, LteBandwidth::k20MHz));
+
+class TddSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TddSweep, PatternsPartitionTheFrame) {
+  const TddConfig tdd(GetParam());
+  int d = 0, u = 0, s = 0;
+  for (int i = 0; i < 10; ++i) {
+    switch (tdd.TypeOf(i)) {
+      case SubframeType::kDownlink: ++d; break;
+      case SubframeType::kUplink: ++u; break;
+      case SubframeType::kSpecial: ++s; break;
+    }
+  }
+  EXPECT_EQ(d + u + s, 10);
+  EXPECT_EQ(d, tdd.downlink_subframes_per_frame());
+  EXPECT_EQ(u, tdd.uplink_subframes_per_frame());
+  EXPECT_GE(u, 1);  // every TDD config has uplink
+  EXPECT_GE(s, 1);  // and at least one special subframe
+  EXPECT_EQ(tdd.TypeOf(0), SubframeType::kDownlink);  // subframe 0 always DL
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, TddSweep, ::testing::Range(0, 7));
+
+// -------------------------------------------------------------- radio ----
+class RicianSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RicianSweep, UnitMeanAndShrinkingVariance) {
+  const double k = GetParam();
+  FadingProcess fading(11, 50 * kMillisecond, k);
+  Summary s;
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    // Distinct (subchannel, coherence-block) pairs -> independent draws.
+    s.Add(fading.PowerGain(1, 2, i % 13, static_cast<SimTime>(i / 13) * 50 * kMillisecond));
+  }
+  EXPECT_NEAR(s.mean(), 1.0, 0.05);
+  // Rician power variance = (2K+1)/(K+1)^2: 1.0 at K=0, shrinking in K.
+  const double expected_var = (2.0 * k + 1.0) / ((k + 1.0) * (k + 1.0));
+  EXPECT_NEAR(s.variance(), expected_var, 0.15 * expected_var + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(KFactors, RicianSweep, ::testing::Values(0.0, 1.0, 4.0, 10.0));
+
+class PathLossFreqSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PathLossFreqSweep, LossGrowsWithFrequency) {
+  const double f = GetParam();
+  FreeSpacePathLoss fs;
+  HataUrbanPathLoss hata;
+  EXPECT_GT(fs.LossDb(500.0, f * 1.5), fs.LossDb(500.0, f));
+  EXPECT_GT(hata.LossDb(500.0, f * 1.5), hata.LossDb(500.0, f));
+}
+
+INSTANTIATE_TEST_SUITE_P(TvwsBand, PathLossFreqSweep,
+                         ::testing::Values(470e6, 550e6, 650e6, 780e6));
+
+// --------------------------------------------------------------- Wi-Fi ----
+class WifiWidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WifiWidthSweep, RatesScaleWithWidth) {
+  const double width = GetParam();
+  for (int mcs = 0; mcs < wifi::kNumWifiMcs; ++mcs) {
+    EXPECT_NEAR(wifi::PhyRateBps(mcs, width), wifi::PhyRateBps(mcs, 20e6) * width / 20e6, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TvwsWidths, WifiWidthSweep, ::testing::Values(6e6, 8e6, 20e6, 40e6));
+
+// ------------------------------------------------------ CellFi shares ----
+// N symmetric, fully-coupled managers must converge to (near-)disjoint
+// masks whose sizes track S / N, for any N and S.
+class ShareSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShareSweep, SymmetricContendersSplitTheBand) {
+  const auto [num_cells, s_total] = GetParam();
+  const int clients_each = 4;
+  core::InterferenceManagerConfig cfg;
+  cfg.num_subchannels = s_total;
+  std::vector<core::InterferenceManager> managers;
+  for (int c = 0; c < num_cells; ++c) {
+    managers.emplace_back(cfg, 100 + static_cast<std::uint64_t>(c));
+  }
+  core::EpochInputs in;
+  in.own_active_clients = clients_each;
+  in.estimated_contenders = clients_each * num_cells;
+  in.utility.assign(static_cast<std::size_t>(s_total), 1.0);
+  in.free_for_reuse.assign(static_cast<std::size_t>(s_total), false);
+
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    // Pressure on every multiply-owned subchannel.
+    std::vector<int> owners(static_cast<std::size_t>(s_total), 0);
+    for (const auto& m : managers) {
+      for (int s = 0; s < s_total; ++s) owners[static_cast<std::size_t>(s)] += m.mask()[static_cast<std::size_t>(s)];
+    }
+    for (auto& m : managers) {
+      in.interference_pressure.assign(static_cast<std::size_t>(s_total), 0.0);
+      for (int s = 0; s < s_total; ++s) {
+        if (m.mask()[static_cast<std::size_t>(s)] && owners[static_cast<std::size_t>(s)] > 1) {
+          in.interference_pressure[static_cast<std::size_t>(s)] = 1.0;
+        }
+      }
+      m.OnEpoch(in);
+    }
+  }
+
+  const int expected_share = std::max(1, (clients_each * s_total) /
+                                             (clients_each * num_cells));
+  int overlap = 0;
+  int total_owned = 0;
+  std::vector<int> owners(static_cast<std::size_t>(s_total), 0);
+  for (const auto& m : managers) {
+    EXPECT_EQ(m.owned_count(), expected_share);
+    total_owned += m.owned_count();
+    for (int s = 0; s < s_total; ++s) owners[static_cast<std::size_t>(s)] += m.mask()[static_cast<std::size_t>(s)];
+  }
+  for (int o : owners) overlap += std::max(0, o - 1);
+  // Overlap only where the shares cannot fit at all.
+  EXPECT_LE(overlap, std::max(0, total_owned - s_total) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(CellsTimesSubchannels, ShareSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 4, 6),
+                                            ::testing::Values(13, 25)));
+
+// -------------------------------------------------- LTE LA margin --------
+class MarginSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MarginSweep, SingleLinkAlwaysDelivers) {
+  const double margin = GetParam();
+  Simulator sim;
+  static const HataUrbanPathLoss pathloss;
+  RadioEnvironmentConfig env_cfg;
+  env_cfg.carrier_freq_hz = 600e6;
+  env_cfg.shadowing_sigma_db = 0.0;
+  RadioEnvironment env(pathloss, env_cfg);
+  const RadioNodeId ap = env.AddNode({.position = {0, 0}, .tx_power_dbm = 30.0});
+  const RadioNodeId cl = env.AddNode({.position = {400, 0}, .tx_power_dbm = 20.0});
+  lte::LteNetwork net(sim, env, {});
+  lte::LteMacConfig mac;
+  mac.link_adaptation_margin_db = margin;
+  net.AddCell(mac, ap);
+  const lte::UeId ue = net.AddUe(cl);
+  std::uint64_t bits = 0;
+  net.on_dl_delivered = [&](lte::UeId, std::uint64_t b, SimTime) { bits += 8 * b; };
+  sim.SchedulePeriodic(200 * kMillisecond, [&] { net.OfferDownlink(ue, 1 << 20); });
+  net.Start();
+  sim.RunUntil(2 * kSecond);
+  EXPECT_GT(bits, 2e6) << "margin " << margin << " broke the link";
+}
+
+INSTANTIATE_TEST_SUITE_P(Margins, MarginSweep, ::testing::Values(0.0, 1.0, 3.0, 6.0));
+
+}  // namespace
+}  // namespace cellfi

@@ -1,0 +1,194 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cellfi/common/stats.h"
+#include "cellfi/common/units.h"
+#include "cellfi/radio/antenna.h"
+#include "cellfi/radio/environment.h"
+#include "cellfi/radio/fading.h"
+#include "cellfi/radio/pathloss.h"
+
+namespace cellfi {
+namespace {
+
+constexpr double kTvwsFreq = 600e6;
+
+TEST(PathLossTest, FreeSpaceKnownValue) {
+  FreeSpacePathLoss fs;
+  // FSPL(dB) = 20 log10(d) + 20 log10(f) - 147.55; 1 km @ 600 MHz ~ 88.0 dB.
+  EXPECT_NEAR(fs.LossDb(1000.0, kTvwsFreq), 88.0, 0.2);
+}
+
+TEST(PathLossTest, FreeSpaceSlope6dBPerOctave) {
+  FreeSpacePathLoss fs;
+  const double l1 = fs.LossDb(500.0, kTvwsFreq);
+  const double l2 = fs.LossDb(1000.0, kTvwsFreq);
+  EXPECT_NEAR(l2 - l1, 6.02, 0.05);
+}
+
+TEST(PathLossTest, MonotoneInDistance) {
+  const HataUrbanPathLoss hata;
+  const LogDistancePathLoss logd(3.5);
+  const FreeSpacePathLoss fs;
+  double prev_h = 0, prev_l = 0, prev_f = 0;
+  for (double d = 10.0; d <= 3000.0; d *= 1.3) {
+    const double h = hata.LossDb(d, kTvwsFreq);
+    const double l = logd.LossDb(d, kTvwsFreq);
+    const double f = fs.LossDb(d, kTvwsFreq);
+    EXPECT_GT(h, prev_h);
+    EXPECT_GE(l, prev_l);
+    EXPECT_GT(f, prev_f);
+    prev_h = h;
+    prev_l = l;
+    prev_f = f;
+  }
+}
+
+TEST(PathLossTest, HataUrbanMatchesClosedForm) {
+  // 600 MHz, hb = 15 m, hm = 1.5 m: L ~ 125.98 + 37.2 log10(d_km).
+  HataUrbanPathLoss hata(15.0, 1.5, /*small_city=*/true);
+  EXPECT_NEAR(hata.LossDb(1000.0, kTvwsFreq), 126.0, 0.5);
+  EXPECT_NEAR(hata.LossDb(2000.0, kTvwsFreq) - hata.LossDb(1000.0, kTvwsFreq),
+              37.2 * std::log10(2.0), 0.2);
+}
+
+TEST(PathLossTest, HataNeverBelowFreeSpace) {
+  HataUrbanPathLoss hata;
+  FreeSpacePathLoss fs;
+  for (double d : {1.0, 5.0, 20.0, 100.0, 1000.0}) {
+    EXPECT_GE(hata.LossDb(d, kTvwsFreq), fs.LossDb(d, kTvwsFreq) - 1e-9);
+  }
+}
+
+TEST(PathLossTest, PaperRangeBudgetCloses) {
+  // Fig. 1: 36 dBm EIRP reaches ~1.3 km urban with >= 1 Mbps. At 1.3 km the
+  // received power must sit within a few dB of the 5 MHz noise floor.
+  HataUrbanPathLoss hata(15.0, 1.5);
+  const double rx_dbm = 36.0 - hata.LossDb(1300.0, kTvwsFreq);
+  const double noise_dbm = NoisePowerDbm(4.5e6, 7.0);
+  const double snr = rx_dbm - noise_dbm;
+  EXPECT_GT(snr, 0.0);   // link still closes at the lowest MCS
+  EXPECT_LT(snr, 20.0);  // but is clearly power-limited
+}
+
+TEST(AntennaTest, OmniUniform) {
+  const Antenna a = Antenna::Omni(2.0);
+  for (double b = -3.0; b <= 3.0; b += 0.5) EXPECT_DOUBLE_EQ(a.GainDbi(b), 2.0);
+}
+
+TEST(AntennaTest, SectorBoresightAndRolloff) {
+  const double beam = 120.0 * M_PI / 180.0;
+  const Antenna a = Antenna::Sector(6.0, 0.0, beam);
+  EXPECT_DOUBLE_EQ(a.GainDbi(0.0), 6.0);
+  // At the 3 dB half-beamwidth the pattern is 12*(0.5*beam / (0.5*beam))^2
+  // = 12 dB down in the 3GPP parabolic form evaluated at the edge.
+  EXPECT_NEAR(a.GainDbi(beam / 2.0), 6.0 - 12.0, 1e-9);
+  // Behind the antenna the floor applies.
+  EXPECT_NEAR(a.GainDbi(M_PI), 6.0 - 20.0, 1e-9);
+}
+
+TEST(AntennaTest, SectorSymmetric) {
+  const Antenna a = Antenna::Sector(7.0, M_PI / 3.0, 2.0);
+  EXPECT_NEAR(a.GainDbi(M_PI / 3.0 + 0.4), a.GainDbi(M_PI / 3.0 - 0.4), 1e-9);
+}
+
+TEST(FadingTest, ShadowingSymmetricAndStable) {
+  ShadowingField f(99, 6.0);
+  EXPECT_DOUBLE_EQ(f.ShadowDb(3, 8), f.ShadowDb(8, 3));
+  EXPECT_DOUBLE_EQ(f.ShadowDb(3, 8), f.ShadowDb(3, 8));
+  EXPECT_NE(f.ShadowDb(3, 8), f.ShadowDb(3, 9));
+}
+
+TEST(FadingTest, ShadowingStatisticsMatchSigma) {
+  ShadowingField f(7, 6.0);
+  Summary s;
+  for (std::uint32_t i = 0; i < 2000; ++i) s.Add(f.ShadowDb(i, i + 10000));
+  EXPECT_NEAR(s.mean(), 0.0, 0.5);
+  EXPECT_NEAR(s.stddev(), 6.0, 0.5);
+}
+
+TEST(FadingTest, RayleighPowerMeanIsOne) {
+  FadingProcess f(3);
+  Summary s;
+  for (std::uint32_t i = 0; i < 5000; ++i) s.Add(f.PowerGain(1, 2, i, 0));
+  EXPECT_NEAR(s.mean(), 1.0, 0.05);
+}
+
+TEST(FadingTest, ConstantWithinCoherenceBlock) {
+  FadingProcess f(3, 50 * kMillisecond);
+  const double g1 = f.PowerGain(1, 2, 5, 0);
+  const double g2 = f.PowerGain(1, 2, 5, 49 * kMillisecond);
+  const double g3 = f.PowerGain(1, 2, 5, 51 * kMillisecond);
+  EXPECT_DOUBLE_EQ(g1, g2);
+  EXPECT_NE(g1, g3);
+}
+
+TEST(FadingTest, IndependentAcrossSubchannels) {
+  FadingProcess f(3);
+  EXPECT_NE(f.PowerGain(1, 2, 0, 0), f.PowerGain(1, 2, 1, 0));
+}
+
+class EnvironmentTest : public ::testing::Test {
+ protected:
+  EnvironmentTest() : env_(pathloss_, MakeConfig()) {
+    ap_ = env_.AddNode({.position = {0, 0},
+                        .antenna = Antenna::Omni(6.0),
+                        .tx_power_dbm = 30.0});
+    ue_near_ = env_.AddNode({.position = {100, 0}, .tx_power_dbm = 20.0});
+    ue_far_ = env_.AddNode({.position = {1200, 0}, .tx_power_dbm = 20.0});
+    interferer_ = env_.AddNode({.position = {300, 300}, .tx_power_dbm = 30.0});
+  }
+
+  static RadioEnvironmentConfig MakeConfig() {
+    RadioEnvironmentConfig c;
+    c.carrier_freq_hz = kTvwsFreq;
+    c.shadowing_sigma_db = 0.0;  // deterministic for assertions
+    c.enable_fading = false;
+    return c;
+  }
+
+  FreeSpacePathLoss pathloss_;
+  RadioEnvironment env_;
+  RadioNodeId ap_ = 0, ue_near_ = 0, ue_far_ = 0, interferer_ = 0;
+};
+
+TEST_F(EnvironmentTest, LinkGainSymmetric) {
+  EXPECT_DOUBLE_EQ(env_.LinkGainDb(ap_, ue_far_), env_.LinkGainDb(ue_far_, ap_));
+}
+
+TEST_F(EnvironmentTest, NearStrongerThanFar) {
+  EXPECT_GT(env_.MeanRxPowerDbm(ap_, ue_near_), env_.MeanRxPowerDbm(ap_, ue_far_));
+}
+
+TEST_F(EnvironmentTest, SnrDropsWithInterference) {
+  const double snr = env_.SinrDb(ap_, ue_near_, 0, 0, {}, 4.5e6);
+  const double sinr =
+      env_.SinrDb(ap_, ue_near_, 0, 0, {{.node = interferer_, .power_scale = 1.0}}, 4.5e6);
+  EXPECT_GT(snr, sinr);
+}
+
+TEST_F(EnvironmentTest, PartialPowerScaleInterferesLess) {
+  const double full =
+      env_.SinrDb(ap_, ue_near_, 0, 0, {{.node = interferer_, .power_scale = 1.0}}, 4.5e6);
+  const double partial =
+      env_.SinrDb(ap_, ue_near_, 0, 0, {{.node = interferer_, .power_scale = 0.3}}, 4.5e6);
+  EXPECT_GT(partial, full);
+}
+
+TEST_F(EnvironmentTest, InterferenceFromSelfOrSignalIgnored) {
+  const double base = env_.SinrDb(ap_, ue_near_, 0, 0, {}, 4.5e6);
+  const double with_self = env_.SinrDb(
+      ap_, ue_near_, 0, 0,
+      {{.node = ap_, .power_scale = 1.0}, {.node = ue_near_, .power_scale = 1.0}}, 4.5e6);
+  EXPECT_DOUBLE_EQ(base, with_self);
+}
+
+TEST_F(EnvironmentTest, MeanSnrMatchesManualBudget) {
+  const double expected = 30.0 + 6.0 - pathloss_.LossDb(100.0, kTvwsFreq) -
+                          NoisePowerDbm(4.5e6, 7.0);
+  EXPECT_NEAR(env_.MeanSnrDb(ap_, ue_near_, 4.5e6), expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace cellfi

@@ -1,0 +1,107 @@
+// JSON config/report bindings for the scenario harness.
+#include "cellfi/scenario/report.h"
+
+#include <gtest/gtest.h>
+
+namespace cellfi::scenario {
+namespace {
+
+TEST(ReportTest, ConfigRoundTrips) {
+  ScenarioConfig cfg;
+  cfg.tech = Technology::kLaaLte;
+  cfg.workload = WorkloadKind::kWeb;
+  cfg.propagation = PropagationKind::kIndoor5GHz;
+  cfg.topology.num_aps = 7;
+  cfg.topology.clients_per_ap = 3;
+  cfg.topology.client_radius_m = 123.0;
+  cfg.ap_power_dbm = 21.0;
+  cfg.duration = 17 * kSecond;
+  cfg.warmup = 2 * kSecond;
+  cfg.home_ap_association = false;
+  cfg.web.think_time_mean_s = 4.5;
+  cfg.seed = 777;
+
+  const auto parsed = ConfigFromJson(ConfigToJson(cfg));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tech, Technology::kLaaLte);
+  EXPECT_EQ(parsed->workload, WorkloadKind::kWeb);
+  EXPECT_EQ(parsed->propagation, PropagationKind::kIndoor5GHz);
+  EXPECT_EQ(parsed->topology.num_aps, 7);
+  EXPECT_EQ(parsed->topology.clients_per_ap, 3);
+  EXPECT_DOUBLE_EQ(parsed->topology.client_radius_m, 123.0);
+  EXPECT_DOUBLE_EQ(parsed->ap_power_dbm, 21.0);
+  EXPECT_EQ(parsed->duration, 17 * kSecond);
+  EXPECT_FALSE(parsed->home_ap_association);
+  EXPECT_DOUBLE_EQ(parsed->web.think_time_mean_s, 4.5);
+  EXPECT_EQ(parsed->seed, 777u);
+}
+
+TEST(ReportTest, MissingKeysKeepDefaults) {
+  const auto parsed = ConfigFromJsonText(R"({"tech": "lte"})");
+  ASSERT_TRUE(parsed.has_value());
+  const ScenarioConfig defaults;
+  EXPECT_EQ(parsed->tech, Technology::kLte);
+  EXPECT_EQ(parsed->topology.num_aps, defaults.topology.num_aps);
+  EXPECT_EQ(parsed->workload, defaults.workload);
+}
+
+TEST(ReportTest, RejectsInvalidInput) {
+  EXPECT_FALSE(ConfigFromJsonText("not json").has_value());
+  EXPECT_FALSE(ConfigFromJsonText("[1,2]").has_value());
+  EXPECT_FALSE(ConfigFromJsonText(R"({"tech": "wimax"})").has_value());
+  EXPECT_FALSE(ConfigFromJsonText(R"({"workload": "torrent"})").has_value());
+  EXPECT_FALSE(
+      ConfigFromJsonText(R"({"duration_s": 1, "warmup_s": 5})").has_value());
+  EXPECT_FALSE(ConfigFromJsonText(R"({"topology": {"num_aps": 0}})").has_value());
+}
+
+TEST(ReportTest, TechnologyNamesBijective) {
+  for (Technology t : {Technology::kCellFi, Technology::kLte, Technology::kOracle,
+                       Technology::kLaaLte, Technology::kWifi80211af,
+                       Technology::kWifi80211ac}) {
+    const auto back = TechnologyFromName(TechnologyName(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(TechnologyFromName("5g").has_value());
+}
+
+TEST(ReportTest, ResultSerializesAggregatesAndClients) {
+  ScenarioResult result;
+  ClientOutcome a;
+  a.throughput_bps = 2.5e6;
+  a.attached = true;
+  a.starved = false;
+  a.pages_started = 3;
+  a.pages_completed = 2;
+  a.page_load_times_s = {0.5, 1.5};
+  result.clients.push_back(a);
+  result.client_throughput_mbps.Add(2.5);
+  result.fraction_connected = 1.0;
+  result.total_throughput_bps = 2.5e6;
+
+  const json::Value v = ResultToJson(result);
+  EXPECT_DOUBLE_EQ(v.Find("fraction_connected")->as_number(), 1.0);
+  const auto& clients = v.Find("clients")->as_array();
+  ASSERT_EQ(clients.size(), 1u);
+  EXPECT_TRUE(clients[0].Find("attached")->as_bool());
+  EXPECT_EQ(clients[0].Find("page_load_times_s")->as_array().size(), 2u);
+  // The report itself must be parseable JSON.
+  EXPECT_TRUE(json::Parse(v.Dump()).has_value());
+}
+
+TEST(ReportTest, EndToEndTinyRun) {
+  auto cfg = ConfigFromJsonText(R"({
+    "tech": "cellfi",
+    "topology": {"num_aps": 2, "clients_per_ap": 2, "area_m": 800,
+                 "client_radius_m": 200},
+    "duration_s": 5, "warmup_s": 1, "seed": 3
+  })");
+  ASSERT_TRUE(cfg.has_value());
+  const auto result = RunScenario(*cfg);
+  const json::Value report = ResultToJson(result);
+  EXPECT_EQ(report.Find("clients")->as_array().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cellfi::scenario

@@ -1,0 +1,130 @@
+// Scenario-harness tests: small topologies so the full comparison machinery
+// stays fast; the benches run the paper-scale versions.
+#include "cellfi/scenario/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace cellfi::scenario {
+namespace {
+
+TEST(TopologyTest, GeneratesRequestedCounts) {
+  Rng rng(1);
+  TopologyConfig cfg;
+  cfg.num_aps = 8;
+  cfg.clients_per_ap = 5;
+  const Topology topo = GenerateTopology(cfg, rng);
+  EXPECT_EQ(topo.aps.size(), 8u);
+  EXPECT_EQ(topo.clients.size(), 40u);
+  for (const Point& p : topo.aps) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, cfg.area_m);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, cfg.area_m);
+  }
+}
+
+TEST(TopologyTest, ClientsNearTheirHomeAp) {
+  Rng rng(2);
+  TopologyConfig cfg;
+  cfg.client_radius_m = 300.0;
+  const Topology topo = GenerateTopology(cfg, rng);
+  for (std::size_t c = 0; c < topo.clients.size(); ++c) {
+    const Point home = topo.aps[static_cast<std::size_t>(topo.client_home_ap[c])];
+    // Clipping to the area can only bring clients closer.
+    EXPECT_LE(Distance(topo.clients[c], home), cfg.client_radius_m * std::sqrt(2.0) + 1.0);
+  }
+}
+
+TEST(TopologyTest, MinimumSeparationRespectedWhenFeasible) {
+  Rng rng(3);
+  TopologyConfig cfg;
+  cfg.num_aps = 5;
+  cfg.min_ap_separation_m = 400.0;
+  const Topology topo = GenerateTopology(cfg, rng);
+  for (std::size_t a = 0; a < topo.aps.size(); ++a) {
+    for (std::size_t b = a + 1; b < topo.aps.size(); ++b) {
+      EXPECT_GE(Distance(topo.aps[a], topo.aps[b]), cfg.min_ap_separation_m);
+    }
+  }
+}
+
+TEST(TopologyTest, ScalingPreservesShape) {
+  Rng rng(4);
+  const Topology topo = GenerateTopology(TopologyConfig{}, rng);
+  const Topology scaled = ScaleTopology(topo, 0.1);
+  const double d_orig = Distance(topo.aps[0], topo.aps[1]);
+  const double d_scaled = Distance(scaled.aps[0], scaled.aps[1]);
+  EXPECT_NEAR(d_scaled, d_orig * 0.1, 1e-9);
+}
+
+ScenarioConfig SmallConfig(Technology tech, std::uint64_t seed = 11) {
+  ScenarioConfig cfg;
+  cfg.tech = tech;
+  cfg.topology.num_aps = 4;
+  cfg.topology.clients_per_ap = 3;
+  cfg.topology.area_m = 1200.0;
+  cfg.topology.client_radius_m = 350.0;
+  cfg.warmup = 2 * kSecond;
+  cfg.duration = 10 * kSecond;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(HarnessTest, CellFiScenarioProducesService) {
+  const auto result = RunScenario(SmallConfig(Technology::kCellFi));
+  EXPECT_EQ(result.clients.size(), 12u);
+  EXPECT_GT(result.fraction_connected, 0.5);
+  EXPECT_GT(result.total_throughput_bps, 1e6);
+}
+
+TEST(HarnessTest, PlainLteScenarioRuns) {
+  const auto result = RunScenario(SmallConfig(Technology::kLte));
+  EXPECT_EQ(result.clients.size(), 12u);
+  EXPECT_GT(result.total_throughput_bps, 0.0);
+}
+
+TEST(HarnessTest, OracleBeatsOrMatchesPlainLteOnConnectivity) {
+  const auto lte = RunScenario(SmallConfig(Technology::kLte, 23));
+  const auto oracle = RunScenario(SmallConfig(Technology::kOracle, 23));
+  EXPECT_GE(oracle.fraction_connected + 1e-9, lte.fraction_connected);
+}
+
+TEST(HarnessTest, WifiScenarioRuns) {
+  auto cfg = SmallConfig(Technology::kWifi80211af);
+  const auto result = RunScenario(cfg);
+  EXPECT_EQ(result.clients.size(), 12u);
+  EXPECT_GT(result.total_throughput_bps, 0.0);
+}
+
+TEST(HarnessTest, SameSeedReproduces) {
+  const auto a = RunScenario(SmallConfig(Technology::kCellFi, 31));
+  const auto b = RunScenario(SmallConfig(Technology::kCellFi, 31));
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.clients[i].throughput_bps, b.clients[i].throughput_bps);
+  }
+}
+
+TEST(HarnessTest, WebWorkloadCompletesPages) {
+  auto cfg = SmallConfig(Technology::kCellFi, 41);
+  cfg.workload = WorkloadKind::kWeb;
+  cfg.web.think_time_mean_s = 2.0;
+  cfg.duration = 15 * kSecond;
+  const auto result = RunScenario(cfg);
+  int completed = 0;
+  for (const auto& c : result.clients) completed += c.pages_completed;
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(result.page_load_times_s.count(), 0u);
+}
+
+TEST(HarnessTest, IdenticalTopologyAcrossTechnologies) {
+  // RunScenarioOn lets benches hold placement constant across techs.
+  Rng rng(55);
+  const Topology topo = GenerateTopology(SmallConfig(Technology::kLte).topology, rng);
+  const auto a = RunScenarioOn(SmallConfig(Technology::kLte), topo);
+  const auto b = RunScenarioOn(SmallConfig(Technology::kCellFi), topo);
+  EXPECT_EQ(a.clients.size(), b.clients.size());
+}
+
+}  // namespace
+}  // namespace cellfi::scenario

@@ -1,0 +1,132 @@
+#include "cellfi/sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cellfi {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, SameTimestampFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(10, [&] { ++count; });
+  sim.ScheduleAt(20, [&] { ++count; });
+  sim.ScheduleAt(30, [&] { ++count; });
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.Now(), 100);  // advances even past the last event
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelInvalidIdIsNoop) {
+  Simulator sim;
+  sim.Cancel(EventId{});
+  bool fired = false;
+  sim.ScheduleAt(1, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int count = 0;
+  sim.SchedulePeriodic(10, [&] { ++count; });
+  sim.RunUntil(55);
+  EXPECT_EQ(count, 5);  // t = 10, 20, 30, 40, 50
+}
+
+TEST(SimulatorTest, PeriodicCancelStopsChain) {
+  Simulator sim;
+  int count = 0;
+  EventId id = sim.SchedulePeriodic(10, [&] { ++count; });
+  sim.ScheduleAt(35, [&, id] { sim.Cancel(id); });
+  sim.RunUntil(200);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, PeriodicCanCancelItself) {
+  Simulator sim;
+  int count = 0;
+  EventId id;
+  id = sim.SchedulePeriodic(10, [&] {
+    if (++count == 4) sim.Cancel(id);
+  });
+  sim.RunUntil(1000);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(SimulatorTest, EventsScheduledFromEventsRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.ScheduleAfter(1, recurse);
+  };
+  sim.ScheduleAt(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 99);
+}
+
+TEST(SimulatorTest, HasPendingReflectsQueue) {
+  Simulator sim;
+  EXPECT_FALSE(sim.HasPending());
+  sim.ScheduleAt(5, [] {});
+  EXPECT_TRUE(sim.HasPending());
+  sim.Run();
+  EXPECT_FALSE(sim.HasPending());
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(FromSeconds(1.5), 1'500'000'000);
+  EXPECT_EQ(FromMilliseconds(2.0), 2'000'000);
+  EXPECT_EQ(FromMicroseconds(3.0), 3'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(kSecond), 1000.0);
+}
+
+}  // namespace
+}  // namespace cellfi

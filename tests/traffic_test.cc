@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "cellfi/common/stats.h"
+#include "cellfi/traffic/flow_tracker.h"
+#include "cellfi/traffic/web_workload.h"
+
+namespace cellfi::traffic {
+namespace {
+
+TEST(FlowTrackerTest, SingleFlowLifecycle) {
+  FlowTracker tracker;
+  const FlowId id = tracker.StartFlow(1, 1000, 0);
+  tracker.OnDelivered(1, 400, 10 * kMillisecond);
+  EXPECT_FALSE(tracker.flow(id).done());
+  tracker.OnDelivered(1, 600, 30 * kMillisecond);
+  EXPECT_TRUE(tracker.flow(id).done());
+  EXPECT_EQ(tracker.flow(id).completed, 30 * kMillisecond);
+}
+
+TEST(FlowTrackerTest, FifoAttributionAcrossFlows) {
+  FlowTracker tracker;
+  const FlowId a = tracker.StartFlow(1, 500, 0);
+  const FlowId b = tracker.StartFlow(1, 500, 0);
+  tracker.OnDelivered(1, 700, 5 * kMillisecond);
+  EXPECT_TRUE(tracker.flow(a).done());
+  EXPECT_FALSE(tracker.flow(b).done());
+  EXPECT_EQ(tracker.flow(b).delivered, 200u);
+}
+
+TEST(FlowTrackerTest, ClientsIndependent) {
+  FlowTracker tracker;
+  const FlowId a = tracker.StartFlow(1, 100, 0);
+  const FlowId b = tracker.StartFlow(2, 100, 0);
+  tracker.OnDelivered(1, 100, kMillisecond);
+  EXPECT_TRUE(tracker.flow(a).done());
+  EXPECT_FALSE(tracker.flow(b).done());
+}
+
+TEST(FlowTrackerTest, ExcessBytesIgnored) {
+  FlowTracker tracker;
+  tracker.StartFlow(1, 100, 0);
+  tracker.OnDelivered(1, 1000, kMillisecond);
+  tracker.OnDelivered(1, 1000, 2 * kMillisecond);  // no outstanding flows
+  EXPECT_EQ(tracker.flow_count(), 1u);
+}
+
+TEST(FlowTrackerTest, CompletionCallbackFires) {
+  FlowTracker tracker;
+  int completions = 0;
+  tracker.on_flow_complete = [&](const FlowRecord& rec) {
+    EXPECT_EQ(rec.client, 3);
+    ++completions;
+  };
+  tracker.StartFlow(3, 10, 0);
+  tracker.StartFlow(3, 10, 0);
+  tracker.OnDelivered(3, 20, kMillisecond);
+  EXPECT_EQ(completions, 2);
+}
+
+TEST(FlowTrackerTest, CompletionTimesAndStalls) {
+  FlowTracker tracker;
+  tracker.StartFlow(1, 100, 0);
+  tracker.StartFlow(2, 100, 0);
+  tracker.OnDelivered(1, 100, 2 * kSecond);
+  const auto times = tracker.CompletionTimes();
+  ASSERT_EQ(times.count(), 1u);
+  EXPECT_NEAR(times.Mean(), 2.0, 1e-9);
+  EXPECT_EQ(tracker.StalledFlows(10 * kSecond, 5 * kSecond), 1);
+  EXPECT_EQ(tracker.StalledFlows(10 * kSecond, 20 * kSecond), 0);
+}
+
+TEST(WebWorkloadTest, PageShapeIsPlausible) {
+  WebWorkloadConfig cfg;
+  Rng rng(7);
+  Summary objects, page_bytes;
+  for (int i = 0; i < 500; ++i) {
+    const auto page = DrawPage(cfg, rng);
+    EXPECT_GE(page.size(), 1u);
+    EXPECT_LE(page.size(), 100u);
+    std::uint64_t total = 0;
+    for (auto b : page) {
+      EXPECT_GE(b, 200u);
+      total += b;
+    }
+    objects.Add(static_cast<double>(page.size()));
+    page_bytes.Add(static_cast<double>(total));
+  }
+  // Median ~10 objects, mean page in the hundreds of KB (heavy tailed).
+  EXPECT_GT(objects.mean(), 5.0);
+  EXPECT_LT(objects.mean(), 30.0);
+  EXPECT_GT(page_bytes.mean(), 100e3);
+  EXPECT_LT(page_bytes.mean(), 2e6);
+}
+
+TEST(WebSessionTest, PagesCompleteOverFastLink) {
+  Simulator sim;
+  FlowTracker tracker;
+  // Fake network: deliver offered bytes 50 ms later.
+  auto offer = [&](ClientId client, std::uint64_t bytes) {
+    sim.ScheduleAfter(50 * kMillisecond,
+                      [&tracker, client, bytes, &sim] {
+                        tracker.OnDelivered(client, bytes, sim.Now());
+                      });
+  };
+  WebWorkloadConfig cfg;
+  cfg.think_time_mean_s = 0.5;
+  cfg.initial_jitter_s = 0.1;
+  WebSession session(sim, tracker, 1, cfg, offer, Rng(3));
+  tracker.on_flow_complete = [&](const FlowRecord& rec) { session.OnFlowComplete(rec); };
+  session.Start();
+  sim.RunUntil(20 * kSecond);
+  EXPECT_GE(session.pages_completed(), 5);
+  for (double plt : session.page_load_times()) {
+    EXPECT_NEAR(plt, 0.05, 1e-6);  // all objects arrive together
+  }
+}
+
+TEST(WebSessionTest, StalledPageNeverCompletes) {
+  Simulator sim;
+  FlowTracker tracker;
+  WebWorkloadConfig cfg;
+  cfg.initial_jitter_s = 0.01;
+  WebSession session(sim, tracker, 1, cfg, [](ClientId, std::uint64_t) {}, Rng(4));
+  tracker.on_flow_complete = [&](const FlowRecord& rec) { session.OnFlowComplete(rec); };
+  session.Start();
+  sim.RunUntil(30 * kSecond);
+  EXPECT_EQ(session.pages_started(), 1);
+  EXPECT_EQ(session.pages_completed(), 0);
+}
+
+}  // namespace
+}  // namespace cellfi::traffic
