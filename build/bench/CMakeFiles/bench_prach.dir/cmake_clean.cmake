@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prach.dir/bench_prach.cc.o"
+  "CMakeFiles/bench_prach.dir/bench_prach.cc.o.d"
+  "bench_prach"
+  "bench_prach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

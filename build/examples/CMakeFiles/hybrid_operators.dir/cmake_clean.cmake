@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_operators.dir/hybrid_operators.cpp.o"
+  "CMakeFiles/hybrid_operators.dir/hybrid_operators.cpp.o.d"
+  "hybrid_operators"
+  "hybrid_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primary_user.dir/primary_user.cpp.o"
+  "CMakeFiles/primary_user.dir/primary_user.cpp.o.d"
+  "primary_user"
+  "primary_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primary_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rural_coverage.dir/rural_coverage.cpp.o"
+  "CMakeFiles/rural_coverage.dir/rural_coverage.cpp.o.d"
+  "rural_coverage"
+  "rural_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rural_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

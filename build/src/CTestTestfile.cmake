@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("cellfi/common")
+subdirs("cellfi/sim")
+subdirs("cellfi/radio")
+subdirs("cellfi/phy")
+subdirs("cellfi/tvws")
+subdirs("cellfi/wifi")
+subdirs("cellfi/lte")
+subdirs("cellfi/core")
+subdirs("cellfi/baseline")
+subdirs("cellfi/traffic")
+subdirs("cellfi/scenario")

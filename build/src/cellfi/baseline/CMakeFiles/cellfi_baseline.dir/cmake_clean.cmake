@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_baseline.dir/hopping_game.cc.o"
+  "CMakeFiles/cellfi_baseline.dir/hopping_game.cc.o.d"
+  "CMakeFiles/cellfi_baseline.dir/oracle_allocator.cc.o"
+  "CMakeFiles/cellfi_baseline.dir/oracle_allocator.cc.o.d"
+  "libcellfi_baseline.a"
+  "libcellfi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellfi/common/fft.cc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/fft.cc.o" "gcc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/fft.cc.o.d"
+  "/root/repo/src/cellfi/common/json.cc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/json.cc.o" "gcc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/json.cc.o.d"
+  "/root/repo/src/cellfi/common/logging.cc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/logging.cc.o" "gcc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/logging.cc.o.d"
+  "/root/repo/src/cellfi/common/stats.cc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/stats.cc.o" "gcc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/stats.cc.o.d"
+  "/root/repo/src/cellfi/common/table.cc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/table.cc.o" "gcc" "src/cellfi/common/CMakeFiles/cellfi_common.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_common.dir/fft.cc.o"
+  "CMakeFiles/cellfi_common.dir/fft.cc.o.d"
+  "CMakeFiles/cellfi_common.dir/json.cc.o"
+  "CMakeFiles/cellfi_common.dir/json.cc.o.d"
+  "CMakeFiles/cellfi_common.dir/logging.cc.o"
+  "CMakeFiles/cellfi_common.dir/logging.cc.o.d"
+  "CMakeFiles/cellfi_common.dir/stats.cc.o"
+  "CMakeFiles/cellfi_common.dir/stats.cc.o.d"
+  "CMakeFiles/cellfi_common.dir/table.cc.o"
+  "CMakeFiles/cellfi_common.dir/table.cc.o.d"
+  "libcellfi_common.a"
+  "libcellfi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

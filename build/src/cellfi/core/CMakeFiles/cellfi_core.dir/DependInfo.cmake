@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellfi/core/cellfi_controller.cc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/cellfi_controller.cc.o" "gcc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/cellfi_controller.cc.o.d"
+  "/root/repo/src/cellfi/core/channel_selector.cc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/channel_selector.cc.o" "gcc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/channel_selector.cc.o.d"
+  "/root/repo/src/cellfi/core/cqi_detector.cc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/cqi_detector.cc.o" "gcc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/cqi_detector.cc.o.d"
+  "/root/repo/src/cellfi/core/hybrid_controller.cc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/hybrid_controller.cc.o" "gcc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/hybrid_controller.cc.o.d"
+  "/root/repo/src/cellfi/core/interference_manager.cc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/interference_manager.cc.o" "gcc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/interference_manager.cc.o.d"
+  "/root/repo/src/cellfi/core/power_planner.cc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/power_planner.cc.o" "gcc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/power_planner.cc.o.d"
+  "/root/repo/src/cellfi/core/prach_sensor.cc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/prach_sensor.cc.o" "gcc" "src/cellfi/core/CMakeFiles/cellfi_core.dir/prach_sensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellfi/common/CMakeFiles/cellfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/sim/CMakeFiles/cellfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/lte/CMakeFiles/cellfi_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/radio/CMakeFiles/cellfi_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/phy/CMakeFiles/cellfi_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_core.dir/cellfi_controller.cc.o"
+  "CMakeFiles/cellfi_core.dir/cellfi_controller.cc.o.d"
+  "CMakeFiles/cellfi_core.dir/channel_selector.cc.o"
+  "CMakeFiles/cellfi_core.dir/channel_selector.cc.o.d"
+  "CMakeFiles/cellfi_core.dir/cqi_detector.cc.o"
+  "CMakeFiles/cellfi_core.dir/cqi_detector.cc.o.d"
+  "CMakeFiles/cellfi_core.dir/hybrid_controller.cc.o"
+  "CMakeFiles/cellfi_core.dir/hybrid_controller.cc.o.d"
+  "CMakeFiles/cellfi_core.dir/interference_manager.cc.o"
+  "CMakeFiles/cellfi_core.dir/interference_manager.cc.o.d"
+  "CMakeFiles/cellfi_core.dir/power_planner.cc.o"
+  "CMakeFiles/cellfi_core.dir/power_planner.cc.o.d"
+  "CMakeFiles/cellfi_core.dir/prach_sensor.cc.o"
+  "CMakeFiles/cellfi_core.dir/prach_sensor.cc.o.d"
+  "libcellfi_core.a"
+  "libcellfi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellfi/lte/enodeb.cc" "src/cellfi/lte/CMakeFiles/cellfi_lte.dir/enodeb.cc.o" "gcc" "src/cellfi/lte/CMakeFiles/cellfi_lte.dir/enodeb.cc.o.d"
+  "/root/repo/src/cellfi/lte/network.cc" "src/cellfi/lte/CMakeFiles/cellfi_lte.dir/network.cc.o" "gcc" "src/cellfi/lte/CMakeFiles/cellfi_lte.dir/network.cc.o.d"
+  "/root/repo/src/cellfi/lte/scheduler.cc" "src/cellfi/lte/CMakeFiles/cellfi_lte.dir/scheduler.cc.o" "gcc" "src/cellfi/lte/CMakeFiles/cellfi_lte.dir/scheduler.cc.o.d"
+  "/root/repo/src/cellfi/lte/ue_context.cc" "src/cellfi/lte/CMakeFiles/cellfi_lte.dir/ue_context.cc.o" "gcc" "src/cellfi/lte/CMakeFiles/cellfi_lte.dir/ue_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellfi/common/CMakeFiles/cellfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/sim/CMakeFiles/cellfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/radio/CMakeFiles/cellfi_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/phy/CMakeFiles/cellfi_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_lte.dir/enodeb.cc.o"
+  "CMakeFiles/cellfi_lte.dir/enodeb.cc.o.d"
+  "CMakeFiles/cellfi_lte.dir/network.cc.o"
+  "CMakeFiles/cellfi_lte.dir/network.cc.o.d"
+  "CMakeFiles/cellfi_lte.dir/scheduler.cc.o"
+  "CMakeFiles/cellfi_lte.dir/scheduler.cc.o.d"
+  "CMakeFiles/cellfi_lte.dir/ue_context.cc.o"
+  "CMakeFiles/cellfi_lte.dir/ue_context.cc.o.d"
+  "libcellfi_lte.a"
+  "libcellfi_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellfi/phy/cqi_mcs.cc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/cqi_mcs.cc.o" "gcc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/cqi_mcs.cc.o.d"
+  "/root/repo/src/cellfi/phy/cqi_report.cc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/cqi_report.cc.o" "gcc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/cqi_report.cc.o.d"
+  "/root/repo/src/cellfi/phy/harq.cc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/harq.cc.o" "gcc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/harq.cc.o.d"
+  "/root/repo/src/cellfi/phy/ofdm.cc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/ofdm.cc.o" "gcc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/ofdm.cc.o.d"
+  "/root/repo/src/cellfi/phy/prach.cc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/prach.cc.o" "gcc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/prach.cc.o.d"
+  "/root/repo/src/cellfi/phy/resource_grid.cc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/resource_grid.cc.o" "gcc" "src/cellfi/phy/CMakeFiles/cellfi_phy.dir/resource_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellfi/common/CMakeFiles/cellfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

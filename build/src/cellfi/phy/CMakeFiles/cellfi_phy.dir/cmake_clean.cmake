@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_phy.dir/cqi_mcs.cc.o"
+  "CMakeFiles/cellfi_phy.dir/cqi_mcs.cc.o.d"
+  "CMakeFiles/cellfi_phy.dir/cqi_report.cc.o"
+  "CMakeFiles/cellfi_phy.dir/cqi_report.cc.o.d"
+  "CMakeFiles/cellfi_phy.dir/harq.cc.o"
+  "CMakeFiles/cellfi_phy.dir/harq.cc.o.d"
+  "CMakeFiles/cellfi_phy.dir/ofdm.cc.o"
+  "CMakeFiles/cellfi_phy.dir/ofdm.cc.o.d"
+  "CMakeFiles/cellfi_phy.dir/prach.cc.o"
+  "CMakeFiles/cellfi_phy.dir/prach.cc.o.d"
+  "CMakeFiles/cellfi_phy.dir/resource_grid.cc.o"
+  "CMakeFiles/cellfi_phy.dir/resource_grid.cc.o.d"
+  "libcellfi_phy.a"
+  "libcellfi_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

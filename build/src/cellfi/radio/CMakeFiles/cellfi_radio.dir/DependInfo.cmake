@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellfi/radio/antenna.cc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/antenna.cc.o" "gcc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/antenna.cc.o.d"
+  "/root/repo/src/cellfi/radio/environment.cc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/environment.cc.o" "gcc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/environment.cc.o.d"
+  "/root/repo/src/cellfi/radio/fading.cc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/fading.cc.o" "gcc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/fading.cc.o.d"
+  "/root/repo/src/cellfi/radio/mobility.cc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/mobility.cc.o" "gcc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/mobility.cc.o.d"
+  "/root/repo/src/cellfi/radio/pathloss.cc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/pathloss.cc.o" "gcc" "src/cellfi/radio/CMakeFiles/cellfi_radio.dir/pathloss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellfi/common/CMakeFiles/cellfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_radio.dir/antenna.cc.o"
+  "CMakeFiles/cellfi_radio.dir/antenna.cc.o.d"
+  "CMakeFiles/cellfi_radio.dir/environment.cc.o"
+  "CMakeFiles/cellfi_radio.dir/environment.cc.o.d"
+  "CMakeFiles/cellfi_radio.dir/fading.cc.o"
+  "CMakeFiles/cellfi_radio.dir/fading.cc.o.d"
+  "CMakeFiles/cellfi_radio.dir/mobility.cc.o"
+  "CMakeFiles/cellfi_radio.dir/mobility.cc.o.d"
+  "CMakeFiles/cellfi_radio.dir/pathloss.cc.o"
+  "CMakeFiles/cellfi_radio.dir/pathloss.cc.o.d"
+  "libcellfi_radio.a"
+  "libcellfi_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

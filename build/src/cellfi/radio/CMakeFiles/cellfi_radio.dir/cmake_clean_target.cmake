@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcellfi_radio.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_scenario.dir/harness.cc.o"
+  "CMakeFiles/cellfi_scenario.dir/harness.cc.o.d"
+  "CMakeFiles/cellfi_scenario.dir/report.cc.o"
+  "CMakeFiles/cellfi_scenario.dir/report.cc.o.d"
+  "CMakeFiles/cellfi_scenario.dir/topology.cc.o"
+  "CMakeFiles/cellfi_scenario.dir/topology.cc.o.d"
+  "libcellfi_scenario.a"
+  "libcellfi_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

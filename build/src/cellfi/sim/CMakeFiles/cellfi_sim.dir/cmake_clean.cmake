@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cellfi_sim.dir/event_queue.cc.o.d"
+  "libcellfi_sim.a"
+  "libcellfi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

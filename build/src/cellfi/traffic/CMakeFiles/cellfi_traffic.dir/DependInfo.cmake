@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellfi/traffic/flow_tracker.cc" "src/cellfi/traffic/CMakeFiles/cellfi_traffic.dir/flow_tracker.cc.o" "gcc" "src/cellfi/traffic/CMakeFiles/cellfi_traffic.dir/flow_tracker.cc.o.d"
+  "/root/repo/src/cellfi/traffic/web_workload.cc" "src/cellfi/traffic/CMakeFiles/cellfi_traffic.dir/web_workload.cc.o" "gcc" "src/cellfi/traffic/CMakeFiles/cellfi_traffic.dir/web_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellfi/common/CMakeFiles/cellfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/sim/CMakeFiles/cellfi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

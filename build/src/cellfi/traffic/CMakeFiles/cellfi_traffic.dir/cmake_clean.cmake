@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_traffic.dir/flow_tracker.cc.o"
+  "CMakeFiles/cellfi_traffic.dir/flow_tracker.cc.o.d"
+  "CMakeFiles/cellfi_traffic.dir/web_workload.cc.o"
+  "CMakeFiles/cellfi_traffic.dir/web_workload.cc.o.d"
+  "libcellfi_traffic.a"
+  "libcellfi_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_tvws.dir/database.cc.o"
+  "CMakeFiles/cellfi_tvws.dir/database.cc.o.d"
+  "CMakeFiles/cellfi_tvws.dir/paws.cc.o"
+  "CMakeFiles/cellfi_tvws.dir/paws.cc.o.d"
+  "CMakeFiles/cellfi_tvws.dir/types.cc.o"
+  "CMakeFiles/cellfi_tvws.dir/types.cc.o.d"
+  "libcellfi_tvws.a"
+  "libcellfi_tvws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_tvws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

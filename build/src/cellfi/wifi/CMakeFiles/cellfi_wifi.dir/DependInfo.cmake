@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellfi/wifi/phy_rates.cc" "src/cellfi/wifi/CMakeFiles/cellfi_wifi.dir/phy_rates.cc.o" "gcc" "src/cellfi/wifi/CMakeFiles/cellfi_wifi.dir/phy_rates.cc.o.d"
+  "/root/repo/src/cellfi/wifi/wifi_network.cc" "src/cellfi/wifi/CMakeFiles/cellfi_wifi.dir/wifi_network.cc.o" "gcc" "src/cellfi/wifi/CMakeFiles/cellfi_wifi.dir/wifi_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellfi/common/CMakeFiles/cellfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/sim/CMakeFiles/cellfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/radio/CMakeFiles/cellfi_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

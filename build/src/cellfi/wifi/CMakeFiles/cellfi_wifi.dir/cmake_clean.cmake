@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellfi_wifi.dir/phy_rates.cc.o"
+  "CMakeFiles/cellfi_wifi.dir/phy_rates.cc.o.d"
+  "CMakeFiles/cellfi_wifi.dir/wifi_network.cc.o"
+  "CMakeFiles/cellfi_wifi.dir/wifi_network.cc.o.d"
+  "libcellfi_wifi.a"
+  "libcellfi_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellfi_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_fft_test.dir/common_fft_test.cc.o"
+  "CMakeFiles/common_fft_test.dir/common_fft_test.cc.o.d"
+  "common_fft_test"
+  "common_fft_test.pdb"
+  "common_fft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_aggregation_test.dir/core_aggregation_test.cc.o"
+  "CMakeFiles/core_aggregation_test.dir/core_aggregation_test.cc.o.d"
+  "core_aggregation_test"
+  "core_aggregation_test.pdb"
+  "core_aggregation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_asymmetry_test.dir/core_asymmetry_test.cc.o"
+  "CMakeFiles/core_asymmetry_test.dir/core_asymmetry_test.cc.o.d"
+  "core_asymmetry_test"
+  "core_asymmetry_test.pdb"
+  "core_asymmetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_asymmetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_interference_test.dir/core_interference_test.cc.o"
+  "CMakeFiles/core_interference_test.dir/core_interference_test.cc.o.d"
+  "core_interference_test"
+  "core_interference_test.pdb"
+  "core_interference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_interference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_enodeb_test.dir/lte_enodeb_test.cc.o"
+  "CMakeFiles/lte_enodeb_test.dir/lte_enodeb_test.cc.o.d"
+  "lte_enodeb_test"
+  "lte_enodeb_test.pdb"
+  "lte_enodeb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_enodeb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_lbt_test.dir/lte_lbt_test.cc.o"
+  "CMakeFiles/lte_lbt_test.dir/lte_lbt_test.cc.o.d"
+  "lte_lbt_test"
+  "lte_lbt_test.pdb"
+  "lte_lbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_lbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_network_test.dir/lte_network_test.cc.o"
+  "CMakeFiles/lte_network_test.dir/lte_network_test.cc.o.d"
+  "lte_network_test"
+  "lte_network_test.pdb"
+  "lte_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

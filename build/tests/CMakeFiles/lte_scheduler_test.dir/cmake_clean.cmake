@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_scheduler_test.dir/lte_scheduler_test.cc.o"
+  "CMakeFiles/lte_scheduler_test.dir/lte_scheduler_test.cc.o.d"
+  "lte_scheduler_test"
+  "lte_scheduler_test.pdb"
+  "lte_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

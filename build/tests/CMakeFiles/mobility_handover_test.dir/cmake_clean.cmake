@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_handover_test.dir/mobility_handover_test.cc.o"
+  "CMakeFiles/mobility_handover_test.dir/mobility_handover_test.cc.o.d"
+  "mobility_handover_test"
+  "mobility_handover_test.pdb"
+  "mobility_handover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_handover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_grid_mcs_test.dir/phy_grid_mcs_test.cc.o"
+  "CMakeFiles/phy_grid_mcs_test.dir/phy_grid_mcs_test.cc.o.d"
+  "phy_grid_mcs_test"
+  "phy_grid_mcs_test.pdb"
+  "phy_grid_mcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_grid_mcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_ofdm_test.dir/phy_ofdm_test.cc.o"
+  "CMakeFiles/phy_ofdm_test.dir/phy_ofdm_test.cc.o.d"
+  "phy_ofdm_test"
+  "phy_ofdm_test.pdb"
+  "phy_ofdm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_ofdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

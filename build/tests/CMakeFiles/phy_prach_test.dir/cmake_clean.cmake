@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_prach_test.dir/phy_prach_test.cc.o"
+  "CMakeFiles/phy_prach_test.dir/phy_prach_test.cc.o.d"
+  "phy_prach_test"
+  "phy_prach_test.pdb"
+  "phy_prach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_prach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvws_database_test.dir/tvws_database_test.cc.o"
+  "CMakeFiles/tvws_database_test.dir/tvws_database_test.cc.o.d"
+  "tvws_database_test"
+  "tvws_database_test.pdb"
+  "tvws_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvws_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[FullStackTest.LeaseServeVacateRetuneResume]=]  /root/repo/build/tests/full_stack_test [==[--gtest_filter=FullStackTest.LeaseServeVacateRetuneResume]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[FullStackTest.LeaseServeVacateRetuneResume]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  full_stack_test_TESTS FullStackTest.LeaseServeVacateRetuneResume)
