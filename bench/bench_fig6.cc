@@ -22,11 +22,13 @@ int main() {
   Simulator sim;
   SpectrumDatabase db;
   PawsServer server(db);
+  InProcessTransport transport(sim, server);
   PawsClient client({.serial_number = "cellfi-ap-001"}, Regulatory::kUs);
+  PawsSession session(sim, client, transport);
   QuietScanner scanner;
   ChannelSelectorConfig cfg;
   cfg.location = here;
-  ChannelSelector selector(sim, client, server, scanner, cfg);
+  ChannelSelector selector(sim, session, scanner, cfg);
   selector.Start();
 
   // Let the AP come up and the client connect, then script the DB change

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/database_outage.cpp" "examples/CMakeFiles/database_outage.dir/database_outage.cpp.o" "gcc" "examples/CMakeFiles/database_outage.dir/database_outage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellfi/scenario/CMakeFiles/cellfi_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/wifi/CMakeFiles/cellfi_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/core/CMakeFiles/cellfi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/lte/CMakeFiles/cellfi_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/radio/CMakeFiles/cellfi_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/phy/CMakeFiles/cellfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/baseline/CMakeFiles/cellfi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/traffic/CMakeFiles/cellfi_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/sim/CMakeFiles/cellfi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/common/CMakeFiles/cellfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_outage.dir/database_outage.cpp.o"
+  "CMakeFiles/database_outage.dir/database_outage.cpp.o.d"
+  "database_outage"
+  "database_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -261,9 +261,12 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/cellfi/core/channel_selector.h \
+ /root/repo/src/cellfi/sim/timer.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/cellfi/tvws/paws_session.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/cellfi/tvws/paws.h /root/repo/src/cellfi/common/json.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/cellfi/tvws/database.h /root/repo/src/cellfi/tvws/types.h
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/cellfi/tvws/database.h /root/repo/src/cellfi/tvws/types.h \
+ /root/repo/src/cellfi/tvws/paws_transport.h

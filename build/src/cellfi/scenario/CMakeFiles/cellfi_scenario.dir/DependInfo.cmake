@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/cellfi/scenario/harness.cc" "src/cellfi/scenario/CMakeFiles/cellfi_scenario.dir/harness.cc.o" "gcc" "src/cellfi/scenario/CMakeFiles/cellfi_scenario.dir/harness.cc.o.d"
+  "/root/repo/src/cellfi/scenario/outage.cc" "src/cellfi/scenario/CMakeFiles/cellfi_scenario.dir/outage.cc.o" "gcc" "src/cellfi/scenario/CMakeFiles/cellfi_scenario.dir/outage.cc.o.d"
   "/root/repo/src/cellfi/scenario/report.cc" "src/cellfi/scenario/CMakeFiles/cellfi_scenario.dir/report.cc.o" "gcc" "src/cellfi/scenario/CMakeFiles/cellfi_scenario.dir/report.cc.o.d"
   "/root/repo/src/cellfi/scenario/topology.cc" "src/cellfi/scenario/CMakeFiles/cellfi_scenario.dir/topology.cc.o" "gcc" "src/cellfi/scenario/CMakeFiles/cellfi_scenario.dir/topology.cc.o.d"
   )

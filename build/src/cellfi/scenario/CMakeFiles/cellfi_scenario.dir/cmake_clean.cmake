@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/cellfi_scenario.dir/harness.cc.o"
   "CMakeFiles/cellfi_scenario.dir/harness.cc.o.d"
+  "CMakeFiles/cellfi_scenario.dir/outage.cc.o"
+  "CMakeFiles/cellfi_scenario.dir/outage.cc.o.d"
   "CMakeFiles/cellfi_scenario.dir/report.cc.o"
   "CMakeFiles/cellfi_scenario.dir/report.cc.o.d"
   "CMakeFiles/cellfi_scenario.dir/topology.cc.o"

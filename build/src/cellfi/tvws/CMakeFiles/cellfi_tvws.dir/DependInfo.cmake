@@ -10,12 +10,15 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/cellfi/tvws/database.cc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/database.cc.o" "gcc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/database.cc.o.d"
   "/root/repo/src/cellfi/tvws/paws.cc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/paws.cc.o" "gcc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/paws.cc.o.d"
+  "/root/repo/src/cellfi/tvws/paws_session.cc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/paws_session.cc.o" "gcc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/paws_session.cc.o.d"
+  "/root/repo/src/cellfi/tvws/paws_transport.cc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/paws_transport.cc.o" "gcc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/paws_transport.cc.o.d"
   "/root/repo/src/cellfi/tvws/types.cc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/types.cc.o" "gcc" "src/cellfi/tvws/CMakeFiles/cellfi_tvws.dir/types.cc.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/cellfi/common/CMakeFiles/cellfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellfi/sim/CMakeFiles/cellfi_sim.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -3,6 +3,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/cellfi_tvws.dir/database.cc.o.d"
   "CMakeFiles/cellfi_tvws.dir/paws.cc.o"
   "CMakeFiles/cellfi_tvws.dir/paws.cc.o.d"
+  "CMakeFiles/cellfi_tvws.dir/paws_session.cc.o"
+  "CMakeFiles/cellfi_tvws.dir/paws_session.cc.o.d"
+  "CMakeFiles/cellfi_tvws.dir/paws_transport.cc.o"
+  "CMakeFiles/cellfi_tvws.dir/paws_transport.cc.o.d"
   "CMakeFiles/cellfi_tvws.dir/types.cc.o"
   "CMakeFiles/cellfi_tvws.dir/types.cc.o.d"
   "libcellfi_tvws.a"

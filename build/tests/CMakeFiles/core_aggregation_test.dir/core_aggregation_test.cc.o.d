@@ -299,11 +299,11 @@ tests/CMakeFiles/core_aggregation_test.dir/core_aggregation_test.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/cellfi/common/time.h /root/repo/src/cellfi/tvws/paws.h \
- /root/repo/src/cellfi/common/json.h \
- /root/repo/src/cellfi/tvws/database.h /root/repo/src/cellfi/tvws/types.h \
- /root/repo/src/cellfi/common/units.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/cellfi/common/time.h /root/repo/src/cellfi/sim/timer.h \
+ /root/repo/src/cellfi/tvws/paws_session.h \
+ /root/repo/src/cellfi/common/rng.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -323,4 +323,13 @@ tests/CMakeFiles/core_aggregation_test.dir/core_aggregation_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/bits/random.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/cellfi/tvws/paws.h /root/repo/src/cellfi/common/json.h \
+ /root/repo/src/cellfi/tvws/database.h /root/repo/src/cellfi/tvws/types.h \
+ /root/repo/src/cellfi/common/units.h \
+ /root/repo/src/cellfi/tvws/paws_transport.h

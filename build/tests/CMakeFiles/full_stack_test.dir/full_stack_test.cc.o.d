@@ -336,7 +336,7 @@ tests/CMakeFiles/full_stack_test.dir/full_stack_test.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/cellfi/radio/antenna.h \
+ /root/repo/src/cellfi/sim/timer.h /root/repo/src/cellfi/radio/antenna.h \
  /root/repo/src/cellfi/radio/environment.h \
  /root/repo/src/cellfi/radio/fading.h \
  /root/repo/src/cellfi/radio/pathloss.h \
@@ -346,7 +346,10 @@ tests/CMakeFiles/full_stack_test.dir/full_stack_test.cc.o: \
  /root/repo/src/cellfi/phy/ofdm.h /root/repo/src/cellfi/phy/prach.h \
  /root/repo/src/cellfi/phy/resource_grid.h \
  /root/repo/src/cellfi/tvws/database.h /root/repo/src/cellfi/tvws/types.h \
- /root/repo/src/cellfi/tvws/paws.h /root/repo/src/cellfi/wifi/phy_rates.h \
+ /root/repo/src/cellfi/tvws/paws.h \
+ /root/repo/src/cellfi/tvws/paws_session.h \
+ /root/repo/src/cellfi/tvws/paws_transport.h \
+ /root/repo/src/cellfi/wifi/phy_rates.h \
  /root/repo/src/cellfi/wifi/wifi_network.h \
  /root/repo/src/cellfi/lte/enodeb.h /root/repo/src/cellfi/lte/scheduler.h \
  /root/repo/src/cellfi/lte/types.h /root/repo/src/cellfi/lte/ue_context.h \
@@ -364,4 +367,5 @@ tests/CMakeFiles/full_stack_test.dir/full_stack_test.cc.o: \
  /root/repo/src/cellfi/traffic/web_workload.h \
  /root/repo/src/cellfi/scenario/harness.h \
  /root/repo/src/cellfi/scenario/topology.h \
+ /root/repo/src/cellfi/scenario/outage.h \
  /root/repo/src/cellfi/scenario/report.h

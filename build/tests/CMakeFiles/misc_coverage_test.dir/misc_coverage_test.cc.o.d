@@ -259,6 +259,8 @@ tests/CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/cellfi/sim/timer.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/cellfi/radio/antenna.h \
  /root/repo/src/cellfi/radio/environment.h \
  /root/repo/src/cellfi/radio/fading.h \
@@ -269,7 +271,10 @@ tests/CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cc.o: \
  /root/repo/src/cellfi/phy/ofdm.h /root/repo/src/cellfi/phy/prach.h \
  /root/repo/src/cellfi/phy/resource_grid.h \
  /root/repo/src/cellfi/tvws/database.h /root/repo/src/cellfi/tvws/types.h \
- /root/repo/src/cellfi/tvws/paws.h /root/repo/src/cellfi/wifi/phy_rates.h \
+ /root/repo/src/cellfi/tvws/paws.h \
+ /root/repo/src/cellfi/tvws/paws_session.h \
+ /root/repo/src/cellfi/tvws/paws_transport.h \
+ /root/repo/src/cellfi/wifi/phy_rates.h \
  /root/repo/src/cellfi/wifi/wifi_network.h \
  /root/repo/src/cellfi/lte/enodeb.h /root/repo/src/cellfi/lte/scheduler.h \
  /root/repo/src/cellfi/lte/types.h /root/repo/src/cellfi/lte/ue_context.h \
@@ -287,6 +292,7 @@ tests/CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cc.o: \
  /root/repo/src/cellfi/traffic/web_workload.h \
  /root/repo/src/cellfi/scenario/harness.h \
  /root/repo/src/cellfi/scenario/topology.h \
+ /root/repo/src/cellfi/scenario/outage.h \
  /root/repo/src/cellfi/scenario/report.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
@@ -355,7 +361,6 @@ tests/CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cc.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvws_session_test.dir/tvws_session_test.cc.o"
+  "CMakeFiles/tvws_session_test.dir/tvws_session_test.cc.o.d"
+  "tvws_session_test"
+  "tvws_session_test.pdb"
+  "tvws_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvws_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -23,11 +23,13 @@ int main() {
                      .location = venue, .protection_radius_m = 100'000});
   }
   PawsServer server(db);
+  InProcessTransport transport(sim, server);
   PawsClient client({.serial_number = "cellfi-ap-7"}, Regulatory::kUs);
+  PawsSession session(sim, client, transport);
   QuietScanner scanner;
   ChannelSelectorConfig cfg;
   cfg.location = venue;
-  ChannelSelector ap(sim, client, server, scanner, cfg);
+  ChannelSelector ap(sim, session, scanner, cfg);
   ap.Start();
 
   sim.RunUntil(200 * kSecond);

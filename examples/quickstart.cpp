@@ -23,11 +23,13 @@ int main() {
   db.AddIncumbent({.id = "tv-station", .channel = 14,
                    .location = {47.60, -122.30}, .protection_radius_m = 50'000});
   tvws::PawsServer dbserver(db);
+  tvws::InProcessTransport transport(sim, dbserver);
   tvws::PawsClient dbclient({.serial_number = "quickstart-ap"}, tvws::Regulatory::kUs);
+  tvws::PawsSession session(sim, dbclient, transport);
   core::QuietScanner scanner;
   core::ChannelSelectorConfig sel_cfg;
   sel_cfg.location = {47.64, -122.13};  // inside the TV station's contour
-  core::ChannelSelector selector(sim, dbclient, dbserver, scanner, sel_cfg);
+  core::ChannelSelector selector(sim, session, scanner, sel_cfg);
   selector.Start();
   sim.RunUntil(200 * kSecond);  // AP boot + client cell search
 

@@ -29,6 +29,7 @@
 #include "cellfi/common/units.h"
 
 #include "cellfi/sim/event_queue.h"
+#include "cellfi/sim/timer.h"
 
 #include "cellfi/radio/antenna.h"
 #include "cellfi/radio/environment.h"
@@ -45,6 +46,8 @@
 
 #include "cellfi/tvws/database.h"
 #include "cellfi/tvws/paws.h"
+#include "cellfi/tvws/paws_session.h"
+#include "cellfi/tvws/paws_transport.h"
 #include "cellfi/tvws/types.h"
 
 #include "cellfi/wifi/phy_rates.h"
@@ -71,5 +74,6 @@
 #include "cellfi/traffic/web_workload.h"
 
 #include "cellfi/scenario/harness.h"
+#include "cellfi/scenario/outage.h"
 #include "cellfi/scenario/report.h"
 #include "cellfi/scenario/topology.h"

@@ -5,46 +5,86 @@
 
 namespace cellfi::core {
 
-ChannelSelector::ChannelSelector(Simulator& sim, tvws::PawsClient& client,
-                                 const tvws::PawsServer& server,
+ChannelSelector::ChannelSelector(Simulator& sim, tvws::PawsSession& session,
                                  const NetworkListenScanner& scanner,
                                  ChannelSelectorConfig config)
-    : sim_(sim), client_(client), server_(server), scanner_(scanner), config_(config) {
+    : sim_(sim), session_(session), scanner_(scanner), config_(config),
+      init_retry_timer_(sim), deadline_timer_(sim), vacate_timer_(sim) {
   assert(config_.db_poll_interval + config_.vacate_delay <= config_.etsi_vacate_budget);
 }
 
 void ChannelSelector::Start() {
   Record("selector_started", -1);
+  // Surface database-session health transitions on the timeline so outage
+  // reports show when the AP entered/left the lease-grace window.
+  session_.on_state_change = [this](tvws::SessionState s) {
+    Record(std::string("db_session_") + tvws::SessionStateName(s),
+           current_ ? current_->channel.number : -1);
+  };
+  TryInit();
+}
+
+void ChannelSelector::TryInit() {
   // PAWS INIT handshake: required before the database answers spectrum
   // queries (RFC 7545); also tells us the regulatory ruleset in force.
-  const auto init_resp =
-      server_.Handle(client_.BuildInitRequest(config_.location), sim_.Now());
-  if (const auto ruleset = client_.ParseInitResponse(init_resp); ruleset.has_value()) {
+  session_.Init(config_.location, [this](std::optional<std::string> ruleset) {
+    if (!ruleset) {
+      // Registration failed (database unreachable); keep trying at the
+      // poll cadence — nothing transmits until the handshake succeeds.
+      Record("init_failed", -1);
+      init_retry_timer_.Arm(config_.db_poll_interval, [this] { TryInit(); });
+      return;
+    }
     Record("registered_" + *ruleset, -1);
-  }
-  Poll();
-  poll_event_ = sim_.SchedulePeriodic(config_.db_poll_interval, [this] { Poll(); });
+    Poll();
+    poll_event_ = sim_.SchedulePeriodic(config_.db_poll_interval, [this] { Poll(); });
+  });
 }
 
 void ChannelSelector::Record(const std::string& what, int channel) {
   timeline_.push_back({sim_.Now(), what, channel});
 }
 
-void ChannelSelector::Poll() {
+void ChannelSelector::QueryBoth(const std::function<void(PollContext&)>& done) {
   // The paper queries downlink and uplink availability independently
   // (master device for the AP, generic slave parameters for all clients)
-  // and uses a channel valid for both.
-  const auto dl_body =
-      server_.Handle(client_.BuildAvailSpectrumRequest(config_.location, /*master=*/true),
-                     sim_.Now());
-  const auto ul_body =
-      server_.Handle(client_.BuildAvailSpectrumRequest(config_.location, /*master=*/false),
-                     sim_.Now());
-  const auto dl = client_.ParseAvailSpectrumResponse(dl_body);
-  const auto ul = client_.ParseAvailSpectrumResponse(ul_body);
+  // and uses a channel valid for both. Both queries run concurrently.
+  auto ctx = std::make_shared<PollContext>();
+  session_.GetSpectrum(config_.location, /*master=*/true,
+                       [ctx, done](std::optional<tvws::AvailSpectrumResponse> dl) {
+                         ctx->dl = std::move(dl);
+                         ctx->dl_done = true;
+                         if (ctx->complete()) done(*ctx);
+                       });
+  session_.GetSpectrum(config_.location, /*master=*/false,
+                       [ctx, done](std::optional<tvws::AvailSpectrumResponse> ul) {
+                         ctx->ul = std::move(ul);
+                         ctx->ul_done = true;
+                         if (ctx->complete()) done(*ctx);
+                       });
+}
+
+void ChannelSelector::Poll() {
+  if (poll_in_flight_) return;  // previous poll still retrying; don't pile up
+  if (state_ == ApRadioState::kRebooting) return;  // revalidated at reboot end
+  poll_in_flight_ = true;
+  QueryBoth([this](PollContext& ctx) { OnPollComplete(ctx); });
+}
+
+void ChannelSelector::OnPollComplete(PollContext& ctx) {
+  poll_in_flight_ = false;
+  const auto& dl = ctx.dl;
+  const auto& ul = ctx.ul;
+  if (!dl || !ul) {
+    // Database unreachable even after the session's retries. While on air
+    // we stay inside the lease-grace window: the vacate deadline armed at
+    // the last successful confirmation still guarantees ETSI compliance.
+    ++failed_polls_;
+    return;
+  }
 
   // Every channel of the aggregate must stay leased in both directions.
-  bool current_still_valid = current_.has_value() && dl.has_value() && ul.has_value();
+  bool current_still_valid = current_.has_value();
   if (current_still_valid) {
     for (const ChannelAvailability& used : aggregated_) {
       const bool dl_ok = std::any_of(dl->channels.begin(), dl->channels.end(),
@@ -68,14 +108,16 @@ void ChannelSelector::Poll() {
       if (!current_still_valid) {
         // Lease lost: stop transmitting. Clients stop with the AP because
         // uplink needs per-transmission grants (paper Section 4.2).
-        sim_.ScheduleAfter(config_.vacate_delay, [this] { RadioOff("lease_lost"); });
+        deadline_timer_.Cancel();
+        ScheduleVacate("lease_lost");
       } else {
-        // Stay compliant: refresh the lease bookkeeping.
+        // Stay compliant: refresh the lease bookkeeping and re-arm the
+        // vacate deadline from this confirmation.
         current_->lease_expiry = std::max(current_->lease_expiry, sim_.Now());
+        ConfirmLease();
       }
       break;
     case ApRadioState::kOff: {
-      if (!dl || !ul) break;
       const auto best = PickBest(dl->channels, ul->channels);
       if (best.has_value()) BeginReboot(*best);
       break;
@@ -85,7 +127,29 @@ void ChannelSelector::Poll() {
   }
 }
 
-void ChannelSelector::RadioOff(const char* reason) {
+void ChannelSelector::ConfirmLease() {
+  last_lease_confirm_ = sim_.Now();
+  lease_confirms_.push_back(last_lease_confirm_);
+  // Hard ETSI deadline: if no further confirmation arrives, the radio-off
+  // command fires early enough that transmissions stop at exactly
+  // last confirm + budget, regardless of poll cadence or retry state.
+  deadline_timer_.Arm(config_.etsi_vacate_budget - config_.vacate_delay,
+                      [this] { OnVacateDeadline(); });
+}
+
+void ChannelSelector::OnVacateDeadline() {
+  if (state_ != ApRadioState::kOn) return;
+  Record("vacate_deadline_reached", current_ ? current_->channel.number : -1);
+  ScheduleVacate("lease_confirmation_overdue");
+}
+
+void ChannelSelector::ScheduleVacate(std::string reason) {
+  if (vacate_timer_.armed()) return;  // a vacate is already committed
+  vacate_timer_.Arm(config_.vacate_delay,
+                    [this, reason = std::move(reason)] { RadioOff(reason); });
+}
+
+void ChannelSelector::RadioOff(const std::string& reason) {
   if (state_ == ApRadioState::kOff) return;
   state_ = ApRadioState::kOff;
   if (clients_connected_) {
@@ -96,6 +160,8 @@ void ChannelSelector::RadioOff(const char* reason) {
   Record("ap_off", current_ ? current_->channel.number : -1);
   current_.reset();
   aggregated_.clear();
+  deadline_timer_.Cancel();
+  vacate_timer_.Cancel();
   sim_.Cancel(pending_transition_);
   pending_transition_ = EventId{};
   if (on_channel_lost) on_channel_lost();
@@ -105,42 +171,62 @@ void ChannelSelector::BeginReboot(const ChannelAvailability& target) {
   state_ = ApRadioState::kRebooting;
   Record("ap_rebooting", target.channel.number);
   pending_transition_ = sim_.ScheduleAfter(config_.reboot_duration, [this, target] {
-    // Re-validate the lease after the reboot (it may have expired).
-    if (target.lease_expiry <= sim_.Now()) {
-      state_ = ApRadioState::kOff;
-      Record("reboot_abandoned_lease_expired", target.channel.number);
-      return;
+    // Never go on air on stale data: the authorization that started this
+    // reboot is reboot_duration old (> ETSI budget). Re-validate with a
+    // fresh exchange; the database may be down or the lease gone.
+    QueryBoth([this, target](PollContext& ctx) { CompleteReboot(target, ctx); });
+  });
+}
+
+void ChannelSelector::CompleteReboot(const ChannelAvailability& target,
+                                     PollContext& ctx) {
+  if (state_ != ApRadioState::kRebooting) return;
+  const auto& dl = ctx.dl;
+  const auto& ul = ctx.ul;
+  if (!dl || !ul) {
+    state_ = ApRadioState::kOff;
+    Record("reboot_abandoned_db_unreachable", target.channel.number);
+    return;
+  }
+  const auto fresh = std::find_if(dl->channels.begin(), dl->channels.end(),
+                                  [&](const ChannelAvailability& a) {
+                                    return a.channel == target.channel &&
+                                           a.lease_expiry > sim_.Now();
+                                  });
+  const bool ul_ok = std::any_of(ul->channels.begin(), ul->channels.end(),
+                                 [&](const ChannelAvailability& a) {
+                                   return a.channel == target.channel;
+                                 });
+  if (fresh == dl->channels.end() || !ul_ok) {
+    state_ = ApRadioState::kOff;
+    Record("reboot_abandoned_lease_expired", target.channel.number);
+    return;
+  }
+
+  state_ = ApRadioState::kOn;
+  current_ = *fresh;
+  Record("ap_on", fresh->channel.number);
+  ConfirmLease();
+  // Derive the aggregate from the same fresh query (leases may have moved
+  // during the reboot).
+  aggregated_ = {*fresh};
+  if (config_.max_aggregated_channels > 1) {
+    aggregated_ = BuildAggregate(*fresh, UsableBoth(dl->channels, ul->channels));
+    if (aggregated_.size() > 1) {
+      Record("aggregated_" + std::to_string(aggregated_.size()) + "_channels",
+             fresh->channel.number);
     }
-    state_ = ApRadioState::kOn;
-    current_ = target;
-    Record("ap_on", target.channel.number);
-    // Re-derive the aggregate from a fresh query (leases may have moved
-    // during the reboot).
-    aggregated_ = {target};
-    const auto dl_body = server_.Handle(
-        client_.BuildAvailSpectrumRequest(config_.location, /*master=*/true), sim_.Now());
-    const auto ul_body = server_.Handle(
-        client_.BuildAvailSpectrumRequest(config_.location, /*master=*/false), sim_.Now());
-    const auto dl = client_.ParseAvailSpectrumResponse(dl_body);
-    const auto ul = client_.ParseAvailSpectrumResponse(ul_body);
-    if (dl && ul && config_.max_aggregated_channels > 1) {
-      aggregated_ = BuildAggregate(target, UsableBoth(dl->channels, ul->channels));
-      if (aggregated_.size() > 1) {
-        Record("aggregated_" + std::to_string(aggregated_.size()) + "_channels",
-               target.channel.number);
-      }
+  }
+  // Notify the database of actual use (SPECTRUM_USE_NOTIFY).
+  for (const ChannelAvailability& used : aggregated_) {
+    session_.NotifyUse(config_.location, used);
+  }
+  if (on_channel_acquired) on_channel_acquired(*fresh);
+  pending_transition_ = sim_.ScheduleAfter(config_.client_reacquire, [this] {
+    if (state_ == ApRadioState::kOn) {
+      clients_connected_ = true;
+      Record("client_connected", current_ ? current_->channel.number : -1);
     }
-    // Notify the database of actual use (SPECTRUM_USE_NOTIFY).
-    for (const ChannelAvailability& used : aggregated_) {
-      server_.Handle(client_.BuildSpectrumUseNotify(config_.location, used), sim_.Now());
-    }
-    if (on_channel_acquired) on_channel_acquired(target);
-    pending_transition_ = sim_.ScheduleAfter(config_.client_reacquire, [this] {
-      if (state_ == ApRadioState::kOn) {
-        clients_connected_ = true;
-        Record("client_connected", current_ ? current_->channel.number : -1);
-      }
-    });
   });
 }
 

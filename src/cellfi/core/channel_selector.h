@@ -3,25 +3,31 @@
 //
 // Responsibilities:
 //  * keep a list of available channels fresh by polling the spectrum
-//    database over PAWS;
-//  * vacate the channel within the ETSI 60 s budget once the lease is lost
-//    (measured: ~2 s in the paper's testbed);
+//    database over PAWS — through a `PawsSession`, so database slowness,
+//    loss and outages are survived with retries and bounded staleness;
+//  * vacate the channel within the ETSI 60 s budget once the lease is lost.
+//    The budget is a HARD deadline armed at the last successful lease
+//    confirmation (not at poll time): if the database becomes unreachable,
+//    the radio still goes dark no later than t_lastconfirm + budget;
 //  * select the best channel available for BOTH downlink and uplink,
 //    preferring channels that network-listen finds idle, then channels
 //    occupied by other CellFi cells (whose interference management can
 //    share), then anything else;
 //  * model the AP radio lifecycle: retuning requires a reboot (1 m 36 s on
 //    the paper's E40), after which clients need a cell search (~56 s) to
-//    reconnect.
+//    reconnect. The AP never goes on air on stale data: reboot completion
+//    re-validates the lease with a fresh database exchange.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cellfi/sim/event_queue.h"
-#include "cellfi/tvws/paws.h"
+#include "cellfi/sim/timer.h"
+#include "cellfi/tvws/paws_session.h"
 
 namespace cellfi::core {
 
@@ -80,7 +86,7 @@ struct TimelineEvent {
 class ChannelSelector {
  public:
   /// All referenced objects must outlive the selector.
-  ChannelSelector(Simulator& sim, tvws::PawsClient& client, const tvws::PawsServer& server,
+  ChannelSelector(Simulator& sim, tvws::PawsSession& session,
                   const NetworkListenScanner& scanner, ChannelSelectorConfig config);
 
   /// Begin polling the database and bring the radio up on the best channel.
@@ -107,14 +113,38 @@ class ChannelSelector {
   /// Ordered record of every state change.
   const std::vector<TimelineEvent>& timeline() const { return timeline_; }
 
+  /// Times of every successful lease confirmation while on air (the
+  /// instants the ETSI vacate deadline was re-armed).
+  const std::vector<SimTime>& lease_confirms() const { return lease_confirms_; }
+
+  /// Last successful lease confirmation (-1 before the first one).
+  SimTime last_lease_confirm() const { return last_lease_confirm_; }
+
+  /// Polls that ended without a usable response (database unreachable).
+  std::uint64_t failed_polls() const { return failed_polls_; }
+
   /// Invoked on acquiring / losing a channel (optional).
   std::function<void(const ChannelAvailability&)> on_channel_acquired;
   std::function<void()> on_channel_lost;
 
  private:
+  /// In-flight downlink + uplink query pair (one poll or reboot check).
+  struct PollContext {
+    std::optional<tvws::AvailSpectrumResponse> dl, ul;
+    bool dl_done = false, ul_done = false;
+    bool complete() const { return dl_done && ul_done; }
+  };
+
+  void TryInit();
   void Poll();
-  void RadioOff(const char* reason);
+  void QueryBoth(const std::function<void(PollContext&)>& done);
+  void OnPollComplete(PollContext& ctx);
+  void ConfirmLease();
+  void OnVacateDeadline();
+  void ScheduleVacate(std::string reason);
+  void RadioOff(const std::string& reason);
   void BeginReboot(const ChannelAvailability& target);
+  void CompleteReboot(const ChannelAvailability& target, PollContext& ctx);
   void Record(const std::string& what, int channel);
 
   /// Rank candidates: idle first, then CellFi-occupied, then the rest;
@@ -135,18 +165,24 @@ class ChannelSelector {
       const std::vector<ChannelAvailability>& usable) const;
 
   Simulator& sim_;
-  tvws::PawsClient& client_;
-  const tvws::PawsServer& server_;
+  tvws::PawsSession& session_;
   const NetworkListenScanner& scanner_;
   ChannelSelectorConfig config_;
 
   ApRadioState state_ = ApRadioState::kOff;
   bool clients_connected_ = false;
+  bool poll_in_flight_ = false;
   std::optional<ChannelAvailability> current_;
   std::vector<ChannelAvailability> aggregated_;
   std::vector<TimelineEvent> timeline_;
+  std::vector<SimTime> lease_confirms_;
+  SimTime last_lease_confirm_ = -1;
+  std::uint64_t failed_polls_ = 0;
   EventId poll_event_;
   EventId pending_transition_;
+  Timer init_retry_timer_;
+  Timer deadline_timer_;  // fires at last confirm + budget - vacate_delay
+  Timer vacate_timer_;    // models the radio-off latency
 };
 
 }  // namespace cellfi::core

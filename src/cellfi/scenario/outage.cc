@@ -1,0 +1,55 @@
+#include "cellfi/scenario/outage.h"
+
+namespace cellfi::scenario {
+
+OutageScenarioResult RunDatabaseOutage(const OutageScenarioConfig& config) {
+  Simulator sim;
+  tvws::SpectrumDatabase db(config.database);
+  tvws::PawsServer server(db);
+  tvws::InProcessTransport wire(sim, server);
+  tvws::FaultyTransport transport(sim, wire, config.faults);
+  tvws::PawsClient client({.serial_number = "outage-ap"}, config.database.regulatory);
+  tvws::PawsSession session(sim, client, transport, config.session);
+
+  core::QuietScanner scanner;
+  core::ChannelSelectorConfig sel_cfg = config.selector;
+  sel_cfg.location = config.location;
+  core::ChannelSelector selector(sim, session, scanner, sel_cfg);
+
+  OutageScenarioResult result;
+  result.outage_start = config.outage_start;
+  result.outage_end = config.outage_start + config.outage_duration;
+  if (config.outage_duration > 0) {
+    transport.AddOutage(result.outage_start, result.outage_end);
+  }
+
+  selector.Start();
+  sim.RunUntil(config.run_until);
+
+  result.timeline = selector.timeline();
+  result.lease_confirms = selector.lease_confirms();
+  result.session = session.counters();
+  result.transport = transport.counters();
+  result.final_state = session.state();
+  result.final_radio_state = selector.state();
+
+  for (SimTime t : result.lease_confirms) {
+    if (t <= result.outage_start) result.last_confirm_before_outage = t;
+  }
+  bool off_during_outage = false;
+  for (const core::TimelineEvent& e : result.timeline) {
+    if (e.what == "ap_off" && e.time >= result.outage_start) {
+      if (result.ap_off_at < 0) result.ap_off_at = e.time;
+      if (e.time < result.outage_end) off_during_outage = true;
+    }
+    if (e.what == "ap_on" && e.time >= result.outage_end && result.reacquired_at < 0) {
+      result.reacquired_at = e.time;
+    }
+  }
+  // "Rode through" additionally requires being on air when the outage hit.
+  result.rode_through = result.last_confirm_before_outage >= 0 && !off_during_outage &&
+                        (result.ap_off_at < 0 || result.ap_off_at >= result.outage_end);
+  return result;
+}
+
+}  // namespace cellfi::scenario

@@ -1,0 +1,60 @@
+// Database-outage scenario: the Fig. 6 machinery under an unreachable
+// spectrum database.
+//
+// Builds the full chain — SpectrumDatabase → PawsServer → InProcessTransport
+// → FaultyTransport → PawsSession → ChannelSelector — brings the AP on air,
+// then takes the database down for a configured window. The result captures
+// the vacate/reacquire timeline and the session health counters, and is the
+// shared engine behind `examples/database_outage` and the chaos regression
+// tests.
+#pragma once
+
+#include <vector>
+
+#include "cellfi/core/channel_selector.h"
+#include "cellfi/tvws/database.h"
+#include "cellfi/tvws/paws_session.h"
+#include "cellfi/tvws/paws_transport.h"
+
+namespace cellfi::scenario {
+
+struct OutageScenarioConfig {
+  tvws::DatabaseConfig database;
+  core::ChannelSelectorConfig selector;   // location filled from here
+  tvws::PawsSessionConfig session;
+  tvws::FaultProfile faults;              // steady-state link faults
+  tvws::GeoLocation location{.latitude = 47.64, .longitude = -122.13};
+
+  /// Full-database outage window (absolute sim time). A zero-length window
+  /// disables the outage.
+  SimTime outage_start = 300 * kSecond;
+  SimTime outage_duration = 90 * kSecond;
+
+  SimTime run_until = 1200 * kSecond;
+};
+
+struct OutageScenarioResult {
+  std::vector<core::TimelineEvent> timeline;
+  std::vector<SimTime> lease_confirms;
+  tvws::SessionCounters session;
+  tvws::FaultyTransport::Counters transport;
+  tvws::SessionState final_state = tvws::SessionState::kHealthy;
+  core::ApRadioState final_radio_state = core::ApRadioState::kOff;
+
+  SimTime outage_start = 0;
+  SimTime outage_end = 0;
+  /// Last successful lease confirmation at or before outage_start
+  /// (t_lastlease for the ETSI budget check; -1 if never on air).
+  SimTime last_confirm_before_outage = -1;
+  /// First ap_off at/after outage_start (-1 if the AP rode the outage out).
+  SimTime ap_off_at = -1;
+  /// First ap_on at/after outage_end (-1 if never reacquired).
+  SimTime reacquired_at = -1;
+  /// On air for the whole outage (no ap_off between start and end).
+  bool rode_through = false;
+};
+
+/// Run one database-outage scenario end to end.
+OutageScenarioResult RunDatabaseOutage(const OutageScenarioConfig& config);
+
+}  // namespace cellfi::scenario

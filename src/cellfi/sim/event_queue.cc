@@ -15,10 +15,16 @@ EventId Simulator::SchedulePeriodic(SimTime period, Callback cb) {
   assert(period > 0);
   auto alive = std::make_shared<bool>(true);
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, cb = std::move(cb), alive, tick]() {
+  // The tick function holds only a weak reference to itself; the strong
+  // reference lives in the pending queue event. Otherwise the cycle
+  // tick -> lambda -> tick would keep every periodic closure alive forever.
+  *tick = [this, period, cb = std::move(cb), alive,
+           weak = std::weak_ptr<std::function<void()>>(tick)]() {
     if (!*alive) return;
     cb();
-    if (*alive) ScheduleAfter(period, [tick]() { (*tick)(); });
+    if (*alive) {
+      if (auto self = weak.lock()) ScheduleAfter(period, [self]() { (*self)(); });
+    }
   };
   EventId first = ScheduleAfter(period, [tick]() { (*tick)(); });
   periodic_alive_[first.seq_] = alive;

@@ -1,0 +1,59 @@
+// Cancellable one-shot timer on top of the Simulator event queue.
+//
+// A `Timer` owns at most one pending event: re-arming cancels the previous
+// occurrence, and the destructor cancels whatever is pending, so callbacks
+// can safely capture the owner of the timer.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "cellfi/sim/event_queue.h"
+
+namespace cellfi {
+
+/// One-shot timer owning a single cancellable event.
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) : sim_(sim) {}
+  ~Timer() { Cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  Timer(Timer&& other) noexcept
+      : sim_(other.sim_), id_(other.id_), armed_(std::move(other.armed_)) {
+    other.id_ = EventId{};
+    other.armed_.reset();
+  }
+
+  /// Arm (or re-arm) the timer to fire `delay` after Now().
+  void Arm(SimTime delay, Simulator::Callback cb) { ArmAt(sim_.Now() + delay, std::move(cb)); }
+
+  /// Arm (or re-arm) the timer to fire at absolute time `when`.
+  void ArmAt(SimTime when, Simulator::Callback cb) {
+    Cancel();
+    auto armed = std::make_shared<bool>(true);
+    armed_ = armed;
+    id_ = sim_.ScheduleAt(when, [armed, cb = std::move(cb)] {
+      *armed = false;
+      cb();
+    });
+  }
+
+  /// Cancel the pending occurrence, if any. Safe when not armed.
+  void Cancel() {
+    if (armed_ && *armed_) sim_.Cancel(id_);
+    armed_.reset();
+    id_ = EventId{};
+  }
+
+  /// True while an occurrence is scheduled and has not yet fired.
+  bool armed() const { return armed_ && *armed_; }
+
+ private:
+  Simulator& sim_;
+  EventId id_;
+  std::shared_ptr<bool> armed_;
+};
+
+}  // namespace cellfi

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cellfi/common/logging.h"
+
 namespace cellfi::tvws {
 
 using json::Array;
@@ -55,6 +57,15 @@ Value MakeError(const Value& id, int code, const std::string& message) {
   v["error"]["message"] = message;
   v["id"] = id;
   return v;
+}
+
+// True when the response's JSON-RPC id is present and equals `expected_id`.
+// A missing or different id marks a stale or misrouted reply (RFC 7545
+// responses must echo the request id).
+bool ResponseIdMatches(const Value& response, int expected_id) {
+  const Value* id = response.Find("id");
+  return id != nullptr && id->is_number() &&
+         static_cast<int>(id->as_number()) == expected_id;
 }
 
 }  // namespace
@@ -122,9 +133,23 @@ std::string PawsClient::BuildSpectrumUseNotify(const GeoLocation& location,
       .Dump();
 }
 
-std::optional<std::string> PawsClient::ParseInitResponse(const std::string& body) {
+std::optional<int> PawsClient::RequestId(const std::string& request) {
+  auto v = json::Parse(request);
+  if (!v || !v->is_object()) return std::nullopt;
+  const Value* id = v->Find("id");
+  if (id == nullptr || !id->is_number()) return std::nullopt;
+  return static_cast<int>(id->as_number());
+}
+
+std::optional<std::string> PawsClient::ParseInitResponse(const std::string& body,
+                                                         int expected_id) {
   auto v = json::Parse(body);
   if (!v) return std::nullopt;
+  if (expected_id != kAnyRequestId && !ResponseIdMatches(*v, expected_id)) {
+    CELLFI_WARN << "PAWS INIT_RESP id mismatch (expected " << expected_id
+                << "); rejecting response";
+    return std::nullopt;
+  }
   const Value* result = v->Find("result");
   if (result == nullptr) return std::nullopt;
   const Value* ruleset = result->Find("rulesetInfos");
@@ -137,9 +162,14 @@ std::optional<std::string> PawsClient::ParseInitResponse(const std::string& body
 }
 
 std::optional<AvailSpectrumResponse> PawsClient::ParseAvailSpectrumResponse(
-    const std::string& body) {
+    const std::string& body, int expected_id) {
   auto v = json::Parse(body);
   if (!v) return std::nullopt;
+  if (expected_id != kAnyRequestId && !ResponseIdMatches(*v, expected_id)) {
+    CELLFI_WARN << "PAWS AVAIL_SPECTRUM_RESP id mismatch (expected " << expected_id
+                << "); rejecting response";
+    return std::nullopt;
+  }
   const Value* result = v->Find("result");
   if (result == nullptr) return std::nullopt;
 
@@ -184,7 +214,7 @@ std::optional<AvailSpectrumResponse> PawsClient::ParseAvailSpectrumResponse(
 
 PawsServer::PawsServer(const SpectrumDatabase& db) : db_(db) {}
 
-std::string PawsServer::Handle(const std::string& request, SimTime now) const {
+std::string PawsServer::Handle(const std::string& request, SimTime now) {
   ++served_;
   auto v = json::Parse(request);
   if (!v || !v->is_object()) {
@@ -238,7 +268,7 @@ std::vector<int> PawsServer::ReportedUse(const std::string& serial) const {
   return {};
 }
 
-json::Value PawsServer::HandleInit(const Value& params) const {
+json::Value PawsServer::HandleInit(const Value& params) {
   const std::string serial = SerialOf(params);
   if (!serial.empty() && !IsRegistered(serial)) registered_.push_back(serial);
   Value result;
@@ -288,7 +318,7 @@ json::Value PawsServer::HandleGetSpectrum(const Value& params, SimTime now) cons
   return result;
 }
 
-json::Value PawsServer::HandleNotify(const Value& params) const {
+json::Value PawsServer::HandleNotify(const Value& params) {
   // Record which channels the device reports using (audit trail).
   const std::string serial = SerialOf(params);
   std::vector<int> channels;

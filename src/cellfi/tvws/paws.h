@@ -32,6 +32,9 @@ struct AvailSpectrumResponse {
 /// device identity and the JSON-RPC id counter.
 class PawsClient {
  public:
+  /// Sentinel for the parse functions: accept any response id.
+  static constexpr int kAnyRequestId = -1;
+
   PawsClient(DeviceDescriptor device, Regulatory regulatory);
 
   /// Build the INIT_REQ JSON for this device at `location`.
@@ -44,11 +47,19 @@ class PawsClient {
   std::string BuildSpectrumUseNotify(const GeoLocation& location,
                                      const ChannelAvailability& channel);
 
-  /// Parse an AVAIL_SPECTRUM_RESP; nullopt on malformed/error responses.
-  std::optional<AvailSpectrumResponse> ParseAvailSpectrumResponse(const std::string& body);
+  /// JSON-RPC id of a request built by this client (nullopt if malformed).
+  static std::optional<int> RequestId(const std::string& request);
 
-  /// Parse the INIT_RESP; returns the ruleset authority or nullopt.
-  std::optional<std::string> ParseInitResponse(const std::string& body);
+  /// Parse an AVAIL_SPECTRUM_RESP; nullopt on malformed/error responses.
+  /// When `expected_id` is given, a response whose JSON-RPC id is missing or
+  /// different is rejected (stale/misrouted reply) with a logged warning.
+  std::optional<AvailSpectrumResponse> ParseAvailSpectrumResponse(
+      const std::string& body, int expected_id = kAnyRequestId);
+
+  /// Parse the INIT_RESP; returns the ruleset authority or nullopt. Same
+  /// `expected_id` semantics as `ParseAvailSpectrumResponse`.
+  std::optional<std::string> ParseInitResponse(const std::string& body,
+                                               int expected_id = kAnyRequestId);
 
   const DeviceDescriptor& device() const { return device_; }
 
@@ -70,8 +81,10 @@ class PawsServer {
   explicit PawsServer(const SpectrumDatabase& db);
 
   /// Handle any supported request; returns a JSON-RPC response (including
-  /// JSON-RPC error responses for malformed or unsupported input).
-  std::string Handle(const std::string& request, SimTime now) const;
+  /// JSON-RPC error responses for malformed or unsupported input). Mutates
+  /// server state: registration on INIT, the SPECTRUM_USE audit trail, and
+  /// the served-request counter.
+  std::string Handle(const std::string& request, SimTime now);
 
   /// Number of requests served (diagnostics).
   int requests_served() const { return served_; }
@@ -83,15 +96,15 @@ class PawsServer {
   std::vector<int> ReportedUse(const std::string& serial) const;
 
  private:
-  json::Value HandleInit(const json::Value& params) const;
+  json::Value HandleInit(const json::Value& params);
   json::Value HandleGetSpectrum(const json::Value& params, SimTime now) const;
-  json::Value HandleNotify(const json::Value& params) const;
+  json::Value HandleNotify(const json::Value& params);
   static std::string SerialOf(const json::Value& params);
 
   const SpectrumDatabase& db_;
-  mutable int served_ = 0;
-  mutable std::vector<std::string> registered_;
-  mutable std::vector<std::pair<std::string, std::vector<int>>> reported_use_;
+  int served_ = 0;
+  std::vector<std::string> registered_;
+  std::vector<std::pair<std::string, std::vector<int>>> reported_use_;
 };
 
 /// Helpers shared by client/server (exposed for tests).

@@ -1,0 +1,148 @@
+// Database-session layer owning the PAWS request lifecycle.
+//
+// `PawsSession` sits between channel selection and the transport. Every
+// logical request (INIT, AVAIL_SPECTRUM_REQ, SPECTRUM_USE_NOTIFY) gets:
+//   * a per-attempt timeout,
+//   * bounded retries with exponential backoff + jitter,
+//   * JSON-RPC response-id validation (stale/misrouted replies rejected),
+// and the session tracks a health state machine for reporting:
+//   kHealthy  -- last logical request succeeded
+//   kDegraded -- requests failing, but the cached last-good spectrum
+//                response still holds an unexpired lease (grace window:
+//                the AP may remain on air until the ETSI vacate deadline)
+//   kLost     -- requests failing and no unexpired cached lease remains
+//
+// The session caches the last good AVAIL_SPECTRUM_RESP per request type so
+// reports can show what the AP believed during an outage; consumers must
+// never *act* on the cache to acquire spectrum — only fresh responses
+// authorize transmission.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cellfi/common/rng.h"
+#include "cellfi/sim/event_queue.h"
+#include "cellfi/sim/timer.h"
+#include "cellfi/tvws/paws.h"
+#include "cellfi/tvws/paws_transport.h"
+
+namespace cellfi::tvws {
+
+enum class SessionState { kHealthy, kDegraded, kLost };
+
+const char* SessionStateName(SessionState s);
+
+struct PawsSessionConfig {
+  /// Per-attempt timeout: a response not received within this window counts
+  /// as lost and triggers the retry path.
+  SimTime request_timeout = 2 * kSecond;
+  /// Wire attempts per logical request (1 = no retries).
+  int max_attempts = 4;
+  /// Backoff before attempt k+1 is `backoff_base * 2^(k-1)`, capped at
+  /// `backoff_cap`, scaled by a uniform factor in [1-jitter, 1+jitter].
+  SimTime backoff_base = 500 * kMillisecond;
+  SimTime backoff_cap = 8 * kSecond;
+  double backoff_jitter = 0.2;
+  std::uint64_t seed = 0x5041575353455353ull;
+};
+
+struct SessionCounters {
+  std::uint64_t requests = 0;        // logical requests issued
+  std::uint64_t attempts = 0;        // wire attempts (includes retries)
+  std::uint64_t retries = 0;
+  std::uint64_t successes = 0;       // logical successes
+  std::uint64_t failures = 0;        // logical failures (attempts exhausted)
+  std::uint64_t timeouts = 0;
+  std::uint64_t parse_failures = 0;  // malformed / corrupt responses
+  std::uint64_t rpc_errors = 0;
+  std::uint64_t id_mismatches = 0;
+  std::uint64_t late_responses = 0;  // arrived after timeout; ignored
+  std::uint64_t state_changes = 0;
+};
+
+/// Resilient PAWS request pipeline over an unreliable transport.
+class PawsSession {
+ public:
+  using InitHandler = std::function<void(std::optional<std::string> ruleset)>;
+  using SpectrumHandler = std::function<void(std::optional<AvailSpectrumResponse>)>;
+
+  /// All referenced objects must outlive the session.
+  PawsSession(Simulator& sim, PawsClient& client, PawsTransport& transport,
+              PawsSessionConfig config = {});
+
+  /// INIT handshake. `done` receives the ruleset authority, or nullopt once
+  /// every attempt has been exhausted.
+  void Init(const GeoLocation& location, InitHandler done);
+
+  /// AVAIL_SPECTRUM_REQ (master or slave parameters).
+  void GetSpectrum(const GeoLocation& location, bool master, SpectrumHandler done);
+
+  /// SPECTRUM_USE_NOTIFY; fire-and-forget but still retried.
+  void NotifyUse(const GeoLocation& location, const ChannelAvailability& channel);
+
+  SessionState state() const { return state_; }
+  const SessionCounters& counters() const { return counters_; }
+
+  /// Sim time of the last logical success (-1 before the first one).
+  SimTime last_success_time() const { return last_success_time_; }
+
+  /// Last good AVAIL_SPECTRUM_RESP for the master/slave query type.
+  const std::optional<AvailSpectrumResponse>& last_good(bool master) const {
+    return master ? last_good_master_ : last_good_slave_;
+  }
+
+  /// True while the cached master response still holds an unexpired lease
+  /// (the grace window backing the kDegraded state).
+  bool CacheHoldsLease(SimTime now) const;
+
+  /// Invoked on every state transition (optional).
+  std::function<void(SessionState)> on_state_change;
+
+ private:
+  enum class Kind { kInit, kGetSpectrum, kNotify };
+
+  struct Request {
+    std::uint64_t id = 0;
+    Kind kind = Kind::kInit;
+    GeoLocation location;
+    bool master = true;               // kGetSpectrum only
+    ChannelAvailability channel;      // kNotify only
+    int attempts = 0;
+    std::uint64_t generation = 0;     // bumped per attempt; stale replies ignored
+    InitHandler on_init;
+    SpectrumHandler on_spectrum;
+    std::unique_ptr<Timer> timer;     // timeout / backoff (one at a time)
+  };
+
+  void Submit(std::unique_ptr<Request> request);
+  void StartAttempt(Request* r);
+  void OnResponse(std::uint64_t id, std::uint64_t generation, int expected_id,
+                  const std::string& body);
+  void OnAttemptFailed(Request* r);
+  void Finish(Request* r, bool success, std::optional<std::string> ruleset,
+              std::optional<AvailSpectrumResponse> spectrum);
+  void SetState(SessionState next);
+  SimTime BackoffDelay(int attempt);
+
+  Simulator& sim_;
+  PawsClient& client_;
+  PawsTransport& transport_;
+  PawsSessionConfig config_;
+  Rng rng_;
+
+  std::map<std::uint64_t, std::unique_ptr<Request>> inflight_;
+  std::uint64_t next_request_id_ = 1;
+
+  SessionState state_ = SessionState::kHealthy;
+  SessionCounters counters_;
+  SimTime last_success_time_ = -1;
+  std::optional<AvailSpectrumResponse> last_good_master_;
+  std::optional<AvailSpectrumResponse> last_good_slave_;
+};
+
+}  // namespace cellfi::tvws

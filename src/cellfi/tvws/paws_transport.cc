@@ -1,0 +1,87 @@
+#include "cellfi/tvws/paws_transport.h"
+
+#include <utility>
+
+#include "cellfi/common/json.h"
+
+namespace cellfi::tvws {
+
+void InProcessTransport::Send(const std::string& request, ResponseHandler on_response) {
+  // The server is clock-agnostic; it sees the request at send time. The
+  // response is delivered as a fresh event so callers never observe a
+  // synchronous reply (matching any real transport).
+  std::string response = server_.Handle(request, sim_.Now());
+  sim_.ScheduleAfter(0, [on_response = std::move(on_response),
+                         response = std::move(response)] { on_response(response); });
+}
+
+void FaultyTransport::AddOutage(SimTime start, SimTime stop) {
+  outages_.emplace_back(start, stop);
+}
+
+bool FaultyTransport::InOutage(SimTime t) const {
+  for (const auto& [start, stop] : outages_) {
+    if (t >= start && t < stop) return true;
+  }
+  return false;
+}
+
+std::string FaultyTransport::ApplyResponseFaults(const std::string& response) {
+  if (profile_.error_probability > 0.0 && rng_.Bernoulli(profile_.error_probability)) {
+    // Replace the server's answer with a JSON-RPC error, keeping the id so
+    // the reply still correlates with the request (an overloaded database).
+    ++counters_.errors_injected;
+    json::Value err;
+    err["jsonrpc"] = "2.0";
+    err["error"]["code"] = profile_.injected_error_code;
+    err["error"]["message"] = "database overloaded (injected)";
+    if (auto parsed = json::Parse(response); parsed && parsed->is_object()) {
+      if (const json::Value* id = parsed->Find("id")) err["id"] = *id;
+    }
+    return err.Dump();
+  }
+  if (profile_.wrong_id_probability > 0.0 &&
+      rng_.Bernoulli(profile_.wrong_id_probability)) {
+    // A stale or misrouted reply: valid JSON, wrong correlation id.
+    if (auto parsed = json::Parse(response); parsed && parsed->is_object()) {
+      ++counters_.ids_mangled;
+      const json::Value* id = parsed->Find("id");
+      const int old_id = id != nullptr && id->is_number() ? static_cast<int>(id->as_number()) : 0;
+      (*parsed)["id"] = old_id + 1'000'000;
+      return parsed->Dump();
+    }
+  }
+  if (profile_.corrupt_probability > 0.0 && rng_.Bernoulli(profile_.corrupt_probability)) {
+    // Mangle the body into something no JSON parser accepts.
+    ++counters_.corrupted;
+    return "!corrupt!" + response.substr(0, response.size() / 2);
+  }
+  return response;
+}
+
+void FaultyTransport::Send(const std::string& request, ResponseHandler on_response) {
+  ++counters_.requests;
+  if (InOutage(sim_.Now())) {
+    ++counters_.dropped_outage;
+    return;  // the database is down: the request vanishes
+  }
+  if (profile_.drop_probability > 0.0 && rng_.Bernoulli(profile_.drop_probability)) {
+    ++counters_.dropped_random;
+    return;
+  }
+  SimTime latency = profile_.latency_base;
+  if (profile_.latency_jitter > 0) {
+    latency += static_cast<SimTime>(
+        rng_.Uniform(0.0, static_cast<double>(profile_.latency_jitter)));
+  }
+  inner_.Send(request, [this, latency, on_response = std::move(on_response)](
+                           const std::string& response) {
+    std::string body = ApplyResponseFaults(response);
+    ++counters_.delivered;
+    sim_.ScheduleAfter(latency, [on_response, body = std::move(body)] {
+      on_response(body);
+    });
+  });
+}
+
+}  // namespace cellfi::tvws

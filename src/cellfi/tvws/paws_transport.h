@@ -1,0 +1,109 @@
+// Transport layer between PAWS clients and the spectrum database.
+//
+// The paper's testbed talks to the certified Nominet database over HTTPS —
+// a link that can be slow, lossy, or down. `PawsTransport` abstracts that
+// link: `InProcessTransport` is the ideal in-process path used by default,
+// and `FaultyTransport` is a decorator that injects latency, request loss,
+// response corruption, JSON-RPC errors and scheduled full-database outages,
+// so the ETSI vacate machinery can be exercised under adverse conditions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cellfi/common/rng.h"
+#include "cellfi/sim/event_queue.h"
+#include "cellfi/tvws/paws.h"
+
+namespace cellfi::tvws {
+
+/// Asynchronous request/response link to a PAWS server.
+///
+/// `Send` never invokes the handler synchronously: responses arrive as
+/// simulator events (possibly at the same sim time). A lost request never
+/// invokes the handler at all — callers must run their own timeout.
+class PawsTransport {
+ public:
+  using ResponseHandler = std::function<void(const std::string& response)>;
+
+  virtual ~PawsTransport() = default;
+
+  virtual void Send(const std::string& request, ResponseHandler on_response) = 0;
+};
+
+/// Ideal transport: hands the request to an in-process `PawsServer` and
+/// delivers the response at the current sim time (zero latency, no loss).
+class InProcessTransport final : public PawsTransport {
+ public:
+  InProcessTransport(Simulator& sim, PawsServer& server) : sim_(sim), server_(server) {}
+
+  void Send(const std::string& request, ResponseHandler on_response) override;
+
+ private:
+  Simulator& sim_;
+  PawsServer& server_;
+};
+
+/// Fault model for one simulated database link.
+struct FaultProfile {
+  /// Fixed one-way-trip latency added to every delivered response.
+  SimTime latency_base = 0;
+  /// Additional uniform random latency in [0, latency_jitter).
+  SimTime latency_jitter = 0;
+  /// Probability that a request is lost (no response, ever).
+  double drop_probability = 0.0;
+  /// Probability that the response body is mangled into invalid JSON.
+  double corrupt_probability = 0.0;
+  /// Probability that the server's answer is replaced by a JSON-RPC error
+  /// (code `injected_error_code`), as an overloaded database would return.
+  double error_probability = 0.0;
+  int injected_error_code = -32000;
+  /// Probability that the response carries a wrong JSON-RPC id (a stale or
+  /// misrouted reply).
+  double wrong_id_probability = 0.0;
+  std::uint64_t seed = 0x7475727374696C65ull;
+};
+
+/// Decorator injecting the `FaultProfile` plus scheduled outages into any
+/// underlying transport. During an outage window every request is dropped —
+/// the database is unreachable.
+class FaultyTransport final : public PawsTransport {
+ public:
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_outage = 0;
+    std::uint64_t dropped_random = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t errors_injected = 0;
+    std::uint64_t ids_mangled = 0;
+  };
+
+  FaultyTransport(Simulator& sim, PawsTransport& inner, FaultProfile profile)
+      : sim_(sim), inner_(inner), profile_(profile), rng_(profile.seed) {}
+
+  void Send(const std::string& request, ResponseHandler on_response) override;
+
+  /// Schedule a full-database outage over [start, stop) (absolute sim time).
+  void AddOutage(SimTime start, SimTime stop);
+
+  /// Is the database unreachable at `t`?
+  bool InOutage(SimTime t) const;
+
+  const Counters& counters() const { return counters_; }
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  std::string ApplyResponseFaults(const std::string& response);
+
+  Simulator& sim_;
+  PawsTransport& inner_;
+  FaultProfile profile_;
+  Rng rng_;
+  std::vector<std::pair<SimTime, SimTime>> outages_;
+  Counters counters_;
+};
+
+}  // namespace cellfi::tvws

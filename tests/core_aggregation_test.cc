@@ -18,7 +18,9 @@ const GeoLocation kHere{.latitude = 47.64, .longitude = -122.13};
 class AggregationFixture : public ::testing::Test {
  protected:
   AggregationFixture()
-      : server_(db_), client_({.serial_number = "agg-ap"}, Regulatory::kUs) {}
+      : server_(db_), transport_(sim_, server_),
+        client_({.serial_number = "agg-ap"}, Regulatory::kUs),
+        session_(sim_, client_, transport_) {}
 
   void BlockAllExcept(const std::vector<int>& keep) {
     for (int ch = 14; ch <= 51; ++ch) {
@@ -32,13 +34,15 @@ class AggregationFixture : public ::testing::Test {
     ChannelSelectorConfig cfg;
     cfg.location = kHere;
     cfg.max_aggregated_channels = max_channels;
-    return ChannelSelector(sim_, client_, server_, scanner, cfg);
+    return ChannelSelector(sim_, session_, scanner, cfg);
   }
 
   Simulator sim_;
   SpectrumDatabase db_;
   PawsServer server_;
+  tvws::InProcessTransport transport_;
   PawsClient client_;
+  tvws::PawsSession session_;
   QuietScanner quiet_;
 };
 

@@ -28,18 +28,22 @@ SimTime TimeOf(const std::vector<TimelineEvent>& tl, const std::string& what,
 class SelectorFixture : public ::testing::Test {
  protected:
   SelectorFixture()
-      : server_(db_), client_({.serial_number = "ap"}, Regulatory::kUs) {}
+      : server_(db_), transport_(sim_, server_),
+        client_({.serial_number = "ap"}, Regulatory::kUs),
+        session_(sim_, client_, transport_) {}
 
   ChannelSelector MakeSelector(const NetworkListenScanner& scanner,
                                ChannelSelectorConfig cfg = {}) {
     cfg.location = kHere;
-    return ChannelSelector(sim_, client_, server_, scanner, cfg);
+    return ChannelSelector(sim_, session_, scanner, cfg);
   }
 
   Simulator sim_;
   SpectrumDatabase db_;
   PawsServer server_;
+  tvws::InProcessTransport transport_;
   PawsClient client_;
+  tvws::PawsSession session_;
   QuietScanner quiet_;
 };
 

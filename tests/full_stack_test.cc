@@ -21,11 +21,13 @@ TEST(FullStackTest, LeaseServeVacateRetuneResume) {
                      .protection_radius_m = 100'000});
   }
   tvws::PawsServer dbserver(db);
+  tvws::InProcessTransport transport(sim, dbserver);
   tvws::PawsClient dbclient({.serial_number = "fullstack-ap"}, tvws::Regulatory::kUs);
+  tvws::PawsSession session(sim, dbclient, transport);
   core::QuietScanner scanner;
   core::ChannelSelectorConfig sel_cfg;
   sel_cfg.location = here;
-  core::ChannelSelector selector(sim, dbclient, dbserver, scanner, sel_cfg);
+  core::ChannelSelector selector(sim, session, scanner, sel_cfg);
 
   // --- Radio + LTE + CellFi -------------------------------------------------
   HataUrbanPathLoss pathloss;

@@ -1,0 +1,381 @@
+// Chaos regression for the PAWS transport/session layers and the ETSI
+// vacate-deadline invariant (ISSUE 1):
+//  * retry/backoff/timeout mechanics against a scripted lossy transport,
+//  * JSON-RPC id validation, corruption and error injection,
+//  * cached-last-good / degraded / lost session states,
+//  * outage sweeps across the 60 s boundary: the AP timeline must never
+//    show transmission more than `etsi_vacate_budget` past the last
+//    successful lease confirmation, for every outage length and poll rate.
+#include "cellfi/tvws/paws_session.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cellfi/scenario/outage.h"
+#include "cellfi/tvws/paws_transport.h"
+
+namespace cellfi::tvws {
+namespace {
+
+const GeoLocation kHere{.latitude = 47.64, .longitude = -122.13};
+
+/// Forwards to an in-process server, but drops the first `drop_first`
+/// requests; records every send time.
+class ScriptedTransport final : public PawsTransport {
+ public:
+  ScriptedTransport(Simulator& sim, PawsServer& server, int drop_first)
+      : sim_(sim), inner_(sim, server), drop_first_(drop_first) {}
+
+  void Send(const std::string& request, ResponseHandler on_response) override {
+    send_times.push_back(sim_.Now());
+    if (static_cast<int>(send_times.size()) <= drop_first_) return;
+    inner_.Send(request, std::move(on_response));
+  }
+
+  std::vector<SimTime> send_times;
+
+ private:
+  Simulator& sim_;
+  InProcessTransport inner_;
+  int drop_first_;
+};
+
+class SessionFixture : public ::testing::Test {
+ protected:
+  PawsSessionConfig NoJitterConfig() {
+    PawsSessionConfig cfg;
+    cfg.request_timeout = 2 * kSecond;
+    cfg.max_attempts = 4;
+    cfg.backoff_base = 500 * kMillisecond;
+    cfg.backoff_cap = 8 * kSecond;
+    cfg.backoff_jitter = 0.0;
+    return cfg;
+  }
+
+  Simulator sim_;
+  SpectrumDatabase db_;
+  PawsServer server_{db_};
+};
+
+TEST_F(SessionFixture, RetriesWithExponentialBackoffThenSucceeds) {
+  ScriptedTransport transport(sim_, server_, /*drop_first=*/2);
+  PawsClient client({.serial_number = "s1"}, Regulatory::kUs);
+  PawsSession session(sim_, client, transport, NoJitterConfig());
+
+  std::optional<std::string> got;
+  int calls = 0;
+  session.Init(kHere, [&](std::optional<std::string> ruleset) {
+    ++calls;
+    got = std::move(ruleset);
+  });
+  sim_.Run();
+
+  EXPECT_EQ(calls, 1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "FccTvBandWhiteSpace-2010");
+  // Attempt 1 at t=0; timeout 2 s + backoff 0.5 s -> attempt 2 at 2.5 s;
+  // timeout + backoff 1 s -> attempt 3 at 5.5 s (succeeds).
+  ASSERT_EQ(transport.send_times.size(), 3u);
+  EXPECT_EQ(transport.send_times[0], 0);
+  EXPECT_EQ(transport.send_times[1], 2'500 * kMillisecond);
+  EXPECT_EQ(transport.send_times[2], 5'500 * kMillisecond);
+  EXPECT_EQ(session.counters().attempts, 3u);
+  EXPECT_EQ(session.counters().retries, 2u);
+  EXPECT_EQ(session.counters().timeouts, 2u);
+  EXPECT_EQ(session.counters().successes, 1u);
+  EXPECT_EQ(session.counters().failures, 0u);
+}
+
+TEST_F(SessionFixture, BackoffIsCappedAtConfiguredMaximum) {
+  ScriptedTransport transport(sim_, server_, /*drop_first=*/1000);
+  PawsClient client({.serial_number = "s2"}, Regulatory::kUs);
+  auto cfg = NoJitterConfig();
+  cfg.backoff_base = 1 * kSecond;
+  cfg.backoff_cap = 2 * kSecond;
+  cfg.max_attempts = 6;
+  PawsSession session(sim_, client, transport, cfg);
+
+  session.Init(kHere, [](std::optional<std::string>) {});
+  sim_.Run();
+
+  // Gaps: timeout + min(base * 2^k, cap) = 3, 4, 4, 4, 4 seconds.
+  ASSERT_EQ(transport.send_times.size(), 6u);
+  const std::vector<SimTime> expected_gaps = {3 * kSecond, 4 * kSecond, 4 * kSecond,
+                                              4 * kSecond, 4 * kSecond};
+  for (std::size_t i = 0; i + 1 < transport.send_times.size(); ++i) {
+    EXPECT_EQ(transport.send_times[i + 1] - transport.send_times[i], expected_gaps[i])
+        << "gap " << i;
+  }
+}
+
+TEST_F(SessionFixture, BackoffJitterStaysWithinConfiguredBounds) {
+  ScriptedTransport transport(sim_, server_, /*drop_first=*/1000);
+  PawsClient client({.serial_number = "s3"}, Regulatory::kUs);
+  auto cfg = NoJitterConfig();
+  cfg.backoff_jitter = 0.25;
+  cfg.max_attempts = 4;
+  cfg.seed = 1234;  // deterministic jitter draw
+  PawsSession session(sim_, client, transport, cfg);
+
+  session.Init(kHere, [](std::optional<std::string>) {});
+  sim_.Run();
+
+  ASSERT_EQ(transport.send_times.size(), 4u);
+  const std::vector<SimTime> nominal = {500 * kMillisecond, 1 * kSecond, 2 * kSecond};
+  for (std::size_t i = 0; i + 1 < transport.send_times.size(); ++i) {
+    const SimTime gap = transport.send_times[i + 1] - transport.send_times[i];
+    const SimTime backoff = gap - cfg.request_timeout;
+    EXPECT_GE(backoff, static_cast<SimTime>(0.75 * static_cast<double>(nominal[i])));
+    EXPECT_LE(backoff, static_cast<SimTime>(1.25 * static_cast<double>(nominal[i])));
+  }
+}
+
+TEST_F(SessionFixture, GivesUpAfterMaxAttemptsAndReportsLost) {
+  ScriptedTransport transport(sim_, server_, /*drop_first=*/1000);
+  PawsClient client({.serial_number = "s4"}, Regulatory::kUs);
+  PawsSession session(sim_, client, transport, NoJitterConfig());
+
+  std::optional<std::string> got = "sentinel";
+  session.Init(kHere, [&](std::optional<std::string> ruleset) { got = std::move(ruleset); });
+  sim_.Run();
+
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(session.counters().attempts, 4u);
+  EXPECT_EQ(session.counters().failures, 1u);
+  EXPECT_EQ(session.counters().successes, 0u);
+  // No cached lease exists, so the session is lost, not merely degraded.
+  EXPECT_EQ(session.state(), SessionState::kLost);
+}
+
+TEST_F(SessionFixture, ClientRejectsResponseIdMismatch) {
+  PawsClient client({.serial_number = "s5"}, Regulatory::kUs);
+  server_.Handle(client.BuildInitRequest(kHere), 0);
+  const std::string request = client.BuildAvailSpectrumRequest(kHere, true);
+  const auto id = PawsClient::RequestId(request);
+  ASSERT_TRUE(id.has_value());
+  const std::string response = server_.Handle(request, 0);
+
+  EXPECT_TRUE(client.ParseAvailSpectrumResponse(response, *id).has_value());
+  EXPECT_FALSE(client.ParseAvailSpectrumResponse(response, *id + 1).has_value());
+  // Default (no expected id) keeps the lenient legacy behavior.
+  EXPECT_TRUE(client.ParseAvailSpectrumResponse(response).has_value());
+}
+
+TEST_F(SessionFixture, SessionRejectsMangledResponseIds) {
+  InProcessTransport wire(sim_, server_);
+  FaultProfile profile;
+  profile.wrong_id_probability = 1.0;
+  FaultyTransport faulty(sim_, wire, profile);
+  PawsClient client({.serial_number = "s6"}, Regulatory::kUs);
+  PawsSession session(sim_, client, faulty, NoJitterConfig());
+
+  std::optional<std::string> got = "sentinel";
+  session.Init(kHere, [&](std::optional<std::string> ruleset) { got = std::move(ruleset); });
+  sim_.Run();
+
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(session.counters().id_mismatches, 4u);
+  EXPECT_EQ(faulty.counters().ids_mangled, 4u);
+}
+
+TEST_F(SessionFixture, SessionRejectsCorruptJson) {
+  InProcessTransport wire(sim_, server_);
+  FaultProfile profile;
+  profile.corrupt_probability = 1.0;
+  FaultyTransport faulty(sim_, wire, profile);
+  PawsClient client({.serial_number = "s7"}, Regulatory::kUs);
+  PawsSession session(sim_, client, faulty, NoJitterConfig());
+
+  std::optional<std::string> got = "sentinel";
+  session.Init(kHere, [&](std::optional<std::string> ruleset) { got = std::move(ruleset); });
+  sim_.Run();
+
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(session.counters().parse_failures, 4u);
+  EXPECT_EQ(faulty.counters().corrupted, 4u);
+}
+
+TEST_F(SessionFixture, SessionRetriesInjectedRpcErrors) {
+  InProcessTransport wire(sim_, server_);
+  FaultProfile profile;
+  profile.error_probability = 1.0;
+  FaultyTransport faulty(sim_, wire, profile);
+  PawsClient client({.serial_number = "s8"}, Regulatory::kUs);
+  PawsSession session(sim_, client, faulty, NoJitterConfig());
+
+  std::optional<std::string> got = "sentinel";
+  session.Init(kHere, [&](std::optional<std::string> ruleset) { got = std::move(ruleset); });
+  sim_.Run();
+
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(session.counters().rpc_errors, 4u);
+}
+
+TEST_F(SessionFixture, DegradedWhileCachedLeaseValidThenLost) {
+  DatabaseConfig db_cfg;
+  db_cfg.lease_duration = 30 * kSecond;  // short lease to cross expiry
+  SpectrumDatabase db(db_cfg);
+  PawsServer server(db);
+  InProcessTransport wire(sim_, server);
+  FaultyTransport faulty(sim_, wire, {});
+  faulty.AddOutage(10 * kSecond, 10'000 * kSecond);
+  PawsClient client({.serial_number = "s9"}, Regulatory::kUs);
+  PawsSession session(sim_, client, faulty, NoJitterConfig());
+
+  session.Init(kHere, [](std::optional<std::string>) {});
+  std::optional<AvailSpectrumResponse> first;
+  session.GetSpectrum(kHere, true, [&](std::optional<AvailSpectrumResponse> r) {
+    first = std::move(r);
+  });
+  sim_.RunUntil(1 * kSecond);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_FALSE(first->channels.empty());
+  EXPECT_EQ(session.state(), SessionState::kHealthy);
+  ASSERT_TRUE(session.last_good(true).has_value());
+
+  // Failure inside the cached lease window: degraded (grace), not lost.
+  sim_.ScheduleAt(12 * kSecond, [&] {
+    session.GetSpectrum(kHere, true, [](std::optional<AvailSpectrumResponse>) {});
+  });
+  sim_.RunUntil(29 * kSecond);
+  EXPECT_EQ(session.state(), SessionState::kDegraded);
+  EXPECT_TRUE(session.CacheHoldsLease(sim_.Now()));
+
+  // Failure after the cached lease expired: lost.
+  sim_.ScheduleAt(40 * kSecond, [&] {
+    session.GetSpectrum(kHere, true, [](std::optional<AvailSpectrumResponse>) {});
+  });
+  sim_.RunUntil(60 * kSecond);
+  EXPECT_FALSE(session.CacheHoldsLease(sim_.Now()));
+  EXPECT_EQ(session.state(), SessionState::kLost);
+}
+
+// ---------------------------------------------------------------------------
+// Outage chaos sweeps (via the scenario-layer runner).
+
+using scenario::OutageScenarioConfig;
+using scenario::OutageScenarioResult;
+using scenario::RunDatabaseOutage;
+
+/// ETSI EN 301 598 invariant over a full timeline: at no point may the AP
+/// be on air more than `budget` past its latest lease confirmation.
+void ExpectEtsiInvariant(const OutageScenarioResult& r, SimTime budget, SimTime run_end) {
+  bool on = false;
+  SimTime last_confirm = -1;
+  std::size_t next_confirm = 0;
+  auto advance_confirms = [&](SimTime until) {
+    while (next_confirm < r.lease_confirms.size() &&
+           r.lease_confirms[next_confirm] <= until) {
+      if (on) {
+        // While transmitting, consecutive confirmations may never be more
+        // than the budget apart.
+        EXPECT_LE(r.lease_confirms[next_confirm] - last_confirm, budget)
+            << "confirmation gap while on air";
+      }
+      last_confirm = r.lease_confirms[next_confirm];
+      ++next_confirm;
+    }
+  };
+  for (const core::TimelineEvent& e : r.timeline) {
+    advance_confirms(e.time);
+    if (e.what == "ap_on") {
+      on = true;
+    } else if (e.what == "ap_off") {
+      ASSERT_GE(last_confirm, 0);
+      EXPECT_LE(e.time - last_confirm, budget)
+          << "transmitted past the vacate budget before ap_off";
+      on = false;
+    }
+  }
+  advance_confirms(run_end);
+  if (on) {
+    EXPECT_LE(run_end - last_confirm, budget) << "still on air without fresh lease";
+  }
+}
+
+TEST(OutageChaosTest, VacateInvariantAcrossOutageDurations) {
+  for (const SimTime outage_s : {10, 30, 45, 55, 59, 61, 65, 90, 120, 300}) {
+    SCOPED_TRACE("outage_s=" + std::to_string(outage_s));
+    OutageScenarioConfig cfg;
+    cfg.outage_start = 300 * kSecond;
+    cfg.outage_duration = outage_s * kSecond;
+    cfg.run_until = cfg.outage_start + cfg.outage_duration + 600 * kSecond;
+    const OutageScenarioResult r = RunDatabaseOutage(cfg);
+
+    ASSERT_GE(r.last_confirm_before_outage, 0) << "AP never came on air";
+    ExpectEtsiInvariant(r, cfg.selector.etsi_vacate_budget, cfg.run_until);
+
+    const SimTime budget = cfg.selector.etsi_vacate_budget;
+    if (outage_s * kSecond > budget) {
+      // Hard requirement: off no later than t_lastlease + 60 s, then
+      // reacquired once the database came back.
+      ASSERT_GE(r.ap_off_at, 0);
+      EXPECT_LE(r.ap_off_at, r.last_confirm_before_outage + budget);
+      ASSERT_GE(r.reacquired_at, 0) << "did not reacquire after outage";
+      EXPECT_EQ(r.final_radio_state, core::ApRadioState::kOn);
+      EXPECT_EQ(r.final_state, SessionState::kHealthy);
+    }
+    if (outage_s <= 45) {
+      // Short blips ride on the lease-grace window without ever vacating.
+      EXPECT_TRUE(r.rode_through) << "short outage should not cause a vacate";
+      EXPECT_LT(r.ap_off_at, 0);
+    }
+  }
+}
+
+TEST(OutageChaosTest, VacateDeadlineIndependentOfPollInterval) {
+  for (const SimTime poll_s : {1, 5, 10, 30}) {
+    SCOPED_TRACE("poll_s=" + std::to_string(poll_s));
+    OutageScenarioConfig cfg;
+    cfg.selector.db_poll_interval = poll_s * kSecond;
+    cfg.outage_start = 300 * kSecond;
+    // 100 % request loss from outage_start to the end of the run.
+    cfg.outage_duration = 10'000 * kSecond;
+    cfg.run_until = 700 * kSecond;
+    const OutageScenarioResult r = RunDatabaseOutage(cfg);
+
+    ASSERT_GE(r.last_confirm_before_outage, 0);
+    ASSERT_GE(r.ap_off_at, 0) << "AP kept transmitting through a dead database";
+    EXPECT_LE(r.ap_off_at,
+              r.last_confirm_before_outage + cfg.selector.etsi_vacate_budget);
+    EXPECT_EQ(r.final_radio_state, core::ApRadioState::kOff);
+  }
+}
+
+TEST(OutageChaosTest, ReacquiresPromptlyAfterOutageClears) {
+  OutageScenarioConfig cfg;
+  cfg.outage_start = 300 * kSecond;
+  cfg.outage_duration = 90 * kSecond;
+  cfg.run_until = 1000 * kSecond;
+  const OutageScenarioResult r = RunDatabaseOutage(cfg);
+
+  ASSERT_GE(r.ap_off_at, 0);
+  ASSERT_GE(r.reacquired_at, 0);
+  // Outage end + (in-flight retry drain + poll) + reboot, with slack.
+  const SimTime latest = r.outage_end + 30 * kSecond + cfg.selector.reboot_duration;
+  EXPECT_GE(r.reacquired_at, r.outage_end + cfg.selector.reboot_duration);
+  EXPECT_LE(r.reacquired_at, latest);
+  EXPECT_EQ(r.final_state, SessionState::kHealthy);
+}
+
+TEST(OutageChaosTest, SurvivesLossyLatentLinkWithoutViolations) {
+  OutageScenarioConfig cfg;
+  cfg.outage_duration = 0;  // no outage, just a bad link
+  cfg.faults.latency_base = 100 * kMillisecond;
+  cfg.faults.latency_jitter = 150 * kMillisecond;
+  cfg.faults.drop_probability = 0.3;
+  cfg.faults.corrupt_probability = 0.05;
+  cfg.faults.error_probability = 0.05;
+  cfg.run_until = 1200 * kSecond;
+  const OutageScenarioResult r = RunDatabaseOutage(cfg);
+
+  ExpectEtsiInvariant(r, cfg.selector.etsi_vacate_budget, cfg.run_until);
+  EXPECT_EQ(r.final_radio_state, core::ApRadioState::kOn);
+  EXPECT_GT(r.session.retries, 0u);
+  EXPECT_GT(r.transport.dropped_random, 0u);
+}
+
+}  // namespace
+}  // namespace cellfi::tvws
