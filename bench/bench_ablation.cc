@@ -5,7 +5,12 @@
 //     Section 8 comparison against LAA/MulteFire-style listen-before-talk.
 //  B. Link-adaptation margin: HARQ usage vs throughput on a long link.
 //  C. 802.11af clock-down factor: what the TVHT down-clocking costs.
+//
+// All replications (scenario-based and the custom Part B links) run
+// concurrently on the sweep runner; seeds and aggregation order match the
+// historical sequential loops, so the tables are bit-identical.
 #include <iostream>
+#include <optional>
 
 #include "cellfi/common/stats.h"
 #include "cellfi/common/table.h"
@@ -22,17 +27,15 @@ struct Outcome {
   double hops = 0;
 };
 
-Outcome RunIm(const ScenarioConfig& cfg_in, int reps) {
+Outcome Aggregate(const std::vector<ReplicationOutcome>& outcomes, int point, int reps) {
   Outcome out;
   Distribution tput;
-  for (int rep = 0; rep < reps; ++rep) {
-    ScenarioConfig cfg = cfg_in;
-    cfg.seed = 7000 + static_cast<std::uint64_t>(rep);
-    const auto result = RunScenario(cfg);
-    for (const auto& c : result.clients) tput.Add(c.throughput_bps / 1e6);
-    out.starved_pct += 100.0 * result.fraction_starved / reps;
-    out.total_mbps += result.total_throughput_bps / 1e6 / reps;
-    out.hops += static_cast<double>(result.im_total_hops) / reps;
+  for (const ReplicationOutcome& o : outcomes) {
+    if (o.point != point) continue;
+    for (const auto& c : o.result.clients) tput.Add(c.throughput_bps / 1e6);
+    out.starved_pct += 100.0 * o.result.fraction_starved / reps;
+    out.total_mbps += o.result.total_throughput_bps / 1e6 / reps;
+    out.hops += static_cast<double>(o.result.im_total_hops) / reps;
   }
   out.median_mbps = tput.Median();
   return out;
@@ -45,92 +48,133 @@ int main() {
   const int reps = Reps(2);
   const auto base = BaseConfig(Technology::kCellFi, 10, 6, 0);
 
+  SweepOptions opts;
+  opts.progress = true;
+  SweepRunner runner(opts);
+  BenchReport report("ablation", runner.threads(), reps);
+
   // --- A. Interference management -----------------------------------------
   {
-    Table t({"variant", "starved %", "median Mbps", "total Mbps", "hops"});
-    auto add = [&](const char* name, const ScenarioConfig& cfg) {
-      const Outcome o = RunIm(cfg, reps);
-      t.AddRow({name, Table::Num(o.starved_pct, 1), Table::Num(o.median_mbps, 3),
-                Table::Num(o.total_mbps, 1), Table::Num(o.hops, 0)});
-    };
-
-    add("CellFi (paper settings)", base);
+    std::vector<std::pair<const char*, ScenarioConfig>> variants;
+    variants.emplace_back("CellFi (paper settings)", base);
 
     ScenarioConfig no_reuse = base;
     no_reuse.cellfi.im.enable_reuse = false;
-    add("no channel re-use", no_reuse);
+    variants.emplace_back("no channel re-use", no_reuse);
 
     ScenarioConfig ideal = base;
     ideal.cellfi.detection_probability = 1.0;
     ideal.cellfi.false_positive_rate = 0.0;
-    add("ideal sensing (TP 1.0, FP 0)", ideal);
+    variants.emplace_back("ideal sensing (TP 1.0, FP 0)", ideal);
 
     ScenarioConfig poor = base;
     poor.cellfi.detection_probability = 0.4;
     poor.cellfi.false_positive_rate = 0.10;
-    add("poor sensing (TP 0.4, FP 0.1)", poor);
+    variants.emplace_back("poor sensing (TP 0.4, FP 0.1)", poor);
 
     ScenarioConfig twitchy = base;
     twitchy.cellfi.im.bucket_lambda = 2.0;
-    add("bucket lambda = 2 (twitchy)", twitchy);
+    variants.emplace_back("bucket lambda = 2 (twitchy)", twitchy);
 
     ScenarioConfig sluggish = base;
     sluggish.cellfi.im.bucket_lambda = 40.0;
-    add("bucket lambda = 40 (sluggish)", sluggish);
+    variants.emplace_back("bucket lambda = 40 (sluggish)", sluggish);
 
     ScenarioConfig lte = base;
     lte.tech = Technology::kLte;
-    add("plain LTE (no IM)", lte);
+    variants.emplace_back("plain LTE (no IM)", lte);
 
     ScenarioConfig laa = base;
     laa.tech = Technology::kLaaLte;
-    add("LAA-style LBT-LTE (Section 8)", laa);
+    variants.emplace_back("LAA-style LBT-LTE (Section 8)", laa);
 
+    std::vector<Replication> jobs;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      for (int rep = 0; rep < reps; ++rep) {
+        ScenarioConfig cfg = variants[v].second;
+        cfg.seed = 7000 + static_cast<std::uint64_t>(rep);
+        jobs.push_back(Replication{cfg, nullptr, static_cast<int>(v), rep});
+      }
+    }
+    const auto outcomes = runner.Run(jobs);
+    ThrowIfFailed(outcomes);
+
+    Table t({"variant", "starved %", "median Mbps", "total Mbps", "hops"});
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const Outcome o = Aggregate(outcomes, static_cast<int>(v), reps);
+      t.AddRow({variants[v].first, Table::Num(o.starved_pct, 1),
+                Table::Num(o.median_mbps, 3), Table::Num(o.total_mbps, 1),
+                Table::Num(o.hops, 0)});
+      report.AddPoint(std::string("im/") + variants[v].first, outcomes,
+                      static_cast<int>(v));
+    }
     t.Print(std::cout, "A. Interference management, 10 APs x 6 clients, 5 MHz");
   }
 
   // --- B. Link-adaptation margin -------------------------------------------
   {
-    Table t({"margin dB", "tcp Mbps @1 km", "harq retx frac"});
-    for (double margin : {0.0, 1.5, 3.0, 5.0}) {
-      Summary tput, harq;
-      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
-        // One long link, Fig. 1 style.
-        Simulator sim;
-        static const HataUrbanPathLoss pathloss(15.0, 1.5);
-        RadioEnvironmentConfig env_cfg;
-        env_cfg.carrier_freq_hz = 600e6;
-        env_cfg.shadowing_sigma_db = 0.0;
-        env_cfg.seed = seed;
-        RadioEnvironment env(pathloss, env_cfg);
-        const RadioNodeId ap = env.AddNode({.position = {0, 0},
-                                            .antenna = Antenna::Sector(7.0, 0.0, 2.1),
-                                            .tx_power_dbm = 29.0});
-        const RadioNodeId cl = env.AddNode({.position = {1000, 0}, .tx_power_dbm = 20.0});
-        lte::LteNetworkConfig nc;
-        nc.seed = seed;
-        lte::LteNetwork net(sim, env, nc);
-        lte::LteMacConfig mac;
-        mac.link_adaptation_margin_db = margin;
-        net.AddCell(mac, ap);
-        const lte::UeId ue = net.AddUe(cl);
-        std::uint64_t bits = 0;
-        net.on_dl_delivered = [&](lte::UeId, std::uint64_t b, SimTime now) {
-          if (now >= 500 * kMillisecond) bits += 8 * b;
-        };
-        sim.SchedulePeriodic(200 * kMillisecond, [&] { net.OfferDownlink(ue, 2 << 20); });
-        net.Start();
-        sim.RunUntil(4 * kSecond);
-        tput.Add(static_cast<double>(bits) / 3.5e6 * (1460.0 / 1500.0));
-        const auto* ctx = net.ue(ue).serving != lte::kInvalidCell
-                              ? net.cell(net.ue(ue).serving).FindUe(ue)
-                              : nullptr;
-        if (ctx != nullptr && ctx->dl_total_blocks > 0) {
-          harq.Add(static_cast<double>(ctx->dl_harq_retx_blocks) /
-                   static_cast<double>(ctx->dl_total_blocks));
-        }
+    const double margins[] = {0.0, 1.5, 3.0, 5.0};
+    constexpr int kSeeds = 4;
+    struct LinkSample {
+      double tput = 0.0;
+      std::optional<double> harq;
+    };
+    std::vector<LinkSample> samples(4 * kSeeds);
+
+    const auto start = std::chrono::steady_clock::now();
+    runner.RunTasks(samples.size(), [&](std::size_t task) {
+      const double margin = margins[task / kSeeds];
+      const std::uint64_t seed = 1 + task % kSeeds;
+      // One long link, Fig. 1 style.
+      Simulator sim;
+      static const HataUrbanPathLoss pathloss(15.0, 1.5);
+      RadioEnvironmentConfig env_cfg;
+      env_cfg.carrier_freq_hz = 600e6;
+      env_cfg.shadowing_sigma_db = 0.0;
+      env_cfg.seed = seed;
+      RadioEnvironment env(pathloss, env_cfg);
+      const RadioNodeId ap = env.AddNode({.position = {0, 0},
+                                          .antenna = Antenna::Sector(7.0, 0.0, 2.1),
+                                          .tx_power_dbm = 29.0});
+      const RadioNodeId cl = env.AddNode({.position = {1000, 0}, .tx_power_dbm = 20.0});
+      lte::LteNetworkConfig nc;
+      nc.seed = seed;
+      lte::LteNetwork net(sim, env, nc);
+      lte::LteMacConfig mac;
+      mac.link_adaptation_margin_db = margin;
+      net.AddCell(mac, ap);
+      const lte::UeId ue = net.AddUe(cl);
+      std::uint64_t bits = 0;
+      net.on_dl_delivered = [&](lte::UeId, std::uint64_t b, SimTime now) {
+        if (now >= 500 * kMillisecond) bits += 8 * b;
+      };
+      sim.SchedulePeriodic(200 * kMillisecond, [&] { net.OfferDownlink(ue, 2 << 20); });
+      net.Start();
+      sim.RunUntil(4 * kSecond);
+      LinkSample& sample = samples[task];
+      sample.tput = static_cast<double>(bits) / 3.5e6 * (1460.0 / 1500.0);
+      const auto* ctx = net.ue(ue).serving != lte::kInvalidCell
+                            ? net.cell(net.ue(ue).serving).FindUe(ue)
+                            : nullptr;
+      if (ctx != nullptr && ctx->dl_total_blocks > 0) {
+        sample.harq = static_cast<double>(ctx->dl_harq_retx_blocks) /
+                      static_cast<double>(ctx->dl_total_blocks);
       }
-      t.AddRow({Table::Num(margin, 1), Table::Num(tput.mean(), 2),
+    });
+    report.AddPoint("link_adaptation_margin", static_cast<int>(samples.size()),
+                    std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                        .count(),
+                    4.0 * samples.size());
+
+    Table t({"margin dB", "tcp Mbps @1 km", "harq retx frac"});
+    for (int m = 0; m < 4; ++m) {
+      Summary tput, harq;
+      for (int s = 0; s < kSeeds; ++s) {
+        const LinkSample& sample = samples[static_cast<std::size_t>(m * kSeeds + s)];
+        tput.Add(sample.tput);
+        if (sample.harq) harq.Add(*sample.harq);
+      }
+      t.AddRow({Table::Num(margins[m], 1), Table::Num(tput.mean(), 2),
                 Table::Num(harq.mean(), 2)});
     }
     t.Print(std::cout,
@@ -139,22 +183,34 @@ int main() {
 
   // --- C. 802.11af clock-down ----------------------------------------------
   {
-    Table t({"clock scale", "median Mbps", "starved %"});
-    for (double clock : {1.0, 2.0, 4.0}) {
-      Distribution tput;
-      double starved = 0;
+    const double clocks[] = {1.0, 2.0, 4.0};
+    std::vector<Replication> jobs;
+    for (int ci = 0; ci < 3; ++ci) {
       for (int rep = 0; rep < reps; ++rep) {
         auto cfg = BaseConfig(Technology::kWifi80211af, 10, 6,
                               7300 + static_cast<std::uint64_t>(rep));
-        cfg.wifi_clock_scale = clock;
-        const auto result = RunScenario(cfg);
-        for (const auto& c : result.clients) tput.Add(c.throughput_bps / 1e6);
-        starved += 100.0 * result.fraction_starved / reps;
+        cfg.wifi_clock_scale = clocks[ci];
+        jobs.push_back(Replication{cfg, nullptr, ci, rep});
       }
-      t.AddRow({Table::Num(clock, 0), Table::Num(tput.Median(), 3),
+    }
+    const auto outcomes = runner.Run(jobs);
+    ThrowIfFailed(outcomes);
+
+    Table t({"clock scale", "median Mbps", "starved %"});
+    for (int ci = 0; ci < 3; ++ci) {
+      Distribution tput;
+      double starved = 0;
+      for (const ReplicationOutcome& o : outcomes) {
+        if (o.point != ci) continue;
+        for (const auto& c : o.result.clients) tput.Add(c.throughput_bps / 1e6);
+        starved += 100.0 * o.result.fraction_starved / reps;
+      }
+      t.AddRow({Table::Num(clocks[ci], 0), Table::Num(tput.Median(), 3),
                 Table::Num(starved, 1)});
+      report.AddPoint("clock=" + Table::Num(clocks[ci], 0), outcomes, ci);
     }
     t.Print(std::cout, "C. 802.11af TVHT down-clocking cost (6 MHz channel)");
   }
+  std::cout << "Bench artifact: " << report.Write() << "\n";
   return 0;
 }

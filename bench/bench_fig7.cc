@@ -111,9 +111,14 @@ int main() {
   std::uint64_t disconnects_full = 0, disconnects_signalling = 0;
   Summary signalling_drop;
 
-  for (double deg = -30; deg <= 95; deg += 12.5) {
+  // Integer loop: accumulating a double by 12.5 drifts and deriving the
+  // seed from it made the seed depend on FP rounding. deg_x10 = deg * 10
+  // exactly, so the seeds (700, 825, ..., 1950) match the historical ones.
+  for (int step = 0; step <= 10; ++step) {
+    const int deg_x10 = -300 + 125 * step;
+    const double deg = deg_x10 / 10.0;
     const double rad = deg * M_PI / 180.0;
-    const std::uint64_t seed = static_cast<std::uint64_t>(deg * 10 + 1000);
+    const std::uint64_t seed = static_cast<std::uint64_t>(1000 + deg_x10);
     const Sample none = RunPosition(rad, Interference::kNone, seed);
     const Sample sig = RunPosition(rad, Interference::kSignalling, seed);
     const Sample full = RunPosition(rad, Interference::kFull, seed);

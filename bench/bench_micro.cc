@@ -7,6 +7,7 @@
 #include "cellfi/common/json.h"
 #include "cellfi/core/interference_manager.h"
 #include "cellfi/lte/enodeb.h"
+#include "cellfi/phy/ofdm.h"
 #include "cellfi/phy/prach.h"
 #include "cellfi/radio/environment.h"
 #include "cellfi/radio/pathloss.h"
@@ -39,6 +40,44 @@ void BM_BluesteinDft839(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BluesteinDft839);
+
+void BM_BluesteinDftInto839(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<Complex> data(839);
+  for (auto& v : data) v = Complex(rng.Normal(), rng.Normal());
+  DftWorkspace ws;
+  std::vector<Complex> out;
+  for (auto _ : state) {
+    DftInto(data, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BluesteinDftInto839);
+
+void BM_OfdmModulate(benchmark::State& state) {
+  OfdmParams params;
+  Rng rng(7);
+  std::vector<Complex> subcarriers(params.used_subcarriers);
+  for (auto& v : subcarriers) v = Complex(rng.Normal(), rng.Normal());
+  for (auto _ : state) {
+    auto symbol = OfdmModulate(params, subcarriers);
+    benchmark::DoNotOptimize(symbol.data());
+  }
+}
+BENCHMARK(BM_OfdmModulate);
+
+void BM_OfdmModulateScratch(benchmark::State& state) {
+  OfdmParams params;
+  Rng rng(7);
+  std::vector<Complex> subcarriers(params.used_subcarriers);
+  for (auto& v : subcarriers) v = Complex(rng.Normal(), rng.Normal());
+  std::vector<Complex> symbol, bins;
+  for (auto _ : state) {
+    OfdmModulate(params, subcarriers, symbol, bins);
+    benchmark::DoNotOptimize(symbol.data());
+  }
+}
+BENCHMARK(BM_OfdmModulateScratch);
 
 void BM_PrachDetect(benchmark::State& state) {
   PrachConfig cfg;

@@ -3,9 +3,8 @@
 // 6 MHz Wi-Fi, 30 dBm APs, 20 dBm LTE clients, 30 dBm Wi-Fi clients.
 #pragma once
 
-#include <cstdlib>
-
 #include "cellfi/scenario/harness.h"
+#include "cellfi/scenario/sweep.h"
 
 namespace fig9 {
 
@@ -35,13 +34,7 @@ inline ScenarioConfig BaseConfig(Technology tech, int num_aps, int clients_per_a
 }
 
 /// Repetitions per data point; CELLFI_BENCH_REPS overrides (quick runs).
-inline int Reps(int default_reps) {
-  if (const char* env = std::getenv("CELLFI_BENCH_REPS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
-  return default_reps;
-}
+inline int Reps(int default_reps) { return ResolveReps(default_reps); }
 
 inline const char* TechName(Technology tech) {
   switch (tech) {

@@ -15,8 +15,7 @@ std::size_t NextPowerOfTwo(std::size_t n) {
 
 namespace {
 
-void FftImpl(std::vector<Complex>& a, bool inverse) {
-  const std::size_t n = a.size();
+void FftImpl(Complex* a, std::size_t n, bool inverse) {
   assert(IsPowerOfTwo(n));
 
   // Bit-reversal permutation.
@@ -43,15 +42,20 @@ void FftImpl(std::vector<Complex>& a, bool inverse) {
   }
 
   if (inverse) {
-    for (auto& x : a) x /= static_cast<double>(n);
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv_n;
   }
 }
 
 }  // namespace
 
-void Fft(std::vector<Complex>& data) { FftImpl(data, /*inverse=*/false); }
+void Fft(std::vector<Complex>& data) { FftImpl(data.data(), data.size(), /*inverse=*/false); }
 
-void Ifft(std::vector<Complex>& data) { FftImpl(data, /*inverse=*/true); }
+void Ifft(std::vector<Complex>& data) { FftImpl(data.data(), data.size(), /*inverse=*/true); }
+
+void Fft(Complex* data, std::size_t n) { FftImpl(data, n, /*inverse=*/false); }
+
+void Ifft(Complex* data, std::size_t n) { FftImpl(data, n, /*inverse=*/true); }
 
 std::vector<Complex> CircularCorrelate(const std::vector<Complex>& a,
                                        const std::vector<Complex>& b) {
@@ -104,42 +108,56 @@ const BluesteinPlan& PlanFor(std::size_t n, bool inverse) {
   return entries.back().second;
 }
 
-std::vector<Complex> Bluestein(const std::vector<Complex>& x, bool inverse) {
+void BluesteinInto(const std::vector<Complex>& x, std::vector<Complex>& out,
+                   DftWorkspace& ws, bool inverse) {
   const std::size_t n = x.size();
   assert(n >= 1);
+  assert(&x != &out);
   if (IsPowerOfTwo(n)) {
-    std::vector<Complex> copy = x;
-    if (inverse) {
-      Ifft(copy);
-    } else {
-      Fft(copy);
-    }
-    return copy;
+    out = x;
+    FftImpl(out.data(), n, inverse);
+    return;
   }
 
   const BluesteinPlan& plan = PlanFor(n, inverse);
-  std::vector<Complex> a(plan.m, Complex(0, 0));
+  std::vector<Complex>& a = ws.padded;
+  a.assign(plan.m, Complex(0, 0));
   for (std::size_t i = 0; i < n; ++i) a[i] = x[i] * plan.w[i];
-  Fft(a);
+  FftImpl(a.data(), plan.m, /*inverse=*/false);
   for (std::size_t i = 0; i < plan.m; ++i) a[i] *= plan.b_freq[i];
-  Ifft(a);
+  FftImpl(a.data(), plan.m, /*inverse=*/true);
 
-  std::vector<Complex> out(n);
+  out.resize(n);
   for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * plan.w[i];
   if (inverse) {
     for (auto& v : out) v /= static_cast<double>(n);
   }
-  return out;
 }
 
 }  // namespace
 
+void DftInto(const std::vector<Complex>& in, std::vector<Complex>& out,
+             DftWorkspace& ws) {
+  BluesteinInto(in, out, ws, /*inverse=*/false);
+}
+
+void IdftInto(const std::vector<Complex>& in, std::vector<Complex>& out,
+              DftWorkspace& ws) {
+  BluesteinInto(in, out, ws, /*inverse=*/true);
+}
+
 std::vector<Complex> Dft(const std::vector<Complex>& data) {
-  return Bluestein(data, /*inverse=*/false);
+  DftWorkspace ws;
+  std::vector<Complex> out;
+  DftInto(data, out, ws);
+  return out;
 }
 
 std::vector<Complex> Idft(const std::vector<Complex>& data) {
-  return Bluestein(data, /*inverse=*/true);
+  DftWorkspace ws;
+  std::vector<Complex> out;
+  IdftInto(data, out, ws);
+  return out;
 }
 
 std::vector<Complex> CircularCorrelateAny(const std::vector<Complex>& a,

@@ -23,6 +23,29 @@ void Fft(std::vector<Complex>& data);
 /// In-place inverse FFT (includes the 1/N normalization).
 void Ifft(std::vector<Complex>& data);
 
+/// Raw in-place variants over `n` (power of two) samples, for callers that
+/// manage their own buffers.
+void Fft(Complex* data, std::size_t n);
+void Ifft(Complex* data, std::size_t n);
+
+/// Reusable workspace for the arbitrary-length DFT path. Holding one
+/// across calls makes DftInto/IdftInto allocation-free after the first
+/// call at a given length; the Bluestein chirp tables are planned and
+/// cached per thread independently of this buffer. A workspace is cheap to
+/// default-construct and must not be shared between threads.
+struct DftWorkspace {
+  std::vector<Complex> padded;  // power-of-two convolution buffer
+};
+
+/// Forward DFT of `in` into `out` (resized to in.size()), reusing `ws`.
+/// `in` and `out` must be distinct vectors.
+void DftInto(const std::vector<Complex>& in, std::vector<Complex>& out,
+             DftWorkspace& ws);
+
+/// Inverse DFT (includes the 1/N normalization), reusing `ws`.
+void IdftInto(const std::vector<Complex>& in, std::vector<Complex>& out,
+              DftWorkspace& ws);
+
 /// Circular cross-correlation of `a` against `b` (both same power-of-two
 /// length): result[k] = sum_n a[n] * conj(b[n-k mod N]).
 std::vector<Complex> CircularCorrelate(const std::vector<Complex>& a,

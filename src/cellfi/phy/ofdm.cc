@@ -107,34 +107,51 @@ std::vector<Complex> AddAwgn(const std::vector<Complex>& symbols, double snr_db,
   return out;
 }
 
-std::vector<Complex> OfdmModulate(const OfdmParams& params,
-                                  const std::vector<Complex>& subcarriers) {
+void OfdmModulate(const OfdmParams& params, const std::vector<Complex>& subcarriers,
+                  std::vector<Complex>& time_out, std::vector<Complex>& bins_scratch) {
   assert(static_cast<int>(subcarriers.size()) == params.used_subcarriers);
   assert(params.used_subcarriers < params.fft_size);
   assert(IsPowerOfTwo(static_cast<std::size_t>(params.fft_size)));
-  std::vector<Complex> bins(static_cast<std::size_t>(params.fft_size), Complex(0, 0));
+  bins_scratch.assign(static_cast<std::size_t>(params.fft_size), Complex(0, 0));
   for (int i = 0; i < params.used_subcarriers; ++i) {
-    bins[static_cast<std::size_t>(i + 1)] = subcarriers[static_cast<std::size_t>(i)];
+    bins_scratch[static_cast<std::size_t>(i + 1)] = subcarriers[static_cast<std::size_t>(i)];
   }
-  Ifft(bins);
-  std::vector<Complex> out;
-  out.reserve(static_cast<std::size_t>(params.fft_size + params.cp_len));
+  Ifft(bins_scratch);
+  time_out.resize(static_cast<std::size_t>(params.fft_size + params.cp_len));
+  std::size_t w = 0;
   for (int i = params.fft_size - params.cp_len; i < params.fft_size; ++i) {
-    out.push_back(bins[static_cast<std::size_t>(i)]);
+    time_out[w++] = bins_scratch[static_cast<std::size_t>(i)];
   }
-  out.insert(out.end(), bins.begin(), bins.end());
+  for (int i = 0; i < params.fft_size; ++i) {
+    time_out[w++] = bins_scratch[static_cast<std::size_t>(i)];
+  }
+}
+
+std::vector<Complex> OfdmModulate(const OfdmParams& params,
+                                  const std::vector<Complex>& subcarriers) {
+  std::vector<Complex> out;
+  std::vector<Complex> bins;
+  OfdmModulate(params, subcarriers, out, bins);
   return out;
+}
+
+void OfdmDemodulate(const OfdmParams& params, const std::vector<Complex>& time_samples,
+                    std::vector<Complex>& subcarriers_out,
+                    std::vector<Complex>& bins_scratch) {
+  assert(static_cast<int>(time_samples.size()) >= params.fft_size + params.cp_len);
+  bins_scratch.assign(time_samples.begin() + params.cp_len,
+                      time_samples.begin() + params.cp_len + params.fft_size);
+  Fft(bins_scratch);
+  subcarriers_out.assign(bins_scratch.begin() + 1,
+                         bins_scratch.begin() + 1 + params.used_subcarriers);
 }
 
 std::vector<Complex> OfdmDemodulate(const OfdmParams& params,
                                     const std::vector<Complex>& time_samples) {
-  assert(static_cast<int>(time_samples.size()) >= params.fft_size + params.cp_len);
-  std::vector<Complex> bins(
-      time_samples.begin() + params.cp_len,
-      time_samples.begin() + params.cp_len + params.fft_size);
-  Fft(bins);
-  return std::vector<Complex>(bins.begin() + 1,
-                              bins.begin() + 1 + params.used_subcarriers);
+  std::vector<Complex> out;
+  std::vector<Complex> bins;
+  OfdmDemodulate(params, time_samples, out, bins);
+  return out;
 }
 
 std::vector<Complex> ApplyChannel(const std::vector<Complex>& samples,

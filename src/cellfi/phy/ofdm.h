@@ -49,9 +49,21 @@ struct OfdmParams {
 std::vector<Complex> OfdmModulate(const OfdmParams& params,
                                   const std::vector<Complex>& subcarriers);
 
+/// Allocation-free variant: writes the symbol into `time_out` (resized to
+/// fft_size + cp_len) and reuses `bins_scratch` across calls — the hot
+/// path for symbol-rate modulation.
+void OfdmModulate(const OfdmParams& params, const std::vector<Complex>& subcarriers,
+                  std::vector<Complex>& time_out, std::vector<Complex>& bins_scratch);
+
 /// Inverse of OfdmModulate: strip CP, FFT, extract the used bins.
 std::vector<Complex> OfdmDemodulate(const OfdmParams& params,
                                     const std::vector<Complex>& time_samples);
+
+/// Allocation-free variant of OfdmDemodulate; `subcarriers_out` is resized
+/// to used_subcarriers and `bins_scratch` is reused across calls.
+void OfdmDemodulate(const OfdmParams& params, const std::vector<Complex>& time_samples,
+                    std::vector<Complex>& subcarriers_out,
+                    std::vector<Complex>& bins_scratch);
 
 /// Convolve with a (short) channel impulse response, linearly.
 std::vector<Complex> ApplyChannel(const std::vector<Complex>& samples,

@@ -52,9 +52,11 @@ PrachDetection PrachDetector::Detect(const std::vector<Complex>& received) const
 
   // Correlation 1: one frequency-domain circular correlation against the
   // root sequence covers every cyclic shift at once.
-  std::vector<Complex> rx_freq = Dft(received);
+  std::vector<Complex>& rx_freq = freq_scratch_;
+  DftInto(received, rx_freq, ws_);
   for (std::size_t i = 0; i < rx_freq.size(); ++i) rx_freq[i] *= std::conj(root_freq_[i]);
-  const std::vector<Complex> corr = Idft(rx_freq);
+  const std::vector<Complex>& corr = corr_scratch_;
+  IdftInto(rx_freq, corr_scratch_, ws_);
 
   // Correlation 2 (the "check"): compare the strongest lag's power against
   // the average correlation power.
@@ -82,11 +84,14 @@ PrachDetection PrachDetector::Detect(const std::vector<Complex>& received) const
 std::vector<PrachDetection> PrachDetector::DetectAll(
     const std::vector<Complex>& received) const {
   assert(static_cast<int>(received.size()) == config_.sequence_length);
-  std::vector<Complex> rx_freq = Dft(received);
+  std::vector<Complex>& rx_freq = freq_scratch_;
+  DftInto(received, rx_freq, ws_);
   for (std::size_t i = 0; i < rx_freq.size(); ++i) rx_freq[i] *= std::conj(root_freq_[i]);
-  const std::vector<Complex> corr = Idft(rx_freq);
+  const std::vector<Complex>& corr = corr_scratch_;
+  IdftInto(rx_freq, corr_scratch_, ws_);
 
-  std::vector<double> power(corr.size());
+  std::vector<double>& power = power_scratch_;
+  power.resize(corr.size());
   double total = 0.0;
   for (std::size_t i = 0; i < corr.size(); ++i) {
     power[i] = std::norm(corr[i]);

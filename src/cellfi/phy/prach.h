@@ -68,6 +68,14 @@ class PrachDetector {
  private:
   PrachConfig config_;
   std::vector<Complex> root_freq_;  // precomputed DFT of the root sequence
+  // Reusable scratch so line-rate detection does not allocate per call.
+  // Detect/DetectAll are logically const but mutate these buffers: a
+  // detector instance must not be shared between threads (each simulation
+  // replication owns its own detectors).
+  mutable DftWorkspace ws_;
+  mutable std::vector<Complex> freq_scratch_;
+  mutable std::vector<Complex> corr_scratch_;
+  mutable std::vector<double> power_scratch_;
 };
 
 /// Test-channel helper: delay a preamble by `timing_offset` samples

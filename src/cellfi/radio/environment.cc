@@ -20,6 +20,7 @@ RadioNodeId RadioEnvironment::AddNode(RadioNode node) {
                      std::numeric_limits<double>::quiet_NaN());
   rx_mw_cache_.assign(nodes_.size() * nodes_.size(),
                       std::numeric_limits<double>::quiet_NaN());
+  noise_mw_cache_.assign(nodes_.size(), {0.0, 0.0});
   return static_cast<RadioNodeId>(nodes_.size() - 1);
 }
 
@@ -58,7 +59,8 @@ double RadioEnvironment::MeanRxPowerDbm(RadioNodeId tx, RadioNodeId rx) const {
 }
 
 double RadioEnvironment::MeanRxPowerMw(RadioNodeId tx, RadioNodeId rx) const {
-  double& cached = rx_mw_cache_[tx * nodes_.size() + rx];
+  // Receiver-major: all powers arriving at `rx` share one contiguous row.
+  double& cached = rx_mw_cache_[rx * nodes_.size() + tx];
   if (std::isnan(cached)) cached = DbmToMw(MeanRxPowerDbm(tx, rx));
   return cached;
 }
@@ -74,18 +76,32 @@ double RadioEnvironment::NoiseDbm(RadioNodeId rx, double bandwidth_hz) const {
   return NoisePowerDbm(bandwidth_hz, nodes_[rx].noise_figure_db);
 }
 
+double RadioEnvironment::NoiseMw(RadioNodeId rx, double bandwidth_hz) const {
+  auto& memo = noise_mw_cache_[rx];
+  if (memo.first != bandwidth_hz) {
+    memo = {bandwidth_hz, DbmToMw(NoiseDbm(rx, bandwidth_hz))};
+  }
+  return memo.second;
+}
+
 double RadioEnvironment::SinrDb(RadioNodeId tx, RadioNodeId rx, std::uint32_t subchannel,
                                 SimTime now,
                                 const std::vector<ActiveTransmitter>& interferers,
                                 double bandwidth_hz, double signal_scale) const {
-  // Fully linear hot path: cached mean rx power (mW) times the linear
-  // fading gain avoids per-interferer dB conversions.
-  double signal_mw = signal_scale * MeanRxPowerMw(tx, rx);
+  // Fully linear hot path: the receiver's contiguous mean-power row plus
+  // the memoized noise floor leave only the fading hash per term.
+  const std::size_t n = nodes_.size();
+  double* row = &rx_mw_cache_[rx * n];
+  double signal_mw = row[tx];
+  if (std::isnan(signal_mw)) signal_mw = row[tx] = DbmToMw(MeanRxPowerDbm(tx, rx));
+  signal_mw *= signal_scale;
   if (config_.enable_fading) signal_mw *= fading_.PowerGain(tx, rx, subchannel, now);
-  double denom_mw = DbmToMw(NoiseDbm(rx, bandwidth_hz));
+  double denom_mw = NoiseMw(rx, bandwidth_hz);
   for (const ActiveTransmitter& it : interferers) {
     if (it.node == tx || it.node == rx || it.power_scale <= 0.0) continue;
-    double p = it.power_scale * MeanRxPowerMw(it.node, rx);
+    double p = row[it.node];
+    if (std::isnan(p)) p = row[it.node] = DbmToMw(MeanRxPowerDbm(it.node, rx));
+    p *= it.power_scale;
     if (config_.enable_fading) p *= fading_.PowerGain(it.node, rx, subchannel, now);
     denom_mw += p;
   }

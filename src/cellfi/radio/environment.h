@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cellfi/common/geometry.h"
@@ -84,6 +85,11 @@ class RadioEnvironment {
   /// Thermal noise power at `rx` over `bandwidth_hz`, dBm.
   double NoiseDbm(RadioNodeId rx, double bandwidth_hz) const;
 
+  /// Thermal noise power at `rx` over `bandwidth_hz`, mW — memoized per
+  /// receiver for the last bandwidth queried (each MAC layer evaluates one
+  /// bandwidth per receiver), so the SINR hot path pays no log/pow.
+  double NoiseMw(RadioNodeId rx, double bandwidth_hz) const;
+
   /// SINR in dB at `rx` for the signal from `tx` on `subchannel`, given the
   /// set of concurrently active interferers (excluding `tx` itself) and the
   /// per-subchannel bandwidth. `signal_scale` is the fraction of the
@@ -106,8 +112,13 @@ class RadioEnvironment {
   ShadowingField shadowing_;
   FadingProcess fading_;
   std::vector<RadioNode> nodes_;
-  mutable std::vector<double> gain_cache_;   // n*n link gain dB, NaN = unset
-  mutable std::vector<double> rx_mw_cache_;  // n*n mean rx power mW, NaN = unset
+  mutable std::vector<double> gain_cache_;  // n*n link gain dB, NaN = unset
+  /// n*n mean rx power mW, NaN = unset. Receiver-major: row rx*n holds the
+  /// power received at `rx` from every transmitter contiguously, so one
+  /// SINR aggregation walks a single cache line run instead of striding.
+  mutable std::vector<double> rx_mw_cache_;
+  /// Per-receiver (bandwidth_hz, noise_mw) memo for NoiseMw.
+  mutable std::vector<std::pair<double, double>> noise_mw_cache_;
 };
 
 }  // namespace cellfi

@@ -121,6 +121,51 @@ TEST(BluesteinTest, RoundTripLength839) {
   }
 }
 
+TEST(BluesteinTest, DftIntoMatchesDftAndReusesWorkspace) {
+  Rng rng(11);
+  DftWorkspace ws;
+  std::vector<Complex> out;
+  // Mixed power-of-two and Bluestein lengths through one reused workspace.
+  for (std::size_t n : {64u, 839u, 100u, 839u, 128u}) {
+    std::vector<Complex> x(n);
+    for (auto& v : x) v = Complex(rng.Normal(), rng.Normal());
+    const auto expected = Dft(x);
+    DftInto(x, out, ws);
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(out[i].real(), expected[i].real(), 1e-9);
+      EXPECT_NEAR(out[i].imag(), expected[i].imag(), 1e-9);
+    }
+    const auto inv = Idft(expected);
+    IdftInto(expected, out, ws);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(out[i].real(), inv[i].real(), 1e-9);
+      EXPECT_NEAR(out[i].imag(), inv[i].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(FftTest, RawPointerFftMatchesVectorFft) {
+  Rng rng(12);
+  std::vector<Complex> x(256);
+  for (auto& v : x) v = Complex(rng.Normal(), rng.Normal());
+  auto expected = x;
+  Fft(expected);
+  auto raw = x;
+  Fft(raw.data(), raw.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw[i].real(), expected[i].real());
+    EXPECT_DOUBLE_EQ(raw[i].imag(), expected[i].imag());
+  }
+  Ifft(raw.data(), raw.size());
+  auto round = expected;
+  Ifft(round);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw[i].real(), round[i].real());
+    EXPECT_DOUBLE_EQ(raw[i].imag(), round[i].imag());
+  }
+}
+
 TEST(CorrelateTest, FindsCyclicShift) {
   // Correlating a sequence with a shifted copy peaks at the shift.
   Rng rng(9);

@@ -95,6 +95,34 @@ TEST(OfdmTest, NoiselessRoundTrip) {
   }
 }
 
+TEST(OfdmTest, ScratchOverloadsMatchAllocatingVersions) {
+  OfdmParams params;
+  Rng rng(21);
+  std::vector<Complex> tx(static_cast<std::size_t>(params.used_subcarriers));
+  for (auto& v : tx) v = Complex(rng.Normal(), rng.Normal());
+
+  std::vector<Complex> symbol, bins, rx;
+  // Reuse the scratch buffers across iterations; results must stay
+  // bit-identical to the allocating API every time.
+  for (int iter = 0; iter < 3; ++iter) {
+    const auto expected_symbol = OfdmModulate(params, tx);
+    OfdmModulate(params, tx, symbol, bins);
+    ASSERT_EQ(symbol.size(), expected_symbol.size());
+    for (std::size_t i = 0; i < symbol.size(); ++i) {
+      EXPECT_DOUBLE_EQ(symbol[i].real(), expected_symbol[i].real());
+      EXPECT_DOUBLE_EQ(symbol[i].imag(), expected_symbol[i].imag());
+    }
+
+    const auto expected_rx = OfdmDemodulate(params, expected_symbol);
+    OfdmDemodulate(params, symbol, rx, bins);
+    ASSERT_EQ(rx.size(), expected_rx.size());
+    for (std::size_t i = 0; i < rx.size(); ++i) {
+      EXPECT_DOUBLE_EQ(rx[i].real(), expected_rx[i].real());
+      EXPECT_DOUBLE_EQ(rx[i].imag(), expected_rx[i].imag());
+    }
+  }
+}
+
 TEST(OfdmTest, CyclicPrefixAbsorbsMultipath) {
   // Two-tap channel with delay < CP: after OFDM demod the channel is a
   // per-subcarrier complex scalar, so one-tap ZF equalization is exact.

@@ -190,5 +190,46 @@ TEST_F(EnvironmentTest, MeanSnrMatchesManualBudget) {
   EXPECT_NEAR(env_.MeanSnrDb(ap_, ue_near_, 4.5e6), expected, 1e-9);
 }
 
+// Regression: SinrDb caches per-receiver linear rx-power rows (and
+// MeanRxPowerMw caches link gains). MoveNode must invalidate every cached
+// value involving the moved node — both as signal source and interferer —
+// or stale powers survive the move.
+TEST_F(EnvironmentTest, MoveNodeInvalidatesSinrCaches) {
+  const std::vector<ActiveTransmitter> interferers{
+      {.node = interferer_, .power_scale = 1.0}};
+  // Populate the caches at the original positions.
+  (void)env_.SinrDb(ap_, ue_near_, 0, 0, interferers, 4.5e6);
+  (void)env_.MeanRxPowerMw(ap_, ue_near_);
+
+  // Moving the signal source must change the cached signal power.
+  env_.MoveNode(ap_, {500, 0});
+  RadioEnvironment fresh(pathloss_, MakeConfig());
+  const RadioNodeId ap2 = fresh.AddNode({.position = {500, 0},
+                                         .antenna = Antenna::Omni(6.0),
+                                         .tx_power_dbm = 30.0});
+  const RadioNodeId near2 = fresh.AddNode({.position = {100, 0}, .tx_power_dbm = 20.0});
+  (void)fresh.AddNode({.position = {1200, 0}, .tx_power_dbm = 20.0});
+  const RadioNodeId intf2 = fresh.AddNode({.position = {300, 300}, .tx_power_dbm = 30.0});
+  const std::vector<ActiveTransmitter> interferers2{{.node = intf2, .power_scale = 1.0}};
+  EXPECT_DOUBLE_EQ(env_.SinrDb(ap_, ue_near_, 0, 0, interferers, 4.5e6),
+                   fresh.SinrDb(ap2, near2, 0, 0, interferers2, 4.5e6));
+  EXPECT_DOUBLE_EQ(env_.MeanRxPowerMw(ap_, ue_near_),
+                   fresh.MeanRxPowerMw(ap2, near2));
+
+  // Moving an interferer must change the cached interference power too.
+  (void)env_.SinrDb(ap_, ue_near_, 0, 0, interferers, 4.5e6);
+  env_.MoveNode(interferer_, {50, 50});
+  fresh.MoveNode(intf2, {50, 50});
+  EXPECT_DOUBLE_EQ(env_.SinrDb(ap_, ue_near_, 0, 0, interferers, 4.5e6),
+                   fresh.SinrDb(ap2, near2, 0, 0, interferers2, 4.5e6));
+
+  // And moving the receiver invalidates its row (signal + noise memo keyed
+  // by bandwidth stays valid; only geometry-dependent values change).
+  env_.MoveNode(ue_near_, {700, 100});
+  fresh.MoveNode(near2, {700, 100});
+  EXPECT_DOUBLE_EQ(env_.SinrDb(ap_, ue_near_, 0, 0, interferers, 4.5e6),
+                   fresh.SinrDb(ap2, near2, 0, 0, interferers2, 4.5e6));
+}
+
 }  // namespace
 }  // namespace cellfi
