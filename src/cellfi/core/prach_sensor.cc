@@ -8,6 +8,7 @@ void PrachSensor::OnPreamble(lte::UeId ue, lte::CellId serving, SimTime now) {
 
 int PrachSensor::EstimateContenders(SimTime now) const {
   int n = 0;
+  // cellfi-lint: allow(no-unordered-iter) — commutative integer count, order-free
   for (const auto& [ue, e] : heard_) {
     if (now - e.last_heard <= expiry_) ++n;
   }
@@ -16,6 +17,7 @@ int PrachSensor::EstimateContenders(SimTime now) const {
 
 int PrachSensor::OwnActive(SimTime now) const {
   int n = 0;
+  // cellfi-lint: allow(no-unordered-iter) — commutative integer count, order-free
   for (const auto& [ue, e] : heard_) {
     if (e.serving == self_ && now - e.last_heard <= expiry_) ++n;
   }

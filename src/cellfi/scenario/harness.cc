@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 
 #include "cellfi/baseline/oracle_allocator.h"
 #include "cellfi/core/cellfi_controller.h"

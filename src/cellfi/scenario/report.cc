@@ -129,6 +129,8 @@ std::optional<ScenarioConfig> ConfigFromJson(const Value& v) {
   if (const Value* web = v.Find("web"); web != nullptr && web->is_object()) {
     c.web.think_time_mean_s = NumOr(*web, "think_time_mean_s", c.web.think_time_mean_s);
   }
+  // cellfi-lint: allow(no-float-seed) — JSON numbers are IEEE doubles by
+  // schema; config seeds are exact below 2^53 and the round-trip is lossless.
   c.seed = static_cast<std::uint64_t>(NumOr(v, "seed", static_cast<double>(c.seed)));
   if (c.duration <= c.warmup) return std::nullopt;
   if (c.topology.num_aps <= 0 || c.topology.clients_per_ap < 0) return std::nullopt;
@@ -150,6 +152,7 @@ json::Value ResultToJson(const ScenarioResult& result) {
   v["im_cells_still_hopping"] = result.im_cells_still_hopping;
 
   Array clients;
+  clients.reserve(result.clients.size());
   for (const ClientOutcome& c : result.clients) {
     Value cv;
     cv["throughput_bps"] = c.throughput_bps;
@@ -157,8 +160,12 @@ json::Value ResultToJson(const ScenarioResult& result) {
     cv["starved"] = c.starved;
     cv["pages_started"] = c.pages_started;
     cv["pages_completed"] = c.pages_completed;
+    // reserve() + emplace_back keep GCC 12's -Wmaybe-uninitialized happy:
+    // moving a Value temporary through the growth path trips a false
+    // positive in the inlined variant relocation.
     Array plts;
-    for (double p : c.page_load_times_s) plts.push_back(Value(p));
+    plts.reserve(c.page_load_times_s.size());
+    for (double p : c.page_load_times_s) plts.emplace_back(p);
     cv["page_load_times_s"] = std::move(plts);
     clients.push_back(std::move(cv));
   }

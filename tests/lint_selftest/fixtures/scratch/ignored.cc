@@ -1,0 +1,5 @@
+// Fixture: lives outside the src/ bench/ tests/ examples/ prefixes every
+// rule is scoped to, so its violations must NOT be reported.
+#include <cstdlib>
+
+int OutOfScope() { return rand(); }

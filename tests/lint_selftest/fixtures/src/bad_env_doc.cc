@@ -1,0 +1,10 @@
+// Fixture: env-doc must flag CELLFI_* knobs missing from README.md and
+// ignore documented knobs and non-CELLFI variables.
+#include <cstdlib>
+
+const char* ReadKnobs() {
+  const char* undocumented = std::getenv("CELLFI_UNDOCUMENTED_KNOB");
+  const char* documented = std::getenv("CELLFI_DOCUMENTED_KNOB");  // clean
+  const char* other = std::getenv("HOME_DIR");  // clean: not CELLFI_*
+  return undocumented ? undocumented : (documented ? documented : other);
+}

@@ -1,0 +1,18 @@
+// Fixture: no-float-seed must flag floating-point arithmetic feeding a seed
+// (the bench_fig7 bug class) but leave integer derivations alone.
+#include <cstdint>
+
+std::uint64_t SeedFromAngle(double angle_deg) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(angle_deg * 10.5);
+  return seed;
+}
+
+std::uint64_t SeedFromCast(double x) {
+  std::uint64_t bad_seed = static_cast<std::uint64_t>(static_cast<float>(x));
+  return bad_seed;
+}
+
+std::uint64_t GoodSeed(int index) {
+  const std::uint64_t seed = 1000u + static_cast<std::uint64_t>(index) * 17u;
+  return seed;  // clean: integer arithmetic only
+}

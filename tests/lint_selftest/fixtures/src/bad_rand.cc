@@ -1,0 +1,7 @@
+// Fixture: no-libc-rand must flag both rand() and srand().
+#include <cstdlib>
+
+int DrawBad() {
+  ::srand(42);
+  return rand() % 6;
+}

@@ -1,0 +1,7 @@
+// Fixture: no-random-device must flag entropy-based seeding.
+#include <random>
+
+std::uint64_t EntropySeed() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,33 @@
+// Fixture: no-unordered-iter must flag range-for over unordered containers,
+// including members declared in a different file (unordered_decl.h).
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "unordered_decl.h"
+
+double SumScores(const CrossFileState& st) {
+  double total = 0.0;
+  for (const auto& [id, score] : st.cross_file_scores_) {
+    total += score;
+  }
+  return total;
+}
+
+int CountLocal() {
+  std::unordered_set<int> seen_ids;
+  seen_ids.insert(3);
+  int n = 0;
+  for (int id : seen_ids) {
+    n += id;
+  }
+  return n;
+}
+
+int SumVector(const std::vector<int>& xs) {
+  int n = 0;
+  for (int x : xs) {  // clean: vector iteration is ordered
+    n += x;
+  }
+  return n;
+}

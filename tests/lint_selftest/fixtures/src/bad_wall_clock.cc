@@ -1,0 +1,24 @@
+// Fixture: no-wall-clock must flag time(), clock() and system_clock, but
+// leave steady_clock and member-function calls like sim.time() alone.
+// (Fixtures are lint inputs, not compiled code — sim needs no declaration.)
+#include <chrono>
+#include <ctime>
+
+long WallSeconds() {
+  return static_cast<long>(time(nullptr));
+}
+
+long CpuTicks() {
+  return static_cast<long>(clock());
+}
+
+double Epoch() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long Monotonic(const Sim& sim) {
+  const auto t0 = std::chrono::steady_clock::now();  // clean: steady_clock ok
+  (void)t0;
+  return sim.time() + sim::clock_domain::time();  // clean: member/namespaced
+}

@@ -1,0 +1,25 @@
+// Fixture: a fully clean file. Mentions of banned identifiers in comments
+// and string literals must not trip any rule.
+//
+// Comments may discuss rand(), srand(), std::random_device, time(nullptr)
+// and std::chrono::system_clock freely.
+#include <chrono>
+#include <map>
+#include <string>
+
+std::string Describe() {
+  return "do not call rand() or std::random_device from sim code";
+}
+
+double OrderedSum(const std::map<int, double>& xs) {
+  double total = 0.0;
+  for (const auto& [id, x] : xs) {  // clean: std::map iterates in key order
+    total += x;
+  }
+  return total;
+}
+
+double WallClockMetric() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}

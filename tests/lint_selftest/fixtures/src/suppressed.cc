@@ -1,0 +1,25 @@
+// Fixture: suppression behavior.
+//  - same-line allow() silences the finding
+//  - a comment-only allow() line silences the next code line, carrying
+//    through a multi-line justification comment
+//  - an allow() naming a different rule does NOT silence the finding
+#include <cstdlib>
+#include <unordered_map>
+
+int SameLineAllow() {
+  return rand();  // cellfi-lint: allow(no-libc-rand) — fixture: deliberate
+}
+
+double NextLineAllow(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  // cellfi-lint: allow(no-unordered-iter) — fixture: commutative sum, and
+  // this justification intentionally spans two comment lines.
+  for (const auto& [id, w] : weights) {
+    total += w;
+  }
+  return total;
+}
+
+int WrongRuleAllow() {
+  return rand();  // cellfi-lint: allow(no-wall-clock) — wrong id: still flagged
+}

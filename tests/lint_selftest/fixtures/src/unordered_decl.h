@@ -1,0 +1,8 @@
+// Fixture: declares an unordered member that another file iterates, to
+// exercise the linter's cross-file declaration pass.
+#pragma once
+#include <unordered_map>
+
+struct CrossFileState {
+  std::unordered_map<int, double> cross_file_scores_;
+};

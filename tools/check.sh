@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# check.sh — one-shot correctness gate for every PR.
+#
+# Runs, in order, failing fast on any regression:
+#   1. check preset   : hardened warnings + -Werror build, ctest -L ci
+#                       (unit tests + lint_test + lint_selftest)
+#   2. sanitize preset: ASan+UBSan build, full ctest
+#   3. clang-tidy     : tools/run_tidy.sh against the frozen baseline
+#                       (skips cleanly when clang-tidy is not installed)
+#
+# Usage: tools/check.sh [--fast]
+#   --fast  skip the sanitizer stage (inner-loop use; CI runs everything)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n=== check.sh: %s ===\n' "$*"; }
+
+step "configure + build (check preset: hardened warnings, -Werror)"
+cmake --preset check
+cmake --build --preset check -j "$(nproc)"
+
+step "ctest -L ci (unit tests + determinism lint)"
+ctest --preset check
+
+if [[ "$FAST" -eq 0 ]]; then
+  step "configure + build (sanitize preset: ASan+UBSan)"
+  cmake --preset sanitize
+  cmake --build --preset sanitize -j "$(nproc)"
+
+  step "ctest (sanitize)"
+  ctest --preset sanitize
+else
+  step "skipping sanitize stage (--fast)"
+fi
+
+step "clang-tidy vs frozen baseline"
+tools/run_tidy.sh --build-dir "$ROOT/build-check"
+
+step "all gates passed"

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# run_tidy.sh — clang-tidy driver with a frozen-debt baseline.
+#
+# Runs the curated .clang-tidy profile over every first-party translation
+# unit in the compile database, normalizes the findings, and diffs them
+# against tools/tidy_baseline.txt:
+#
+#   * findings in the baseline       -> frozen debt, reported as a count only
+#   * findings NOT in the baseline   -> new debt, listed, exit 1
+#   * baseline entries that no longer fire -> stale, listed as a reminder
+#
+# Usage:
+#   tools/run_tidy.sh [--build-dir DIR] [--update-baseline] [-j N]
+#
+# The build dir must contain compile_commands.json (the root CMakeLists sets
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON, so any configured build dir works).
+# If no clang-tidy binary is available the script prints a notice and exits 0
+# so `tools/check.sh` stays usable on toolchains without clang — the lint and
+# warning gates still run there.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+BASELINE="$ROOT/tools/tidy_baseline.txt"
+UPDATE=0
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --update-baseline) UPDATE=1; shift ;;
+    -j) JOBS="$2"; shift 2 ;;
+    *) echo "run_tidy: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "$TIDY" ]]; then
+  for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+    if command -v "$candidate" >/dev/null 2>&1; then TIDY="$candidate"; break; fi
+  done
+fi
+if [[ -z "$TIDY" ]]; then
+  echo "run_tidy: clang-tidy not found (set CLANG_TIDY or install it) — skipping."
+  echo "run_tidy: the lint_test / warning gates still cover this tree."
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_tidy: $BUILD_DIR/compile_commands.json missing — configure first:" >&2
+  echo "  cmake --preset default" >&2
+  exit 2
+fi
+
+# First-party TUs only: sources under src/, bench/, examples/, tests/ —
+# system/third-party headers are already excluded by HeaderFilterRegex.
+mapfile -t FILES < <(
+  python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if any(seg in f for seg in ("/src/", "/bench/", "/examples/", "/tests/")):
+        print(f)
+EOF
+)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "run_tidy: no first-party files in compile database" >&2
+  exit 2
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW.cur" "$RAW.base"' EXIT
+
+echo "run_tidy: $TIDY over ${#FILES[@]} files (-j $JOBS)"
+printf '%s\n' "${FILES[@]}" \
+  | xargs -P "$JOBS" -I{} "$TIDY" -p "$BUILD_DIR" --quiet {} 2>/dev/null \
+  | grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' \
+  | sed -E "s#^$ROOT/##" \
+  | sed -E 's#:[0-9]+:[0-9]+:#:#' \
+  | sort -u > "$RAW" || true
+# Normalized finding format: "<rel-path>: warning: <msg> [<check>]" — line and
+# column numbers are stripped so unrelated edits above a finding don't churn
+# the baseline.
+
+grep -vE '^\s*(#|$)' "$BASELINE" | sort -u > "$RAW.base" || true
+cp "$RAW" "$RAW.cur"
+
+if [[ "$UPDATE" -eq 1 ]]; then
+  {
+    echo "# clang-tidy frozen-debt baseline — managed by tools/run_tidy.sh."
+    echo "# Regenerate with: tools/run_tidy.sh --update-baseline"
+    echo "# Do not add entries by hand: fix the finding or suppress it with"
+    echo "# NOLINT(<check>) plus a justification comment."
+    cat "$RAW.cur"
+  } > "$BASELINE"
+  echo "run_tidy: baseline updated with $(wc -l < "$RAW.cur") finding(s)"
+  exit 0
+fi
+
+NEW="$(comm -13 "$RAW.base" "$RAW.cur")"
+STALE="$(comm -23 "$RAW.base" "$RAW.cur")"
+FROZEN_COUNT="$(comm -12 "$RAW.base" "$RAW.cur" | wc -l)"
+
+if [[ -n "$STALE" ]]; then
+  echo "run_tidy: stale baseline entries (fixed debt — run --update-baseline):"
+  sed 's/^/  /' <<< "$STALE"
+fi
+echo "run_tidy: $FROZEN_COUNT baselined finding(s) suppressed"
+if [[ -n "$NEW" ]]; then
+  echo "run_tidy: NEW findings (not in baseline):"
+  sed 's/^/  /' <<< "$NEW"
+  echo "run_tidy: FAIL — fix the findings above or justify + NOLINT them"
+  exit 1
+fi
+echo "run_tidy: OK — no non-baseline findings"
