@@ -10,6 +10,7 @@
 #include "cellfi/phy/ofdm.h"
 #include "cellfi/phy/prach.h"
 #include "cellfi/radio/environment.h"
+#include "cellfi/radio/interference.h"
 #include "cellfi/radio/pathloss.h"
 
 using namespace cellfi;
@@ -113,6 +114,86 @@ void BM_SinrAggregation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SinrAggregation)->Arg(4)->Arg(14)->Arg(50);
+
+// Shared setup for the interference-engine kernels: `n` cells all
+// transmitting full-band (13 subchannels, flat PSD) and one receiver,
+// no fading — the regime where the engine's aggregate cache pays.
+struct EngineBenchWorld {
+  explicit EngineBenchWorld(int n, bool fading = false)
+      : env(pathloss, Config(fading)), imap(env) {
+    Rng rng(6);
+    rx = env.AddNode({.position = {0, 0}});
+    tx = env.AddNode({.position = {200, 0}, .tx_power_dbm = 30});
+    for (int i = 0; i < n; ++i) {
+      cells.push_back(env.AddNode({.position = {rng.Uniform(-2000, 2000),
+                                                rng.Uniform(-2000, 2000)},
+                                   .tx_power_dbm = 30}));
+    }
+  }
+  static RadioEnvironmentConfig Config(bool fading) {
+    RadioEnvironmentConfig cfg;
+    cfg.enable_fading = fading;
+    return cfg;
+  }
+  void Populate() {
+    imap.BeginEpoch(13, 360e3);
+    for (RadioNodeId c : cells) {
+      for (int s = 0; s < 13; ++s) imap.AddTransmitter(s, c, 1.0 / 13.0);
+    }
+  }
+  static HataUrbanPathLoss pathloss;
+  RadioEnvironment env;
+  InterferenceMap imap;
+  RadioNodeId rx = 0;
+  RadioNodeId tx = 0;
+  std::vector<RadioNodeId> cells;
+};
+HataUrbanPathLoss EngineBenchWorld::pathloss;
+
+void BM_InterferenceMapBuild(benchmark::State& state) {
+  EngineBenchWorld w(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    w.Populate();
+    benchmark::DoNotOptimize(w.imap.num_subchannels());
+  }
+}
+BENCHMARK(BM_InterferenceMapBuild)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_InterferenceMapSinrLookup(benchmark::State& state) {
+  // Steady state of the fading-off fast path: the epoch's aggregate rows
+  // are already built, each query is a cache hit. All 13 subchannel lists
+  // are identical, so they share one aggregate (num_groups() == 1).
+  EngineBenchWorld w(static_cast<int>(state.range(0)));
+  w.Populate();
+  SimTime now = 0;
+  int s = 0;
+  for (auto _ : state) {
+    now += kMillisecond;
+    s = (s + 1) % 13;
+    benchmark::DoNotOptimize(w.imap.SinrDb(w.tx, w.rx, s, now, 1.0 / 13.0));
+  }
+}
+BENCHMARK(BM_InterferenceMapSinrLookup)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SinrPerLinkLegacy(benchmark::State& state) {
+  // What the engine replaces: rebuild the interferer vector and pay the
+  // per-link summation on every query (the legacy subframe inner loop).
+  EngineBenchWorld w(static_cast<int>(state.range(0)));
+  std::vector<ActiveTransmitter> interferers;
+  SimTime now = 0;
+  int s = 0;
+  for (auto _ : state) {
+    now += kMillisecond;
+    s = (s + 1) % 13;
+    interferers.clear();
+    for (RadioNodeId c : w.cells) {
+      interferers.push_back(ActiveTransmitter{.node = c, .power_scale = 1.0 / 13.0});
+    }
+    benchmark::DoNotOptimize(w.env.SinrDb(w.tx, w.rx, static_cast<std::uint32_t>(s), now,
+                                          interferers, 360e3, 1.0 / 13.0));
+  }
+}
+BENCHMARK(BM_SinrPerLinkLegacy)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_SchedulerSubframe(benchmark::State& state) {
   lte::LteMacConfig mac;

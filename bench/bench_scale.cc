@@ -1,0 +1,152 @@
+// Cell-count scaling bench for the per-subframe interference engine
+// (DESIGN.md §12): plain-LTE backlogged scenarios at constant AP density,
+// resolved three ways over identical topologies and seeds —
+//   legacy        per-link interference summation (engine off),
+//   engine        shared per-subchannel lists + cached aggregates,
+//   engine_cull30 engine + 30 dB below-noise interferer culling.
+// Emits BENCH_scale.json and prints the engine-vs-legacy wall-time
+// speedup per cell count. The legacy and engine variants must produce
+// bit-identical scenario summaries (the cull is off there); any mismatch
+// fails the bench.
+//
+// Cell counts default to 4..64 doubling; CELLFI_BENCH_SCALE_CELLS
+// (comma-separated list) overrides for smoke runs.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cellfi/common/table.h"
+#include "fig9_common.h"
+
+using namespace fig9;
+
+namespace {
+
+std::vector<int> CellCounts() {
+  std::vector<int> counts{4, 8, 16, 32, 64};
+  const char* env = std::getenv("CELLFI_BENCH_SCALE_CELLS");
+  if (env == nullptr || *env == '\0') return counts;
+  counts.clear();
+  std::stringstream ss(env);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const int n = std::atoi(item.c_str());
+    if (n > 0) counts.push_back(n);
+  }
+  if (counts.empty()) counts = {4, 8};
+  return counts;
+}
+
+ScenarioConfig ScaleConfig(int num_aps, std::uint64_t seed) {
+  // Fig. 9 propagation and powers, but constant AP density (the area grows
+  // with sqrt(n)) so per-cell interferer counts — not coverage geometry —
+  // are what changes across the sweep. Fading is off: the aggregate-cache
+  // fast path is what this bench characterizes, and the legacy/engine
+  // bit-identity check stays meaningful either way (fading delegates to
+  // the identical per-link path).
+  ScenarioConfig cfg = BaseConfig(Technology::kLte, num_aps, 3, seed);
+  cfg.topology.area_m = 500.0 * std::sqrt(static_cast<double>(num_aps));
+  cfg.enable_fading = false;
+  cfg.warmup = 1 * kSecond;
+  cfg.duration = 4 * kSecond;
+  return cfg;
+}
+
+bool SameResult(const ScenarioResult& a, const ScenarioResult& b) {
+  if (a.clients.size() != b.clients.size()) return false;
+  if (a.total_throughput_bps != b.total_throughput_bps) return false;
+  if (a.fraction_connected != b.fraction_connected) return false;
+  if (a.fraction_starved != b.fraction_starved) return false;
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    if (a.clients[i].throughput_bps != b.clients[i].throughput_bps) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CellFi reproduction -- interference-engine scaling bench\n\n";
+  const std::vector<int> counts = CellCounts();
+  const int reps = Reps(1);
+
+  struct Variant {
+    const char* name;
+    bool engine;
+    double floor_db;
+  };
+  const Variant variants[] = {{"legacy", false, 0.0},
+                              {"engine", true, 0.0},
+                              {"engine_cull30", true, 30.0}};
+  constexpr int kNumVariants = 3;
+
+  SweepOptions opts;
+  opts.progress = true;
+  SweepRunner runner(opts);
+  BenchReport report("scale", runner.threads(), reps);
+
+  // point = cell_count_index * kNumVariants + variant_index.
+  std::vector<Replication> jobs;
+  for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::uint64_t seed = SweepSeed(0x5CA1E, ci, static_cast<std::uint64_t>(rep));
+      Rng rng(seed);
+      auto topo = std::make_shared<const Topology>(
+          GenerateTopology(ScaleConfig(counts[ci], seed).topology, rng));
+      for (int vi = 0; vi < kNumVariants; ++vi) {
+        ScenarioConfig cfg = ScaleConfig(counts[ci], seed);
+        cfg.use_interference_engine = variants[vi].engine;
+        cfg.interference_floor_db = variants[vi].floor_db;
+        jobs.push_back(Replication{cfg, topo,
+                                   static_cast<int>(ci) * kNumVariants + vi, rep});
+      }
+    }
+  }
+  const auto outcomes = runner.Run(jobs);
+  ThrowIfFailed(outcomes);
+
+  // Bit-identity gate: with the cull off, the engine must reproduce the
+  // legacy per-link arithmetic exactly — same seeds, same topology, so the
+  // scenario summaries must match to the last bit.
+  for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+    for (int rep = 0; rep < reps; ++rep) {
+      const ScenarioResult* res[kNumVariants] = {nullptr, nullptr, nullptr};
+      for (const ReplicationOutcome& o : outcomes) {
+        if (o.rep != rep) continue;
+        for (int vi = 0; vi < kNumVariants; ++vi) {
+          if (o.point == static_cast<int>(ci) * kNumVariants + vi) res[vi] = &o.result;
+        }
+      }
+      if (res[0] == nullptr || res[1] == nullptr) continue;
+      if (!SameResult(*res[0], *res[1])) {
+        std::cerr << "FAIL: engine result diverges from legacy at cells="
+                  << counts[ci] << " rep=" << rep << "\n";
+        return 1;
+      }
+    }
+  }
+  std::cout << "Bit-identity check: engine == legacy at every cell count\n\n";
+
+  Table t({"cells", "legacy s", "engine s", "cull30 s", "speedup", "cull speedup"});
+  for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+    double wall[kNumVariants] = {0.0, 0.0, 0.0};
+    for (int vi = 0; vi < kNumVariants; ++vi) {
+      const int point = static_cast<int>(ci) * kNumVariants + vi;
+      for (const ReplicationOutcome& o : outcomes) {
+        if (o.point == point) wall[vi] += o.wall_seconds;
+      }
+      report.AddPoint("cells=" + std::to_string(counts[ci]) + "/" + variants[vi].name,
+                      outcomes, point);
+    }
+    t.AddRow({std::to_string(counts[ci]), Table::Num(wall[0], 2), Table::Num(wall[1], 2),
+              Table::Num(wall[2], 2),
+              Table::Num(wall[1] > 0 ? wall[0] / wall[1] : 0.0, 2) + "x",
+              Table::Num(wall[2] > 0 ? wall[0] / wall[2] : 0.0, 2) + "x"});
+  }
+  t.Print(std::cout, "Wall time per variant (all reps), engine speedup vs legacy");
+  std::cout << "Bench artifact: " << report.Write() << "\n";
+  return 0;
+}

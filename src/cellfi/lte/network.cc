@@ -14,7 +14,7 @@ constexpr double kPrachBandwidthHz = 839 * 1250.0;
 }  // namespace
 
 LteNetwork::LteNetwork(Simulator& sim, RadioEnvironment& env, LteNetworkConfig config)
-    : sim_(sim), env_(env), config_(config), rng_(config.seed) {}
+    : sim_(sim), env_(env), config_(config), rng_(config.seed), imap_(env) {}
 
 CellId LteNetwork::AddCell(const LteMacConfig& mac, RadioNodeId radio) {
   assert(!started_);
@@ -46,6 +46,10 @@ UeId LteNetwork::AddUe(RadioNodeId radio, CellId force_cell) {
 
 void LteNetwork::SetCellActive(CellId id, bool active) {
   cells_[static_cast<std::size_t>(id)].active = active;
+  // The downlink map and the CRS-penalty cache both bake in the active
+  // set; force a rebuild on the next query.
+  dl_map_valid_ = false;
+  ++activity_epoch_;
 }
 
 void LteNetwork::SetAllowedMask(CellId id, std::vector<bool> mask) {
@@ -96,18 +100,33 @@ void LteNetwork::Start() {
 }
 
 void LteNetwork::CheckHandovers() {
+  // The candidate set (active cells) is the same for every UE: build it
+  // once per check instead of rescanning all cells per UE.
+  handover_cells_scratch_.clear();
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    if (cells_[c].active) handover_cells_scratch_.push_back(static_cast<CellId>(c));
+  }
+  if (handover_cells_scratch_.empty()) return;
   for (UeInfo& info : ues_) {
     if (info.state != UeState::kConnected || info.forced_cell != kInvalidCell) continue;
     const CellRec& serving = cells_[static_cast<std::size_t>(info.serving)];
     const double serving_rsrp = env_.MeanRxPowerDbm(serving.radio, info.radio);
     CellId best = info.serving;
     double best_rsrp = serving_rsrp + config_.handover_hysteresis_db;
-    for (std::size_t c = 0; c < cells_.size(); ++c) {
-      if (static_cast<CellId>(c) == info.serving || !cells_[c].active) continue;
-      const double rsrp = env_.MeanRxPowerDbm(cells_[c].radio, info.radio);
+    // Detection floor: a neighbour whose cached mean rx power sits 6 dB or
+    // more below the serving+hysteresis bar cannot win the dB comparison
+    // (the 6 dB guard dwarfs any mW/dBm rounding), so it is skipped
+    // straight off the receiver-major mW cache row. A UE with no active
+    // neighbour above the floor does no dBm conversion at all.
+    const double detect_floor_mw = DbmToMw(best_rsrp) * 0.25;
+    for (CellId c : handover_cells_scratch_) {
+      if (c == info.serving) continue;
+      const CellRec& rec = cells_[static_cast<std::size_t>(c)];
+      if (env_.MeanRxPowerMw(rec.radio, info.radio) < detect_floor_mw) continue;
+      const double rsrp = env_.MeanRxPowerDbm(rec.radio, info.radio);
       if (rsrp > best_rsrp) {
         best_rsrp = rsrp;
-        best = static_cast<CellId>(c);
+        best = c;
       }
     }
     if (best != info.serving) ExecuteHandover(info.id, best);
@@ -240,7 +259,7 @@ void LteNetwork::CollectDownlinkInterferers(CellId except, int subchannel,
   }
 }
 
-double LteNetwork::IdleCrsPenaltyDb(CellId serving, RadioNodeId rx) const {
+double LteNetwork::ComputeIdleCrsPenaltyDb(CellId serving, RadioNodeId rx) const {
   const CellRec& srv = cells_[static_cast<std::size_t>(serving)];
   const double signal_mw = env_.MeanRxPowerMw(srv.radio, rx);
   if (signal_mw <= 0.0) return 0.0;
@@ -253,6 +272,45 @@ double LteNetwork::IdleCrsPenaltyDb(CellId serving, RadioNodeId rx) const {
   return std::min(penalty, 2.0);
 }
 
+double LteNetwork::IdleCrsPenaltyDb(CellId serving, RadioNodeId rx) const {
+  if (!config_.use_interference_engine) return ComputeIdleCrsPenaltyDb(serving, rx);
+  // Depends only on the active cell set and the mean link powers — not on
+  // plans — so one entry per receiver radio survives whole stretches of
+  // subframes until a SetCellActive or MoveNode bumps an epoch.
+  if (crs_cache_.size() < env_.node_count()) crs_cache_.resize(env_.node_count());
+  CrsCacheEntry& e = crs_cache_[rx];
+  if (e.serving != serving || e.activity_epoch != activity_epoch_ ||
+      e.position_epoch != env_.position_epoch()) {
+    e.serving = serving;
+    e.activity_epoch = activity_epoch_;
+    e.position_epoch = env_.position_epoch();
+    e.penalty_db = ComputeIdleCrsPenaltyDb(serving, rx);
+  }
+  return e.penalty_db;
+}
+
+void LteNetwork::BuildDownlinkMap() const {
+  // Same iteration order as CollectDownlinkInterferers (cell index order)
+  // so the engine's aggregates add terms in the legacy sequence. The
+  // serving cell is included here and excluded per query by node identity,
+  // which matches the legacy index-based `except` skip exactly.
+  imap_.BeginEpoch(num_subchannels_, subchannel_bandwidth_hz_);
+  const double psd_share = 1.0 / static_cast<double>(num_subchannels_);
+  for (const CellRec& rec : cells_) {
+    if (!rec.active || !rec.plan_is_data) continue;
+    for (int s = 0; s < num_subchannels_; ++s) {
+      if (rec.current_plan.data_active[static_cast<std::size_t>(s)]) {
+        imap_.AddTransmitter(s, rec.radio, psd_share);
+      }
+    }
+  }
+  dl_map_valid_ = true;
+}
+
+void LteNetwork::EnsureDownlinkMap() const {
+  if (!dl_map_valid_) BuildDownlinkMap();
+}
+
 std::vector<double> LteNetwork::MeasureDownlinkSinr(UeId ue_id) const {
   const UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
   std::vector<double> sinr(static_cast<std::size_t>(num_subchannels_), -40.0);
@@ -261,6 +319,15 @@ std::vector<double> LteNetwork::MeasureDownlinkSinr(UeId ue_id) const {
   if (!serving.active) return sinr;
   const double signal_scale = 1.0 / static_cast<double>(num_subchannels_);
   const double crs_penalty = IdleCrsPenaltyDb(info.serving, info.radio);
+  if (config_.use_interference_engine) {
+    EnsureDownlinkMap();
+    for (int s = 0; s < num_subchannels_; ++s) {
+      sinr[static_cast<std::size_t>(s)] =
+          imap_.SinrDb(serving.radio, info.radio, s, sim_.Now(), signal_scale) -
+          crs_penalty;
+    }
+    return sinr;
+  }
   std::vector<ActiveTransmitter> interferers;
   for (int s = 0; s < num_subchannels_; ++s) {
     CollectDownlinkInterferers(info.serving, s, interferers);
@@ -372,7 +439,10 @@ void LteNetwork::RunDownlinkSubframe() {
     rec.plan_is_data = true;
   }
 
-  // Phase 2: resolve each transport block.
+  // Phase 2: resolve each transport block. With the engine on, every
+  // receiver shares the per-subchannel transmitter lists built once above;
+  // identical lists share one aggregate denominator per receiver.
+  if (config_.use_interference_engine) BuildDownlinkMap();
   const double signal_scale = 1.0 / static_cast<double>(num_subchannels_);
   std::vector<ActiveTransmitter> interferers;
   for (std::size_t c = 0; c < cells_.size(); ++c) {
@@ -384,10 +454,15 @@ void LteNetwork::RunDownlinkSubframe() {
       const double crs_penalty = IdleCrsPenaltyDb(static_cast<CellId>(c), info.radio);
       double sinr_linear_sum = 0.0;
       for (int s : tx.subchannels) {
-        CollectDownlinkInterferers(static_cast<CellId>(c), s, interferers);
-        const double sinr_db =
-            env_.SinrDb(rec.radio, info.radio, static_cast<std::uint32_t>(s), sim_.Now(),
-                        interferers, subchannel_bandwidth_hz_, signal_scale);
+        double sinr_db = 0.0;
+        if (config_.use_interference_engine) {
+          sinr_db = imap_.SinrDb(rec.radio, info.radio, s, sim_.Now(), signal_scale);
+        } else {
+          CollectDownlinkInterferers(static_cast<CellId>(c), s, interferers);
+          sinr_db =
+              env_.SinrDb(rec.radio, info.radio, static_cast<std::uint32_t>(s), sim_.Now(),
+                          interferers, subchannel_bandwidth_hz_, signal_scale);
+        }
         sinr_linear_sum += DbToLinear(sinr_db);
       }
       const double tb_sinr_db =
@@ -435,6 +510,8 @@ void LteNetwork::RunUplinkSubframe() {
   };
   std::vector<std::vector<UlActivity>> active_per_subchannel(
       static_cast<std::size_t>(num_subchannels_));
+  const bool engine = config_.use_interference_engine;
+  if (engine) imap_.BeginEpoch(num_subchannels_, subchannel_bandwidth_hz_);
 
   for (CellRec& rec : cells_) {
     rec.current_plan = TxPlan{};
@@ -444,9 +521,19 @@ void LteNetwork::RunUplinkSubframe() {
     rec.current_plan = rec.mac->PlanUplink();
     for (const Transmission& tx : rec.current_plan.transmissions) {
       const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
+      const double ul_scale = 1.0 / static_cast<double>(tx.subchannels.size());
       for (int s : tx.subchannels) {
-        active_per_subchannel[static_cast<std::size_t>(s)].push_back(
-            UlActivity{tx.ue, info.radio, static_cast<int>(tx.subchannels.size())});
+        if (engine) {
+          // Insertion order matches the legacy per-subchannel vectors
+          // (cells -> transmissions -> subchannels), so aggregates add
+          // interferers in the identical sequence. The transmitting UE is
+          // excluded per query by radio node, equivalent to the legacy
+          // `act.ue == tx.ue` skip (one radio per UE).
+          imap_.AddTransmitter(s, info.radio, ul_scale);
+        } else {
+          active_per_subchannel[static_cast<std::size_t>(s)].push_back(
+              UlActivity{tx.ue, info.radio, static_cast<int>(tx.subchannels.size())});
+        }
       }
     }
   }
@@ -460,15 +547,21 @@ void LteNetwork::RunUplinkSubframe() {
       const double signal_scale = 1.0 / static_cast<double>(tx.subchannels.size());
       double sinr_linear_sum = 0.0;
       for (int s : tx.subchannels) {
-        interferers.clear();
-        for (const UlActivity& act : active_per_subchannel[static_cast<std::size_t>(s)]) {
-          if (act.ue == tx.ue) continue;
-          interferers.push_back(ActiveTransmitter{
-              .node = act.radio, .power_scale = 1.0 / static_cast<double>(act.alloc_count)});
+        double sinr_db = 0.0;
+        if (engine) {
+          sinr_db = imap_.SinrDb(info.radio, rec.radio, s, sim_.Now(), signal_scale);
+        } else {
+          interferers.clear();
+          for (const UlActivity& act : active_per_subchannel[static_cast<std::size_t>(s)]) {
+            if (act.ue == tx.ue) continue;
+            interferers.push_back(ActiveTransmitter{
+                .node = act.radio,
+                .power_scale = 1.0 / static_cast<double>(act.alloc_count)});
+          }
+          sinr_db =
+              env_.SinrDb(info.radio, rec.radio, static_cast<std::uint32_t>(s), sim_.Now(),
+                          interferers, subchannel_bandwidth_hz_, signal_scale);
         }
-        const double sinr_db =
-            env_.SinrDb(info.radio, rec.radio, static_cast<std::uint32_t>(s), sim_.Now(),
-                        interferers, subchannel_bandwidth_hz_, signal_scale);
         sinr_linear_sum += DbToLinear(sinr_db);
       }
       const double tb_sinr_db =
@@ -476,6 +569,10 @@ void LteNetwork::RunUplinkSubframe() {
       rec.mac->CompleteUplink(tx, tb_sinr_db, rng_);
     }
   }
+
+  // The engine now holds uplink lists and the cells' plans were overwritten
+  // with UL grants: any later MeasureDownlinkSinr must rebuild.
+  dl_map_valid_ = false;
 }
 
 void LteNetwork::GenerateCqiReports() {

@@ -25,6 +25,7 @@
 #include "cellfi/lte/types.h"
 #include "cellfi/phy/cqi_report.h"
 #include "cellfi/radio/environment.h"
+#include "cellfi/radio/interference.h"
 #include "cellfi/sim/event_queue.h"
 
 namespace cellfi::lte {
@@ -89,6 +90,14 @@ struct LteNetworkConfig {
   bool enable_handover = true;
   double handover_hysteresis_db = 3.0;
   SimTime handover_check_period = 200 * kMillisecond;
+  /// Resolve subframes through the per-epoch interference engine
+  /// (InterferenceMap, DESIGN.md §12): per-subchannel transmitter lists
+  /// are built once per subframe and shared by every receiver, aggregate
+  /// denominators and the idle-CRS penalty are cached. Bit-identical to
+  /// the legacy per-link path (which `false` restores — kept for the
+  /// regression test and the bench_scale comparison) as long as
+  /// RadioEnvironmentConfig::interference_floor_db is off.
+  bool use_interference_engine = true;
   std::uint64_t seed = 1;
 };
 
@@ -151,6 +160,15 @@ class LteNetwork {
 
   std::uint64_t total_dl_bits() const;
 
+  /// Interference terms dropped by the negligible-interferer cull
+  /// (RadioEnvironmentConfig::interference_floor_db) — 0 unless the cull
+  /// is enabled and the engine is on.
+  std::uint64_t interference_culled_total() const { return imap_.culled_total(); }
+  /// Drops discovered while resolving the most recent subframe.
+  std::uint64_t interference_culled_last_subframe() const {
+    return imap_.culled_this_epoch();
+  }
+
  private:
   struct CellRec {
     std::unique_ptr<EnodeB> mac;
@@ -192,7 +210,21 @@ class LteNetwork {
   /// reference symbols puncture ~6 % of the victim's data REs. Measured in
   /// the paper's Fig. 7(b) as at most ~20 % goodput loss, i.e. a coding
   /// penalty of roughly 1 dB per strong idle interferer, capped at 2 dB.
+  /// With the engine on the value is served from a per-receiver cache
+  /// invalidated on serving-cell, cell-activity and mobility changes (it
+  /// depends only on the active set and mean powers, never on plans).
   double IdleCrsPenaltyDb(CellId serving, RadioNodeId rx) const;
+  /// Uncached scan behind IdleCrsPenaltyDb (the legacy path calls it
+  /// directly every time).
+  double ComputeIdleCrsPenaltyDb(CellId serving, RadioNodeId rx) const;
+
+  /// Rebuild the engine's downlink transmitter lists from the cells'
+  /// committed plans. Runs after plan commit in RunDownlinkSubframe;
+  /// EnsureDownlinkMap re-runs it lazily when SetCellActive or an uplink
+  /// subframe invalidated the map since (MeasureDownlinkSinr may be called
+  /// between subframes).
+  void BuildDownlinkMap() const;
+  void EnsureDownlinkMap() const;
 
   Simulator& sim_;
   RadioEnvironment& env_;
@@ -203,6 +235,22 @@ class LteNetwork {
   double subchannel_bandwidth_hz_ = 360e3;
   int num_subchannels_ = 13;
   bool started_ = false;
+
+  /// Per-epoch interference engine state (mutable: MeasureDownlinkSinr is
+  /// const but may need to lazily rebuild the map and its caches).
+  mutable InterferenceMap imap_;
+  mutable bool dl_map_valid_ = false;
+  /// Bumped by SetCellActive; versions the CRS-penalty cache.
+  std::uint64_t activity_epoch_ = 1;
+  struct CrsCacheEntry {
+    CellId serving = kInvalidCell;
+    std::uint64_t activity_epoch = 0;
+    std::uint64_t position_epoch = 0;
+    double penalty_db = 0.0;
+  };
+  mutable std::vector<CrsCacheEntry> crs_cache_;  // indexed by rx radio id
+  /// CheckHandovers scratch: active cells, hoisted out of the per-UE loop.
+  std::vector<CellId> handover_cells_scratch_;
 };
 
 }  // namespace cellfi::lte

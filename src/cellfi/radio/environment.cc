@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 namespace cellfi {
 
@@ -20,7 +21,8 @@ RadioNodeId RadioEnvironment::AddNode(RadioNode node) {
                      std::numeric_limits<double>::quiet_NaN());
   rx_mw_cache_.assign(nodes_.size() * nodes_.size(),
                       std::numeric_limits<double>::quiet_NaN());
-  noise_mw_cache_.assign(nodes_.size(), {0.0, 0.0});
+  noise_mw_cache_.assign(nodes_.size(), NoiseMemo{});
+  ++position_epoch_;
   return static_cast<RadioNodeId>(nodes_.size() - 1);
 }
 
@@ -34,6 +36,7 @@ void RadioEnvironment::MoveNode(RadioNodeId id, Point new_position) {
     rx_mw_cache_[id * n + other] = std::numeric_limits<double>::quiet_NaN();
     rx_mw_cache_[other * n + id] = std::numeric_limits<double>::quiet_NaN();
   }
+  ++position_epoch_;
 }
 
 double RadioEnvironment::LinkGainDb(RadioNodeId tx, RadioNodeId rx) const {
@@ -77,11 +80,19 @@ double RadioEnvironment::NoiseDbm(RadioNodeId rx, double bandwidth_hz) const {
 }
 
 double RadioEnvironment::NoiseMw(RadioNodeId rx, double bandwidth_hz) const {
-  auto& memo = noise_mw_cache_[rx];
-  if (memo.first != bandwidth_hz) {
-    memo = {bandwidth_hz, DbmToMw(NoiseDbm(rx, bandwidth_hz))};
+  NoiseMemo& memo = noise_mw_cache_[rx];
+  if (memo.bandwidth_hz[0] == bandwidth_hz) return memo.noise_mw[0];
+  if (memo.bandwidth_hz[1] == bandwidth_hz) {
+    // Promote to MRU so an alternating pair of bandwidths always hits.
+    std::swap(memo.bandwidth_hz[0], memo.bandwidth_hz[1]);
+    std::swap(memo.noise_mw[0], memo.noise_mw[1]);
+    return memo.noise_mw[0];
   }
-  return memo.second;
+  memo.bandwidth_hz[1] = memo.bandwidth_hz[0];
+  memo.noise_mw[1] = memo.noise_mw[0];
+  memo.bandwidth_hz[0] = bandwidth_hz;
+  memo.noise_mw[0] = DbmToMw(NoiseDbm(rx, bandwidth_hz));
+  return memo.noise_mw[0];
 }
 
 double RadioEnvironment::SinrDb(RadioNodeId tx, RadioNodeId rx, std::uint32_t subchannel,

@@ -39,6 +39,13 @@ struct RadioEnvironmentConfig {
   /// Rician K-factor (linear). 0 = Rayleigh; ~6-10 for static outdoor
   /// nodes with a line-of-sight component.
   double rician_k = 0.0;
+  /// Negligible-interferer cull for the interference engine
+  /// (InterferenceMap): interferers whose mean rx power is at least this
+  /// many dB below the receiver's noise floor are dropped from the
+  /// precomputed interference lists. <= 0 disables the cull (the default:
+  /// every interferer counts and the engine is bit-identical to the
+  /// per-link path). See DESIGN.md §12 for when enabling it is safe.
+  double interference_floor_db = 0.0;
   std::uint64_t seed = 1;
 };
 
@@ -86,9 +93,15 @@ class RadioEnvironment {
   double NoiseDbm(RadioNodeId rx, double bandwidth_hz) const;
 
   /// Thermal noise power at `rx` over `bandwidth_hz`, mW — memoized per
-  /// receiver for the last bandwidth queried (each MAC layer evaluates one
-  /// bandwidth per receiver), so the SINR hot path pays no log/pow.
+  /// receiver for the last two bandwidths queried (MAC layers alternate
+  /// between subchannel and full-band evaluations at the same receiver),
+  /// so the SINR hot path pays no log/pow.
   double NoiseMw(RadioNodeId rx, double bandwidth_hz) const;
+
+  /// Monotonic stamp bumped by every AddNode/MoveNode. Consumers that
+  /// cache geometry-derived values (InterferenceMap rows, the LTE CRS
+  /// penalty cache) compare it to detect mobility invalidation.
+  std::uint64_t position_epoch() const { return position_epoch_; }
 
   /// SINR in dB at `rx` for the signal from `tx` on `subchannel`, given the
   /// set of concurrently active interferers (excluding `tx` itself) and the
@@ -117,8 +130,15 @@ class RadioEnvironment {
   /// power received at `rx` from every transmitter contiguously, so one
   /// SINR aggregation walks a single cache line run instead of striding.
   mutable std::vector<double> rx_mw_cache_;
-  /// Per-receiver (bandwidth_hz, noise_mw) memo for NoiseMw.
-  mutable std::vector<std::pair<double, double>> noise_mw_cache_;
+  /// Per-receiver two-slot (bandwidth_hz, noise_mw) memo for NoiseMw,
+  /// most-recently-used first. One slot thrashes when callers alternate
+  /// between subchannel and full-band noise at the same receiver.
+  struct NoiseMemo {
+    double bandwidth_hz[2] = {0.0, 0.0};
+    double noise_mw[2] = {0.0, 0.0};
+  };
+  mutable std::vector<NoiseMemo> noise_mw_cache_;
+  std::uint64_t position_epoch_ = 1;
 };
 
 }  // namespace cellfi

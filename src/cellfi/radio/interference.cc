@@ -1,0 +1,144 @@
+#include "cellfi/radio/interference.h"
+
+#include <cassert>
+
+#include "cellfi/common/units.h"
+
+namespace cellfi {
+
+namespace {
+
+bool SameList(const std::vector<ActiveTransmitter>& a,
+              const std::vector<ActiveTransmitter>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].node != b[i].node || a[i].power_scale != b[i].power_scale) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+InterferenceMap::InterferenceMap(const RadioEnvironment& env) : env_(env) {}
+
+void InterferenceMap::BeginEpoch(int num_subchannels, double bandwidth_hz) {
+  ++epoch_;
+  num_subchannels_ = num_subchannels;
+  bandwidth_hz_ = bandwidth_hz;
+  const double floor_db = env_.config().interference_floor_db;
+  cull_scale_ = floor_db > 0.0 ? DbToLinear(-floor_db) : 0.0;
+  if (per_subchannel_.size() < static_cast<std::size_t>(num_subchannels)) {
+    per_subchannel_.resize(static_cast<std::size_t>(num_subchannels));
+  }
+  for (int s = 0; s < num_subchannels; ++s) {
+    per_subchannel_[static_cast<std::size_t>(s)].clear();
+  }
+  sealed_ = false;
+  num_groups_ = 0;
+  culled_epoch_ = 0;
+}
+
+void InterferenceMap::AddTransmitter(int subchannel, RadioNodeId node,
+                                     double power_scale) {
+  assert(!sealed_);
+  assert(subchannel >= 0 && subchannel < num_subchannels_);
+  per_subchannel_[static_cast<std::size_t>(subchannel)].push_back(
+      ActiveTransmitter{.node = node, .power_scale = power_scale});
+}
+
+void InterferenceMap::Seal() const {
+  if (sealed_) return;
+  sealed_ = true;
+  group_of_.assign(static_cast<std::size_t>(num_subchannels_), 0);
+  group_rep_.clear();
+  num_groups_ = 0;
+  for (int s = 0; s < num_subchannels_; ++s) {
+    int group = -1;
+    for (int g = 0; g < num_groups_; ++g) {
+      if (SameList(per_subchannel_[static_cast<std::size_t>(s)],
+                   per_subchannel_[static_cast<std::size_t>(group_rep_[
+                       static_cast<std::size_t>(g)])])) {
+        group = g;
+        break;
+      }
+    }
+    if (group < 0) {
+      group = num_groups_++;
+      group_rep_.push_back(s);
+    }
+    group_of_[static_cast<std::size_t>(s)] = group;
+  }
+}
+
+double InterferenceMap::AggregateDenomMw(RadioNodeId tx, RadioNodeId rx,
+                                         int subchannel) const {
+  // Same accumulation as RadioEnvironment::SinrDb: start from the noise
+  // floor, add interferers in list order. Keeping the order (and the
+  // cached mean powers) identical is what makes the engine bit-identical
+  // to the per-link path when the cull is off.
+  double denom_mw = env_.NoiseMw(rx, bandwidth_hz_);
+  const double cull_floor_mw = denom_mw * cull_scale_;
+  for (const ActiveTransmitter& it :
+       per_subchannel_[static_cast<std::size_t>(subchannel)]) {
+    if (it.node == tx || it.node == rx || it.power_scale <= 0.0) continue;
+    const double p = env_.MeanRxPowerMw(it.node, rx) * it.power_scale;
+    if (p < cull_floor_mw) {  // never true with the cull off (p > 0 >= floor)
+      ++culled_epoch_;
+      ++culled_total_;
+      continue;
+    }
+    denom_mw += p;
+  }
+  return denom_mw;
+}
+
+double InterferenceMap::SinrDb(RadioNodeId tx, RadioNodeId rx, int subchannel,
+                               SimTime now, double signal_scale) const {
+  assert(subchannel >= 0 && subchannel < num_subchannels_);
+  Seal();
+  const std::vector<ActiveTransmitter>& list =
+      per_subchannel_[static_cast<std::size_t>(subchannel)];
+
+  if (env_.config().enable_fading) {
+    // Fading is per (link, subchannel, time): the mean-power aggregate
+    // cannot stand in for it, so sum per link over the shared list.
+    if (cull_scale_ <= 0.0) {
+      return env_.SinrDb(tx, rx, static_cast<std::uint32_t>(subchannel), now, list,
+                         bandwidth_hz_, signal_scale);
+    }
+    const double cull_floor_mw = env_.NoiseMw(rx, bandwidth_hz_) * cull_scale_;
+    cull_scratch_.clear();
+    for (const ActiveTransmitter& it : list) {
+      if (it.node == tx || it.node == rx || it.power_scale <= 0.0) continue;
+      if (env_.MeanRxPowerMw(it.node, rx) * it.power_scale < cull_floor_mw) {
+        ++culled_epoch_;
+        ++culled_total_;
+        continue;
+      }
+      cull_scratch_.push_back(it);
+    }
+    return env_.SinrDb(tx, rx, static_cast<std::uint32_t>(subchannel), now,
+                       cull_scratch_, bandwidth_hz_, signal_scale);
+  }
+
+  if (rows_.size() < env_.node_count()) rows_.resize(env_.node_count());
+  ReceiverRow& row = rows_[rx];
+  if (row.epoch != epoch_ || row.excluded != tx ||
+      row.position_epoch != env_.position_epoch()) {
+    row.epoch = epoch_;
+    row.excluded = tx;
+    row.position_epoch = env_.position_epoch();
+    row.denom_mw.assign(static_cast<std::size_t>(num_groups_), 0.0);
+    row.built.assign(static_cast<std::size_t>(num_groups_), 0);
+  }
+  const std::size_t g =
+      static_cast<std::size_t>(group_of_[static_cast<std::size_t>(subchannel)]);
+  if (!row.built[g]) {
+    row.denom_mw[g] = AggregateDenomMw(tx, rx, group_rep_[g]);
+    row.built[g] = 1;
+  }
+  const double signal_mw = env_.MeanRxPowerMw(tx, rx) * signal_scale;
+  return LinearToDb(signal_mw / row.denom_mw[g]);
+}
+
+}  // namespace cellfi

@@ -1,0 +1,116 @@
+// Per-epoch interference engine (DESIGN.md §12).
+//
+// One map is (re)built once per decision epoch — an LTE subframe, after
+// every transmitter has committed its plan — and then answers every SINR
+// query of that epoch from shared precomputed state instead of rebuilding a
+// per-link interferer vector for each (receiver, subchannel):
+//
+//   * a per-subchannel list of active transmitters, appended in the
+//     caller's (deterministic) iteration order and shared by all receivers;
+//   * with fading disabled, a per-receiver aggregate denominator (noise +
+//     mean interference power, mW) per distinct transmitter list, cached in
+//     a lazily built receiver row;
+//   * an optional negligible-interferer cull
+//     (RadioEnvironmentConfig::interference_floor_db).
+//
+// Determinism contract: with culling off, SinrDb returns bit-identical
+// values to RadioEnvironment::SinrDb over the same interferer sequence.
+// Aggregation starts from the receiver's noise floor and adds interferers
+// in exactly the order they were appended — the same receiver-major
+// rx-power cache rows and the same floating-point addition sequence as the
+// per-link path. Subchannels whose transmitter lists compare equal share
+// one aggregation (identical addition sequence, hence identical value).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellfi/common/time.h"
+#include "cellfi/radio/environment.h"
+
+namespace cellfi {
+
+class InterferenceMap {
+ public:
+  /// `env` must outlive the map.
+  explicit InterferenceMap(const RadioEnvironment& env);
+
+  /// Start a new epoch: clears the transmitter lists and invalidates every
+  /// receiver row. `bandwidth_hz` is the per-subchannel bandwidth used for
+  /// the noise floor of every aggregate.
+  void BeginEpoch(int num_subchannels, double bandwidth_hz);
+
+  /// Append an active transmitter on `subchannel`. Call order defines the
+  /// interference accumulation order; callers iterate their transmitter
+  /// sets in a fixed order (cell index, then transmission, then
+  /// subchannel) so results are reproducible. The signal source itself may
+  /// be present — it is skipped at query time (node == tx), matching
+  /// RadioEnvironment::SinrDb.
+  void AddTransmitter(int subchannel, RadioNodeId node, double power_scale);
+
+  /// Deduplicate per-subchannel lists into aggregation groups. Called
+  /// lazily by the first SinrDb of the epoch; calling AddTransmitter
+  /// afterwards is a programming error (asserted).
+  void Seal() const;
+
+  /// SINR in dB for the signal tx -> rx on `subchannel`, against every
+  /// transmitter appended this epoch except tx and rx themselves.
+  ///
+  /// With fading disabled the denominator comes from the receiver's cached
+  /// aggregate row (built lazily per aggregation group, invalidated by
+  /// BeginEpoch, by a change of serving transmitter and by node mobility).
+  /// With fading enabled the mean-power aggregate would be wrong — the
+  /// per-subchannel fading term cannot be pre-aggregated — so the query
+  /// falls back to per-link summation over the shared list.
+  double SinrDb(RadioNodeId tx, RadioNodeId rx, int subchannel, SimTime now,
+                double signal_scale) const;
+
+  /// The shared transmitter list for one subchannel (bench/test hook).
+  const std::vector<ActiveTransmitter>& transmitters(int subchannel) const {
+    return per_subchannel_[static_cast<std::size_t>(subchannel)];
+  }
+
+  int num_subchannels() const { return num_subchannels_; }
+  /// Distinct transmitter lists this epoch (valid once sealed).
+  int num_groups() const { return num_groups_; }
+
+  /// Interference terms dropped by the cull in the current epoch / since
+  /// construction. With the cull disabled both stay 0.
+  std::uint64_t culled_this_epoch() const { return culled_epoch_; }
+  std::uint64_t culled_total() const { return culled_total_; }
+
+ private:
+  /// Per-receiver cache of aggregate denominators, one slot per
+  /// aggregation group. A row is valid for one (epoch, excluded
+  /// transmitter, mobility stamp) combination; its group slots fill
+  /// lazily, so only queried subchannels pay for aggregation.
+  struct ReceiverRow {
+    std::uint64_t epoch = 0;           // InterferenceMap epoch at build
+    std::uint64_t position_epoch = 0;  // RadioEnvironment mobility stamp
+    RadioNodeId excluded = 0;          // signal source baked out of the sum
+    std::vector<double> denom_mw;      // per aggregation group
+    std::vector<std::uint8_t> built;   // per aggregation group
+  };
+
+  double AggregateDenomMw(RadioNodeId tx, RadioNodeId rx, int subchannel) const;
+
+  const RadioEnvironment& env_;
+  int num_subchannels_ = 0;
+  double bandwidth_hz_ = 0.0;
+  /// Linear cull threshold relative to the receiver's noise floor:
+  /// interferer mean power < noise * cull_scale_ is dropped. 0 = cull off.
+  double cull_scale_ = 0.0;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::vector<ActiveTransmitter>> per_subchannel_;
+
+  mutable bool sealed_ = false;
+  mutable int num_groups_ = 0;
+  mutable std::vector<int> group_of_;   // subchannel -> aggregation group
+  mutable std::vector<int> group_rep_;  // group -> representative subchannel
+  mutable std::vector<ReceiverRow> rows_;
+  mutable std::vector<ActiveTransmitter> cull_scratch_;
+  mutable std::uint64_t culled_epoch_ = 0;
+  mutable std::uint64_t culled_total_ = 0;
+};
+
+}  // namespace cellfi

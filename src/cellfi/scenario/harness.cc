@@ -36,6 +36,7 @@ RadioEnvironmentConfig EnvConfigFor(const ScenarioConfig& cfg) {
   c.carrier_freq_hz = CarrierFor(cfg.propagation);
   c.shadowing_sigma_db = cfg.shadowing_sigma_db;
   c.enable_fading = cfg.enable_fading;
+  c.interference_floor_db = cfg.interference_floor_db;
   c.seed = cfg.seed ^ 0xE17E17E17ull;
   return c;
 }
@@ -62,6 +63,7 @@ ScenarioResult RunLteBased(const ScenarioConfig& cfg, const Topology& topo) {
   Simulator sim;
   RadioEnvironment env(PathLossFor(cfg.propagation), EnvConfigFor(cfg));
   lte::LteNetworkConfig net_cfg;
+  net_cfg.use_interference_engine = cfg.use_interference_engine;
   net_cfg.seed = cfg.seed ^ 0x17;
   lte::LteNetwork net(sim, env, net_cfg);
 

@@ -62,6 +62,14 @@ struct ScenarioConfig {
   bool enable_fading = true;
   double shadowing_sigma_db = 6.0;
 
+  /// Resolve LTE subframes through the per-epoch interference engine
+  /// (DESIGN.md §12). `false` restores the legacy per-link path — kept for
+  /// the bit-identity regression test and the bench_scale comparison.
+  bool use_interference_engine = true;
+  /// Negligible-interferer cull threshold (dB below the noise floor);
+  /// <= 0 keeps every interferer (exact legacy arithmetic).
+  double interference_floor_db = 0.0;
+
   /// A client below this average rate counts as starved (10 % of the
   /// 1 Mbps per-user service floor from paper Section 2).
   double starvation_threshold_bps = 100e3;

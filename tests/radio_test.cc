@@ -231,5 +231,28 @@ TEST_F(EnvironmentTest, MoveNodeInvalidatesSinrCaches) {
                    fresh.SinrDb(ap2, near2, 0, 0, interferers2, 4.5e6));
 }
 
+// NoiseMw keeps a two-slot MRU memo per receiver: MAC layers alternate
+// between subchannel and full-band noise at the same receiver, and the
+// alternation must hit the memo without thrash (and, above all, stay
+// exact — each value must equal the closed-form conversion every time).
+TEST_F(EnvironmentTest, NoiseMwMemoSurvivesAlternatingBandwidths) {
+  const double sub = DbmToMw(NoisePowerDbm(360e3, 7.0));
+  const double full = DbmToMw(NoisePowerDbm(4.5e6, 7.0));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(env_.NoiseMw(ue_near_, 360e3), sub) << "iter " << i;
+    EXPECT_DOUBLE_EQ(env_.NoiseMw(ue_near_, 4.5e6), full) << "iter " << i;
+  }
+  // A third bandwidth evicts the LRU slot but never corrupts the values.
+  const double prach = DbmToMw(NoisePowerDbm(839 * 1250.0, 7.0));
+  EXPECT_DOUBLE_EQ(env_.NoiseMw(ue_near_, 839 * 1250.0), prach);
+  EXPECT_DOUBLE_EQ(env_.NoiseMw(ue_near_, 360e3), sub);
+  EXPECT_DOUBLE_EQ(env_.NoiseMw(ue_near_, 4.5e6), full);
+  // Per-receiver slots are independent.
+  EXPECT_DOUBLE_EQ(env_.NoiseMw(ue_far_, 360e3), sub);
+  // AddNode resizes the memo vector; values stay correct afterwards.
+  (void)env_.AddNode({.position = {900, 900}});
+  EXPECT_DOUBLE_EQ(env_.NoiseMw(ue_near_, 360e3), sub);
+}
+
 }  // namespace
 }  // namespace cellfi

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json artifacts and fail on wall-time regression.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--max-regress-pct PCT]
+
+Points are matched by label; wall time is normalized per replication so a
+baseline recorded with CELLFI_BENCH_REPS=4 compares cleanly against a
+1-rep smoke run. Exit status 1 when any matched point regresses by more
+than --max-regress-pct (default 20%), 2 on malformed input. Points present
+in only one artifact are reported but never fail the comparison (sweeps
+gain and lose points across PRs).
+
+Micro-benchmark wall times are noisy; 20% is deliberately loose — the gate
+exists to catch the engine accidentally falling off its fast path (2-4x),
+not 5% scheduler jitter.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    points = {}
+    for p in doc.get("points", []):
+        reps = max(int(p.get("reps", 1)), 1)
+        points[p["label"]] = float(p["wall_s"]) / reps
+    return doc.get("bench", "?"), points
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress-pct", type=float, default=20.0,
+                    help="fail when per-rep wall time grows by more than this")
+    args = ap.parse_args()
+
+    base_name, base = load_points(args.baseline)
+    cur_name, cur = load_points(args.current)
+    if base_name != cur_name:
+        print(f"bench_compare: comparing different benches "
+              f"({base_name} vs {cur_name})", file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    for label in sorted(base):
+        if label not in cur:
+            print(f"  only in baseline: {label}")
+            continue
+        b, c = base[label], cur[label]
+        if b <= 0:
+            continue
+        delta_pct = 100.0 * (c - b) / b
+        marker = ""
+        if delta_pct > args.max_regress_pct:
+            marker = "  <-- REGRESSION"
+            regressions.append((label, delta_pct))
+        print(f"  {label}: {b:.3f}s -> {c:.3f}s ({delta_pct:+.1f}%){marker}")
+    for label in sorted(set(cur) - set(base)):
+        print(f"  only in current: {label}")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} point(s) regressed beyond "
+              f"{args.max_regress_pct:.0f}% in {base_name}", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench_compare: {base_name} OK "
+          f"({len(set(base) & set(cur))} points within {args.max_regress_pct:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

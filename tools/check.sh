@@ -8,17 +8,25 @@
 #   3. clang-tidy     : tools/run_tidy.sh against the frozen baseline
 #                       (skips cleanly when clang-tidy is not installed)
 #
-# Usage: tools/check.sh [--fast]
-#   --fast  skip the sanitizer stage (inner-loop use; CI runs everything)
+# Usage: tools/check.sh [--fast] [--bench]
+#   --fast   skip the sanitizer stage (inner-loop use; CI runs everything)
+#   --bench  additionally run the bench_smoke suite (1-rep end-to-end runs
+#            of every sweep bench, including the bench_scale bit-identity
+#            gate). When CELLFI_BENCH_BASELINE points at a directory of
+#            baseline BENCH_*.json artifacts, each fresh artifact is
+#            diffed against it with tools/bench_compare.py and a >20%
+#            per-point wall-time regression fails the gate.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
 FAST=0
+BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
+    --bench) BENCH=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -45,5 +53,27 @@ fi
 
 step "clang-tidy vs frozen baseline"
 tools/run_tidy.sh --build-dir "$ROOT/build-check"
+
+if [[ "$BENCH" -eq 1 ]]; then
+  step "bench_smoke suite (1-rep sweeps + bench_scale bit-identity gate)"
+  ctest --test-dir "$ROOT/build-check" -C bench_smoke -L bench_smoke --output-on-failure
+
+  if [[ -n "${CELLFI_BENCH_BASELINE:-}" ]]; then
+    step "bench wall-time comparison vs $CELLFI_BENCH_BASELINE"
+    compared=0
+    for cur in "$ROOT"/build-check/bench/BENCH_*.json; do
+      [[ -e "$cur" ]] || continue
+      base="$CELLFI_BENCH_BASELINE/$(basename "$cur")"
+      if [[ -f "$base" ]]; then
+        echo "-- $(basename "$cur")"
+        python3 tools/bench_compare.py "$base" "$cur"
+        compared=$((compared + 1))
+      else
+        echo "-- $(basename "$cur"): no baseline, skipped"
+      fi
+    done
+    echo "compared $compared artifact(s)"
+  fi
+fi
 
 step "all gates passed"
