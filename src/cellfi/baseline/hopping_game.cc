@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cellfi/obs/trace.h"
+
 namespace cellfi::baseline {
 
 double DemandSlack(const Graph& graph, const std::vector<int>& demands,
@@ -38,6 +40,9 @@ HoppingGameResult RunHoppingGame(const Graph& graph, const std::vector<int>& dem
 
   HoppingGameResult result;
   std::vector<int> choice(static_cast<std::size_t>(n), -1);
+  // Passive observation only (DESIGN.md §13): the game has no simulator, so
+  // events carry the round number and the ambient clock (0 when unscoped).
+  obs::TraceSink* tr = obs::ActiveTrace();
   for (int round = 1; round <= config.max_rounds; ++round) {
     bool anyone_unsatisfied = false;
 
@@ -59,6 +64,10 @@ HoppingGameResult RunHoppingGame(const Graph& graph, const std::vector<int>& dem
     if (!anyone_unsatisfied) {
       result.converged = true;
       result.rounds = round - 1;
+      if (tr != nullptr) {
+        tr->Emit(obs::AmbientNow(), "hopping_game", "converged",
+                 {{"rounds", result.rounds}});
+      }
       break;
     }
 
@@ -71,10 +80,26 @@ HoppingGameResult RunHoppingGame(const Graph& graph, const std::vector<int>& dem
       for (int u : graph[static_cast<std::size_t>(v)]) {
         if (choice[static_cast<std::size_t>(u)] == s) clash = true;
       }
-      if (clash) continue;
-      if (rng.Uniform() < config.fading_probability) continue;  // faded
+      if (clash) {
+        if (tr != nullptr) {
+          tr->Emit(obs::AmbientNow(), "hopping_game", "clash",
+                   {{"round", round}, {"node", v}, {"subchannel", s}});
+        }
+        continue;
+      }
+      if (rng.Uniform() < config.fading_probability) {  // faded
+        if (tr != nullptr) {
+          tr->Emit(obs::AmbientNow(), "hopping_game", "faded",
+                   {{"round", round}, {"node", v}, {"subchannel", s}});
+        }
+        continue;
+      }
       owned[static_cast<std::size_t>(v)][static_cast<std::size_t>(s)] = true;
       ++held[static_cast<std::size_t>(v)];
+      if (tr != nullptr) {
+        tr->Emit(obs::AmbientNow(), "hopping_game", "acquired",
+                 {{"round", round}, {"node", v}, {"subchannel", s}});
+      }
     }
     result.rounds = round;
   }

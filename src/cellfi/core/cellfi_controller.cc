@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "cellfi/obs/trace.h"
 #include "cellfi/phy/cqi_mcs.h"
 
 namespace cellfi::core {
@@ -17,8 +18,10 @@ CellfiController::CellfiController(Simulator& sim, lte::LteNetwork& net,
   config_.im.num_subchannels = num_subchannels_;
 
   for (std::size_t c = 0; c < net.cell_count(); ++c) {
+    InterferenceManagerConfig im_config = config_.im;
+    im_config.instance = static_cast<int>(c);
     managers_.push_back(std::make_unique<InterferenceManager>(
-        config_.im, config_.seed ^ (0x1000 + c)));
+        im_config, config_.seed ^ (0x1000 + c)));
     sensors_.emplace_back(static_cast<CellId>(c), config_.epoch);
     detectors_.emplace_back();
     free_streak_.emplace_back(static_cast<std::size_t>(num_subchannels_), 0);
@@ -125,6 +128,12 @@ EpochInputs CellfiController::BuildInputs(CellId cell) {
 
 void CellfiController::RunEpoch(CellId cell) {
   const EpochInputs in = BuildInputs(cell);
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    tr->Emit(sim_.Now(), "prach", "contention",
+             {{"cell", cell},
+              {"own", in.own_active_clients},
+              {"contenders", in.estimated_contenders}});
+  }
   InterferenceManager& im = *managers_[static_cast<std::size_t>(cell)];
   std::vector<bool> mask = im.OnEpoch(in);
   last_epoch_hops_[static_cast<std::size_t>(cell)] = im.last_stats().hops;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cellfi/obs/trace.h"
+
 namespace cellfi::core {
 
 ChannelSelector::ChannelSelector(Simulator& sim, tvws::PawsSession& session,
@@ -43,6 +45,9 @@ void ChannelSelector::TryInit() {
 
 void ChannelSelector::Record(const std::string& what, int channel) {
   timeline_.push_back({sim_.Now(), what, channel});
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    tr->Emit(sim_.Now(), "channel_selector", what, {{"channel", channel}});
+  }
 }
 
 void ChannelSelector::QueryBoth(const std::function<void(PollContext&)>& done) {
@@ -130,6 +135,14 @@ void ChannelSelector::OnPollComplete(PollContext& ctx) {
 void ChannelSelector::ConfirmLease() {
   last_lease_confirm_ = sim_.Now();
   lease_confirms_.push_back(last_lease_confirm_);
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    // Every confirmation re-arms the ETSI clock: a later `vacate_fired`
+    // must sit within budget of the latest preceding `vacate_armed`.
+    tr->Emit(sim_.Now(), "channel_selector", "vacate_armed",
+             {{"channel", current_ ? current_->channel.number : -1},
+              {"deadline_us",
+               (sim_.Now() + config_.etsi_vacate_budget) / kMicrosecond}});
+  }
   // Hard ETSI deadline: if no further confirmation arrives, the radio-off
   // command fires early enough that transmissions stop at exactly
   // last confirm + budget, regardless of poll cadence or retry state.
@@ -151,6 +164,11 @@ void ChannelSelector::ScheduleVacate(std::string reason) {
 
 void ChannelSelector::RadioOff(const std::string& reason) {
   if (state_ == ApRadioState::kOff) return;
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    tr->Emit(sim_.Now(), "channel_selector", "vacate_fired",
+             {{"channel", current_ ? current_->channel.number : -1},
+              {"reason", reason}});
+  }
   state_ = ApRadioState::kOff;
   if (clients_connected_) {
     clients_connected_ = false;

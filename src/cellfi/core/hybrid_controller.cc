@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "cellfi/obs/metrics.h"
+#include "cellfi/obs/trace.h"
+
 namespace cellfi::core {
 
 using lte::CellId;
@@ -55,11 +58,23 @@ void HybridController::Refine() {
         if (!masks[i][s] || !masks[j][s]) continue;
         masks[yielder][s] = false;
         ++conflicts_resolved_;
+        int substitute = -1;
         for (std::size_t alt = 0; alt < masks[yielder].size(); ++alt) {
           if (!masks[yielder][alt] && !masks[keeper][alt]) {
             masks[yielder][alt] = true;
+            substitute = static_cast<int>(alt);
             break;
           }
+        }
+        if (obs::TraceSink* tr = obs::ActiveTrace()) {
+          tr->Emit(sim_.Now(), "hybrid", "conflict_resolved",
+                   {{"yielder", yielder},
+                    {"keeper", keeper},
+                    {"subchannel", s},
+                    {"substitute", substitute}});
+        }
+        if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+          m->Add(m->Counter("hybrid.conflicts_resolved"));
         }
       }
     }

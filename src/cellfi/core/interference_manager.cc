@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "cellfi/obs/trace.h"
+
 namespace cellfi::core {
 
 InterferenceManager::InterferenceManager(InterferenceManagerConfig config,
@@ -61,10 +63,22 @@ const std::vector<bool>& InterferenceManager::OnEpoch(const EpochInputs& in) {
   ++epochs_;
   stats_ = EpochStats{};
   const int s_total = config_.num_subchannels;
+  // Strictly passive observation: no Rng use, no control-flow influence
+  // (determinism contract, DESIGN.md §13).
+  obs::TraceSink* tr = obs::ActiveTrace();
 
   // --- Phase 1: distributed share calculation -----------------------------
   const int share = TargetShare(in.own_active_clients, in.estimated_contenders);
   stats_.share = share;
+  if (tr != nullptr && share != last_traced_share_) {
+    tr->Emit(obs::AmbientNow(), "im", "share_recalc",
+             {{"cell", config_.instance},
+              {"epoch", epochs_},
+              {"share", share},
+              {"own", in.own_active_clients},
+              {"contenders", in.estimated_contenders}});
+  }
+  last_traced_share_ = share;
 
   // Shrink if over target (release lowest-utility owned subchannels).
   while (owned_count() > share) {
@@ -80,6 +94,10 @@ const std::vector<bool>& InterferenceManager::OnEpoch(const EpochInputs& in) {
     }
     Release(worst);
     ++stats_.shrank;
+    if (tr != nullptr) {
+      tr->Emit(obs::AmbientNow(), "im", "shrink",
+               {{"cell", config_.instance}, {"epoch", epochs_}, {"subchannel", worst}});
+    }
   }
 
   // --- Phase 2: bucket updates -------------------------------------------
@@ -88,7 +106,17 @@ const std::vector<bool>& InterferenceManager::OnEpoch(const EpochInputs& in) {
     const double pressure =
         in.interference_pressure.empty() ? 0.0
                                          : in.interference_pressure[static_cast<std::size_t>(s)];
-    if (pressure > 0.0) buckets_[static_cast<std::size_t>(s)] -= pressure;
+    if (pressure > 0.0) {
+      buckets_[static_cast<std::size_t>(s)] -= pressure;
+      if (tr != nullptr) {
+        tr->Emit(obs::AmbientNow(), "im", "bucket_decrement",
+                 {{"cell", config_.instance},
+                  {"epoch", epochs_},
+                  {"subchannel", s},
+                  {"pressure", pressure},
+                  {"bucket", buckets_[static_cast<std::size_t>(s)]}});
+      }
+    }
   }
 
   // --- Phase 3: hopping on bucket exhaustion ------------------------------
@@ -101,6 +129,13 @@ const std::vector<bool>& InterferenceManager::OnEpoch(const EpochInputs& in) {
     if (next >= 0) Acquire(next);
     ++stats_.hops;
     ++total_hops_;
+    if (tr != nullptr) {
+      tr->Emit(obs::AmbientNow(), "im", "hop",
+               {{"cell", config_.instance},
+                {"epoch", epochs_},
+                {"from", s},
+                {"to", next}});
+    }
   }
 
   // --- Phase 4: grow toward the share -------------------------------------
@@ -109,6 +144,10 @@ const std::vector<bool>& InterferenceManager::OnEpoch(const EpochInputs& in) {
     if (next < 0) break;  // everything owned already
     Acquire(next);
     ++stats_.grew;
+    if (tr != nullptr) {
+      tr->Emit(obs::AmbientNow(), "im", "grow",
+               {{"cell", config_.instance}, {"epoch", epochs_}, {"subchannel", next}});
+    }
   }
 
   // --- Phase 5: channel re-use packing ------------------------------------
@@ -121,6 +160,13 @@ const std::vector<bool>& InterferenceManager::OnEpoch(const EpochInputs& in) {
         Release(s);
         Acquire(lower);
         ++stats_.reuse_moves;
+        if (tr != nullptr) {
+          tr->Emit(obs::AmbientNow(), "im", "reuse_move",
+                   {{"cell", config_.instance},
+                    {"epoch", epochs_},
+                    {"from", s},
+                    {"to", lower}});
+        }
         break;
       }
     }

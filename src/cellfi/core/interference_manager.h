@@ -33,6 +33,9 @@ struct InterferenceManagerConfig {
   int reuse_free_epochs = 3;
   /// Enable the channel re-use packing heuristic.
   bool enable_reuse = true;
+  /// Identity stamped on trace events (DESIGN.md §13); the controller sets
+  /// it to the cell index. Purely observational.
+  int instance = -1;
 };
 
 /// Sensing inputs for one epoch.
@@ -90,6 +93,7 @@ class InterferenceManager {
   EpochStats stats_;
   std::uint64_t total_hops_ = 0;
   std::uint64_t epochs_ = 0;
+  int last_traced_share_ = -1;
 };
 
 }  // namespace cellfi::core

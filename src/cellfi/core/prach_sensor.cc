@@ -1,9 +1,15 @@
 #include "cellfi/core/prach_sensor.h"
 
+#include "cellfi/obs/trace.h"
+
 namespace cellfi::core {
 
 void PrachSensor::OnPreamble(lte::UeId ue, lte::CellId serving, SimTime now) {
   heard_[ue] = Entry{now, serving};
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    tr->Emit(now, "prach", "preamble",
+             {{"cell", self_}, {"ue", ue}, {"serving", serving}});
+  }
 }
 
 int PrachSensor::EstimateContenders(SimTime now) const {

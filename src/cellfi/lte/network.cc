@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "cellfi/common/units.h"
+#include "cellfi/obs/metrics.h"
+#include "cellfi/obs/trace.h"
 #include "cellfi/phy/cqi_mcs.h"
 
 namespace cellfi::lte {
@@ -145,6 +147,10 @@ void LteNetwork::ExecuteHandover(UeId ue_id, CellId target) {
   ++info.handovers;
   UeContext& fresh = cell(target).AddUe(ue_id);
   fresh.ImportOnHandover(snapshot);
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    tr->Emit(sim_.Now(), "lte", "handover",
+             {{"ue", ue_id}, {"from", source.id()}, {"to", target}});
+  }
   // The RACH toward the new cell is what neighbours overhear.
   EmitPrach(ue_id, target);
 }
@@ -438,6 +444,23 @@ void LteNetwork::RunDownlinkSubframe() {
     rec.current_plan = rec.mac->PlanDownlink();
     rec.plan_is_data = true;
   }
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    // Fraction of the allowed subchannels each transmitting cell actually
+    // scheduled this subframe.
+    const auto id = m->Histogram("lte.prb_utilization", obs::FractionBounds());
+    for (const CellRec& rec : cells_) {
+      if (!rec.plan_is_data) continue;
+      int active = 0;
+      int allowed = 0;
+      for (std::size_t s = 0; s < rec.current_plan.data_active.size(); ++s) {
+        if (rec.mac->allowed_mask().empty() || rec.mac->allowed_mask()[s]) ++allowed;
+        if (rec.current_plan.data_active[s]) ++active;
+      }
+      if (allowed > 0) {
+        m->Observe(id, static_cast<double>(active) / static_cast<double>(allowed));
+      }
+    }
+  }
 
   // Phase 2: resolve each transport block. With the engine on, every
   // receiver shares the per-subchannel transmitter lists built once above;
@@ -481,6 +504,11 @@ void LteNetwork::RunDownlinkSubframe() {
               static_cast<double>(result.payload_bytes) * info.ul_ack_ratio));
         }
         if (on_dl_delivered) on_dl_delivered(tx.ue, result.payload_bytes, sim_.Now());
+        if (obs::MetricsRegistry* mr = obs::ActiveMetrics()) {
+          mr->Add(mr->Counter("lte.dl_delivered_bytes"), result.payload_bytes);
+        }
+      } else if (obs::MetricsRegistry* mr = obs::ActiveMetrics()) {
+        mr->Add(mr->Counter("lte.dl_harq_failures"));
       }
     }
     rec.mac->UpdatePfAverages(served_bits);
@@ -592,6 +620,10 @@ void LteNetwork::GenerateCqiReports() {
     }
     wideband_linear /= static_cast<double>(sinr.size());
     m.wideband_cqi = SinrToCqi(LinearToDb(wideband_linear) + margin);
+    if (obs::MetricsRegistry* mr = obs::ActiveMetrics()) {
+      mr->Observe(mr->Histogram("lte.wideband_sinr_db", obs::SinrDbBounds()),
+                  LinearToDb(wideband_linear));
+    }
 
     CqiMeasurement decoded = m;
     if (cell(info.serving).config().use_mode30_wire_format) {

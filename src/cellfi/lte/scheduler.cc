@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "cellfi/obs/metrics.h"
+#include "cellfi/obs/trace.h"
 #include "cellfi/phy/cqi_mcs.h"
 
 namespace cellfi::lte {
@@ -188,6 +190,52 @@ class RoundRobinScheduler final : public Scheduler {
   std::size_t cursor_ = 0;
 };
 
+/// Decorator around any concrete scheduler: records the fraction of the
+/// allowed subchannels each pass actually assigned into the ambient
+/// MetricsRegistry (DESIGN.md §13). Pure pass-through when no registry is
+/// scoped; never alters the assignment.
+class ObservedScheduler final : public Scheduler {
+ public:
+  explicit ObservedScheduler(std::unique_ptr<Scheduler> inner)
+      : inner_(std::move(inner)) {}
+
+  SubchannelAssignment AssignDownlink(const std::vector<UeContext*>& ues,
+                                      const std::vector<bool>& allowed_mask) override {
+    return Observe("sched.dl_assigned_frac",
+                   inner_->AssignDownlink(ues, allowed_mask), allowed_mask);
+  }
+
+  SubchannelAssignment AssignUplink(const std::vector<UeContext*>& ues,
+                                    const std::vector<bool>& allowed_mask,
+                                    int data_re_per_rb, int rbs_per_subchannel) override {
+    return Observe("sched.ul_assigned_frac",
+                   inner_->AssignUplink(ues, allowed_mask, data_re_per_rb,
+                                        rbs_per_subchannel),
+                   allowed_mask);
+  }
+
+ private:
+  static SubchannelAssignment Observe(const char* name, SubchannelAssignment a,
+                                      const std::vector<bool>& allowed_mask) {
+    if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+      int assigned = 0;
+      int allowed = 0;
+      for (std::size_t s = 0; s < allowed_mask.size(); ++s) {
+        if (!allowed_mask[s]) continue;
+        ++allowed;
+        if (a[s] >= 0) ++assigned;
+      }
+      if (allowed > 0) {
+        m->Observe(m->Histogram(name, obs::FractionBounds()),
+                   static_cast<double>(assigned) / static_cast<double>(allowed));
+      }
+    }
+    return a;
+  }
+
+  std::unique_ptr<Scheduler> inner_;
+};
+
 }  // namespace
 
 std::vector<int> RankSubchannelsByCqi(const UeContext& ue,
@@ -206,15 +254,20 @@ std::vector<int> RankSubchannelsByCqi(const UeContext& ue,
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(SchedulerType type) {
+  std::unique_ptr<Scheduler> inner;
   switch (type) {
     case SchedulerType::kRoundRobin:
-      return std::make_unique<RoundRobinScheduler>();
+      inner = std::make_unique<RoundRobinScheduler>();
+      break;
     case SchedulerType::kMaxCqi:
-      return std::make_unique<MaxCqiScheduler>();
+      inner = std::make_unique<MaxCqiScheduler>();
+      break;
     case SchedulerType::kProportionalFair:
     default:
-      return std::make_unique<ProportionalFairScheduler>();
+      inner = std::make_unique<ProportionalFairScheduler>();
+      break;
   }
+  return std::make_unique<ObservedScheduler>(std::move(inner));
 }
 
 }  // namespace cellfi::lte

@@ -1,0 +1,94 @@
+// Deterministic metrics registry (DESIGN.md §13).
+//
+// Counters, gauges and fixed-bucket histograms, registered lazily by
+// name at the instrumentation site:
+//
+//   if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+//     m->Observe(m->Histogram("lte.wideband_sinr_db", obs::kSinrDbBounds),
+//                sinr_db);
+//   }
+//
+// Snapshot() serializes in registration order, which is deterministic
+// because the simulation itself is: the same (config, seed) visits the
+// same instrumentation sites in the same order. Registries are
+// per-replication (one per ObsScope), never shared across threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cellfi/common/json.h"
+
+namespace cellfi::obs {
+
+/// Shared bucket layouts so every component bins compatibly.
+inline const std::vector<double>& SinrDbBounds() {
+  static const std::vector<double> b = {-10, -5, 0, 5, 10, 15, 20, 25, 30};
+  return b;
+}
+inline const std::vector<double>& FractionBounds() {
+  static const std::vector<double> b = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                        0.6, 0.7, 0.8, 0.9, 1.0};
+  return b;
+}
+
+class MetricsRegistry {
+ public:
+  using Id = std::size_t;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. A name keeps the kind (and, for histograms,
+  /// the bucket bounds) of its first registration.
+  Id Counter(std::string_view name);
+  Id Gauge(std::string_view name);
+  Id Histogram(std::string_view name, const std::vector<double>& upper_bounds);
+
+  void Add(Id id, std::uint64_t delta = 1);
+  void Set(Id id, double value);
+  /// Bucket i counts values <= upper_bounds[i]; one overflow bucket past
+  /// the last bound.
+  void Observe(Id id, double value);
+
+  struct HistogramData {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> counts;  // upper_bounds.size() + 1
+    std::uint64_t total = 0;
+    double sum = 0.0;
+  };
+
+  /// Read-side lookups by name; zero/null when absent.
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  const HistogramData* histogram(std::string_view name) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// {"counters":[{"name","value"}...],"gauges":[...],"histograms":
+  ///  [{"name","bounds","counts","count","sum"}...]} — each section in
+  /// registration order.
+  json::Value Snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::uint64_t count = 0;  // counter value
+    double value = 0.0;       // gauge value
+    HistogramData hist;
+  };
+
+  Id GetOrCreate(std::string_view name, Kind kind);
+  const Entry* FindEntry(std::string_view name, Kind kind) const;
+
+  std::vector<Entry> entries_;
+  std::map<std::string, Id, std::less<>> index_;
+};
+
+}  // namespace cellfi::obs

@@ -1,0 +1,167 @@
+#include "cellfi/obs/trace.h"
+
+#include <charconv>
+#include <cstdio>
+#include <utility>
+
+namespace cellfi::obs {
+namespace {
+
+// Thread-local ambient context. Plain pointers: a TLS load + branch is
+// the entire cost of the disabled path at every instrumentation site.
+thread_local TraceSink* g_trace = nullptr;
+thread_local MetricsRegistry* g_metrics = nullptr;
+thread_local const std::function<SimTime()>* g_clock = nullptr;
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendValue(std::string& out, const FieldValue& v) {
+  char buf[32];
+  if (v.is_int()) {
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v.as_int());
+    static_cast<void>(ec);
+    out.append(buf, p);
+  } else if (v.is_double()) {
+    // Shortest round-trip form: stable across runs on the same libc++/libstdc++
+    // and re-parses to the exact same double.
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v.as_double());
+    static_cast<void>(ec);
+    out.append(buf, p);
+  } else {
+    out += '"';
+    AppendEscaped(out, v.as_string());
+    out += '"';
+  }
+}
+
+}  // namespace
+
+const FieldValue* TraceEvent::Find(std::string_view key) const {
+  for (const TraceField& f : fields) {
+    if (f.key == key) return &f.value;
+  }
+  return nullptr;
+}
+
+TraceSink::TraceSink(TraceSinkConfig config) : config_(std::move(config)) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  ring_.reserve(config_.ring_capacity);
+  if (!config_.jsonl_path.empty()) {
+    file_ = std::make_unique<std::ofstream>(config_.jsonl_path,
+                                            std::ios::out | std::ios::trunc);
+  }
+}
+
+TraceSink::~TraceSink() { Flush(); }
+
+void TraceSink::Emit(SimTime sim_time, std::string_view component,
+                     std::string_view event,
+                     std::initializer_list<TraceField> fields) {
+  Emit(sim_time, component, event, std::vector<TraceField>(fields));
+}
+
+void TraceSink::Emit(SimTime sim_time, std::string_view component,
+                     std::string_view event, std::vector<TraceField> fields) {
+  TraceEvent ev;
+  ev.sim_time_us = sim_time / kMicrosecond;
+  ev.component = std::string(component);
+  ev.event = std::string(event);
+  ev.fields = std::move(fields);
+  if (file_ && file_->good()) *file_ << ToJsonl(ev) << '\n';
+  if (ring_.size() < config_.ring_capacity) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+  }
+  next_ = (next_ + 1) % config_.ring_capacity;
+  ++emitted_;
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < config_.ring_capacity) {
+    out = ring_;  // never wrapped: ring order is emission order
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceSink::Events(std::string_view component,
+                                          std::string_view event) const {
+  std::vector<TraceEvent> out;
+  for (TraceEvent& ev : Events()) {
+    if (ev.component != component) continue;
+    if (!event.empty() && ev.event != event) continue;
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+void TraceSink::Flush() {
+  if (file_) file_->flush();
+}
+
+std::string TraceSink::ToJsonl(const TraceEvent& event) {
+  std::string out = "{\"t_us\":";
+  AppendValue(out, FieldValue(event.sim_time_us));
+  out += ",\"component\":\"";
+  AppendEscaped(out, event.component);
+  out += "\",\"event\":\"";
+  AppendEscaped(out, event.event);
+  out += '"';
+  for (const TraceField& f : event.fields) {
+    out += ",\"";
+    AppendEscaped(out, f.key);
+    out += "\":";
+    AppendValue(out, f.value);
+  }
+  out += '}';
+  return out;
+}
+
+TraceSink* ActiveTrace() { return g_trace; }
+MetricsRegistry* ActiveMetrics() { return g_metrics; }
+
+SimTime AmbientNow() { return g_clock != nullptr ? (*g_clock)() : 0; }
+
+ObsScope::ObsScope(TraceSink* trace, MetricsRegistry* metrics)
+    : prev_trace_(g_trace), prev_metrics_(g_metrics) {
+  g_trace = trace;
+  g_metrics = metrics;
+}
+
+ObsScope::~ObsScope() {
+  g_trace = prev_trace_;
+  g_metrics = prev_metrics_;
+}
+
+ClockScope::ClockScope(std::function<SimTime()> now)
+    : now_(std::move(now)), prev_(g_clock) {
+  g_clock = &now_;
+}
+
+ClockScope::~ClockScope() { g_clock = prev_; }
+
+}  // namespace cellfi::obs

@@ -1,0 +1,167 @@
+// Deterministic sim-time event tracing (DESIGN.md §13).
+//
+// A TraceSink records structured events `{sim_time_us, component, event,
+// fields}` into a bounded in-memory ring and, optionally, a JSONL file.
+// Instrumented components never hold a sink directly; they consult the
+// ambient thread-local context:
+//
+//   if (obs::TraceSink* tr = obs::ActiveTrace()) {
+//     tr->Emit(now, "im", "hop", {{"cell", 3}, {"from", 1}, {"to", 5}});
+//   }
+//
+// When no ObsScope is installed the guard is a single thread-local load
+// and branch — the disabled path allocates nothing and formats nothing.
+//
+// Determinism contract: instrumentation is strictly passive. It must not
+// draw from any Rng, schedule events, or otherwise influence control
+// flow; enabling tracing must leave every simulation outcome bit-identical
+// (enforced by the observer-effect test in tests/scenario_sweep_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "cellfi/common/time.h"
+
+namespace cellfi::obs {
+
+class MetricsRegistry;  // metrics.h; scoped jointly with the trace sink.
+
+/// One typed event field. Integers stay integers end-to-end so golden
+/// traces never depend on floating-point formatting.
+class FieldValue {
+ public:
+  FieldValue(std::int64_t v) : v_(v) {}                        // NOLINT
+  FieldValue(int v) : v_(static_cast<std::int64_t>(v)) {}      // NOLINT
+  FieldValue(unsigned v) : v_(static_cast<std::int64_t>(v)) {} // NOLINT
+  FieldValue(std::uint64_t v) : v_(static_cast<std::int64_t>(v)) {} // NOLINT
+  FieldValue(double v) : v_(v) {}                              // NOLINT
+  FieldValue(bool v) : v_(static_cast<std::int64_t>(v)) {}     // NOLINT
+  FieldValue(const char* v) : v_(std::string(v)) {}            // NOLINT
+  FieldValue(std::string v) : v_(std::move(v)) {}              // NOLINT
+  FieldValue(std::string_view v) : v_(std::string(v)) {}       // NOLINT
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+ private:
+  std::variant<std::int64_t, double, std::string> v_;
+};
+
+struct TraceField {
+  std::string key;
+  FieldValue value;
+};
+
+struct TraceEvent {
+  std::int64_t sim_time_us = 0;
+  std::string component;
+  std::string event;
+  std::vector<TraceField> fields;
+
+  /// First field with this key, or nullptr.
+  const FieldValue* Find(std::string_view key) const;
+};
+
+struct TraceSinkConfig {
+  /// Ring capacity in events; the oldest events are overwritten once
+  /// `emitted() > ring_capacity` (dropped() counts the overwrites).
+  std::size_t ring_capacity = 1 << 16;
+  /// When non-empty, every event is also appended to this JSONL file
+  /// (one `{"t_us":...,"component":...,"event":...,...}` object per line).
+  std::string jsonl_path;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(TraceSinkConfig config = {});
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Record one event at `sim_time` (nanoseconds; stored in microseconds).
+  void Emit(SimTime sim_time, std::string_view component,
+            std::string_view event, std::initializer_list<TraceField> fields);
+  void Emit(SimTime sim_time, std::string_view component,
+            std::string_view event, std::vector<TraceField> fields);
+
+  /// Ring contents, oldest first.
+  std::vector<TraceEvent> Events() const;
+  /// Events matching component (and event, when non-empty), oldest first.
+  std::vector<TraceEvent> Events(std::string_view component,
+                                 std::string_view event = {}) const;
+
+  std::uint64_t emitted() const { return emitted_; }
+  std::uint64_t dropped() const {
+    return emitted_ > ring_.capacity() ? emitted_ - ring_.capacity() : 0;
+  }
+
+  void Flush();
+
+  /// Deterministic one-line JSON rendering: fields in emission order,
+  /// integers rendered exactly, doubles via shortest round-trip form.
+  static std::string ToJsonl(const TraceEvent& event);
+
+ private:
+  TraceSinkConfig config_;
+  std::vector<TraceEvent> ring_;  // capacity == config_.ring_capacity
+  std::size_t next_ = 0;          // ring slot for the next event
+  std::uint64_t emitted_ = 0;
+  std::unique_ptr<std::ofstream> file_;
+};
+
+/// Ambient thread-local observability context. Null (and therefore free
+/// to check) unless an ObsScope is live on this thread. Per-thread
+/// scoping is what keeps multi-threaded sweeps race-free: each
+/// replication installs its own sink on its worker thread.
+TraceSink* ActiveTrace();
+MetricsRegistry* ActiveMetrics();
+
+/// Sim time from the innermost ClockScope on this thread, or 0 when no
+/// clock is installed (components that own a Simulator pass their own
+/// `sim.Now()` instead and never need this).
+SimTime AmbientNow();
+
+/// RAII installer for the ambient trace sink + metrics registry. Nests:
+/// the previous context is restored on destruction. Either pointer may
+/// be null to scope only one half.
+class ObsScope {
+ public:
+  ObsScope(TraceSink* trace, MetricsRegistry* metrics);
+  ~ObsScope();
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  TraceSink* prev_trace_;
+  MetricsRegistry* prev_metrics_;
+};
+
+/// RAII installer for the ambient sim-time source, used by components
+/// that have no Simulator handle of their own (InterferenceManager,
+/// the hopping-game baseline). The obs module deliberately does not
+/// depend on sim/, so callers pass a closure over their Simulator.
+class ClockScope {
+ public:
+  explicit ClockScope(std::function<SimTime()> now);
+  ~ClockScope();
+  ClockScope(const ClockScope&) = delete;
+  ClockScope& operator=(const ClockScope&) = delete;
+
+ private:
+  std::function<SimTime()> now_;
+  const std::function<SimTime()>* prev_;
+};
+
+}  // namespace cellfi::obs

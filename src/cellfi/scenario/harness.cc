@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <optional>
 
 #include "cellfi/baseline/oracle_allocator.h"
 #include "cellfi/core/cellfi_controller.h"
@@ -26,6 +28,51 @@ const PathLossModel& PathLossFor(PropagationKind kind) {
     default: return hata;
   }
 }
+
+/// Per-run observability scope (DESIGN.md §13). Owns the sink + registry
+/// for one replication and installs them (plus a sim clock for components
+/// without a Simulator handle) on the current thread for the run's
+/// lifetime. Observation is strictly passive, so enabling it cannot
+/// perturb the simulation.
+struct ObsSession {
+  std::shared_ptr<obs::TraceSink> trace;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::optional<obs::ObsScope> scope;
+  std::optional<obs::ClockScope> clock;
+
+  ObsSession(const ScenarioConfig& cfg, Simulator& sim) {
+    ObsOptions opt = cfg.obs;
+    if (!opt.enabled) {
+      // Env knobs for ad-hoc runs (see README "Observability").
+      if (std::getenv("CELLFI_TRACE") != nullptr) opt.enabled = true;
+      if (const char* path = std::getenv("CELLFI_TRACE_OUT")) {
+        opt.enabled = true;
+        if (opt.trace_path.empty()) opt.trace_path = path;
+      }
+      if (const char* ring = std::getenv("CELLFI_TRACE_RING")) {
+        opt.ring_capacity = std::max(1, std::atoi(ring));
+      }
+    }
+    if (opt.enabled) {
+      obs::TraceSinkConfig sink_cfg;
+      sink_cfg.ring_capacity = static_cast<std::size_t>(std::max(1, opt.ring_capacity));
+      sink_cfg.jsonl_path = opt.trace_path;
+      trace = std::make_shared<obs::TraceSink>(sink_cfg);
+      metrics = std::make_shared<obs::MetricsRegistry>();
+      scope.emplace(trace.get(), metrics.get());
+    }
+    // Install the clock whenever any sink is reachable (ours or one the
+    // caller scoped in) so ambient emits carry real sim time.
+    if (obs::ActiveTrace() != nullptr || obs::ActiveMetrics() != nullptr) {
+      clock.emplace([&sim] { return sim.Now(); });
+    }
+  }
+
+  void Export(ScenarioResult& result) const {
+    result.trace = trace;
+    result.metrics = metrics;
+  }
+};
 
 double CarrierFor(PropagationKind kind) {
   return kind == PropagationKind::kIndoor5GHz ? 5.2e9 : 600e6;
@@ -61,6 +108,7 @@ void Finalize(ScenarioResult& result, const ScenarioConfig& cfg) {
 
 ScenarioResult RunLteBased(const ScenarioConfig& cfg, const Topology& topo) {
   Simulator sim;
+  ObsSession obs_session(cfg, sim);
   RadioEnvironment env(PathLossFor(cfg.propagation), EnvConfigFor(cfg));
   lte::LteNetworkConfig net_cfg;
   net_cfg.use_interference_engine = cfg.use_interference_engine;
@@ -218,11 +266,13 @@ ScenarioResult RunLteBased(const ScenarioConfig& cfg, const Topology& topo) {
     result.im_cells_still_hopping = controller->cells_hopping_recently();
   }
   Finalize(result, cfg);
+  obs_session.Export(result);
   return result;
 }
 
 ScenarioResult RunWifi(const ScenarioConfig& cfg, const Topology& topo) {
   Simulator sim;
+  ObsSession obs_session(cfg, sim);
   RadioEnvironment env(PathLossFor(cfg.propagation), EnvConfigFor(cfg));
   wifi::WifiMacConfig mac;
   mac.channel_width_hz = cfg.wifi_channel_width_hz;
@@ -290,6 +340,7 @@ ScenarioResult RunWifi(const ScenarioConfig& cfg, const Topology& topo) {
     result.clients.push_back(std::move(outcome));
   }
   Finalize(result, cfg);
+  obs_session.Export(result);
   return result;
 }
 

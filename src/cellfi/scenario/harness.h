@@ -15,6 +15,8 @@
 #include "cellfi/common/stats.h"
 #include "cellfi/common/time.h"
 #include "cellfi/core/cellfi_controller.h"
+#include "cellfi/obs/metrics.h"
+#include "cellfi/obs/trace.h"
 #include "cellfi/phy/resource_grid.h"
 #include "cellfi/scenario/topology.h"
 #include "cellfi/traffic/web_workload.h"
@@ -31,6 +33,20 @@ enum class Technology {
 };
 
 enum class WorkloadKind { kBacklogged, kWeb };
+
+/// Per-run observability (DESIGN.md §13). When enabled the harness scopes
+/// a fresh TraceSink + MetricsRegistry around the replication (thread-local,
+/// so parallel sweeps stay race-free) and hands both back on the result.
+/// The determinism contract guarantees enabling this changes no simulation
+/// outcome bytes.
+struct ObsOptions {
+  bool enabled = false;
+  /// Stream events to this JSONL file as well (single-run use: parallel
+  /// replications sharing one path would interleave arbitrarily).
+  std::string trace_path;
+  /// In-memory event ring capacity.
+  int ring_capacity = 1 << 16;
+};
 
 enum class PropagationKind {
   kHataUrbanUhf,   // outdoor TVWS (600 MHz), gentle slope: long links
@@ -85,6 +101,10 @@ struct ScenarioConfig {
 
   traffic::WebWorkloadConfig web;
   std::uint64_t seed = 1;
+
+  /// Observability; defaults to fully off (and to the CELLFI_TRACE env
+  /// knobs when unset — see README "Observability").
+  ObsOptions obs;
 };
 
 struct ClientOutcome {
@@ -106,6 +126,11 @@ struct ScenarioResult {
   /// CellFi-only convergence metrics.
   std::uint64_t im_total_hops = 0;
   int im_cells_still_hopping = 0;
+  /// Populated only when ScenarioConfig::obs (or CELLFI_TRACE) enabled
+  /// observability for the run. Deliberately excluded from ResultToJson so
+  /// report bytes stay identical with observability on or off.
+  std::shared_ptr<obs::TraceSink> trace;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// Run one scenario (builds everything, runs, tears down).

@@ -1,9 +1,14 @@
 #include "cellfi/scenario/outage.h"
 
+#include "cellfi/obs/trace.h"
+
 namespace cellfi::scenario {
 
 OutageScenarioResult RunDatabaseOutage(const OutageScenarioConfig& config) {
   Simulator sim;
+  // Any ambient trace sink installed by the caller sees correctly
+  // sim-timed events from components without their own Simulator handle.
+  obs::ClockScope obs_clock([&sim] { return sim.Now(); });
   tvws::SpectrumDatabase db(config.database);
   tvws::PawsServer server(db);
   tvws::InProcessTransport wire(sim, server);
@@ -21,6 +26,19 @@ OutageScenarioResult RunDatabaseOutage(const OutageScenarioConfig& config) {
   result.outage_end = config.outage_start + config.outage_duration;
   if (config.outage_duration > 0) {
     transport.AddOutage(result.outage_start, result.outage_end);
+    // Trace the fault-injection window itself so trace assertions can
+    // order component reactions against the outage bounds. The sink is
+    // looked up at fire time; with none installed these are no-ops.
+    sim.ScheduleAt(result.outage_start, [&sim] {
+      if (obs::TraceSink* tr = obs::ActiveTrace()) {
+        tr->Emit(sim.Now(), "outage", "outage_begin", {});
+      }
+    });
+    sim.ScheduleAt(result.outage_end, [&sim] {
+      if (obs::TraceSink* tr = obs::ActiveTrace()) {
+        tr->Emit(sim.Now(), "outage", "outage_end", {});
+      }
+    });
   }
 
   selector.Start();

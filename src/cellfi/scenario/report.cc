@@ -39,6 +39,17 @@ const char* PropagationName(PropagationKind kind) {
   return "?";
 }
 
+json::Value ObsSnapshotToJson(const ScenarioResult& result) {
+  if (result.metrics == nullptr && result.trace == nullptr) return Value();
+  Value v;
+  if (result.metrics != nullptr) v["metrics"] = result.metrics->Snapshot();
+  if (result.trace != nullptr) {
+    v["trace_emitted"] = static_cast<std::int64_t>(result.trace->emitted());
+    v["trace_dropped"] = static_cast<std::int64_t>(result.trace->dropped());
+  }
+  return v;
+}
+
 json::Value ConfigToJson(const ScenarioConfig& c) {
   Value v;
   v["tech"] = TechnologyName(c.tech);
@@ -61,6 +72,9 @@ json::Value ConfigToJson(const ScenarioConfig& c) {
   v["home_ap_association"] = c.home_ap_association;
   v["web"]["think_time_mean_s"] = c.web.think_time_mean_s;
   v["seed"] = static_cast<std::int64_t>(c.seed);
+  v["obs"]["enabled"] = c.obs.enabled;
+  v["obs"]["trace_path"] = c.obs.trace_path;
+  v["obs"]["ring_capacity"] = c.obs.ring_capacity;
   return v;
 }
 
@@ -132,6 +146,14 @@ std::optional<ScenarioConfig> ConfigFromJson(const Value& v) {
   // cellfi-lint: allow(no-float-seed) — JSON numbers are IEEE doubles by
   // schema; config seeds are exact below 2^53 and the round-trip is lossless.
   c.seed = static_cast<std::uint64_t>(NumOr(v, "seed", static_cast<double>(c.seed)));
+  if (const Value* o = v.Find("obs"); o != nullptr && o->is_object()) {
+    c.obs.enabled = BoolOr(*o, "enabled", c.obs.enabled);
+    if (const Value* p = o->Find("trace_path"); p != nullptr && p->is_string()) {
+      c.obs.trace_path = p->as_string();
+    }
+    c.obs.ring_capacity =
+        static_cast<int>(NumOr(*o, "ring_capacity", c.obs.ring_capacity));
+  }
   if (c.duration <= c.warmup) return std::nullopt;
   if (c.topology.num_aps <= 0 || c.topology.clients_per_ap < 0) return std::nullopt;
   return c;

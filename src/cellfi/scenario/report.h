@@ -11,8 +11,17 @@
 
 namespace cellfi::scenario {
 
-/// Serialize a result (per-client outcomes + aggregates).
+/// Serialize a result (per-client outcomes + aggregates). Deliberately
+/// ignores ScenarioResult::trace/metrics: report bytes are identical with
+/// observability on or off (determinism contract, DESIGN.md §13).
 json::Value ResultToJson(const ScenarioResult& result);
+
+/// Serialize the run's observability state: `{"metrics": <registry
+/// snapshot>, "trace_emitted": N, "trace_dropped": N}`. Null when the run
+/// had observability disabled. Kept separate from ResultToJson so sweep
+/// artifacts can embed per-replication snapshots without touching report
+/// bytes.
+json::Value ObsSnapshotToJson(const ScenarioResult& result);
 
 /// Serialize a config (round-trips through ConfigFromJson).
 json::Value ConfigToJson(const ScenarioConfig& config);

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "cellfi/common/json.h"
+#include "cellfi/scenario/report.h"
 
 namespace cellfi::scenario {
 
@@ -210,13 +211,22 @@ void BenchReport::AddPoint(const std::string& label,
     ++p.reps;
     p.wall_seconds += out.wall_seconds;
     p.sim_seconds += out.sim_seconds;
+    if (out.error == nullptr) {
+      json::Value snap = ObsSnapshotToJson(out.result);
+      if (!snap.is_null()) {
+        json::Value entry;
+        entry["rep"] = out.rep;
+        entry["obs"] = std::move(snap);
+        p.obs.push_back(std::move(entry));
+      }
+    }
   }
   points_.push_back(std::move(p));
 }
 
 void BenchReport::AddPoint(const std::string& label, int reps, double wall_seconds,
                            double sim_seconds) {
-  points_.push_back(Point{label, reps, wall_seconds, sim_seconds});
+  points_.push_back(Point{label, reps, wall_seconds, sim_seconds, {}});
 }
 
 std::string BenchReport::Write() const {
@@ -232,6 +242,7 @@ std::string BenchReport::Write() const {
     v["wall_s"] = p.wall_seconds;
     v["sim_s"] = p.sim_seconds;
     v["sim_per_wall"] = p.wall_seconds > 0.0 ? p.sim_seconds / p.wall_seconds : 0.0;
+    if (!p.obs.empty()) v["obs"] = p.obs;
     points.push_back(v);
     total_sim += p.sim_seconds;
     total_rep_wall += p.wall_seconds;

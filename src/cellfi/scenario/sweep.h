@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "cellfi/common/json.h"
 #include "cellfi/common/stats.h"
 #include "cellfi/scenario/harness.h"
 
@@ -150,6 +151,8 @@ class BenchReport {
   BenchReport(std::string name, int threads, int reps);
 
   /// Record one sweep point from the outcomes whose point index matches.
+  /// Replications run with observability enabled additionally embed their
+  /// metrics snapshot (ObsSnapshotToJson) into the artifact point.
   void AddPoint(const std::string& label,
                 const std::vector<ReplicationOutcome>& outcomes, int point);
 
@@ -167,6 +170,9 @@ class BenchReport {
     int reps = 0;
     double wall_seconds = 0.0;
     double sim_seconds = 0.0;
+    /// Per-replication obs snapshots ({"rep": i, "obs": ...}); empty
+    /// unless the replications ran with observability enabled.
+    json::Array obs;
   };
   std::string name_;
   int threads_;

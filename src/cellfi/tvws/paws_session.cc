@@ -5,6 +5,7 @@
 
 #include "cellfi/common/json.h"
 #include "cellfi/common/logging.h"
+#include "cellfi/obs/trace.h"
 
 namespace cellfi::tvws {
 
@@ -194,6 +195,15 @@ void PawsSession::Finish(Request* r, bool success, std::optional<std::string> ru
   inflight_.erase(it);
   owned->timer->Cancel();
 
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    const char* kind = owned->kind == Kind::kInit           ? "init"
+                       : owned->kind == Kind::kGetSpectrum ? "spectrum"
+                                                           : "notify";
+    tr->Emit(sim_.Now(), "paws_session",
+             success ? "request_ok" : "request_failed",
+             {{"kind", kind}, {"attempts", owned->attempts}});
+  }
+
   if (success) {
     ++counters_.successes;
     last_success_time_ = sim_.Now();
@@ -217,6 +227,10 @@ void PawsSession::Finish(Request* r, bool success, std::optional<std::string> ru
 
 void PawsSession::SetState(SessionState next) {
   if (next == state_) return;
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    tr->Emit(sim_.Now(), "paws_session", "state_change",
+             {{"from", SessionStateName(state_)}, {"to", SessionStateName(next)}});
+  }
   state_ = next;
   ++counters_.state_changes;
   if (on_state_change) on_state_change(next);

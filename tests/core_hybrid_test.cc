@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cellfi/obs/metrics.h"
+#include "cellfi/obs/trace.h"
 #include "cellfi/radio/pathloss.h"
 
 namespace cellfi::core {
@@ -122,6 +124,73 @@ TEST_F(HybridFixture, CrossOperatorStaysDistributed) {
   net_.Start();
   sim_.RunUntil(8 * kSecond);
   EXPECT_EQ(hybrid.conflicts_resolved(), 0u);
+}
+
+TEST_F(HybridFixture, TraceAndMetricsMirrorConflictResolution) {
+  // Same contended intra-operator layout as the first test, observed
+  // through the trace/metrics layer (DESIGN.md §13): every centrally
+  // resolved conflict must appear as exactly one `hybrid:conflict_resolved`
+  // event and one tick of the hybrid.conflicts_resolved counter.
+  const CellId a = AddCellAt({0, 0});
+  const CellId b = AddCellAt({500, 0});
+  const UeId u1 = AddUeAt({150, 40}, a);
+  const UeId u2 = AddUeAt({350, -40}, b);
+
+  obs::TraceSink sink;
+  obs::MetricsRegistry metrics;
+  obs::ObsScope scope(&sink, &metrics);
+
+  HybridControllerConfig cfg;
+  cfg.base.seed = 29;
+  HybridController hybrid(sim_, net_, {0, 0}, cfg);
+  hybrid.Start();
+  sim_.SchedulePeriodic(500 * kMillisecond, [&] {
+    net_.OfferDownlink(u1, 2 << 20);
+    net_.OfferDownlink(u2, 2 << 20);
+  });
+  net_.Start();
+  sim_.RunUntil(8 * kSecond);
+
+  ASSERT_GT(hybrid.conflicts_resolved(), 0u);
+  const auto events = sink.Events("hybrid", "conflict_resolved");
+  EXPECT_EQ(events.size(), hybrid.conflicts_resolved());
+  EXPECT_EQ(metrics.counter("hybrid.conflicts_resolved"),
+            hybrid.conflicts_resolved());
+  for (const obs::TraceEvent& ev : events) {
+    const obs::FieldValue* yielder = ev.Find("yielder");
+    const obs::FieldValue* keeper = ev.Find("keeper");
+    const obs::FieldValue* subchannel = ev.Find("subchannel");
+    ASSERT_NE(yielder, nullptr);
+    ASSERT_NE(keeper, nullptr);
+    ASSERT_NE(subchannel, nullptr);
+    EXPECT_NE(yielder->as_int(), keeper->as_int());
+    EXPECT_GE(subchannel->as_int(), 0);
+  }
+}
+
+TEST_F(HybridFixture, CrossOperatorEmitsNoConflictEvents) {
+  const CellId a = AddCellAt({0, 0});
+  const CellId b = AddCellAt({500, 0});
+  const UeId u1 = AddUeAt({150, 40}, a);
+  const UeId u2 = AddUeAt({350, -40}, b);
+
+  obs::TraceSink sink;
+  obs::MetricsRegistry metrics;
+  obs::ObsScope scope(&sink, &metrics);
+
+  HybridControllerConfig cfg;
+  cfg.base.seed = 37;
+  HybridController hybrid(sim_, net_, {0, 1}, cfg);
+  hybrid.Start();
+  sim_.SchedulePeriodic(500 * kMillisecond, [&] {
+    net_.OfferDownlink(u1, 2 << 20);
+    net_.OfferDownlink(u2, 2 << 20);
+  });
+  net_.Start();
+  sim_.RunUntil(8 * kSecond);
+
+  EXPECT_TRUE(sink.Events("hybrid", "conflict_resolved").empty());
+  EXPECT_EQ(metrics.counter("hybrid.conflicts_resolved"), 0u);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "cellfi/common/json.h"
+#include "cellfi/scenario/report.h"
 #include "cellfi/scenario/sweep.h"
 
 namespace cellfi::scenario {
@@ -154,6 +155,42 @@ TEST(SweepEnvTest, ResolveThreadsAndRepsHonourEnv) {
   ::unsetenv("CELLFI_BENCH_REPS");
   EXPECT_GE(ResolveThreads(0), 1);
   EXPECT_EQ(ResolveReps(20), 20);
+}
+
+// Observer-effect test (DESIGN.md §13): instrumentation is strictly
+// passive, so running the identical replication set with tracing+metrics
+// enabled must reproduce every report byte — under both the sequential
+// and the multi-threaded runner (per-replication thread-local sinks).
+TEST(ObserverEffectTest, TracingLeavesReportsBitIdentical) {
+  auto jobs_with_obs = [](bool enabled) {
+    auto jobs = SmallJobs();
+    for (auto& job : jobs) job.config.obs.enabled = enabled;
+    return jobs;
+  };
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SweepOptions opts;
+    opts.threads = threads;
+    const auto off = SweepRunner(opts).Run(jobs_with_obs(false));
+    const auto on = SweepRunner(opts).Run(jobs_with_obs(true));
+    ASSERT_EQ(off.size(), on.size());
+    for (std::size_t i = 0; i < off.size(); ++i) {
+      ASSERT_EQ(off[i].error, nullptr);
+      ASSERT_EQ(on[i].error, nullptr);
+      // Byte-compare the serialized reports, not individual fields: any
+      // observer effect anywhere in the result surfaces here.
+      EXPECT_EQ(ResultToJson(off[i].result).Dump(),
+                ResultToJson(on[i].result).Dump());
+      // The traced run really did observe something...
+      ASSERT_NE(on[i].result.trace, nullptr);
+      EXPECT_GT(on[i].result.trace->emitted(), 0u);
+      ASSERT_NE(on[i].result.metrics, nullptr);
+      EXPECT_GT(on[i].result.metrics->size(), 0u);
+      // ...and the untraced run carried no observability state at all.
+      EXPECT_EQ(off[i].result.trace, nullptr);
+      EXPECT_EQ(off[i].result.metrics, nullptr);
+    }
+  }
 }
 
 TEST(BenchReportTest, WritesValidArtifact) {

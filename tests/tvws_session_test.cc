@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cellfi/obs/trace.h"
 #include "cellfi/scenario/outage.h"
 #include "cellfi/tvws/paws_transport.h"
 
@@ -375,6 +376,123 @@ TEST(OutageChaosTest, SurvivesLossyLatentLinkWithoutViolations) {
   EXPECT_EQ(r.final_radio_state, core::ApRadioState::kOn);
   EXPECT_GT(r.session.retries, 0u);
   EXPECT_GT(r.transport.dropped_random, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-level vacate checks (DESIGN.md §13): the same ETSI deadline the
+// chaos sweeps assert from the result struct, re-derived purely from the
+// emitted trace — which is what tools/trace_check.py `deadline` consumes
+// offline.
+
+/// Scan the channel_selector events: every vacate_fired must come at most
+/// `budget` after the latest preceding vacate_armed (a fresh lease re-arms
+/// the deadline). Returns the number of fired events checked.
+int ExpectVacateDeadlineFromTrace(const obs::TraceSink& sink, SimTime budget) {
+  const std::int64_t budget_us = budget / kMicrosecond;
+  std::int64_t last_armed_us = -1;
+  int fired = 0;
+  for (const obs::TraceEvent& ev : sink.Events("channel_selector")) {
+    if (ev.event == "vacate_armed") {
+      last_armed_us = ev.sim_time_us;
+      // The event self-describes its deadline; cross-check the field.
+      const obs::FieldValue* deadline = ev.Find("deadline_us");
+      if (deadline != nullptr) {
+        EXPECT_EQ(deadline->as_int(), ev.sim_time_us + budget_us);
+      }
+    } else if (ev.event == "vacate_fired") {
+      ++fired;
+      if (last_armed_us < 0) {
+        ADD_FAILURE() << "vacate_fired with no preceding arm";
+        continue;
+      }
+      EXPECT_LE(ev.sim_time_us - last_armed_us, budget_us)
+          << "vacated later than the ETSI budget allows";
+    }
+  }
+  return fired;
+}
+
+TEST(VacateTraceTest, FiredWithinBudgetAcrossFaultSchedules) {
+  struct Case {
+    const char* name;
+    OutageScenarioConfig cfg;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"dead_database", {}};
+    c.cfg.outage_start = 300 * kSecond;
+    c.cfg.outage_duration = 10'000 * kSecond;  // never recovers in-run
+    c.cfg.run_until = 700 * kSecond;
+    cases.push_back(c);
+  }
+  {
+    Case c{"outage_with_lossy_link", {}};
+    c.cfg.outage_start = 300 * kSecond;
+    c.cfg.outage_duration = 90 * kSecond;
+    c.cfg.faults.latency_base = 50 * kMillisecond;
+    c.cfg.faults.latency_jitter = 100 * kMillisecond;
+    c.cfg.faults.drop_probability = 0.2;
+    c.cfg.faults.error_probability = 0.05;
+    c.cfg.run_until = 1000 * kSecond;
+    cases.push_back(c);
+  }
+  {
+    Case c{"slow_poll", {}};
+    c.cfg.selector.db_poll_interval = 30 * kSecond;
+    c.cfg.outage_start = 300 * kSecond;
+    c.cfg.outage_duration = 120 * kSecond;
+    c.cfg.run_until = 1000 * kSecond;
+    cases.push_back(c);
+  }
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    obs::TraceSink sink;
+    obs::ObsScope scope(&sink, nullptr);
+    const OutageScenarioResult r = RunDatabaseOutage(c.cfg);
+    ASSERT_GE(r.ap_off_at, 0) << "schedule was expected to force a vacate";
+    const int fired =
+        ExpectVacateDeadlineFromTrace(sink, c.cfg.selector.etsi_vacate_budget);
+    EXPECT_GE(fired, 1);
+    // Every lease confirmation re-armed the deadline in the trace.
+    EXPECT_EQ(sink.Events("channel_selector", "vacate_armed").size(),
+              r.lease_confirms.size());
+  }
+}
+
+TEST(VacateTraceTest, OutageEventsBracketVacateAndReacquire) {
+  OutageScenarioConfig cfg;
+  cfg.outage_start = 300 * kSecond;
+  cfg.outage_duration = 90 * kSecond;
+  cfg.run_until = 1000 * kSecond;
+  obs::TraceSink sink;
+  obs::ObsScope scope(&sink, nullptr);
+  const OutageScenarioResult r = RunDatabaseOutage(cfg);
+  ASSERT_GE(r.reacquired_at, 0);
+
+  // The combined trace must contain, in order: outage begins, the session
+  // notices (a state_change away from healthy), the selector vacates,
+  // the outage clears, and the AP comes back on air.
+  const auto events = sink.Events();
+  auto next = [&](std::size_t from, std::string_view component,
+                  std::string_view event) {
+    for (std::size_t i = from; i < events.size(); ++i) {
+      if (events[i].component == component && events[i].event == event) {
+        return i;
+      }
+    }
+    return events.size();
+  };
+  const std::size_t begin = next(0, "outage", "outage_begin");
+  ASSERT_LT(begin, events.size());
+  const std::size_t degraded = next(begin, "paws_session", "state_change");
+  ASSERT_LT(degraded, events.size());
+  const std::size_t fired = next(degraded, "channel_selector", "vacate_fired");
+  ASSERT_LT(fired, events.size());
+  const std::size_t end = next(fired, "outage", "outage_end");
+  ASSERT_LT(end, events.size());
+  const std::size_t back_on = next(end, "channel_selector", "ap_on");
+  ASSERT_LT(back_on, events.size());
+  EXPECT_EQ(events[back_on].sim_time_us, r.reacquired_at / kMicrosecond);
 }
 
 }  // namespace

@@ -8,7 +8,7 @@
 #   3. clang-tidy     : tools/run_tidy.sh against the frozen baseline
 #                       (skips cleanly when clang-tidy is not installed)
 #
-# Usage: tools/check.sh [--fast] [--bench]
+# Usage: tools/check.sh [--fast] [--bench] [--trace]
 #   --fast   skip the sanitizer stage (inner-loop use; CI runs everything)
 #   --bench  additionally run the bench_smoke suite (1-rep end-to-end runs
 #            of every sweep bench, including the bench_scale bit-identity
@@ -16,6 +16,10 @@
 #            baseline BENCH_*.json artifacts, each fresh artifact is
 #            diffed against it with tools/bench_compare.py and a >20%
 #            per-point wall-time regression fails the gate.
+#   --trace  additionally run the observability suite (`ctest -L trace`:
+#            golden trace, vacate trace checks, trace_check.py selftest)
+#            under the ASan+UBSan build. Implies the sanitize configure
+#            even with --fast.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -23,10 +27,12 @@ cd "$ROOT"
 
 FAST=0
 BENCH=0
+TRACE=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --bench) BENCH=1 ;;
+    --trace) TRACE=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -49,6 +55,16 @@ if [[ "$FAST" -eq 0 ]]; then
   ctest --preset sanitize
 else
   step "skipping sanitize stage (--fast)"
+fi
+
+if [[ "$TRACE" -eq 1 ]]; then
+  if [[ "$FAST" -eq 1 ]]; then
+    step "configure + build (sanitize preset, for --trace)"
+    cmake --preset sanitize
+    cmake --build --preset sanitize -j "$(nproc)"
+  fi
+  step "observability suite under ASan+UBSan (ctest -L trace)"
+  ctest --test-dir "$ROOT/build-sanitize" -L trace --output-on-failure
 fi
 
 step "clang-tidy vs frozen baseline"

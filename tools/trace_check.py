@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Query/assertion helper for CellFi JSONL trace files (DESIGN.md §13).
+
+Traces are one JSON object per line:
+
+    {"t_us": 1234, "component": "im", "event": "hop", "cell": 0, ...}
+
+Subcommands (all exit 0 on success, 1 on a failed assertion, 2 on bad
+input; output is deterministic so tests can pin it exactly):
+
+    filter FILE [--component C] [--event E]
+        Print matching events, one canonical line each:
+        `<t_us> <component> <event> k=v ...` (fields in emission order).
+
+    count FILE [--component C] [--event E] [--min N] [--max N]
+        Print the number of matching events; assert optional bounds.
+
+    order FILE TOKEN [TOKEN ...]
+        Assert the TOKENs (`component:event`) occur as a subsequence of
+        the trace, in order.
+
+    deadline FILE --first C:E --second C:E --max-us N [--require N]
+        For every `second` event, find the latest preceding `first`
+        event and assert the gap is <= N microseconds. With --require,
+        additionally assert at least N pairs were checked.
+
+    delta FILE --component C --event E --field F
+           [--min X] [--max X] [--monotonic {incr,nondecr,decr,noninc}]
+        Check consecutive differences of a numeric field over the
+        matching events.
+
+    selftest DIR [--expect FILE]
+        Run every case in DIR/cases.txt (one `<subcommand args...>` per
+        line, file paths relative to DIR) and compare the combined
+        output against DIR/expected.txt (or --expect). Mirrors
+        tests/lint_selftest: exact-output pinning.
+"""
+
+import argparse
+import json
+import shlex
+import sys
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"trace_check: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_events(path):
+    events = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except ValueError as e:
+                    print(f"trace_check: {path}:{lineno}: bad JSON: {e}",
+                          file=sys.stderr)
+                    sys.exit(2)
+    except OSError as e:
+        print(f"trace_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return events
+
+
+def matches(ev, component, event):
+    if component is not None and ev.get("component") != component:
+        return False
+    if event is not None and ev.get("event") != event:
+        return False
+    return True
+
+
+def canonical(ev):
+    head = f'{ev.get("t_us", 0)} {ev.get("component", "?")} {ev.get("event", "?")}'
+    fields = [f"{k}={v}" for k, v in ev.items()
+              if k not in ("t_us", "component", "event")]
+    return " ".join([head] + fields)
+
+
+def parse_token(token):
+    if ":" not in token:
+        fail(f"token '{token}' must be component:event")
+    component, event = token.split(":", 1)
+    return component, event
+
+
+def cmd_filter(args):
+    for ev in load_events(args.file):
+        if matches(ev, args.component, args.event):
+            print(canonical(ev))
+    return 0
+
+
+def cmd_count(args):
+    n = sum(1 for ev in load_events(args.file)
+            if matches(ev, args.component, args.event))
+    print(n)
+    if args.min is not None and n < args.min:
+        fail(f"count {n} < required min {args.min}")
+    if args.max is not None and n > args.max:
+        fail(f"count {n} > allowed max {args.max}")
+    return 0
+
+
+def cmd_order(args):
+    tokens = [parse_token(t) for t in args.tokens]
+    events = load_events(args.file)
+    pos = 0
+    for component, event in tokens:
+        while pos < len(events) and not matches(events[pos], component, event):
+            pos += 1
+        if pos == len(events):
+            fail(f"'{component}:{event}' not found in order "
+                 f"(after {args.tokens.index(f'{component}:{event}')} matched)")
+        pos += 1
+    print(f"order OK: {len(tokens)} token(s)")
+    return 0
+
+
+def cmd_deadline(args):
+    first_c, first_e = parse_token(args.first)
+    second_c, second_e = parse_token(args.second)
+    events = load_events(args.file)
+    last_first_t = None
+    pairs = 0
+    worst = None
+    for ev in events:
+        if matches(ev, first_c, first_e):
+            last_first_t = ev.get("t_us", 0)
+        elif matches(ev, second_c, second_e):
+            t = ev.get("t_us", 0)
+            if last_first_t is None:
+                fail(f"'{args.second}' at t_us={t} has no preceding "
+                     f"'{args.first}'")
+            gap = t - last_first_t
+            if worst is None or gap > worst:
+                worst = gap
+            if gap > args.max_us:
+                fail(f"deadline exceeded: '{args.second}' at t_us={t} is "
+                     f"{gap} us after the latest '{args.first}' "
+                     f"(max {args.max_us})")
+            pairs += 1
+    if args.require is not None and pairs < args.require:
+        fail(f"only {pairs} pair(s) checked, required {args.require}")
+    print(f"deadline OK: {pairs} pair(s), worst {worst if worst is not None else '-'} us "
+          f"<= {args.max_us} us")
+    return 0
+
+
+def cmd_delta(args):
+    values = []
+    for ev in load_events(args.file):
+        if not matches(ev, args.component, args.event):
+            continue
+        if args.field not in ev:
+            fail(f"event at t_us={ev.get('t_us', 0)} lacks field '{args.field}'")
+        values.append(ev[args.field])
+    checked = 0
+    for prev, cur in zip(values, values[1:]):
+        d = cur - prev
+        if args.min is not None and d < args.min:
+            fail(f"delta {d} < min {args.min} ({prev} -> {cur})")
+        if args.max is not None and d > args.max:
+            fail(f"delta {d} > max {args.max} ({prev} -> {cur})")
+        if args.monotonic == "incr" and d <= 0:
+            fail(f"not strictly increasing: {prev} -> {cur}")
+        if args.monotonic == "nondecr" and d < 0:
+            fail(f"not non-decreasing: {prev} -> {cur}")
+        if args.monotonic == "decr" and d >= 0:
+            fail(f"not strictly decreasing: {prev} -> {cur}")
+        if args.monotonic == "noninc" and d > 0:
+            fail(f"not non-increasing: {prev} -> {cur}")
+        checked += 1
+    print(f"delta OK: {checked} step(s) over {len(values)} value(s)")
+    return 0
+
+
+def cmd_selftest(args):
+    root = Path(args.dir)
+    cases_path = root / "cases.txt"
+    expect_path = Path(args.expect) if args.expect else root / "expected.txt"
+    try:
+        cases = cases_path.read_text(encoding="utf-8").splitlines()
+        expected = expect_path.read_text(encoding="utf-8")
+    except OSError as e:
+        print(f"trace_check: selftest: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    import io
+    import contextlib
+
+    out = io.StringIO()
+    for raw in cases:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        argv = shlex.split(line)
+        # File operands are relative to the selftest dir.
+        argv = [str(root / a) if a.endswith(".jsonl") else a for a in argv]
+        out.write(f"$ {line}\n")
+        status = 0
+        # Capture stderr too: assertion messages are part of the pinned
+        # contract.
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+            try:
+                status = run(argv)
+            except SystemExit as e:
+                status = e.code if isinstance(e.code, int) else 1
+        out.write(f"exit {status}\n")
+    got = out.getvalue()
+    if got != expected:
+        print("trace_check: selftest output mismatch", file=sys.stderr)
+        import difflib
+        sys.stderr.writelines(difflib.unified_diff(
+            expected.splitlines(keepends=True), got.splitlines(keepends=True),
+            fromfile=str(expect_path), tofile="actual"))
+        sys.exit(1)
+    print(f"selftest OK: {expect_path}")
+    return 0
+
+
+def build_parser():
+    ap = argparse.ArgumentParser(
+        prog="trace_check.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("filter")
+    p.add_argument("file")
+    p.add_argument("--component")
+    p.add_argument("--event")
+    p.set_defaults(func=cmd_filter)
+
+    p = sub.add_parser("count")
+    p.add_argument("file")
+    p.add_argument("--component")
+    p.add_argument("--event")
+    p.add_argument("--min", type=int)
+    p.add_argument("--max", type=int)
+    p.set_defaults(func=cmd_count)
+
+    p = sub.add_parser("order")
+    p.add_argument("file")
+    p.add_argument("tokens", nargs="+")
+    p.set_defaults(func=cmd_order)
+
+    p = sub.add_parser("deadline")
+    p.add_argument("file")
+    p.add_argument("--first", required=True)
+    p.add_argument("--second", required=True)
+    p.add_argument("--max-us", type=int, required=True, dest="max_us")
+    p.add_argument("--require", type=int)
+    p.set_defaults(func=cmd_deadline)
+
+    p = sub.add_parser("delta")
+    p.add_argument("file")
+    p.add_argument("--component", required=True)
+    p.add_argument("--event", required=True)
+    p.add_argument("--field", required=True)
+    p.add_argument("--min", type=float)
+    p.add_argument("--max", type=float)
+    p.add_argument("--monotonic", choices=["incr", "nondecr", "decr", "noninc"])
+    p.set_defaults(func=cmd_delta)
+
+    p = sub.add_parser("selftest")
+    p.add_argument("dir")
+    p.add_argument("--expect")
+    p.set_defaults(func=cmd_selftest)
+
+    return ap
+
+
+def run(argv):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))
