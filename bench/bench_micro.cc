@@ -3,6 +3,7 @@
 // interference-manager epochs, JSON parsing for PAWS.
 #include <benchmark/benchmark.h>
 
+#include "cellfi/chaos/invariants.h"
 #include "cellfi/common/fft.h"
 #include "cellfi/common/json.h"
 #include "cellfi/core/interference_manager.h"
@@ -244,6 +245,37 @@ void BM_PawsJsonRoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(body.size()));
 }
 BENCHMARK(BM_PawsJsonRoundTrip);
+
+// Cost of an invariant check site with NO checker scoped in: one
+// thread-local load and branch (the instrumented hot paths — scheduler
+// subframes, controller epochs — pay exactly this when chaos is off).
+void BM_InvariantGuardDisabled(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
+      ic->CheckPrbGrant(0, 1, 25, 0);
+      ++sink;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_InvariantGuardDisabled);
+
+// Same site with a live checker: the enabled path's full cost, for
+// contrast against the disabled guard above.
+void BM_InvariantGuardEnabled(benchmark::State& state) {
+  chaos::InvariantChecker checker;
+  chaos::InvariantScope scope(&checker);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
+      ic->CheckPrbGrant(0, 1, 25, 0);
+      ++sink;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_InvariantGuardEnabled);
 
 }  // namespace
 

@@ -1,0 +1,134 @@
+// Deterministic fault plans (DESIGN.md §14).
+//
+// A `FaultPlan` is the single, serializable description of every fault a
+// chaos campaign injects: AP process crashes, database outages and
+// brownouts, incumbent churn and per-cell load shocks, plus the
+// steady-state link-fault profile the PAWS transport applies between
+// scheduled events. Because the plan (and the seed inside it) fully
+// determines the injection schedule, any campaign is bit-reproducible:
+// re-running the same plan against the same scenario seed yields the same
+// event sequence, the same traces and the same violations.
+//
+// Plans round-trip through JSON (`ToJson`/`FromJson`, schema in README
+// "Chaos engine") so campaigns can be checked into fixtures, attached to
+// bug reports, and replayed byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cellfi/common/json.h"
+#include "cellfi/common/time.h"
+#include "cellfi/tvws/paws_transport.h"
+
+namespace cellfi::chaos {
+
+enum class FaultKind {
+  /// AP process dies at `time`: all in-RAM lease/session state is lost and
+  /// the radio goes silent instantly (no clean vacate). The process
+  /// restarts and re-registers after the AP's reboot duration — a plan
+  /// crashing every AP at once produces a re-registration storm.
+  kApCrash,
+  /// Database unreachable over [time, time + duration): every request in
+  /// the window is lost.
+  kDbOutage,
+  /// Database brownout over [time, time + duration): requests survive but
+  /// suffer `latency` extra delay and are dropped with probability
+  /// `magnitude` (on top of the steady-state link profile).
+  kDbBrownout,
+  /// Incumbent (id "chaos-<n>") appears on `channel` at `time`; with
+  /// duration > 0 it departs automatically at time + duration. Leases on
+  /// the channel are mass-invalidated: every AP using it must vacate
+  /// within the ETSI budget.
+  kIncumbentArrive,
+  /// Incumbent on `channel` departs (pairs a duration-less arrival).
+  kIncumbentDepart,
+  /// Offered load on cell `target` is multiplied by `magnitude` over
+  /// [time, time + duration) (harness-level injection).
+  kLoadShock,
+};
+
+const char* FaultKindName(FaultKind kind);
+std::optional<FaultKind> FaultKindFromName(const std::string& name);
+
+/// One scheduled fault. Which fields are meaningful depends on `kind`;
+/// unused fields keep their defaults and are omitted from the JSON form.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDbOutage;
+  SimTime time = 0;          ///< injection instant (absolute sim time)
+  SimTime duration = 0;      ///< window length for windowed kinds (0 = open)
+  int target = -1;           ///< AP/cell index; -1 = every AP/cell
+  int channel = -1;          ///< TV channel (incumbent kinds)
+  double magnitude = 0.0;    ///< drop probability / load multiplier
+  SimTime latency = 0;       ///< extra one-way latency (brownout)
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A complete, self-contained fault campaign.
+struct FaultPlan {
+  /// Name recorded in artifacts/traces (free-form, defaults to "unnamed").
+  std::string name = "unnamed";
+  /// Base seed for every random draw the plan's faults require (link-fault
+  /// Bernoulli trials, latency jitter). Per-AP transport streams are
+  /// derived from it with SplitMix64 so adding an AP never perturbs the
+  /// draws of another.
+  std::uint64_t seed = 0xC4A05C4A05ull;
+  /// Steady-state link faults applied between scheduled events (the
+  /// FaultyTransport profile; its own seed field is ignored — the plan
+  /// seed governs).
+  tvws::FaultProfile link;
+  /// Scheduled faults. Kept in the order given; `Normalized()` sorts by
+  /// (time, kind, target, channel) for canonical serialization.
+  std::vector<FaultEvent> events;
+
+  /// Events of one kind, in plan order.
+  std::vector<FaultEvent> EventsOfKind(FaultKind kind) const;
+
+  /// Copy with events stably sorted by (time, kind, target, channel).
+  FaultPlan Normalized() const;
+
+  /// Deterministic JSON form (times in integer microseconds, matching the
+  /// trace convention; unused per-event fields omitted).
+  json::Value ToJson() const;
+  std::string ToJsonText() const;
+
+  /// Parse a plan; nullopt on malformed JSON, unknown kinds, negative
+  /// times/durations or probabilities outside [0, 1].
+  static std::optional<FaultPlan> FromJson(const json::Value& value);
+  static std::optional<FaultPlan> FromJsonText(const std::string& text);
+};
+
+/// Per-AP transport seed: a pure SplitMix64 chain of (plan seed, ap), so
+/// streams are stable under any injection or execution order.
+std::uint64_t TransportSeed(const FaultPlan& plan, int ap);
+
+/// The link profile for AP `ap`: the plan's steady-state profile with the
+/// seed replaced by `TransportSeed(plan, ap)`.
+tvws::FaultProfile LinkProfileFor(const FaultPlan& plan, int ap);
+
+/// Pre-register the plan's database-side windows (kDbOutage → AddOutage,
+/// kDbBrownout → AddBrownout) on a transport. This is the static half of
+/// plan execution — no FaultScheduler needed; the transport checks the
+/// windows against sim time on every Send.
+void ApplyDbWindows(const FaultPlan& plan, tvws::FaultyTransport& transport);
+
+// --- Canned campaign archetypes (used by tests and examples) ---------------
+
+/// Every AP crashes at `crash_time`: a thundering-herd re-registration
+/// storm once the reboots complete.
+FaultPlan ThunderingHerdPlan(int num_aps, SimTime crash_time);
+
+/// Incumbents arrive on each of `channels` at `start`, spaced
+/// `stagger` apart, each staying for `dwell` (mass lease invalidation).
+FaultPlan IncumbentChurnPlan(const std::vector<int>& channels, SimTime start,
+                             SimTime stagger, SimTime dwell);
+
+/// One database brownout (latency + loss) followed by a hard outage.
+FaultPlan BrownoutPlan(SimTime brownout_start, SimTime brownout_duration,
+                       SimTime extra_latency, double drop_probability,
+                       SimTime outage_start, SimTime outage_duration);
+
+}  // namespace cellfi::chaos

@@ -1,0 +1,125 @@
+#include "cellfi/chaos/fault_scheduler.h"
+
+#include <utility>
+
+#include "cellfi/obs/trace.h"
+
+namespace cellfi::chaos {
+
+FaultScheduler::FaultScheduler(Simulator& sim, FaultPlan plan, FaultHooks hooks,
+                               int num_aps)
+    : sim_(sim),
+      plan_(std::move(plan).Normalized()),
+      hooks_(std::move(hooks)),
+      num_aps_(num_aps) {}
+
+void FaultScheduler::Arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const FaultEvent& event : plan_.events) {
+    sim_.ScheduleAt(event.time, [this, event] { Inject(event); });
+  }
+}
+
+void FaultScheduler::Trace(const FaultEvent& event, const char* phase) {
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    std::vector<obs::TraceField> fields;
+    fields.push_back({"kind", FaultKindName(event.kind)});
+    fields.push_back({"phase", phase});
+    if (event.target != -1) fields.push_back({"target", event.target});
+    if (event.channel != -1) fields.push_back({"channel", event.channel});
+    if (event.duration != 0) {
+      fields.push_back({"duration_us", event.duration / kMicrosecond});
+    }
+    tr->Emit(sim_.Now(), "chaos", "inject", std::move(fields));
+  }
+}
+
+void FaultScheduler::Inject(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kApCrash: {
+      if (!hooks_.crash_ap) {
+        ++counters_.skipped;
+        return;
+      }
+      Trace(event, "begin");
+      if (event.target >= 0) {
+        ++counters_.ap_crashes;
+        hooks_.crash_ap(event.target, event);
+      } else {
+        for (int ap = 0; ap < num_aps_; ++ap) {
+          ++counters_.ap_crashes;
+          hooks_.crash_ap(ap, event);
+        }
+      }
+      return;
+    }
+    case FaultKind::kDbOutage: {
+      if (!hooks_.db_outage) {
+        ++counters_.skipped;
+        return;
+      }
+      Trace(event, "begin");
+      ++counters_.db_outages;
+      hooks_.db_outage(event.time, event.time + event.duration);
+      return;
+    }
+    case FaultKind::kDbBrownout: {
+      if (!hooks_.db_brownout) {
+        ++counters_.skipped;
+        return;
+      }
+      Trace(event, "begin");
+      ++counters_.db_brownouts;
+      hooks_.db_brownout(event);
+      return;
+    }
+    case FaultKind::kIncumbentArrive: {
+      if (!hooks_.incumbent_arrive) {
+        ++counters_.skipped;
+        return;
+      }
+      Trace(event, "begin");
+      ++counters_.incumbent_arrivals;
+      hooks_.incumbent_arrive(event);
+      // A dwell duration implies the matching departure; schedule it here
+      // so plans do not have to pair arrive/depart events by hand.
+      if (event.duration > 0 && hooks_.incumbent_depart) {
+        FaultEvent depart = event;
+        depart.kind = FaultKind::kIncumbentDepart;
+        depart.time = event.time + event.duration;
+        depart.duration = 0;
+        sim_.ScheduleAt(depart.time, [this, depart] { Inject(depart); });
+      }
+      return;
+    }
+    case FaultKind::kIncumbentDepart: {
+      if (!hooks_.incumbent_depart) {
+        ++counters_.skipped;
+        return;
+      }
+      Trace(event, "end");
+      ++counters_.incumbent_departures;
+      hooks_.incumbent_depart(event);
+      return;
+    }
+    case FaultKind::kLoadShock: {
+      if (!hooks_.load_shock_begin) {
+        ++counters_.skipped;
+        return;
+      }
+      Trace(event, "begin");
+      ++counters_.load_shocks;
+      hooks_.load_shock_begin(event);
+      if (event.duration > 0 && hooks_.load_shock_end) {
+        sim_.ScheduleAt(event.time + event.duration, [this, event] {
+          Trace(event, "end");
+          hooks_.load_shock_end(event);
+        });
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace cellfi::chaos

@@ -1,0 +1,83 @@
+// Sim-time fault injection driver (DESIGN.md §14).
+//
+// `FaultScheduler` arms every event of a `FaultPlan` on a Simulator and
+// dispatches it to the host scenario through a `FaultHooks` table at the
+// planned instant. The scheduler owns no scenario state itself — crashes,
+// incumbents and load shocks are applied by the hooks — which keeps the
+// injection schedule a pure function of the plan: the same plan against
+// the same scenario seed reproduces the same campaign bit-for-bit.
+//
+// Every injection is traced (component "chaos") through the ambient obs
+// sink, so trace_check.py can order component reactions against the
+// faults that caused them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cellfi/chaos/fault_plan.h"
+#include "cellfi/sim/event_queue.h"
+
+namespace cellfi::chaos {
+
+/// Host bindings for each fault kind. Unset hooks make the corresponding
+/// events no-ops (still counted as skipped, never silently dropped from
+/// the counters).
+struct FaultHooks {
+  /// Kill AP `target` (or every AP when target == -1 — the scheduler
+  /// expands that into one call per AP via `num_aps`). The event carries
+  /// the plan's reboot duration for hosts that model the reboot themselves.
+  std::function<void(int ap, const FaultEvent& event)> crash_ap;
+  /// Full database outage over [start, stop).
+  std::function<void(SimTime start, SimTime stop)> db_outage;
+  /// Database brownout window (extra latency + loss).
+  std::function<void(const FaultEvent&)> db_brownout;
+  /// Incumbent appears/disappears on a channel.
+  std::function<void(const FaultEvent&)> incumbent_arrive;
+  std::function<void(const FaultEvent&)> incumbent_depart;
+  /// Load shock window begins/ends on a cell.
+  std::function<void(const FaultEvent&)> load_shock_begin;
+  std::function<void(const FaultEvent&)> load_shock_end;
+};
+
+class FaultScheduler {
+ public:
+  struct Counters {
+    std::uint64_t ap_crashes = 0;
+    std::uint64_t db_outages = 0;
+    std::uint64_t db_brownouts = 0;
+    std::uint64_t incumbent_arrivals = 0;
+    std::uint64_t incumbent_departures = 0;
+    std::uint64_t load_shocks = 0;
+    std::uint64_t skipped = 0;  ///< events whose hook was unset
+  };
+
+  /// `num_aps` expands target == -1 crash events. All referenced objects
+  /// must outlive the scheduler.
+  FaultScheduler(Simulator& sim, FaultPlan plan, FaultHooks hooks, int num_aps);
+
+  /// Schedule every plan event. Call once, before the simulation runs
+  /// past the earliest event time.
+  void Arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  const Counters& counters() const { return counters_; }
+  std::uint64_t injected() const {
+    return counters_.ap_crashes + counters_.db_outages + counters_.db_brownouts +
+           counters_.incumbent_arrivals + counters_.incumbent_departures +
+           counters_.load_shocks;
+  }
+
+ private:
+  void Inject(const FaultEvent& event);
+  void Trace(const FaultEvent& event, const char* phase);
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  FaultHooks hooks_;
+  int num_aps_;
+  Counters counters_;
+  bool armed_ = false;
+};
+
+}  // namespace cellfi::chaos

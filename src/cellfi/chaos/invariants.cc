@@ -1,0 +1,150 @@
+#include "cellfi/chaos/invariants.h"
+
+#include <stdexcept>
+
+#include "cellfi/obs/metrics.h"
+#include "cellfi/obs/trace.h"
+
+namespace cellfi::chaos {
+
+namespace {
+thread_local InvariantChecker* g_checker = nullptr;
+}  // namespace
+
+const char* InvariantKindName(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kLeasedTransmit: return "leased_transmit";
+    case InvariantKind::kVacateDeadline: return "vacate_deadline";
+    case InvariantKind::kShareSum: return "share_sum";
+    case InvariantKind::kPrbCapacity: return "prb_capacity";
+  }
+  return "unknown";
+}
+
+InvariantChecker::InvariantChecker(InvariantCheckerConfig config)
+    : config_(config) {}
+
+InvariantChecker::ApState& InvariantChecker::StateFor(int ap) {
+  for (ApState& s : aps_) {
+    if (s.ap == ap) return s;
+  }
+  aps_.push_back(ApState{ap, -1, -1});
+  return aps_.back();
+}
+
+void InvariantChecker::Report(InvariantKind kind, int instance, SimTime now,
+                              std::string detail) {
+  violations_.push_back({now, kind, instance, detail});
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    tr->Emit(now, "invariant", "violation",
+             {{"kind", InvariantKindName(kind)}, {"instance", instance},
+              {"detail", detail}});
+  }
+  if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+    m->Add(m->Counter("invariant.violations"));
+    m->Add(m->Counter(std::string("invariant.violations.") +
+                      InvariantKindName(kind)));
+  }
+  if (config_.abort_on_violation) {
+    throw std::runtime_error(std::string("invariant violated: ") +
+                             InvariantKindName(kind) + " instance=" +
+                             std::to_string(instance) + " t_us=" +
+                             std::to_string(now / kMicrosecond) + " (" +
+                             std::move(detail) + ")");
+  }
+}
+
+void InvariantChecker::OnApOnAir(int ap, int channel, SimTime now) {
+  ++checks_run_;
+  (void)now;
+  ApState& s = StateFor(ap);
+  // A fresh lease on a different channel voids a pending deadline — the AP
+  // left the invalidated channel, which is what vacating means. Coming
+  // back up on the SAME channel while the incumbent deadline is armed
+  // keeps the clock running.
+  if (s.vacate_deadline >= 0 && s.channel != channel) s.vacate_deadline = -1;
+  s.channel = channel;
+}
+
+void InvariantChecker::OnApOffAir(int ap, SimTime now) {
+  ++checks_run_;
+  ApState& s = StateFor(ap);
+  s.channel = -1;
+  if (s.vacate_deadline >= 0) {
+    // Vacated: compliant only if the radio went dark inside the budget.
+    if (now > s.vacate_deadline) {
+      Report(InvariantKind::kVacateDeadline, ap, now,
+             "vacated " + std::to_string((now - s.vacate_deadline) / kMicrosecond) +
+                 "us past the budget");
+    }
+    s.vacate_deadline = -1;
+  }
+}
+
+void InvariantChecker::OnIncumbentArrival(int channel, SimTime now) {
+  ++checks_run_;
+  for (ApState& s : aps_) {
+    if (s.channel == channel && s.vacate_deadline < 0) {
+      s.vacate_deadline = now + config_.vacate_budget;
+    }
+  }
+}
+
+void InvariantChecker::OnIncumbentDeparture(int channel, SimTime now) {
+  ++checks_run_;
+  (void)now;
+  for (ApState& s : aps_) {
+    if (s.channel == channel) s.vacate_deadline = -1;
+  }
+}
+
+void InvariantChecker::CheckLeasedTransmit(int ap, bool leased, SimTime now) {
+  ++checks_run_;
+  if (!leased) {
+    Report(InvariantKind::kLeasedTransmit, ap, now,
+           "transmission without a valid lease");
+  }
+}
+
+void InvariantChecker::CheckShareSum(int cell, int subchannel, double share_sum,
+                                     SimTime now) {
+  ++checks_run_;
+  if (share_sum > 1.0 + config_.share_epsilon) {
+    Report(InvariantKind::kShareSum, cell, now,
+           "subchannel " + std::to_string(subchannel) + " share sum " +
+               std::to_string(share_sum));
+  }
+}
+
+void InvariantChecker::CheckPrbGrant(int cell, int granted, int capacity,
+                                     SimTime now) {
+  ++checks_run_;
+  if (granted > capacity) {
+    Report(InvariantKind::kPrbCapacity, cell, now,
+           "granted " + std::to_string(granted) + " of " +
+               std::to_string(capacity) + " subchannels");
+  }
+}
+
+void InvariantChecker::AtBarrier(SimTime now) {
+  ++checks_run_;
+  for (ApState& s : aps_) {
+    if (s.vacate_deadline >= 0 && now > s.vacate_deadline) {
+      const SimTime late = now - s.vacate_deadline;
+      s.vacate_deadline = -1;  // report each violation once
+      Report(InvariantKind::kVacateDeadline, s.ap, now,
+             "still on channel " + std::to_string(s.channel) + " " +
+                 std::to_string(late / kMicrosecond) + "us past the budget");
+    }
+  }
+}
+
+InvariantChecker* ActiveChecker() { return g_checker; }
+
+InvariantScope::InvariantScope(InvariantChecker* checker) : prev_(g_checker) {
+  g_checker = checker;
+}
+
+InvariantScope::~InvariantScope() { g_checker = prev_; }
+
+}  // namespace cellfi::chaos

@@ -1,0 +1,126 @@
+// Runtime invariant checker (DESIGN.md §14).
+//
+// The simulator's correctness claims — an AP never transmits on a channel
+// it does not hold a lease for, vacate fires within the ETSI 60 s budget
+// of an incumbent arrival, per-subchannel scheduled shares sum to at most
+// one, and the scheduler never grants more PRBs than the grid holds — are
+// enforced at runtime by an `InvariantChecker`. Instrumented components
+// consult the ambient thread-local checker exactly like the obs layer:
+//
+//   if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
+//     ic->CheckPrbGrant(cell, granted, capacity, now);
+//   }
+//
+// With no `InvariantScope` installed the guard is one thread-local load
+// and branch — the disabled path computes nothing (bench_micro's
+// BM_InvariantGuardDisabled pins that cost).
+//
+// Unlike the obs layer, the checker is an experiment component, not an
+// observer: it may throw (abort_on_violation) to fail a replication, and
+// the self-healing sweep supervisor then records the violation in the
+// artifact. It still draws no randomness and schedules no events, so
+// enabling it in record mode changes no simulation outcome bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellfi/common/time.h"
+
+namespace cellfi::chaos {
+
+enum class InvariantKind {
+  kLeasedTransmit,   ///< on air without a valid lease / outside the mask
+  kVacateDeadline,   ///< still transmitting > budget after incumbent arrival
+  kShareSum,         ///< per-subchannel scheduled shares sum > 1
+  kPrbCapacity,      ///< scheduler granted more subchannels than exist
+};
+
+const char* InvariantKindName(InvariantKind kind);
+
+struct InvariantViolation {
+  SimTime time = 0;
+  InvariantKind kind = InvariantKind::kLeasedTransmit;
+  int instance = -1;  ///< AP/cell index the violation is attributed to
+  std::string detail;
+};
+
+struct InvariantCheckerConfig {
+  /// ETSI EN 301 598 vacate budget enforced against incumbent arrivals.
+  SimTime vacate_budget = 60 * kSecond;
+  /// Throw std::runtime_error on the first violation (fails the
+  /// replication; the sweep supervisor turns that into a structured
+  /// failure record). Off = record-and-continue.
+  bool abort_on_violation = false;
+  /// Tolerance for share sums (floating-point accumulation slack).
+  double share_epsilon = 1e-9;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(InvariantCheckerConfig config = {});
+
+  // --- Event feeds (instrumented components) --------------------------------
+  /// AP `ap` went on air on `channel` at `now` with a fresh lease.
+  void OnApOnAir(int ap, int channel, SimTime now);
+  /// AP `ap` stopped transmitting (vacate, crash, retune).
+  void OnApOffAir(int ap, SimTime now);
+  /// An incumbent arrived on `channel`: every AP currently on it must be
+  /// off air within the vacate budget.
+  void OnIncumbentArrival(int channel, SimTime now);
+  /// An incumbent left `channel`; pending deadlines for it are void.
+  void OnIncumbentDeparture(int channel, SimTime now);
+
+  // --- Direct checks ----------------------------------------------------------
+  /// AP transmitted while `leased` says whether its lease is valid.
+  void CheckLeasedTransmit(int ap, bool leased, SimTime now);
+  /// Scheduled share of one subchannel summed across users of a cell.
+  void CheckShareSum(int cell, int subchannel, double share_sum, SimTime now);
+  /// Subchannel grant count vs. grid capacity for one cell-subframe.
+  void CheckPrbGrant(int cell, int granted, int capacity, SimTime now);
+
+  /// Subframe-barrier evaluation: flags every armed vacate deadline that
+  /// expired at or before `now`. Hosts call this at their own cadence
+  /// (subframe loop, campaign barrier tick); the checker never schedules.
+  void AtBarrier(SimTime now);
+
+  const std::vector<InvariantViolation>& violations() const { return violations_; }
+  std::uint64_t checks_run() const { return checks_run_; }
+  const InvariantCheckerConfig& config() const { return config_; }
+
+ private:
+  struct ApState {
+    int ap = -1;
+    int channel = -1;          // -1 = off air
+    SimTime vacate_deadline = -1;  // armed by an incumbent arrival
+  };
+
+  ApState& StateFor(int ap);
+  void Report(InvariantKind kind, int instance, SimTime now, std::string detail);
+
+  InvariantCheckerConfig config_;
+  std::vector<ApState> aps_;  // ordered by first appearance (deterministic)
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t checks_run_ = 0;
+};
+
+/// Ambient thread-local checker; null (one TLS load + branch) unless an
+/// InvariantScope is live on this thread.
+InvariantChecker* ActiveChecker();
+
+/// RAII installer, nestable; the previous checker is restored on
+/// destruction. Per-thread scoping keeps parallel sweeps race-free: each
+/// replication installs its own checker on its worker thread.
+class InvariantScope {
+ public:
+  explicit InvariantScope(InvariantChecker* checker);
+  ~InvariantScope();
+  InvariantScope(const InvariantScope&) = delete;
+  InvariantScope& operator=(const InvariantScope&) = delete;
+
+ private:
+  InvariantChecker* prev_;
+};
+
+}  // namespace cellfi::chaos

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "cellfi/chaos/invariants.h"
 #include "cellfi/obs/trace.h"
 #include "cellfi/phy/cqi_mcs.h"
 
@@ -120,6 +121,26 @@ EpochInputs CellfiController::BuildInputs(CellId cell) {
     }
     in.free_for_reuse[static_cast<std::size_t>(s)] =
         streaks[static_cast<std::size_t>(s)] >= config_.im.reuse_free_epochs;
+  }
+
+  if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
+    // Scheduled-time shares per subchannel must sum to at most one across
+    // the cell's clients: a sum above one means the epoch scheduled
+    // overlapping grants. Accumulate in UE-list order (deterministic), not
+    // map order.
+    std::vector<double> share(static_cast<std::size_t>(num_subchannels_), 0.0);
+    for (const auto& ue_ptr : enb.ues()) {
+      const auto it = stats.ue_subchannel_subframes.find(ue_ptr->id());
+      if (it == stats.ue_subchannel_subframes.end()) continue;
+      for (int s = 0; s < num_subchannels_; ++s) {
+        share[static_cast<std::size_t>(s)] +=
+            static_cast<double>(it->second[static_cast<std::size_t>(s)]) / dl_subframes;
+      }
+    }
+    for (int s = 0; s < num_subchannels_; ++s) {
+      ic->CheckShareSum(static_cast<int>(cell), s, share[static_cast<std::size_t>(s)],
+                        now);
+    }
   }
 
   enb.ResetScheduleStats();

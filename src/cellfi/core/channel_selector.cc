@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cellfi/chaos/invariants.h"
 #include "cellfi/obs/trace.h"
 
 namespace cellfi::core {
@@ -29,7 +30,9 @@ void ChannelSelector::Start() {
 void ChannelSelector::TryInit() {
   // PAWS INIT handshake: required before the database answers spectrum
   // queries (RFC 7545); also tells us the regulatory ruleset in force.
-  session_.Init(config_.location, [this](std::optional<std::string> ruleset) {
+  session_.Init(config_.location, [this, gen = generation_](
+                                      std::optional<std::string> ruleset) {
+    if (gen != generation_) return;  // process crashed while registering
     if (!ruleset) {
       // Registration failed (database unreachable); keep trying at the
       // poll cadence — nothing transmits until the handshake succeeds.
@@ -55,14 +58,19 @@ void ChannelSelector::QueryBoth(const std::function<void(PollContext&)>& done) {
   // (master device for the AP, generic slave parameters for all clients)
   // and uses a channel valid for both. Both queries run concurrently.
   auto ctx = std::make_shared<PollContext>();
+  // Both closures carry the generation at query time: replies addressed to
+  // a process incarnation that has since crashed are dead letters.
+  const std::uint64_t gen = generation_;
   session_.GetSpectrum(config_.location, /*master=*/true,
-                       [ctx, done](std::optional<tvws::AvailSpectrumResponse> dl) {
+                       [this, gen, ctx, done](std::optional<tvws::AvailSpectrumResponse> dl) {
+                         if (gen != generation_) return;
                          ctx->dl = std::move(dl);
                          ctx->dl_done = true;
                          if (ctx->complete()) done(*ctx);
                        });
   session_.GetSpectrum(config_.location, /*master=*/false,
-                       [ctx, done](std::optional<tvws::AvailSpectrumResponse> ul) {
+                       [this, gen, ctx, done](std::optional<tvws::AvailSpectrumResponse> ul) {
+                         if (gen != generation_) return;
                          ctx->ul = std::move(ul);
                          ctx->ul_done = true;
                          if (ctx->complete()) done(*ctx);
@@ -176,6 +184,9 @@ void ChannelSelector::RadioOff(const std::string& reason) {
   }
   Record(reason, current_ ? current_->channel.number : -1);
   Record("ap_off", current_ ? current_->channel.number : -1);
+  if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
+    ic->OnApOffAir(config_.instance, sim_.Now());
+  }
   current_.reset();
   aggregated_.clear();
   deadline_timer_.Cancel();
@@ -183,6 +194,42 @@ void ChannelSelector::RadioOff(const std::string& reason) {
   sim_.Cancel(pending_transition_);
   pending_transition_ = EventId{};
   if (on_channel_lost) on_channel_lost();
+}
+
+void ChannelSelector::Crash() {
+  ++generation_;
+  ++crash_count_;
+  const int channel = current_ ? current_->channel.number : -1;
+  const bool was_on = state_ == ApRadioState::kOn;
+  // The process dies mid-instruction: the radio is simply gone, with none
+  // of the clean-vacate bookkeeping. Off air is off air, though — a dead
+  // transmitter cannot violate the vacate budget.
+  Record("ap_crash", channel);
+  if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
+    ic->OnApOffAir(config_.instance, sim_.Now());
+  }
+  state_ = ApRadioState::kOff;
+  clients_connected_ = false;
+  poll_in_flight_ = false;
+  current_.reset();
+  aggregated_.clear();
+  deadline_timer_.Cancel();
+  vacate_timer_.Cancel();
+  init_retry_timer_.Cancel();
+  sim_.Cancel(poll_event_);
+  poll_event_ = EventId{};
+  sim_.Cancel(pending_transition_);
+  pending_transition_ = EventId{};
+  if (was_on && on_channel_lost) on_channel_lost();
+  // Process restart: the lease table is gone, so the new incarnation goes
+  // through the full INIT handshake again. Every AP of a fleet crashing at
+  // once turns this into a re-registration storm against the database.
+  pending_transition_ =
+      sim_.ScheduleAfter(config_.reboot_duration, [this, gen = generation_] {
+        if (gen != generation_) return;  // crashed again while down
+        Record("ap_restarted", -1);
+        TryInit();
+      });
 }
 
 void ChannelSelector::BeginReboot(const ChannelAvailability& target) {
@@ -224,6 +271,9 @@ void ChannelSelector::CompleteReboot(const ChannelAvailability& target,
   state_ = ApRadioState::kOn;
   current_ = *fresh;
   Record("ap_on", fresh->channel.number);
+  if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
+    ic->OnApOnAir(config_.instance, fresh->channel.number, sim_.Now());
+  }
   ConfirmLease();
   // Derive the aggregate from the same fresh query (leases may have moved
   // during the reboot).

@@ -57,6 +57,9 @@ class QuietScanner final : public NetworkListenScanner {
 
 struct ChannelSelectorConfig {
   GeoLocation location;
+  /// AP index reported to the ambient trace sink / invariant checker so
+  /// fleet campaigns can attribute events per AP.
+  int instance = 0;
   /// Channel aggregation (paper Section 7, "future work"): lease up to
   /// this many CONTIGUOUS TV channels when available, widening the LTE
   /// carrier (two 6 MHz channels fit a 10 MHz carrier). All aggregated
@@ -91,6 +94,17 @@ class ChannelSelector {
 
   /// Begin polling the database and bring the radio up on the best channel.
   void Start();
+
+  /// Model an AP process crash: the radio dies instantly (no clean vacate),
+  /// all in-RAM lease state is lost, every pending timer and in-flight
+  /// query is abandoned, and the process restarts — full PAWS INIT
+  /// re-registration — after `config.reboot_duration`. The caller is
+  /// responsible for resetting the shared PawsSession (its state is also
+  /// process RAM) via `PawsSession::Reset()`.
+  void Crash();
+
+  /// Times the process crashed (for reports).
+  std::uint64_t crash_count() const { return crash_count_; }
 
   ApRadioState state() const { return state_; }
 
@@ -172,6 +186,11 @@ class ChannelSelector {
   ApRadioState state_ = ApRadioState::kOff;
   bool clients_connected_ = false;
   bool poll_in_flight_ = false;
+  /// Bumped on every crash; callbacks captured before the crash carry the
+  /// old value and become no-ops (a dead process's replies must not steer
+  /// the restarted one).
+  std::uint64_t generation_ = 0;
+  std::uint64_t crash_count_ = 0;
   std::optional<ChannelAvailability> current_;
   std::vector<ChannelAvailability> aggregated_;
   std::vector<TimelineEvent> timeline_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cellfi/chaos/invariants.h"
 #include "cellfi/common/units.h"
 #include "cellfi/obs/metrics.h"
 #include "cellfi/obs/trace.h"
@@ -383,6 +384,12 @@ void LteNetwork::StepSubframe() {
     case SubframeType::kSpecial:
       break;  // guard/pilot subframe: no data in this model
   }
+
+  // Subframe barrier: every committed plan has been resolved, so this is
+  // the consistent instant to evaluate time-based invariants.
+  if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
+    ic->AtBarrier(sim_.Now());
+  }
 }
 
 bool LteNetwork::LbtMayTransmit(CellRec& rec) {
@@ -443,6 +450,26 @@ void LteNetwork::RunDownlinkSubframe() {
     }
     rec.current_plan = rec.mac->PlanDownlink();
     rec.plan_is_data = true;
+  }
+  if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
+    // Committed plans are the ground truth of what goes on air this
+    // subframe: check grant counts against grid capacity and data
+    // subchannels against the interference-management mask (a masked
+    // subchannel is one this cell holds no right to transmit on).
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      const CellRec& rec = cells_[c];
+      if (!rec.plan_is_data) continue;
+      const std::vector<bool>& mask = rec.mac->allowed_mask();
+      int granted = 0;
+      bool mask_ok = true;
+      for (std::size_t s = 0; s < rec.current_plan.data_active.size(); ++s) {
+        if (!rec.current_plan.data_active[s]) continue;
+        ++granted;
+        if (!mask.empty() && !mask[s]) mask_ok = false;
+      }
+      ic->CheckPrbGrant(static_cast<int>(c), granted, num_subchannels_, sim_.Now());
+      ic->CheckLeasedTransmit(static_cast<int>(c), mask_ok, sim_.Now());
+    }
   }
   if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
     // Fraction of the allowed subchannels each transmitting cell actually

@@ -1,0 +1,174 @@
+#include "cellfi/scenario/chaos_campaign.h"
+
+#include <memory>
+#include <string>
+
+#include "cellfi/obs/trace.h"
+#include "cellfi/tvws/paws.h"
+
+namespace cellfi::scenario {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+void HashU64(std::uint64_t v, std::uint64_t& h) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFull;
+    h *= kFnvPrime;
+  }
+}
+
+void HashStr(const std::string& s, std::uint64_t& h) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= kFnvPrime;
+  }
+  HashU64(s.size(), h);
+}
+
+}  // namespace
+
+std::uint64_t ChaosCampaignResult::Digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (const ApOutcome& ap : aps) {
+    for (const core::TimelineEvent& e : ap.timeline) {
+      HashU64(static_cast<std::uint64_t>(e.time), h);
+      HashStr(e.what, h);
+      HashU64(static_cast<std::uint64_t>(e.channel), h);
+    }
+    for (const SimTime t : ap.lease_confirms) HashU64(static_cast<std::uint64_t>(t), h);
+    HashU64(ap.session.successes, h);
+    HashU64(ap.session.failures, h);
+    HashU64(ap.session.retries, h);
+    HashU64(ap.transport.delivered, h);
+    HashU64(ap.transport.dropped_outage, h);
+    HashU64(ap.transport.dropped_random, h);
+    HashU64(ap.transport.dropped_brownout, h);
+    HashU64(ap.crashes, h);
+    HashU64(static_cast<std::uint64_t>(ap.final_state), h);
+    HashU64(static_cast<std::uint64_t>(ap.final_radio_state), h);
+  }
+  for (const chaos::InvariantViolation& v : violations) {
+    HashU64(static_cast<std::uint64_t>(v.time), h);
+    HashU64(static_cast<std::uint64_t>(v.kind), h);
+    HashU64(static_cast<std::uint64_t>(v.instance), h);
+    HashStr(v.detail, h);
+  }
+  HashU64(faults_injected, h);
+  HashU64(invariant_checks, h);
+  return h;
+}
+
+ChaosCampaignResult RunChaosCampaign(const ChaosCampaignConfig& config) {
+  Simulator sim;
+  obs::ClockScope obs_clock([&sim] { return sim.Now(); });
+
+  tvws::SpectrumDatabase db(config.database);
+  tvws::PawsServer server(db);
+  tvws::InProcessTransport wire(sim, server);
+
+  chaos::InvariantChecker checker(config.invariants);
+  chaos::InvariantScope checker_scope(&checker);
+
+  core::QuietScanner scanner;  // campaign models the PAWS fleet, not RF
+
+  // Per-AP chains. unique_ptr keeps addresses stable across construction.
+  struct ApChain {
+    std::unique_ptr<tvws::FaultyTransport> transport;
+    std::unique_ptr<tvws::PawsClient> client;
+    std::unique_ptr<tvws::PawsSession> session;
+    std::unique_ptr<core::ChannelSelector> selector;
+  };
+  std::vector<ApChain> chains;
+  chains.reserve(static_cast<std::size_t>(config.num_aps));
+  for (int ap = 0; ap < config.num_aps; ++ap) {
+    ApChain chain;
+    chain.transport = std::make_unique<tvws::FaultyTransport>(
+        sim, wire, chaos::LinkProfileFor(config.plan, ap));
+    // Outage/brownout windows are part of the plan's database model: every
+    // AP's link to the database degrades over the same wall of time.
+    chaos::ApplyDbWindows(config.plan, *chain.transport);
+    chain.client = std::make_unique<tvws::PawsClient>(
+        tvws::DeviceDescriptor{.serial_number = "chaos-ap-" + std::to_string(ap)},
+        config.database.regulatory);
+    chain.session = std::make_unique<tvws::PawsSession>(sim, *chain.client,
+                                                        *chain.transport, config.session);
+    core::ChannelSelectorConfig sel_cfg = config.selector;
+    sel_cfg.instance = ap;
+    sel_cfg.location = config.location;
+    chain.selector = std::make_unique<core::ChannelSelector>(sim, *chain.session,
+                                                             scanner, sel_cfg);
+    chains.push_back(std::move(chain));
+  }
+
+  chaos::FaultHooks hooks;
+  hooks.crash_ap = [&chains](int ap, const chaos::FaultEvent&) {
+    if (ap < 0 || ap >= static_cast<int>(chains.size())) return;
+    // The session's caches and in-flight requests are process RAM too.
+    chains[static_cast<std::size_t>(ap)].session->Reset();
+    chains[static_cast<std::size_t>(ap)].selector->Crash();
+  };
+  // Outage/brownout windows were pre-registered on every transport above;
+  // the scheduler's events just mark the boundaries in the trace.
+  hooks.db_outage = [](SimTime, SimTime) {};
+  hooks.db_brownout = [](const chaos::FaultEvent&) {};
+  hooks.incumbent_arrive = [&db, &checker, &config, &sim](const chaos::FaultEvent& e) {
+    db.AddIncumbent({.id = "chaos-" + std::to_string(e.channel),
+                     .channel = e.channel,
+                     .location = config.location,
+                     .protection_radius_m = 50'000.0,
+                     .start = sim.Now(),
+                     .stop = 0});
+    checker.OnIncumbentArrival(e.channel, sim.Now());
+  };
+  hooks.incumbent_depart = [&db, &checker, &sim](const chaos::FaultEvent& e) {
+    db.RemoveIncumbent("chaos-" + std::to_string(e.channel));
+    checker.OnIncumbentDeparture(e.channel, sim.Now());
+  };
+  chaos::FaultScheduler scheduler(sim, config.plan, std::move(hooks), config.num_aps);
+  scheduler.Arm();
+
+  // Barrier tick: evaluate the time-based invariants against the whole
+  // fleet. The tick runs regardless of checker scope or trace sinks so
+  // observability toggles never change the event schedule.
+  sim.SchedulePeriodic(config.barrier_period, [&chains, &checker, &config, &sim] {
+    const SimTime now = sim.Now();
+    for (std::size_t ap = 0; ap < chains.size(); ++ap) {
+      const core::ChannelSelector& sel = *chains[ap].selector;
+      if (sel.state() != core::ApRadioState::kOn) continue;
+      // An AP on air must be inside its own configured confirmation
+      // budget: being past it means the vacate machinery failed.
+      const bool leased =
+          sel.last_lease_confirm() >= 0 &&
+          now <= sel.last_lease_confirm() + config.selector.etsi_vacate_budget;
+      checker.CheckLeasedTransmit(static_cast<int>(ap), leased, now);
+    }
+    checker.AtBarrier(now);
+  });
+
+  for (ApChain& chain : chains) chain.selector->Start();
+  sim.RunUntil(config.run_until);
+
+  ChaosCampaignResult result;
+  result.aps.reserve(chains.size());
+  for (const ApChain& chain : chains) {
+    ApOutcome out;
+    out.timeline = chain.selector->timeline();
+    out.lease_confirms = chain.selector->lease_confirms();
+    out.session = chain.session->counters();
+    out.transport = chain.transport->counters();
+    out.crashes = chain.selector->crash_count();
+    out.final_state = chain.session->state();
+    out.final_radio_state = chain.selector->state();
+    result.aps.push_back(std::move(out));
+  }
+  result.violations = checker.violations();
+  result.faults = scheduler.counters();
+  result.faults_injected = scheduler.injected();
+  result.invariant_checks = checker.checks_run();
+  return result;
+}
+
+}  // namespace cellfi::scenario

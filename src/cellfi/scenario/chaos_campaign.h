@@ -1,0 +1,72 @@
+// Chaos campaign: a fleet of PAWS-governed APs under a deterministic
+// fault plan (DESIGN.md §14).
+//
+// Builds `num_aps` full AP chains — one shared SpectrumDatabase/PawsServer,
+// per-AP FaultyTransport (seeded from the plan, so adding an AP never
+// perturbs another's draws), PawsSession and ChannelSelector — then arms a
+// `FaultScheduler` over the plan: AP process crashes (lease state lost,
+// re-registration storms), database outages and brownouts, and incumbent
+// churn that mass-invalidates leases. A runtime `InvariantChecker` is
+// scoped around the run and evaluated at a periodic barrier tick; its
+// violations ship in the result.
+//
+// Determinism: the outcome is a pure function of (config, plan). The
+// result's `Digest()` hashes every timeline, violation and counter so
+// bit-reproducibility can be asserted across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellfi/chaos/fault_plan.h"
+#include "cellfi/chaos/fault_scheduler.h"
+#include "cellfi/chaos/invariants.h"
+#include "cellfi/core/channel_selector.h"
+#include "cellfi/tvws/database.h"
+#include "cellfi/tvws/paws_session.h"
+#include "cellfi/tvws/paws_transport.h"
+
+namespace cellfi::scenario {
+
+struct ChaosCampaignConfig {
+  int num_aps = 4;
+  tvws::DatabaseConfig database;
+  core::ChannelSelectorConfig selector;  // instance/location overridden per AP
+  tvws::PawsSessionConfig session;
+  chaos::FaultPlan plan;
+  chaos::InvariantCheckerConfig invariants;
+  /// All APs share one location so every injected incumbent's protection
+  /// contour covers the whole fleet (mass lease invalidation).
+  tvws::GeoLocation location{.latitude = 47.64, .longitude = -122.13};
+  /// Barrier cadence for the invariant checker's time-based checks.
+  SimTime barrier_period = 100 * kMillisecond;
+  SimTime run_until = 1200 * kSecond;
+};
+
+/// Per-AP outcome of one campaign.
+struct ApOutcome {
+  std::vector<core::TimelineEvent> timeline;
+  std::vector<SimTime> lease_confirms;
+  tvws::SessionCounters session;
+  tvws::FaultyTransport::Counters transport;
+  std::uint64_t crashes = 0;
+  tvws::SessionState final_state = tvws::SessionState::kHealthy;
+  core::ApRadioState final_radio_state = core::ApRadioState::kOff;
+};
+
+struct ChaosCampaignResult {
+  std::vector<ApOutcome> aps;
+  std::vector<chaos::InvariantViolation> violations;
+  chaos::FaultScheduler::Counters faults;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t invariant_checks = 0;
+
+  /// FNV-1a hash over every timeline, lease confirmation, violation and
+  /// counter — two campaigns are bit-identical iff digests match.
+  std::uint64_t Digest() const;
+};
+
+/// Run one chaos campaign end to end.
+ChaosCampaignResult RunChaosCampaign(const ChaosCampaignConfig& config);
+
+}  // namespace cellfi::scenario

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
+#include <sstream>
 
 #include "cellfi/baseline/oracle_allocator.h"
+#include "cellfi/chaos/fault_scheduler.h"
 #include "cellfi/core/cellfi_controller.h"
 #include "cellfi/lte/network.h"
 #include "cellfi/radio/pathloss.h"
@@ -73,6 +76,25 @@ struct ObsSession {
     result.metrics = metrics;
   }
 };
+
+/// Effective fault plan for the run: the config's, or one loaded from the
+/// CELLFI_CHAOS_PLAN env knob (path of a fault-plan JSON file — see README
+/// "Chaos engine"). A malformed or unreadable file yields no plan rather
+/// than a half-applied one.
+std::optional<chaos::FaultPlan> ResolveChaosPlan(const ScenarioConfig& cfg) {
+  if (cfg.chaos_plan.has_value()) return cfg.chaos_plan;
+  if (const char* path = std::getenv("CELLFI_CHAOS_PLAN")) {
+    if (path[0] != '\0') {
+      std::ifstream file(path);
+      if (file.is_open()) {
+        std::ostringstream text;
+        text << file.rdbuf();
+        return chaos::FaultPlan::FromJsonText(text.str());
+      }
+    }
+  }
+  return std::nullopt;
+}
 
 double CarrierFor(PropagationKind kind) {
   return kind == PropagationKind::kIndoor5GHz ? 5.2e9 : 600e6;
@@ -214,6 +236,43 @@ ScenarioResult RunLteBased(const ScenarioConfig& cfg, const Topology& topo) {
     controller->Start();
   }
 
+  // --- Chaos injection (DESIGN.md §14) ---------------------------------------
+  // Crash events deactivate the cell (instant off-air) and reactivate it
+  // after the event's reboot duration; load shocks scale the backlogged
+  // offered load per cell. Without a plan the scale stays 1.0 and the
+  // schedule below is byte-identical to a chaos-free run.
+  std::vector<double> cell_load_scale(topo.aps.size(), 1.0);
+  const std::optional<chaos::FaultPlan> chaos_plan = ResolveChaosPlan(cfg);
+  std::optional<chaos::FaultScheduler> chaos_sched;
+  if (chaos_plan.has_value()) {
+    const int num_cells = static_cast<int>(topo.aps.size());
+    chaos::FaultHooks hooks;
+    hooks.crash_ap = [&sim, &net, num_cells](int ap, const chaos::FaultEvent& e) {
+      if (ap < 0 || ap >= num_cells) return;
+      const lte::CellId cell = static_cast<lte::CellId>(ap);
+      net.SetCellActive(cell, false);
+      const SimTime reboot = e.duration > 0 ? e.duration : 2 * kSecond;
+      sim.ScheduleAfter(reboot, [&net, cell] { net.SetCellActive(cell, true); });
+    };
+    hooks.load_shock_begin = [&cell_load_scale](const chaos::FaultEvent& e) {
+      const double scale = e.magnitude > 0.0 ? e.magnitude : 1.0;
+      if (e.target < 0) {
+        std::fill(cell_load_scale.begin(), cell_load_scale.end(), scale);
+      } else if (e.target < static_cast<int>(cell_load_scale.size())) {
+        cell_load_scale[static_cast<std::size_t>(e.target)] = scale;
+      }
+    };
+    hooks.load_shock_end = [&cell_load_scale](const chaos::FaultEvent& e) {
+      if (e.target < 0) {
+        std::fill(cell_load_scale.begin(), cell_load_scale.end(), 1.0);
+      } else if (e.target < static_cast<int>(cell_load_scale.size())) {
+        cell_load_scale[static_cast<std::size_t>(e.target)] = 1.0;
+      }
+    };
+    chaos_sched.emplace(sim, *chaos_plan, std::move(hooks), num_cells);
+    chaos_sched->Arm();
+  }
+
   // --- Traffic and accounting ------------------------------------------------
   std::vector<std::uint64_t> measured_bits(ues.size(), 0);
   traffic::FlowTracker tracker;
@@ -226,9 +285,16 @@ ScenarioResult RunLteBased(const ScenarioConfig& cfg, const Topology& topo) {
 
   Rng traffic_rng(cfg.seed ^ 0x7EB);
   if (cfg.workload == WorkloadKind::kBacklogged) {
-    // Keep every connected client's queue topped up.
+    // Keep every connected client's queue topped up; a load shock on the
+    // client's home cell scales the offered bytes.
     sim.SchedulePeriodic(500 * kMillisecond, [&] {
-      for (lte::UeId ue : ues) net.OfferDownlink(ue, 4 << 20);
+      for (std::size_t u = 0; u < ues.size(); ++u) {
+        const auto cell = static_cast<std::size_t>(topo.client_home_ap[u]);
+        const double scale =
+            cell < cell_load_scale.size() ? cell_load_scale[cell] : 1.0;
+        net.OfferDownlink(ues[u],
+                          static_cast<std::uint64_t>((4 << 20) * scale));
+      }
     });
   } else {
     tracker.on_flow_complete = [&](const traffic::FlowRecord& rec) {
@@ -264,6 +330,9 @@ ScenarioResult RunLteBased(const ScenarioConfig& cfg, const Topology& topo) {
   if (controller != nullptr) {
     result.im_total_hops = controller->total_hops();
     result.im_cells_still_hopping = controller->cells_hopping_recently();
+  }
+  if (chaos_sched.has_value()) {
+    result.chaos_faults_injected = chaos_sched->injected();
   }
   Finalize(result, cfg);
   obs_session.Export(result);

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "cellfi/chaos/fault_plan.h"
 #include "cellfi/common/stats.h"
 #include "cellfi/common/time.h"
 #include "cellfi/core/cellfi_controller.h"
@@ -105,6 +106,14 @@ struct ScenarioConfig {
   /// Observability; defaults to fully off (and to the CELLFI_TRACE env
   /// knobs when unset — see README "Observability").
   ObsOptions obs;
+
+  /// Chaos fault plan for the run (DESIGN.md §14). The LTE-based harness
+  /// binds kApCrash (cell deactivated for the event's duration, default
+  /// 2 s, then reactivated) and kLoadShock (backlogged offered load scaled
+  /// by `magnitude` on the target cell); PAWS-level faults need the PAWS
+  /// chain and are exercised by RunChaosCampaign. Unset falls back to the
+  /// CELLFI_CHAOS_PLAN env knob (path of a fault-plan JSON file).
+  std::optional<chaos::FaultPlan> chaos_plan;
 };
 
 struct ClientOutcome {
@@ -126,6 +135,9 @@ struct ScenarioResult {
   /// CellFi-only convergence metrics.
   std::uint64_t im_total_hops = 0;
   int im_cells_still_hopping = 0;
+  /// Faults the chaos scheduler actually injected (0 when no plan ran).
+  /// Excluded from ResultToJson, like the obs handles below.
+  std::uint64_t chaos_faults_injected = 0;
   /// Populated only when ScenarioConfig::obs (or CELLFI_TRACE) enabled
   /// observability for the run. Deliberately excluded from ResultToJson so
   /// report bytes stay identical with observability on or off.

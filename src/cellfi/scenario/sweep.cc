@@ -121,6 +121,7 @@ ReplicationOutcome RunOneReplication(const Replication& job) {
   ReplicationOutcome out;
   out.point = job.point;
   out.rep = job.rep;
+  out.seed = job.config.seed;
   out.sim_seconds = ToSeconds(job.config.duration);
   const auto start = std::chrono::steady_clock::now();
   try {
@@ -129,8 +130,12 @@ ReplicationOutcome RunOneReplication(const Replication& job) {
     } else {
       out.result = RunScenario(job.config);
     }
+  } catch (const std::exception& e) {
+    out.error = std::current_exception();
+    out.error_text = e.what();
   } catch (...) {
     out.error = std::current_exception();
+    out.error_text = "unknown exception";
   }
   out.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return out;
@@ -147,12 +152,17 @@ std::vector<ReplicationOutcome> SweepRunner::Run(const std::vector<Replication>&
       ReplicationOutcome out;
       out.point = job.point;
       out.rep = job.rep;
+      out.seed = job.config.seed;
       out.sim_seconds = ToSeconds(job.config.duration);
       const auto start = std::chrono::steady_clock::now();
       try {
         out.result = body(job);
+      } catch (const std::exception& e) {
+        out.error = std::current_exception();
+        out.error_text = e.what();
       } catch (...) {
         out.error = std::current_exception();
+        out.error_text = "unknown exception";
       }
       out.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -212,13 +222,27 @@ void BenchReport::AddPoint(const std::string& label,
     p.wall_seconds += out.wall_seconds;
     p.sim_seconds += out.sim_seconds;
     if (out.error == nullptr) {
-      json::Value snap = ObsSnapshotToJson(out.result);
+      // Restored outcomes carry their snapshot through the checkpoint (no
+      // live ScenarioResult to snapshot from); live outcomes snapshot here.
+      json::Value snap =
+          out.restored ? out.restored_obs : ObsSnapshotToJson(out.result);
       if (!snap.is_null()) {
         json::Value entry;
         entry["rep"] = out.rep;
         entry["obs"] = std::move(snap);
         p.obs.push_back(std::move(entry));
       }
+    } else {
+      // A failing replication leaves a structured record in the artifact —
+      // the failing seed and exception text — never a silent hole in the
+      // rep count.
+      json::Value failure;
+      failure["rep"] = out.rep;
+      failure["seed"] = std::to_string(out.seed);
+      failure["error"] = out.error_text.empty() ? "unknown exception" : out.error_text;
+      if (out.attempts > 0) failure["attempts"] = out.attempts;
+      if (out.quarantined) failure["quarantined"] = true;
+      p.failures.push_back(std::move(failure));
     }
   }
   points_.push_back(std::move(p));
@@ -226,7 +250,7 @@ void BenchReport::AddPoint(const std::string& label,
 
 void BenchReport::AddPoint(const std::string& label, int reps, double wall_seconds,
                            double sim_seconds) {
-  points_.push_back(Point{label, reps, wall_seconds, sim_seconds, {}});
+  points_.push_back(Point{label, reps, wall_seconds, sim_seconds, {}, {}});
 }
 
 std::string BenchReport::Write() const {
@@ -243,6 +267,7 @@ std::string BenchReport::Write() const {
     v["sim_s"] = p.sim_seconds;
     v["sim_per_wall"] = p.wall_seconds > 0.0 ? p.sim_seconds / p.wall_seconds : 0.0;
     if (!p.obs.empty()) v["obs"] = p.obs;
+    if (!p.failures.empty()) v["failures"] = p.failures;
     points.push_back(v);
     total_sim += p.sim_seconds;
     total_rep_wall += p.wall_seconds;

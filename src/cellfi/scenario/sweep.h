@@ -67,10 +67,25 @@ struct Replication {
 struct ReplicationOutcome {
   ScenarioResult result;     ///< valid only when error == nullptr
   std::exception_ptr error;  ///< exception thrown by the replication, if any
+  /// what() of the thrown exception ("unknown exception" for non-standard
+  /// throws); recorded in the bench artifact so a failing replication is
+  /// never silently dropped.
+  std::string error_text;
   double wall_seconds = 0.0;
   double sim_seconds = 0.0;  ///< simulated time covered by the run
   int point = 0;
   int rep = 0;
+  /// Seed the replication ran with (for reproducing failures).
+  std::uint64_t seed = 0;
+  /// Attempts the supervisor spent on this replication (0 = plain runner).
+  int attempts = 0;
+  /// Failed every supervised attempt; recorded and excluded from stats.
+  bool quarantined = false;
+  /// Outcome restored from a sweep checkpoint instead of re-running.
+  bool restored = false;
+  /// Obs snapshot carried through the checkpoint (restored outcomes have
+  /// no live ScenarioResult to snapshot from).
+  json::Value restored_obs;
 };
 
 /// Body executed for one replication; the default runs the standard
@@ -173,6 +188,9 @@ class BenchReport {
     /// Per-replication obs snapshots ({"rep": i, "obs": ...}); empty
     /// unless the replications ran with observability enabled.
     json::Array obs;
+    /// Structured records of failed replications ({"rep", "seed",
+    /// "error", ...}); a failure is part of the artifact, not a hole.
+    json::Array failures;
   };
   std::string name_;
   int threads_;

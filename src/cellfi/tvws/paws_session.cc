@@ -53,6 +53,20 @@ void PawsSession::NotifyUse(const GeoLocation& location,
   Submit(std::move(r));
 }
 
+void PawsSession::Reset() {
+  const std::uint64_t abandoned = inflight_.size();
+  // Destroying the requests cancels their timers; transport callbacks that
+  // later arrive for these ids find no in-flight entry and are dropped.
+  inflight_.clear();
+  last_good_master_.reset();
+  last_good_slave_.reset();
+  last_success_time_ = -1;
+  state_ = SessionState::kHealthy;  // a fresh process starts optimistic
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    tr->Emit(sim_.Now(), "paws_session", "reset", {{"abandoned", abandoned}});
+  }
+}
+
 bool PawsSession::CacheHoldsLease(SimTime now) const {
   if (!last_good_master_) return false;
   return std::any_of(last_good_master_->channels.begin(),

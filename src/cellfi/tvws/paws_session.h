@@ -85,6 +85,14 @@ class PawsSession {
   /// SPECTRUM_USE_NOTIFY; fire-and-forget but still retried.
   void NotifyUse(const GeoLocation& location, const ChannelAvailability& channel);
 
+  /// Model a process crash: every in-flight request (timers included) and
+  /// all cached in-RAM state — last-good responses, health, last-success
+  /// time — is lost, as a freshly booted process would have none of it.
+  /// Wire responses still in transit are dropped on arrival (counted as
+  /// late_responses). Lifetime counters survive: they model the
+  /// experimenter's ledger, not the process's RAM.
+  void Reset();
+
   SessionState state() const { return state_; }
   const SessionCounters& counters() const { return counters_; }
 

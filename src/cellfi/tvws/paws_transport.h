@@ -66,9 +66,25 @@ struct FaultProfile {
   std::uint64_t seed = 0x7475727374696C65ull;
 };
 
-/// Decorator injecting the `FaultProfile` plus scheduled outages into any
-/// underlying transport. During an outage window every request is dropped —
-/// the database is unreachable.
+/// Database brownout window: the link stays up but suffers extra one-way
+/// latency and extra request loss over [start, stop).
+struct BrownoutWindow {
+  SimTime start = 0;
+  SimTime stop = 0;
+  SimTime extra_latency = 0;
+  double extra_drop_probability = 0.0;
+};
+
+/// Decorator injecting the `FaultProfile` plus scheduled outages and
+/// brownouts into any underlying transport. During an outage window every
+/// request is dropped — the database is unreachable; during a brownout the
+/// link degrades (latency + loss) but stays up.
+///
+/// Loss, delay and response faults draw from three independent streams
+/// forked from `profile.seed`, so whether a request is dropped never
+/// perturbs the latency seen by the requests that do get through — the
+/// k-th delivered request sees the k-th delay draw regardless of how many
+/// drops preceded it.
 class FaultyTransport final : public PawsTransport {
  public:
   struct Counters {
@@ -76,21 +92,31 @@ class FaultyTransport final : public PawsTransport {
     std::uint64_t delivered = 0;
     std::uint64_t dropped_outage = 0;
     std::uint64_t dropped_random = 0;
+    std::uint64_t dropped_brownout = 0;
+    std::uint64_t browned_out = 0;  ///< delivered through a brownout window
     std::uint64_t corrupted = 0;
     std::uint64_t errors_injected = 0;
     std::uint64_t ids_mangled = 0;
   };
 
   FaultyTransport(Simulator& sim, PawsTransport& inner, FaultProfile profile)
-      : sim_(sim), inner_(inner), profile_(profile), rng_(profile.seed) {}
+      : sim_(sim), inner_(inner), profile_(profile), seed_rng_(profile.seed),
+        drop_rng_(seed_rng_.Fork()), delay_rng_(seed_rng_.Fork()),
+        response_rng_(seed_rng_.Fork()) {}
 
   void Send(const std::string& request, ResponseHandler on_response) override;
 
   /// Schedule a full-database outage over [start, stop) (absolute sim time).
   void AddOutage(SimTime start, SimTime stop);
 
+  /// Schedule a brownout (degraded, not dead) over [start, stop).
+  void AddBrownout(const BrownoutWindow& window);
+
   /// Is the database unreachable at `t`?
   bool InOutage(SimTime t) const;
+
+  /// Brownout window active at `t`, or nullptr.
+  const BrownoutWindow* InBrownout(SimTime t) const;
 
   const Counters& counters() const { return counters_; }
   const FaultProfile& profile() const { return profile_; }
@@ -101,8 +127,12 @@ class FaultyTransport final : public PawsTransport {
   Simulator& sim_;
   PawsTransport& inner_;
   FaultProfile profile_;
-  Rng rng_;
+  Rng seed_rng_;      // only forks the three streams below
+  Rng drop_rng_;      // request-loss Bernoulli trials (incl. brownout loss)
+  Rng delay_rng_;     // latency jitter — advanced only for delivered requests
+  Rng response_rng_;  // corruption / injected-error / wrong-id trials
   std::vector<std::pair<SimTime, SimTime>> outages_;
+  std::vector<BrownoutWindow> brownouts_;
   Counters counters_;
 };
 

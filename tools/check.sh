@@ -8,7 +8,7 @@
 #   3. clang-tidy     : tools/run_tidy.sh against the frozen baseline
 #                       (skips cleanly when clang-tidy is not installed)
 #
-# Usage: tools/check.sh [--fast] [--bench] [--trace]
+# Usage: tools/check.sh [--fast] [--bench] [--trace] [--chaos]
 #   --fast   skip the sanitizer stage (inner-loop use; CI runs everything)
 #   --bench  additionally run the bench_smoke suite (1-rep end-to-end runs
 #            of every sweep bench, including the bench_scale bit-identity
@@ -20,6 +20,10 @@
 #            golden trace, vacate trace checks, trace_check.py selftest)
 #            under the ASan+UBSan build. Implies the sanitize configure
 #            even with --fast.
+#   --chaos  additionally run the chaos suite (`ctest -L chaos`: fault
+#            plans, invariant checker, campaign bit-identity, sweep
+#            supervisor) under the ASan+UBSan build. Implies the sanitize
+#            configure even with --fast.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -28,11 +32,13 @@ cd "$ROOT"
 FAST=0
 BENCH=0
 TRACE=0
+CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --bench) BENCH=1 ;;
     --trace) TRACE=1 ;;
+    --chaos) CHAOS=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -57,14 +63,22 @@ else
   step "skipping sanitize stage (--fast)"
 fi
 
-if [[ "$TRACE" -eq 1 ]]; then
+if [[ "$TRACE" -eq 1 || "$CHAOS" -eq 1 ]]; then
   if [[ "$FAST" -eq 1 ]]; then
-    step "configure + build (sanitize preset, for --trace)"
+    step "configure + build (sanitize preset, for --trace/--chaos)"
     cmake --preset sanitize
     cmake --build --preset sanitize -j "$(nproc)"
   fi
+fi
+
+if [[ "$TRACE" -eq 1 ]]; then
   step "observability suite under ASan+UBSan (ctest -L trace)"
   ctest --test-dir "$ROOT/build-sanitize" -L trace --output-on-failure
+fi
+
+if [[ "$CHAOS" -eq 1 ]]; then
+  step "chaos suite under ASan+UBSan (ctest -L chaos)"
+  ctest --test-dir "$ROOT/build-sanitize" -L chaos --output-on-failure
 fi
 
 step "clang-tidy vs frozen baseline"
