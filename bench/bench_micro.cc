@@ -13,6 +13,7 @@
 #include "cellfi/radio/environment.h"
 #include "cellfi/radio/interference.h"
 #include "cellfi/radio/pathloss.h"
+#include "cellfi/radio/shard_grid.h"
 
 using namespace cellfi;
 
@@ -195,6 +196,52 @@ void BM_SinrPerLinkLegacy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SinrPerLinkLegacy)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NeighborGraphBuild(benchmark::State& state) {
+  // One-off (per position epoch) cost of deriving the below-noise-floor
+  // neighbor bitmap + adjacency lists the shard layer and the cull fast
+  // path share (DESIGN.md §15). O(n^2) mean-power evaluations.
+  EngineBenchWorld w(static_cast<int>(state.range(0)));
+  NeighborGraph graph;
+  for (auto _ : state) {
+    graph.Build(w.env, 30.0, 360e3);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+}
+BENCHMARK(BM_NeighborGraphBuild)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ShardBarrierMerge(benchmark::State& state) {
+  // The serial section at the uplink subframe barrier: per-shard staged
+  // transmitter plans merged into the InterferenceMap in global
+  // cell-index order (never completion order), then sealed. This is the
+  // Amdahl floor of the shard layer — everything else in the subframe
+  // runs on the pool.
+  const int n = static_cast<int>(state.range(0));
+  EngineBenchWorld w(n);
+  // Staged plan per cell, as the parallel plan phase leaves it: every
+  // cell transmits on all 13 subchannels at flat PSD.
+  struct StagedTx {
+    int subchannel;
+    double power_scale;
+  };
+  std::vector<std::vector<StagedTx>> staged(static_cast<std::size_t>(n));
+  for (auto& plan : staged) {
+    for (int s = 0; s < 13; ++s) plan.push_back({s, 1.0 / 13.0});
+  }
+  for (auto _ : state) {
+    w.imap.BeginEpoch(13, 360e3);
+    for (int c = 0; c < n; ++c) {
+      for (const StagedTx& t : staged[static_cast<std::size_t>(c)]) {
+        w.imap.AddTransmitter(t.subchannel, w.cells[static_cast<std::size_t>(c)],
+                              t.power_scale);
+      }
+    }
+    w.imap.Seal();
+    benchmark::DoNotOptimize(w.imap.num_subchannels());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * 13);
+}
+BENCHMARK(BM_ShardBarrierMerge)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_SchedulerSubframe(benchmark::State& state) {
   lte::LteMacConfig mac;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "cellfi/chaos/invariants.h"
 #include "cellfi/common/units.h"
@@ -311,38 +312,135 @@ void LteNetwork::BuildDownlinkMap() const {
       }
     }
   }
+  // The map is only ever built here, with every append above: sealing at
+  // this (serial) point guarantees concurrent shard queries never mutate
+  // the shared group/row storage lazily.
+  imap_.Seal();
   dl_map_valid_ = true;
+}
+
+void LteNetwork::EnsureShardState() {
+  if (shard_grid_ != nullptr && plan_pending_.size() == cells_.size()) {
+    if (crs_cache_.size() < env_.node_count()) crs_cache_.resize(env_.node_count());
+    return;
+  }
+  std::vector<Point> positions;
+  positions.reserve(cells_.size());
+  for (const CellRec& rec : cells_) {
+    positions.push_back(env_.node(rec.radio).position);
+  }
+  shard_grid_ = std::make_unique<ShardGrid>(positions, config_.shards);
+  const int k = shard_grid_->num_shards();
+  shard_threads_ = ResolveShardThreads(config_.shard_threads, k);
+  shard_pool_.reset();
+  if (shard_threads_ > 1) shard_pool_ = std::make_unique<WorkerPool>(shard_threads_);
+  shard_scratch_.assign(static_cast<std::size_t>(k), {});
+  plan_pending_.assign(cells_.size(), 0);
+  staged_tb_sinr_.assign(cells_.size(), {});
+  // Per-receiver caches grow lazily on the serial paths; presize them here
+  // so no worker thread ever sees a resize.
+  if (crs_cache_.size() < env_.node_count()) crs_cache_.resize(env_.node_count());
+  if (config_.use_interference_engine &&
+      env_.config().interference_floor_db > 0.0) {
+    neighbor_graph_.Build(env_, env_.config().interference_floor_db,
+                          subchannel_bandwidth_hz_);
+    imap_.SetNeighborGraph(&neighbor_graph_);
+  }
+  if (k > 1) {
+    if (obs::TraceSink* tr = obs::ActiveTrace()) {
+      std::vector<RadioNodeId> cell_radios;
+      cell_radios.reserve(cells_.size());
+      for (const CellRec& rec : cells_) cell_radios.push_back(rec.radio);
+      const int cross =
+          neighbor_graph_.built()
+              ? static_cast<int>(
+                    CountCrossShardEdges(neighbor_graph_, *shard_grid_, cell_radios))
+              : -1;  // cull off: every pair couples, the count is vacuous
+      tr->Emit(sim_.Now(), "lte", "shard_setup",
+               {{"shards", k}, {"cross_edges", cross}});
+    }
+  }
+}
+
+void LteNetwork::RefreshNeighborGraph() {
+  if (!neighbor_graph_.built()) return;
+  if (neighbor_graph_.build_position_epoch() == env_.position_epoch()) return;
+  neighbor_graph_.Build(env_, env_.config().interference_floor_db,
+                        subchannel_bandwidth_hz_);
+}
+
+void LteNetwork::ForEachShard(const std::function<void(int)>& task) {
+  const int k = shard_grid_->num_shards();
+  if (shard_pool_ != nullptr && k > 1) {
+    shard_pool_->RunIndexed(static_cast<std::size_t>(k),
+                            [&task](std::size_t s) { task(static_cast<int>(s)); });
+  } else {
+    for (int s = 0; s < k; ++s) task(s);
+  }
+}
+
+void LteNetwork::EmitShardMetrics() {
+  if (shard_grid_ == nullptr || shard_grid_->num_shards() <= 1) return;
+  obs::MetricsRegistry* m = obs::ActiveMetrics();
+  if (m == nullptr) return;
+  m->Add(m->Counter("lte.shard.barriers"));
+  // Imbalance from the staged work-item counts (transmissions resolved per
+  // shard this subframe): a pure function of the committed plans, so the
+  // histogram is identical for every thread count and never reads a clock.
+  std::size_t max_items = 0;
+  std::size_t min_items = std::numeric_limits<std::size_t>::max();
+  for (int s = 0; s < shard_grid_->num_shards(); ++s) {
+    std::size_t items = 0;
+    for (int c : shard_grid_->cells(s)) {
+      items += staged_tb_sinr_[static_cast<std::size_t>(c)].size();
+    }
+    max_items = std::max(max_items, items);
+    min_items = std::min(min_items, items);
+  }
+  if (max_items > 0) {
+    m->Observe(m->Histogram("lte.shard.imbalance", obs::FractionBounds()),
+               static_cast<double>(max_items - min_items) /
+                   static_cast<double>(max_items));
+  }
 }
 
 void LteNetwork::EnsureDownlinkMap() const {
   if (!dl_map_valid_) BuildDownlinkMap();
 }
 
-std::vector<double> LteNetwork::MeasureDownlinkSinr(UeId ue_id) const {
+void LteNetwork::MeasureDownlinkSinrInto(
+    UeId ue_id, std::vector<double>& out,
+    std::vector<ActiveTransmitter>* scratch) const {
   const UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
-  std::vector<double> sinr(static_cast<std::size_t>(num_subchannels_), -40.0);
-  if (info.serving == kInvalidCell) return sinr;
+  out.assign(static_cast<std::size_t>(num_subchannels_), -40.0);
+  if (info.serving == kInvalidCell) return;
   const CellRec& serving = cells_[static_cast<std::size_t>(info.serving)];
-  if (!serving.active) return sinr;
+  if (!serving.active) return;
   const double signal_scale = 1.0 / static_cast<double>(num_subchannels_);
   const double crs_penalty = IdleCrsPenaltyDb(info.serving, info.radio);
   if (config_.use_interference_engine) {
     EnsureDownlinkMap();
     for (int s = 0; s < num_subchannels_; ++s) {
-      sinr[static_cast<std::size_t>(s)] =
-          imap_.SinrDb(serving.radio, info.radio, s, sim_.Now(), signal_scale) -
+      out[static_cast<std::size_t>(s)] =
+          imap_.SinrDb(serving.radio, info.radio, s, sim_.Now(), signal_scale,
+                       scratch) -
           crs_penalty;
     }
-    return sinr;
+    return;
   }
   std::vector<ActiveTransmitter> interferers;
   for (int s = 0; s < num_subchannels_; ++s) {
     CollectDownlinkInterferers(info.serving, s, interferers);
-    sinr[static_cast<std::size_t>(s)] =
+    out[static_cast<std::size_t>(s)] =
         env_.SinrDb(serving.radio, info.radio, static_cast<std::uint32_t>(s), sim_.Now(),
                     interferers, subchannel_bandwidth_hz_, signal_scale) -
         crs_penalty;
   }
+}
+
+std::vector<double> LteNetwork::MeasureDownlinkSinr(UeId ue_id) const {
+  std::vector<double> sinr;
+  MeasureDownlinkSinrInto(ue_id, sinr, nullptr);
   return sinr;
 }
 
@@ -431,11 +529,20 @@ bool LteNetwork::LbtMayTransmit(CellRec& rec) {
 }
 
 void LteNetwork::RunDownlinkSubframe() {
-  // Phase 1: every cell commits to a plan (interference depends on all).
+  EnsureShardState();
+  RefreshNeighborGraph();
+
+  // Phase 1a (serial): reset every cell and run the access gate. LBT draws
+  // from the shared Rng, so the gate stays serial in cell-index order —
+  // the exact legacy draw sequence for any shard count.
   for (CellRec& rec : cells_) {
     rec.current_plan = TxPlan{};
     rec.current_plan.data_active.assign(static_cast<std::size_t>(num_subchannels_), false);
     rec.plan_is_data = false;
+  }
+  std::fill(plan_pending_.begin(), plan_pending_.end(), 0);
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    CellRec& rec = cells_[c];
     if (!rec.active || !rec.mac->has_ues()) continue;
     if (rec.mac->config().access_mode == AccessMode::kListenBeforeTalk) {
       bool has_data = false;
@@ -448,9 +555,20 @@ void LteNetwork::RunDownlinkSubframe() {
       }
       if (!LbtMayTransmit(rec)) continue;
     }
-    rec.current_plan = rec.mac->PlanDownlink();
-    rec.plan_is_data = true;
+    plan_pending_[c] = 1;
   }
+
+  // Phase 1b (parallel): every gated cell commits to a plan. PlanDownlink
+  // is RNG-free and touches only the cell's own scheduler/UE state, so
+  // shards are independent and the partition cannot affect values.
+  ForEachShard([this](int s) {
+    for (int c : shard_grid_->cells(s)) {
+      if (!plan_pending_[static_cast<std::size_t>(c)]) continue;
+      CellRec& rec = cells_[static_cast<std::size_t>(c)];
+      rec.current_plan = rec.mac->PlanDownlink();
+      rec.plan_is_data = true;
+    }
+  });
   if (chaos::InvariantChecker* ic = chaos::ActiveChecker()) {
     // Committed plans are the ground truth of what goes on air this
     // subframe: check grant counts against grid capacity and data
@@ -490,55 +608,126 @@ void LteNetwork::RunDownlinkSubframe() {
   }
 
   // Phase 2: resolve each transport block. With the engine on, every
-  // receiver shares the per-subchannel transmitter lists built once above;
-  // identical lists share one aggregate denominator per receiver.
-  if (config_.use_interference_engine) BuildDownlinkMap();
+  // receiver shares the per-subchannel transmitter lists built once at the
+  // (serial) barrier below; the SINR of a committed plan is a pure function
+  // of those lists, so shards evaluate their own cells' transmissions
+  // concurrently and stage the values. Everything that mutates shared
+  // state — HARQ completion (which draws from the shared Rng), ACK
+  // coupling, callbacks, metrics — commits serially afterwards in global
+  // cell-index order: the staged values are merged in a fixed order, never
+  // in shard completion order, which is what makes results bit-identical
+  // for any shard count (including 1, and including the pre-shard fused
+  // loop this replaces).
   const double signal_scale = 1.0 / static_cast<double>(num_subchannels_);
-  std::vector<ActiveTransmitter> interferers;
-  for (std::size_t c = 0; c < cells_.size(); ++c) {
-    CellRec& rec = cells_[c];
-    if (!rec.plan_is_data) continue;
-    std::vector<double> served_bits(rec.mac->ues().size(), 0.0);
-    for (const Transmission& tx : rec.current_plan.transmissions) {
-      const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
-      const double crs_penalty = IdleCrsPenaltyDb(static_cast<CellId>(c), info.radio);
-      double sinr_linear_sum = 0.0;
-      for (int s : tx.subchannels) {
-        double sinr_db = 0.0;
-        if (config_.use_interference_engine) {
-          sinr_db = imap_.SinrDb(rec.radio, info.radio, s, sim_.Now(), signal_scale);
-        } else {
+  if (config_.use_interference_engine) {
+    BuildDownlinkMap();  // appends in cell-index order, then seals
+
+    // Parallel stage: receiver ownership keeps it race-free. Every mutable
+    // cache row (engine receiver rows, rx-power rows, noise memo, CRS
+    // penalty cache) is indexed by receiver, and each UE is only queried
+    // by the shard owning its serving cell.
+    ForEachShard([this, signal_scale](int s) {
+      std::vector<ActiveTransmitter>* scratch =
+          &shard_scratch_[static_cast<std::size_t>(s)];
+      for (int c : shard_grid_->cells(s)) {
+        CellRec& rec = cells_[static_cast<std::size_t>(c)];
+        std::vector<double>& staged = staged_tb_sinr_[static_cast<std::size_t>(c)];
+        staged.clear();
+        if (!rec.plan_is_data) continue;
+        staged.reserve(rec.current_plan.transmissions.size());
+        for (const Transmission& tx : rec.current_plan.transmissions) {
+          const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
+          const double crs_penalty =
+              IdleCrsPenaltyDb(static_cast<CellId>(c), info.radio);
+          double sinr_linear_sum = 0.0;
+          for (int sub : tx.subchannels) {
+            sinr_linear_sum += DbToLinear(imap_.SinrDb(
+                rec.radio, info.radio, sub, sim_.Now(), signal_scale, scratch));
+          }
+          staged.push_back(
+              LinearToDb(sinr_linear_sum /
+                         static_cast<double>(tx.subchannels.size())) -
+              crs_penalty);
+        }
+      }
+    });
+
+    // Serial commit, global cell-index order.
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      CellRec& rec = cells_[c];
+      if (!rec.plan_is_data) continue;
+      std::vector<double> served_bits(rec.mac->ues().size(), 0.0);
+      for (std::size_t i = 0; i < rec.current_plan.transmissions.size(); ++i) {
+        const Transmission& tx = rec.current_plan.transmissions[i];
+        const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
+        const double tb_sinr_db = staged_tb_sinr_[c][i];
+        const DeliveryResult result = rec.mac->CompleteDownlink(tx, tb_sinr_db, rng_);
+        if (result.delivered) {
+          if (tx.ue_index >= 0 && tx.ue_index < static_cast<int>(served_bits.size())) {
+            served_bits[static_cast<std::size_t>(tx.ue_index)] +=
+                8.0 * static_cast<double>(result.payload_bytes);
+          }
+          // TCP ACK clocking: delivered downlink generates uplink demand.
+          UeContext* ctx = rec.mac->FindUe(tx.ue);
+          if (ctx != nullptr) {
+            ctx->EnqueueUplink(static_cast<std::uint64_t>(
+                static_cast<double>(result.payload_bytes) * info.ul_ack_ratio));
+          }
+          if (on_dl_delivered) on_dl_delivered(tx.ue, result.payload_bytes, sim_.Now());
+          if (obs::MetricsRegistry* mr = obs::ActiveMetrics()) {
+            mr->Add(mr->Counter("lte.dl_delivered_bytes"), result.payload_bytes);
+          }
+        } else if (obs::MetricsRegistry* mr = obs::ActiveMetrics()) {
+          mr->Add(mr->Counter("lte.dl_harq_failures"));
+        }
+      }
+      rec.mac->UpdatePfAverages(served_bits);
+    }
+    EmitShardMetrics();
+  } else {
+    // Legacy per-link path: single-threaded fused loop, kept verbatim for
+    // the regression tests and the bench_scale comparison.
+    std::vector<ActiveTransmitter> interferers;
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      CellRec& rec = cells_[c];
+      if (!rec.plan_is_data) continue;
+      std::vector<double> served_bits(rec.mac->ues().size(), 0.0);
+      for (const Transmission& tx : rec.current_plan.transmissions) {
+        const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
+        const double crs_penalty = IdleCrsPenaltyDb(static_cast<CellId>(c), info.radio);
+        double sinr_linear_sum = 0.0;
+        for (int s : tx.subchannels) {
           CollectDownlinkInterferers(static_cast<CellId>(c), s, interferers);
-          sinr_db =
+          const double sinr_db =
               env_.SinrDb(rec.radio, info.radio, static_cast<std::uint32_t>(s), sim_.Now(),
                           interferers, subchannel_bandwidth_hz_, signal_scale);
+          sinr_linear_sum += DbToLinear(sinr_db);
         }
-        sinr_linear_sum += DbToLinear(sinr_db);
+        const double tb_sinr_db =
+            LinearToDb(sinr_linear_sum / static_cast<double>(tx.subchannels.size())) -
+            crs_penalty;
+        const DeliveryResult result = rec.mac->CompleteDownlink(tx, tb_sinr_db, rng_);
+        if (result.delivered) {
+          if (tx.ue_index >= 0 && tx.ue_index < static_cast<int>(served_bits.size())) {
+            served_bits[static_cast<std::size_t>(tx.ue_index)] +=
+                8.0 * static_cast<double>(result.payload_bytes);
+          }
+          // TCP ACK clocking: delivered downlink generates uplink demand.
+          UeContext* ctx = rec.mac->FindUe(tx.ue);
+          if (ctx != nullptr) {
+            ctx->EnqueueUplink(static_cast<std::uint64_t>(
+                static_cast<double>(result.payload_bytes) * info.ul_ack_ratio));
+          }
+          if (on_dl_delivered) on_dl_delivered(tx.ue, result.payload_bytes, sim_.Now());
+          if (obs::MetricsRegistry* mr = obs::ActiveMetrics()) {
+            mr->Add(mr->Counter("lte.dl_delivered_bytes"), result.payload_bytes);
+          }
+        } else if (obs::MetricsRegistry* mr = obs::ActiveMetrics()) {
+          mr->Add(mr->Counter("lte.dl_harq_failures"));
+        }
       }
-      const double tb_sinr_db =
-          LinearToDb(sinr_linear_sum / static_cast<double>(tx.subchannels.size())) -
-          crs_penalty;
-      const DeliveryResult result = rec.mac->CompleteDownlink(tx, tb_sinr_db, rng_);
-      if (result.delivered) {
-        if (tx.ue_index >= 0 && tx.ue_index < static_cast<int>(served_bits.size())) {
-          served_bits[static_cast<std::size_t>(tx.ue_index)] +=
-              8.0 * static_cast<double>(result.payload_bytes);
-        }
-        // TCP ACK clocking: delivered downlink generates uplink demand.
-        UeContext* ctx = rec.mac->FindUe(tx.ue);
-        if (ctx != nullptr) {
-          ctx->EnqueueUplink(static_cast<std::uint64_t>(
-              static_cast<double>(result.payload_bytes) * info.ul_ack_ratio));
-        }
-        if (on_dl_delivered) on_dl_delivered(tx.ue, result.payload_bytes, sim_.Now());
-        if (obs::MetricsRegistry* mr = obs::ActiveMetrics()) {
-          mr->Add(mr->Counter("lte.dl_delivered_bytes"), result.payload_bytes);
-        }
-      } else if (obs::MetricsRegistry* mr = obs::ActiveMetrics()) {
-        mr->Add(mr->Counter("lte.dl_harq_failures"));
-      }
+      rec.mac->UpdatePfAverages(served_bits);
     }
-    rec.mac->UpdatePfAverages(served_bits);
   }
 
   // Update LBT carrier-sense state for the next subframe.
@@ -557,6 +746,89 @@ void LteNetwork::RunDownlinkSubframe() {
 }
 
 void LteNetwork::RunUplinkSubframe() {
+  const bool engine = config_.use_interference_engine;
+  if (engine) {
+    EnsureShardState();
+    RefreshNeighborGraph();
+
+    // Phase 1a (serial): reset. Phase 1b (parallel): plans — PlanUplink is
+    // RNG-free and per-cell, so shards are independent.
+    for (CellRec& rec : cells_) {
+      rec.current_plan = TxPlan{};
+      rec.current_plan.data_active.assign(static_cast<std::size_t>(num_subchannels_),
+                                          false);
+      rec.plan_is_data = false;
+    }
+    ForEachShard([this](int s) {
+      for (int c : shard_grid_->cells(s)) {
+        CellRec& rec = cells_[static_cast<std::size_t>(c)];
+        if (!rec.active || !rec.mac->has_ues()) continue;
+        rec.current_plan = rec.mac->PlanUplink();
+      }
+    });
+
+    // Phase 1c (serial): the barrier exchange. Merge every shard's
+    // transmitter appends into the engine in global cell-index order —
+    // cells -> transmissions -> subchannels, the exact legacy insertion
+    // sequence, never shard completion order — then seal before the first
+    // concurrent query. The transmitting UE is excluded per query by radio
+    // node, equivalent to the legacy `act.ue == tx.ue` skip (one radio per
+    // UE).
+    imap_.BeginEpoch(num_subchannels_, subchannel_bandwidth_hz_);
+    for (const CellRec& rec : cells_) {
+      for (const Transmission& tx : rec.current_plan.transmissions) {
+        const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
+        const double ul_scale = 1.0 / static_cast<double>(tx.subchannels.size());
+        for (int s : tx.subchannels) imap_.AddTransmitter(s, info.radio, ul_scale);
+      }
+    }
+    imap_.Seal();
+
+    // Phase 2 (parallel): stage each transmission's tb SINR. The receiver
+    // of uplink is the cell's own radio, owned by its shard.
+    ForEachShard([this](int s) {
+      std::vector<ActiveTransmitter>* scratch =
+          &shard_scratch_[static_cast<std::size_t>(s)];
+      for (int c : shard_grid_->cells(s)) {
+        CellRec& rec = cells_[static_cast<std::size_t>(c)];
+        std::vector<double>& staged = staged_tb_sinr_[static_cast<std::size_t>(c)];
+        staged.clear();
+        if (!rec.active) continue;
+        staged.reserve(rec.current_plan.transmissions.size());
+        for (const Transmission& tx : rec.current_plan.transmissions) {
+          const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
+          const double signal_scale = 1.0 / static_cast<double>(tx.subchannels.size());
+          double sinr_linear_sum = 0.0;
+          for (int sub : tx.subchannels) {
+            sinr_linear_sum += DbToLinear(imap_.SinrDb(
+                info.radio, rec.radio, sub, sim_.Now(), signal_scale, scratch));
+          }
+          staged.push_back(LinearToDb(
+              sinr_linear_sum / static_cast<double>(tx.subchannels.size())));
+        }
+      }
+    });
+
+    // Phase 2c (serial): commit in global cell-index order (HARQ draws
+    // from the shared Rng).
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      CellRec& rec = cells_[c];
+      if (!rec.active) continue;
+      for (std::size_t i = 0; i < rec.current_plan.transmissions.size(); ++i) {
+        rec.mac->CompleteUplink(rec.current_plan.transmissions[i],
+                                staged_tb_sinr_[c][i], rng_);
+      }
+    }
+    EmitShardMetrics();
+
+    // The engine now holds uplink lists and the cells' plans were
+    // overwritten with UL grants: any later MeasureDownlinkSinr must
+    // rebuild.
+    dl_map_valid_ = false;
+    return;
+  }
+
+  // Legacy per-link path (single-threaded, kept verbatim).
   // Phase 1: plans + per-cell allocation width per UE (for power scaling).
   struct UlActivity {
     UeId ue;
@@ -565,8 +837,6 @@ void LteNetwork::RunUplinkSubframe() {
   };
   std::vector<std::vector<UlActivity>> active_per_subchannel(
       static_cast<std::size_t>(num_subchannels_));
-  const bool engine = config_.use_interference_engine;
-  if (engine) imap_.BeginEpoch(num_subchannels_, subchannel_bandwidth_hz_);
 
   for (CellRec& rec : cells_) {
     rec.current_plan = TxPlan{};
@@ -576,19 +846,9 @@ void LteNetwork::RunUplinkSubframe() {
     rec.current_plan = rec.mac->PlanUplink();
     for (const Transmission& tx : rec.current_plan.transmissions) {
       const UeInfo& info = ues_[static_cast<std::size_t>(tx.ue)];
-      const double ul_scale = 1.0 / static_cast<double>(tx.subchannels.size());
       for (int s : tx.subchannels) {
-        if (engine) {
-          // Insertion order matches the legacy per-subchannel vectors
-          // (cells -> transmissions -> subchannels), so aggregates add
-          // interferers in the identical sequence. The transmitting UE is
-          // excluded per query by radio node, equivalent to the legacy
-          // `act.ue == tx.ue` skip (one radio per UE).
-          imap_.AddTransmitter(s, info.radio, ul_scale);
-        } else {
-          active_per_subchannel[static_cast<std::size_t>(s)].push_back(
-              UlActivity{tx.ue, info.radio, static_cast<int>(tx.subchannels.size())});
-        }
+        active_per_subchannel[static_cast<std::size_t>(s)].push_back(
+            UlActivity{tx.ue, info.radio, static_cast<int>(tx.subchannels.size())});
       }
     }
   }
@@ -602,21 +862,16 @@ void LteNetwork::RunUplinkSubframe() {
       const double signal_scale = 1.0 / static_cast<double>(tx.subchannels.size());
       double sinr_linear_sum = 0.0;
       for (int s : tx.subchannels) {
-        double sinr_db = 0.0;
-        if (engine) {
-          sinr_db = imap_.SinrDb(info.radio, rec.radio, s, sim_.Now(), signal_scale);
-        } else {
-          interferers.clear();
-          for (const UlActivity& act : active_per_subchannel[static_cast<std::size_t>(s)]) {
-            if (act.ue == tx.ue) continue;
-            interferers.push_back(ActiveTransmitter{
-                .node = act.radio,
-                .power_scale = 1.0 / static_cast<double>(act.alloc_count)});
-          }
-          sinr_db =
-              env_.SinrDb(info.radio, rec.radio, static_cast<std::uint32_t>(s), sim_.Now(),
-                          interferers, subchannel_bandwidth_hz_, signal_scale);
+        interferers.clear();
+        for (const UlActivity& act : active_per_subchannel[static_cast<std::size_t>(s)]) {
+          if (act.ue == tx.ue) continue;
+          interferers.push_back(ActiveTransmitter{
+              .node = act.radio,
+              .power_scale = 1.0 / static_cast<double>(act.alloc_count)});
         }
+        const double sinr_db =
+            env_.SinrDb(info.radio, rec.radio, static_cast<std::uint32_t>(s), sim_.Now(),
+                        interferers, subchannel_bandwidth_hz_, signal_scale);
         sinr_linear_sum += DbToLinear(sinr_db);
       }
       const double tb_sinr_db =
@@ -625,19 +880,49 @@ void LteNetwork::RunUplinkSubframe() {
     }
   }
 
-  // The engine now holds uplink lists and the cells' plans were overwritten
-  // with UL grants: any later MeasureDownlinkSinr must rebuild.
   dl_map_valid_ = false;
 }
 
 void LteNetwork::GenerateCqiReports() {
+  const bool staged = config_.use_interference_engine;
+  if (staged) {
+    // Parallel stage: the expensive per-subchannel measurement, computed by
+    // the shard owning each UE's serving cell (receiver ownership again —
+    // only that shard touches the UE's cache rows). The serial apply below
+    // then walks UEs in id order, so CQI updates, callbacks and RLF
+    // detach scheduling happen in the exact legacy sequence.
+    EnsureShardState();
+    EnsureDownlinkMap();  // serial build + seal before concurrent queries
+    if (cqi_pending_.size() != ues_.size()) cqi_pending_.assign(ues_.size(), 0);
+    if (staged_cqi_sinr_.size() != ues_.size()) staged_cqi_sinr_.resize(ues_.size());
+    for (const UeInfo& info : ues_) {
+      cqi_pending_[static_cast<std::size_t>(info.id)] =
+          info.state == UeState::kConnected &&
+          cell(info.serving).FindUe(info.id) != nullptr;
+    }
+    ForEachShard([this](int s) {
+      std::vector<ActiveTransmitter>* scratch =
+          &shard_scratch_[static_cast<std::size_t>(s)];
+      for (const UeInfo& info : ues_) {
+        if (!cqi_pending_[static_cast<std::size_t>(info.id)]) continue;
+        if (shard_grid_->shard_of(info.serving) != s) continue;
+        MeasureDownlinkSinrInto(
+            info.id, staged_cqi_sinr_[static_cast<std::size_t>(info.id)], scratch);
+      }
+    });
+    EmitShardMetrics();
+  }
+
   for (UeInfo& info : ues_) {
     if (info.state != UeState::kConnected) continue;
     UeContext* ctx = cell(info.serving).FindUe(info.id);
     if (ctx == nullptr) continue;
 
     const double margin = cell(info.serving).config().link_adaptation_margin_db;
-    const std::vector<double> sinr = MeasureDownlinkSinr(info.id);
+    std::vector<double> sinr_local;
+    if (!staged) sinr_local = MeasureDownlinkSinr(info.id);
+    const std::vector<double>& sinr =
+        staged ? staged_cqi_sinr_[static_cast<std::size_t>(info.id)] : sinr_local;
     CqiMeasurement m;
     m.subband_cqi.reserve(sinr.size());
     double wideband_linear = 0.0;

@@ -26,7 +26,9 @@
 #include "cellfi/phy/cqi_report.h"
 #include "cellfi/radio/environment.h"
 #include "cellfi/radio/interference.h"
+#include "cellfi/radio/shard_grid.h"
 #include "cellfi/sim/event_queue.h"
+#include "cellfi/sim/worker_pool.h"
 
 namespace cellfi::lte {
 
@@ -98,6 +100,23 @@ struct LteNetworkConfig {
   /// regression test and the bench_scale comparison) as long as
   /// RadioEnvironmentConfig::interference_floor_db is off.
   bool use_interference_engine = true;
+  /// Intra-replication spatial sharding (DESIGN.md §15). Partition the
+  /// cell grid into this many spatially contiguous shards and compute each
+  /// shard's RNG-free subframe work (plan building, SINR evaluation, CQI
+  /// measurement) concurrently; everything that draws from the shared Rng
+  /// or mutates cross-cell state (LBT gating, HARQ completion, callbacks)
+  /// runs serially at the subframe barrier in global cell-index order.
+  /// Results are bit-identical for ANY value, including 1 — the shard
+  /// count only decides which thread computes a value, never the order
+  /// values are merged in. Requires use_interference_engine; the legacy
+  /// per-link path stays single-threaded.
+  int shards = 1;
+  /// Worker threads for the shard pool. 0 derives a default:
+  /// CELLFI_SHARD_THREADS env if set, else hardware concurrency divided by
+  /// the active replication-sweep workers (never silently oversubscribes
+  /// when PR 2's sweep pool is also running). An explicit value is honored
+  /// as given, clamped to `shards`.
+  int shard_threads = 0;
   std::uint64_t seed = 1;
 };
 
@@ -169,6 +188,16 @@ class LteNetwork {
     return imap_.culled_this_epoch();
   }
 
+  /// Resolved shard partition size / worker threads (1 before the first
+  /// subframe builds the shard state). Test/bench introspection.
+  int shard_count() const { return shard_grid_ ? shard_grid_->num_shards() : 1; }
+  int shard_thread_count() const { return shard_threads_; }
+  /// The cull-derived neighbor graph, or nullptr when the cull is off
+  /// (every pair would be a neighbor) or no subframe has run yet.
+  const NeighborGraph* neighbor_graph() const {
+    return neighbor_graph_.built() ? &neighbor_graph_ : nullptr;
+  }
+
  private:
   struct CellRec {
     std::unique_ptr<EnodeB> mac;
@@ -191,6 +220,28 @@ class LteNetwork {
   void RunDownlinkSubframe();
   void RunUplinkSubframe();
   void GenerateCqiReports();
+
+  // --- Intra-replication sharding (DESIGN.md §15) -------------------------------
+  /// Build (once) the spatial partition, worker pool, neighbor graph and
+  /// staging buffers; presize every lazily grown per-receiver cache at a
+  /// serial point so no worker ever triggers a resize.
+  void EnsureShardState();
+  /// Rebuild the neighbor graph when node mobility invalidated it. Called
+  /// at serial subframe entry; correctness never depends on it (a stale
+  /// graph is simply ignored by the engine), only cull speed does.
+  void RefreshNeighborGraph();
+  /// Run task(shard) for every shard — on the worker pool when one exists,
+  /// inline otherwise. Returns only after all shards finish: this IS the
+  /// subframe barrier between a parallel phase and the serial merge.
+  void ForEachShard(const std::function<void(int)>& task);
+  /// Deterministic barrier instrumentation: barrier counter + work-item
+  /// imbalance histogram from per-shard staged transmission counts (never
+  /// wall time — obs must not perturb determinism).
+  void EmitShardMetrics();
+  /// MeasureDownlinkSinr body writing into a caller buffer; `scratch` is
+  /// the per-thread cull scratch for concurrent staging (nullptr = serial).
+  void MeasureDownlinkSinrInto(UeId ue, std::vector<double>& out,
+                               std::vector<ActiveTransmitter>* scratch) const;
   void SolicitPrach();
   void TryAttach(UeId ue);
   void Detach(UeId ue, bool count_disconnection);
@@ -251,6 +302,23 @@ class LteNetwork {
   mutable std::vector<CrsCacheEntry> crs_cache_;  // indexed by rx radio id
   /// CheckHandovers scratch: active cells, hoisted out of the per-UE loop.
   std::vector<CellId> handover_cells_scratch_;
+
+  // --- Sharding state (DESIGN.md §15). Parallel phases are RNG-free and
+  // write only receiver-owned or shard-owned storage; every merge runs
+  // serially in global cell-index (or UE-id) order, so results are
+  // bit-identical for any shard or thread count.
+  std::unique_ptr<ShardGrid> shard_grid_;
+  std::unique_ptr<WorkerPool> shard_pool_;  // only when shard_threads_ > 1
+  NeighborGraph neighbor_graph_;            // built when the cull is on
+  int shard_threads_ = 1;
+  std::vector<std::uint8_t> plan_pending_;  // cells gated into DL planning
+  /// Per cell: tb SINR (dB) of each planned transmission, staged by the
+  /// parallel phase, consumed by the serial commit.
+  std::vector<std::vector<double>> staged_tb_sinr_;
+  /// Per shard: cull-survivor scratch handed to InterferenceMap::SinrDb.
+  std::vector<std::vector<ActiveTransmitter>> shard_scratch_;
+  std::vector<std::uint8_t> cqi_pending_;             // UEs reporting this round
+  std::vector<std::vector<double>> staged_cqi_sinr_;  // per UE
 };
 
 }  // namespace cellfi::lte

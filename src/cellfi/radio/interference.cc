@@ -1,8 +1,10 @@
 #include "cellfi/radio/interference.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "cellfi/common/units.h"
+#include "cellfi/radio/shard_grid.h"
 
 namespace cellfi {
 
@@ -35,12 +37,30 @@ void InterferenceMap::BeginEpoch(int num_subchannels, double bandwidth_hz) {
   }
   sealed_ = false;
   num_groups_ = 0;
-  culled_epoch_ = 0;
+  culled_epoch_.store(0, std::memory_order_relaxed);
+  graph_active_ = cull_scale_ > 0.0 && GraphMatchesEpoch();
+}
+
+bool InterferenceMap::GraphMatchesEpoch() const {
+  return neighbor_graph_ != nullptr && neighbor_graph_->built() &&
+         neighbor_graph_->node_count() == env_.node_count() &&
+         neighbor_graph_->build_position_epoch() == env_.position_epoch() &&
+         neighbor_graph_->floor_db() == env_.config().interference_floor_db &&
+         neighbor_graph_->bandwidth_hz() == bandwidth_hz_;
 }
 
 void InterferenceMap::AddTransmitter(int subchannel, RadioNodeId node,
                                      double power_scale) {
-  assert(!sealed_);
+  if (sealed_) {
+    // Release-build CHECK, not an assert: sharded producers stage appends
+    // off-thread and merge at the barrier, where an append-after-Seal slips
+    // in easily and silently desynchronizes the aggregation groups from
+    // the lists they were computed over.
+    throw std::logic_error(
+        "InterferenceMap::AddTransmitter called after Seal(): the epoch's "
+        "transmitter lists are frozen once grouped (first SinrDb or explicit "
+        "Seal); call BeginEpoch before appending to a new epoch");
+  }
   assert(subchannel >= 0 && subchannel < num_subchannels_);
   per_subchannel_[static_cast<std::size_t>(subchannel)].push_back(
       ActiveTransmitter{.node = node, .power_scale = power_scale});
@@ -68,6 +88,10 @@ void InterferenceMap::Seal() const {
     }
     group_of_[static_cast<std::size_t>(s)] = group;
   }
+  // Presize the receiver rows here, at the (serial) barrier, so concurrent
+  // queries never see a resize — each worker then only writes the rows of
+  // receivers it owns.
+  if (rows_.size() < env_.node_count()) rows_.resize(env_.node_count());
 }
 
 double InterferenceMap::AggregateDenomMw(RadioNodeId tx, RadioNodeId rx,
@@ -81,10 +105,19 @@ double InterferenceMap::AggregateDenomMw(RadioNodeId tx, RadioNodeId rx,
   for (const ActiveTransmitter& it :
        per_subchannel_[static_cast<std::size_t>(subchannel)]) {
     if (it.node == tx || it.node == rx || it.power_scale <= 0.0) continue;
+    if (graph_active_ && it.power_scale <= 1.0 &&
+        !neighbor_graph_->Contains(it.node, rx)) {
+      // Non-neighbor => mean rx power < floor, so power_scale <= 1 makes
+      // this exactly a term the check below would cull — same result, same
+      // counters, without touching the power cache.
+      culled_epoch_.fetch_add(1, std::memory_order_relaxed);
+      culled_total_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     const double p = env_.MeanRxPowerMw(it.node, rx) * it.power_scale;
     if (p < cull_floor_mw) {  // never true with the cull off (p > 0 >= floor)
-      ++culled_epoch_;
-      ++culled_total_;
+      culled_epoch_.fetch_add(1, std::memory_order_relaxed);
+      culled_total_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     denom_mw += p;
@@ -93,7 +126,8 @@ double InterferenceMap::AggregateDenomMw(RadioNodeId tx, RadioNodeId rx,
 }
 
 double InterferenceMap::SinrDb(RadioNodeId tx, RadioNodeId rx, int subchannel,
-                               SimTime now, double signal_scale) const {
+                               SimTime now, double signal_scale,
+                               std::vector<ActiveTransmitter>* scratch) const {
   assert(subchannel >= 0 && subchannel < num_subchannels_);
   Seal();
   const std::vector<ActiveTransmitter>& list =
@@ -107,18 +141,26 @@ double InterferenceMap::SinrDb(RadioNodeId tx, RadioNodeId rx, int subchannel,
                          bandwidth_hz_, signal_scale);
     }
     const double cull_floor_mw = env_.NoiseMw(rx, bandwidth_hz_) * cull_scale_;
-    cull_scratch_.clear();
+    std::vector<ActiveTransmitter>& survivors =
+        scratch != nullptr ? *scratch : cull_scratch_;
+    survivors.clear();
     for (const ActiveTransmitter& it : list) {
       if (it.node == tx || it.node == rx || it.power_scale <= 0.0) continue;
-      if (env_.MeanRxPowerMw(it.node, rx) * it.power_scale < cull_floor_mw) {
-        ++culled_epoch_;
-        ++culled_total_;
+      if (graph_active_ && it.power_scale <= 1.0 &&
+          !neighbor_graph_->Contains(it.node, rx)) {
+        culled_epoch_.fetch_add(1, std::memory_order_relaxed);
+        culled_total_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      cull_scratch_.push_back(it);
+      if (env_.MeanRxPowerMw(it.node, rx) * it.power_scale < cull_floor_mw) {
+        culled_epoch_.fetch_add(1, std::memory_order_relaxed);
+        culled_total_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      survivors.push_back(it);
     }
     return env_.SinrDb(tx, rx, static_cast<std::uint32_t>(subchannel), now,
-                       cull_scratch_, bandwidth_hz_, signal_scale);
+                       survivors, bandwidth_hz_, signal_scale);
   }
 
   if (rows_.size() < env_.node_count()) rows_.resize(env_.node_count());

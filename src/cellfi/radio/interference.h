@@ -22,6 +22,7 @@
 // one aggregation (identical addition sequence, hence identical value).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,8 @@
 #include "cellfi/radio/environment.h"
 
 namespace cellfi {
+
+class NeighborGraph;
 
 class InterferenceMap {
  public:
@@ -46,11 +49,19 @@ class InterferenceMap {
   /// subchannel) so results are reproducible. The signal source itself may
   /// be present — it is skipped at query time (node == tx), matching
   /// RadioEnvironment::SinrDb.
+  ///
+  /// Appending after Seal() is a programming error CHECKed in every build
+  /// (throws std::logic_error): sharded producers stage appends on worker
+  /// threads and merge them at the subframe barrier, which makes a
+  /// late-append bug both easier to write and quietly corrupting — the
+  /// sealed aggregation groups would no longer describe the lists.
   void AddTransmitter(int subchannel, RadioNodeId node, double power_scale);
 
-  /// Deduplicate per-subchannel lists into aggregation groups. Called
-  /// lazily by the first SinrDb of the epoch; calling AddTransmitter
-  /// afterwards is a programming error (asserted).
+  /// Deduplicate per-subchannel lists into aggregation groups and presize
+  /// the receiver rows. Idempotent within an epoch. Serial callers may let
+  /// the first SinrDb of the epoch invoke it lazily; sharded callers MUST
+  /// call it at the barrier, before the first concurrent query, so no
+  /// worker mutates shared group/row storage.
   void Seal() const;
 
   /// SINR in dB for the signal tx -> rx on `subchannel`, against every
@@ -62,8 +73,27 @@ class InterferenceMap {
   /// With fading enabled the mean-power aggregate would be wrong — the
   /// per-subchannel fading term cannot be pre-aggregated — so the query
   /// falls back to per-link summation over the shared list.
+  ///
+  /// Thread safety (DESIGN.md §15): after a serial Seal(), concurrent
+  /// SinrDb calls are safe as long as no two threads query the same
+  /// receiver `rx` — all mutable state is receiver-indexed except the cull
+  /// counters (relaxed atomics; their sums are order-independent) and the
+  /// fading-path cull scratch, for which concurrent callers must pass a
+  /// per-thread `scratch` buffer (nullptr = shared member, serial only).
   double SinrDb(RadioNodeId tx, RadioNodeId rx, int subchannel, SimTime now,
-                double signal_scale) const;
+                double signal_scale,
+                std::vector<ActiveTransmitter>* scratch = nullptr) const;
+
+  /// Attach a prebuilt NeighborGraph as a cull fast path (nullptr
+  /// detaches). Checked at BeginEpoch and used only when it provably
+  /// changes nothing: the cull must be enabled and the graph must match
+  /// the environment's node count, floor and bandwidth and the current
+  /// position epoch. A non-neighbor at power_scale <= 1 is, by the graph's
+  /// construction, exactly a transmitter the cull would drop — so results
+  /// and cull counters are bit-identical with or without the graph.
+  void SetNeighborGraph(const NeighborGraph* graph) { neighbor_graph_ = graph; }
+  /// True if the current epoch is using the attached graph (test hook).
+  bool using_neighbor_graph() const { return graph_active_; }
 
   /// The shared transmitter list for one subchannel (bench/test hook).
   const std::vector<ActiveTransmitter>& transmitters(int subchannel) const {
@@ -75,9 +105,16 @@ class InterferenceMap {
   int num_groups() const { return num_groups_; }
 
   /// Interference terms dropped by the cull in the current epoch / since
-  /// construction. With the cull disabled both stay 0.
-  std::uint64_t culled_this_epoch() const { return culled_epoch_; }
-  std::uint64_t culled_total() const { return culled_total_; }
+  /// construction. With the cull disabled both stay 0. Relaxed atomics:
+  /// concurrent shard queries bump them in arbitrary order, but the sums
+  /// are order-independent, so the values read at the barrier are
+  /// deterministic for any shard count.
+  std::uint64_t culled_this_epoch() const {
+    return culled_epoch_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t culled_total() const {
+    return culled_total_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Per-receiver cache of aggregate denominators, one slot per
@@ -93,6 +130,9 @@ class InterferenceMap {
   };
 
   double AggregateDenomMw(RadioNodeId tx, RadioNodeId rx, int subchannel) const;
+  /// The graph-vs-cull equivalence only holds when the graph describes the
+  /// current geometry and floor; recomputed each BeginEpoch.
+  bool GraphMatchesEpoch() const;
 
   const RadioEnvironment& env_;
   int num_subchannels_ = 0;
@@ -102,6 +142,8 @@ class InterferenceMap {
   double cull_scale_ = 0.0;
   std::uint64_t epoch_ = 0;
   std::vector<std::vector<ActiveTransmitter>> per_subchannel_;
+  const NeighborGraph* neighbor_graph_ = nullptr;
+  bool graph_active_ = false;
 
   mutable bool sealed_ = false;
   mutable int num_groups_ = 0;
@@ -109,8 +151,8 @@ class InterferenceMap {
   mutable std::vector<int> group_rep_;  // group -> representative subchannel
   mutable std::vector<ReceiverRow> rows_;
   mutable std::vector<ActiveTransmitter> cull_scratch_;
-  mutable std::uint64_t culled_epoch_ = 0;
-  mutable std::uint64_t culled_total_ = 0;
+  mutable std::atomic<std::uint64_t> culled_epoch_{0};
+  mutable std::atomic<std::uint64_t> culled_total_{0};
 };
 
 }  // namespace cellfi

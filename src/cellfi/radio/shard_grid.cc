@@ -1,0 +1,105 @@
+#include "cellfi/radio/shard_grid.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cellfi/common/units.h"
+
+namespace cellfi {
+
+void NeighborGraph::Build(const RadioEnvironment& env, double floor_db,
+                          double bandwidth_hz) {
+  n_ = env.node_count();
+  floor_db_ = floor_db;
+  bandwidth_hz_ = bandwidth_hz;
+  position_epoch_ = env.position_epoch();
+  bits_.assign((n_ * n_ + 63) / 64, 0);
+  lists_.assign(n_, {});
+  edges_ = 0;
+  if (n_ == 0) return;
+
+  // Same survivor predicate as InterferenceMap::AggregateDenomMw at
+  // power_scale = 1: mean rx power >= noise * 10^(-floor/10). floor <= 0
+  // disables the cull, so everything is a neighbor.
+  const double cull_scale = floor_db > 0.0 ? DbToLinear(-floor_db) : 0.0;
+  std::vector<double> floor_mw(n_, 0.0);
+  for (std::size_t rx = 0; rx < n_; ++rx) {
+    floor_mw[rx] =
+        env.NoiseMw(static_cast<RadioNodeId>(rx), bandwidth_hz) * cull_scale;
+  }
+
+  const auto set_bit = [this](std::size_t a, std::size_t b) {
+    const std::size_t bit = a * n_ + b;
+    bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  };
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = a + 1; b < n_; ++b) {
+      const RadioNodeId na = static_cast<RadioNodeId>(a);
+      const RadioNodeId nb = static_cast<RadioNodeId>(b);
+      // Union-symmetrized: audible in either direction makes the pair
+      // neighbors, so Contains(a, b) == Contains(b, a) by construction.
+      const bool neighbor =
+          env.MeanRxPowerMw(na, nb) >= floor_mw[b] ||
+          env.MeanRxPowerMw(nb, na) >= floor_mw[a];
+      if (!neighbor) continue;
+      set_bit(a, b);
+      set_bit(b, a);
+      lists_[a].push_back(nb);
+      lists_[b].push_back(na);
+      ++edges_;
+    }
+  }
+  // a < b insertion order already leaves each list ascending; keep the
+  // guarantee explicit against future edits.
+  for (std::vector<RadioNodeId>& list : lists_) {
+    std::sort(list.begin(), list.end());
+  }
+}
+
+ShardGrid::ShardGrid(const std::vector<Point>& cell_positions, int shards) {
+  const std::size_t n = cell_positions.size();
+  std::size_t k = shards < 1 ? 1 : static_cast<std::size_t>(shards);
+  if (n > 0 && k > n) k = n;
+  if (n == 0) k = 1;
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Point& pa = cell_positions[static_cast<std::size_t>(a)];
+    const Point& pb = cell_positions[static_cast<std::size_t>(b)];
+    if (pa.x != pb.x) return pa.x < pb.x;
+    if (pa.y != pb.y) return pa.y < pb.y;
+    return a < b;  // total order: ties (co-located cells) break by index
+  });
+
+  shard_of_.assign(n, 0);
+  cells_.assign(k, {});
+  const std::size_t base = n / k;
+  const std::size_t rem = n % k;
+  std::size_t pos = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::size_t take = base + (s < rem ? 1 : 0);
+    for (std::size_t i = 0; i < take; ++i) {
+      const int cell = order[pos++];
+      shard_of_[static_cast<std::size_t>(cell)] = static_cast<int>(s);
+      cells_[s].push_back(cell);
+    }
+    std::sort(cells_[s].begin(), cells_[s].end());
+  }
+}
+
+std::size_t CountCrossShardEdges(const NeighborGraph& graph, const ShardGrid& grid,
+                                 const std::vector<RadioNodeId>& cell_radios) {
+  std::size_t crossing = 0;
+  for (std::size_t a = 0; a < cell_radios.size(); ++a) {
+    for (std::size_t b = a + 1; b < cell_radios.size(); ++b) {
+      if (grid.shard_of(static_cast<int>(a)) == grid.shard_of(static_cast<int>(b))) {
+        continue;
+      }
+      if (graph.Contains(cell_radios[a], cell_radios[b])) ++crossing;
+    }
+  }
+  return crossing;
+}
+
+}  // namespace cellfi

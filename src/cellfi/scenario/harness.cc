@@ -134,6 +134,8 @@ ScenarioResult RunLteBased(const ScenarioConfig& cfg, const Topology& topo) {
   RadioEnvironment env(PathLossFor(cfg.propagation), EnvConfigFor(cfg));
   lte::LteNetworkConfig net_cfg;
   net_cfg.use_interference_engine = cfg.use_interference_engine;
+  net_cfg.shards = cfg.shards;
+  net_cfg.shard_threads = cfg.shard_threads;
   net_cfg.seed = cfg.seed ^ 0x17;
   lte::LteNetwork net(sim, env, net_cfg);
 

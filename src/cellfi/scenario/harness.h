@@ -86,6 +86,14 @@ struct ScenarioConfig {
   /// Negligible-interferer cull threshold (dB below the noise floor);
   /// <= 0 keeps every interferer (exact legacy arithmetic).
   double interference_floor_db = 0.0;
+  /// Intra-replication spatial shards (DESIGN.md §15): the LTE cell grid
+  /// is partitioned into this many groups whose subframe work can run on
+  /// the shard worker pool. Bit-identical results for any value; only wall
+  /// clock changes. Requires the interference engine.
+  int shards = 1;
+  /// Shard worker threads; 0 derives a default from CELLFI_SHARD_THREADS
+  /// or hardware concurrency divided by active sweep workers.
+  int shard_threads = 0;
 
   /// A client below this average rate counts as starved (10 % of the
   /// 1 Mbps per-user service floor from paper Section 2).

@@ -6,6 +6,7 @@
 
 #include "cellfi/common/json.h"
 #include "cellfi/scenario/report.h"
+#include "cellfi/sim/worker_pool.h"
 
 namespace cellfi::scenario {
 
@@ -49,6 +50,11 @@ int ResolveReps(int default_reps) {
 
 SweepRunner::SweepRunner(SweepOptions options) : progress_(options.progress) {
   const int n = ResolveThreads(options.threads);
+  // Register with the nested-parallelism guard: while this pool is alive,
+  // intra-replication shard pools (sim/worker_pool) derive their default
+  // thread count as hardware / active sweep threads, so
+  // sweep_threads x shard_threads never silently oversubscribes.
+  AddActiveSweepThreads(n);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -62,6 +68,7 @@ SweepRunner::~SweepRunner() {
   }
   work_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  AddActiveSweepThreads(-static_cast<int>(workers_.size()));
 }
 
 void SweepRunner::WorkerLoop() {

@@ -18,6 +18,7 @@ not 5% scheduler jitter.
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -51,6 +52,8 @@ def main():
         sys.exit(2)
 
     regressions = []
+    missing_from_baseline = sorted(set(cur) - set(base))
+    log_speedups = []
     for label in sorted(base):
         if label not in cur:
             print(f"  only in baseline: {label}")
@@ -59,13 +62,21 @@ def main():
         if b <= 0:
             continue
         delta_pct = 100.0 * (c - b) / b
+        speedup = b / c if c > 0 else float("inf")
+        if math.isfinite(speedup) and speedup > 0:
+            log_speedups.append(math.log(speedup))
         marker = ""
         if delta_pct > args.max_regress_pct:
             marker = "  <-- REGRESSION"
             regressions.append((label, delta_pct))
-        print(f"  {label}: {b:.3f}s -> {c:.3f}s ({delta_pct:+.1f}%){marker}")
-    for label in sorted(set(cur) - set(base)):
-        print(f"  only in current: {label}")
+        print(f"  {label}: {b:.3f}s -> {c:.3f}s "
+              f"({delta_pct:+.1f}%, {speedup:.2f}x){marker}")
+    for label in missing_from_baseline:
+        print(f"  only in current (no baseline, not compared): {label}")
+    if log_speedups:
+        geomean = math.exp(sum(log_speedups) / len(log_speedups))
+        print(f"  geometric-mean speedup over {len(log_speedups)} matched "
+              f"label(s): {geomean:.2f}x")
 
     if regressions:
         print(f"bench_compare: {len(regressions)} point(s) regressed beyond "

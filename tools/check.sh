@@ -8,7 +8,7 @@
 #   3. clang-tidy     : tools/run_tidy.sh against the frozen baseline
 #                       (skips cleanly when clang-tidy is not installed)
 #
-# Usage: tools/check.sh [--fast] [--bench] [--trace] [--chaos]
+# Usage: tools/check.sh [--fast] [--bench] [--trace] [--chaos] [--shard]
 #   --fast   skip the sanitizer stage (inner-loop use; CI runs everything)
 #   --bench  additionally run the bench_smoke suite (1-rep end-to-end runs
 #            of every sweep bench, including the bench_scale bit-identity
@@ -24,6 +24,10 @@
 #            plans, invariant checker, campaign bit-identity, sweep
 #            supervisor) under the ASan+UBSan build. Implies the sanitize
 #            configure even with --fast.
+#   --shard  additionally build the sanitize-tsan preset and run the shard
+#            suite (`ctest -L shard`: worker pool, neighbor graph, shard
+#            grid, multi-threaded subframe bit-identity) under
+#            ThreadSanitizer — the data-race gate for DESIGN.md §15.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -33,12 +37,14 @@ FAST=0
 BENCH=0
 TRACE=0
 CHAOS=0
+SHARD=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --bench) BENCH=1 ;;
     --trace) TRACE=1 ;;
     --chaos) CHAOS=1 ;;
+    --shard) SHARD=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -79,6 +85,15 @@ fi
 if [[ "$CHAOS" -eq 1 ]]; then
   step "chaos suite under ASan+UBSan (ctest -L chaos)"
   ctest --test-dir "$ROOT/build-sanitize" -L chaos --output-on-failure
+fi
+
+if [[ "$SHARD" -eq 1 ]]; then
+  step "configure + build (sanitize-tsan preset, for --shard)"
+  cmake --preset sanitize-tsan
+  cmake --build --preset sanitize-tsan -j "$(nproc)"
+
+  step "shard suite under ThreadSanitizer (ctest -L shard)"
+  ctest --test-dir "$ROOT/build-sanitize-tsan" -L shard --output-on-failure
 fi
 
 step "clang-tidy vs frozen baseline"
