@@ -73,10 +73,14 @@ class EnodeB {
 
   // --- Per-subframe MAC ------------------------------------------------------
   /// Build the downlink plan for this subframe (only meaningful on DL
-  /// subframes).
+  /// subframes). Runs on shard workers; everything it reaches must be
+  /// RNG-free, schedule-free and lock-free (DESIGN.md §16).
+  // cellfi-purity: contract-root(parallel-shard-phase) EnodeB::PlanDownlink
   TxPlan PlanDownlink();
 
-  /// Build the uplink grant plan (UL subframes).
+  /// Build the uplink grant plan (UL subframes). Same purity contract as
+  /// PlanDownlink.
+  // cellfi-purity: contract-root(parallel-shard-phase) EnodeB::PlanUplink
   TxPlan PlanUplink();
 
   /// Resolve a downlink transport block given its realized SINR; updates

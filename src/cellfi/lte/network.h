@@ -240,6 +240,8 @@ class LteNetwork {
   void EmitShardMetrics();
   /// MeasureDownlinkSinr body writing into a caller buffer; `scratch` is
   /// the per-thread cull scratch for concurrent staging (nullptr = serial).
+  /// Runs on shard workers during staged SINR/CQI phases (DESIGN.md §16).
+  // cellfi-purity: contract-root(parallel-shard-phase) LteNetwork::MeasureDownlinkSinrInto
   void MeasureDownlinkSinrInto(UeId ue, std::vector<double>& out,
                                std::vector<ActiveTransmitter>* scratch) const;
   void SolicitPrach();
@@ -264,6 +266,8 @@ class LteNetwork {
   /// With the engine on the value is served from a per-receiver cache
   /// invalidated on serving-cell, cell-activity and mobility changes (it
   /// depends only on the active set and mean powers, never on plans).
+  /// Queried from shard workers during staged measurement (DESIGN.md §16).
+  // cellfi-purity: contract-root(parallel-shard-phase) LteNetwork::IdleCrsPenaltyDb
   double IdleCrsPenaltyDb(CellId serving, RadioNodeId rx) const;
   /// Uncached scan behind IdleCrsPenaltyDb (the legacy path calls it
   /// directly every time).

@@ -44,15 +44,23 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Get-or-create by name. A name keeps the kind (and, for histograms,
-  /// the bucket bounds) of its first registration.
+  /// the bucket bounds) of its first registration. The whole registration
+  /// and update API is instrumentation: RNG-free and schedule-free,
+  /// transitively (DESIGN.md §16).
+  // cellfi-purity: contract-root(obs-instrumentation) MetricsRegistry::Counter
   Id Counter(std::string_view name);
+  // cellfi-purity: contract-root(obs-instrumentation) MetricsRegistry::Gauge
   Id Gauge(std::string_view name);
+  // cellfi-purity: contract-root(obs-instrumentation) MetricsRegistry::Histogram
   Id Histogram(std::string_view name, const std::vector<double>& upper_bounds);
 
+  // cellfi-purity: contract-root(obs-instrumentation) MetricsRegistry::Add
   void Add(Id id, std::uint64_t delta = 1);
+  // cellfi-purity: contract-root(obs-instrumentation) MetricsRegistry::Set
   void Set(Id id, double value);
   /// Bucket i counts values <= upper_bounds[i]; one overflow bucket past
   /// the last bound.
+  // cellfi-purity: contract-root(obs-instrumentation) MetricsRegistry::Observe
   void Observe(Id id, double value);
 
   struct HistogramData {
@@ -72,6 +80,7 @@ class MetricsRegistry {
   /// {"counters":[{"name","value"}...],"gauges":[...],"histograms":
   ///  [{"name","bounds","counts","count","sum"}...]} — each section in
   /// registration order.
+  // cellfi-purity: contract-root(obs-instrumentation) MetricsRegistry::Snapshot
   json::Value Snapshot() const;
 
  private:

@@ -91,6 +91,9 @@ class TraceSink {
   TraceSink& operator=(const TraceSink&) = delete;
 
   /// Record one event at `sim_time` (nanoseconds; stored in microseconds).
+  /// Instrumentation must never perturb the simulation: RNG-free and
+  /// schedule-free, transitively (DESIGN.md §16).
+  // cellfi-purity: contract-root(obs-instrumentation) TraceSink::Emit
   void Emit(SimTime sim_time, std::string_view component,
             std::string_view event, std::initializer_list<TraceField> fields);
   void Emit(SimTime sim_time, std::string_view component,
@@ -107,10 +110,12 @@ class TraceSink {
     return emitted_ > ring_.capacity() ? emitted_ - ring_.capacity() : 0;
   }
 
+  // cellfi-purity: contract-root(obs-instrumentation) TraceSink::Flush
   void Flush();
 
   /// Deterministic one-line JSON rendering: fields in emission order,
   /// integers rendered exactly, doubles via shortest round-trip form.
+  // cellfi-purity: contract-root(obs-instrumentation) TraceSink::ToJsonl
   static std::string ToJsonl(const TraceEvent& event);
 
  private:

@@ -8,6 +8,9 @@
 namespace cellfi {
 
 namespace {
+// cellfi-purity: allow(draws_rng) — stateless mixing step: a pure function
+// of its argument with no stream state, the DESIGN.md §13 sanctioned
+// alternative to Rng inside parallel phases.
 std::uint64_t SplitMix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -18,6 +21,7 @@ std::uint64_t SplitMix64(std::uint64_t x) {
 
 std::uint64_t HashWords(std::uint64_t a, std::uint64_t b, std::uint64_t c,
                         std::uint64_t d) {
+  // cellfi-purity: allow(draws_rng) — keyed purely by the four input words.
   std::uint64_t h = SplitMix64(a);
   h = SplitMix64(h ^ b);
   h = SplitMix64(h ^ c);
@@ -31,6 +35,8 @@ double HashToUnitInterval(std::uint64_t h) {
 }
 
 double HashToStandardNormal(std::uint64_t h) {
+  // cellfi-purity: allow(draws_rng) — Box–Muller over hash-derived uniforms;
+  // deterministic per input hash.
   const double u1 = HashToUnitInterval(SplitMix64(h));
   const double u2 = HashToUnitInterval(SplitMix64(h ^ 0xA5A5A5A5A5A5A5A5ull));
   return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);

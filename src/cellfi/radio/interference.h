@@ -80,6 +80,8 @@ class InterferenceMap {
   /// counters (relaxed atomics; their sums are order-independent) and the
   /// fading-path cull scratch, for which concurrent callers must pass a
   /// per-thread `scratch` buffer (nullptr = shared member, serial only).
+  // cellfi-purity: contract-root(parallel-shard-phase) InterferenceMap::SinrDb
+  // cellfi-purity: contract-root(imap-sealed-read) InterferenceMap::SinrDb
   double SinrDb(RadioNodeId tx, RadioNodeId rx, int subchannel, SimTime now,
                 double signal_scale,
                 std::vector<ActiveTransmitter>* scratch = nullptr) const;
@@ -129,6 +131,7 @@ class InterferenceMap {
     std::vector<std::uint8_t> built;   // per aggregation group
   };
 
+  // cellfi-purity: contract-root(imap-sealed-read) InterferenceMap::AggregateDenomMw
   double AggregateDenomMw(RadioNodeId tx, RadioNodeId rx, int subchannel) const;
   /// The graph-vs-cull equivalence only holds when the graph describes the
   /// current geometry and floor; recomputed each BeginEpoch.

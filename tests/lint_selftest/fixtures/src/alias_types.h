@@ -1,0 +1,10 @@
+// Fixture: type aliases resolving to unordered containers, declared in a
+// DIFFERENT file from their uses — the linter must collect aliases
+// cross-file before registering alias-typed declarations.
+#pragma once
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using CellMap = std::unordered_map<int, double>;
+typedef std::unordered_set<std::string> NameSet;

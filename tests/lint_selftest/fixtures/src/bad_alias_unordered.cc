@@ -1,0 +1,24 @@
+// Fixture: range-for over variables whose type is an alias of an unordered
+// container (alias declared in alias_types.h) must be flagged exactly like
+// a direct std::unordered_* declaration.
+#include "alias_types.h"
+
+struct CellTable {
+  CellMap cells_;
+  double Sum() const {
+    double total = 0.0;
+    for (const auto& [id, w] : cells_) {
+      total += w;
+    }
+    return total;
+  }
+};
+
+int CountNames() {
+  NameSet names;
+  int n = 0;
+  for (const auto& name : names) {
+    n += static_cast<int>(name.size());
+  }
+  return n;
+}

@@ -1,0 +1,12 @@
+// Fixture: --strict-allow stale-suppression audit. The first allow() fires
+// (used, not reported); the second suppresses nothing and must be reported
+// as stale-allow.
+#include <cstdlib>
+
+int UsedAllow() {
+  return rand();  // cellfi-lint: allow(no-libc-rand) — fixture: used
+}
+
+int StaleAllow() {
+  return 7;  // cellfi-lint: allow(no-libc-rand) — fixture: nothing fires here
+}

@@ -10,7 +10,8 @@ int SameLineAllow() {
   return rand();  // cellfi-lint: allow(no-libc-rand) — fixture: deliberate
 }
 
-double NextLineAllow(const std::unordered_map<int, double>& weights) {
+double NextLineAllow() {
+  std::unordered_map<int, double> weights = {{1, 2.0}};
   double total = 0.0;
   // cellfi-lint: allow(no-unordered-iter) — fixture: commutative sum, and
   // this justification intentionally spans two comment lines.

@@ -1,0 +1,26 @@
+// Fixture: planted violations in a parallel shard phase. The contract root
+// EnodeB::PlanDownlink reaches
+//   - a stateful RNG draw via ChooseOffset -> Rng::Uniform   (draws_rng)
+//   - a lock acquisition via GuardedCount                    (takes_lock)
+//   - a suppressed stateless mixer via SeedFold              (no finding)
+#include "rng.h"
+
+namespace cellfi {
+
+unsigned long SeedFold(unsigned long x);
+
+// cellfi-purity: contract-root(parallel-shard-phase) EnodeB::PlanDownlink
+class EnodeB {
+ public:
+  int PlanDownlink() {
+    int offset = ChooseOffset();
+    return offset + GuardedCount() + static_cast<int>(SeedFold(7));
+  }
+
+ private:
+  int ChooseOffset() { return static_cast<int>(rng_.Uniform() * 8.0); }
+  int GuardedCount();
+  Rng rng_;
+};
+
+}  // namespace cellfi

@@ -1,0 +1,12 @@
+// Fixture: annotation drift, source side — the contract-root annotation
+// below names a root that is not registered in rules/contracts.json, so
+// the two-way registration check reports it.
+namespace cellfi {
+
+// cellfi-purity: contract-root(parallel-shard-phase) LegacyPhase::Run
+class LegacyPhase {
+ public:
+  int Run() { return 0; }
+};
+
+}  // namespace cellfi

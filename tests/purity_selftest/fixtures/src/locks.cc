@@ -1,0 +1,14 @@
+// Fixture: planted takes_lock violation — a lock_guard inside a function
+// reachable from the parallel-shard-phase root.
+#include <mutex>
+
+namespace cellfi {
+
+std::mutex g_fixture_mu;
+
+int EnodeB::GuardedCount() {
+  std::lock_guard<std::mutex> g(g_fixture_mu);
+  return 3;
+}
+
+}  // namespace cellfi

@@ -1,0 +1,12 @@
+// Fixture: minimal stand-in for common/rng.h. Every Rng method is
+// intrinsically draws_rng via the functions rule `Rng::[A-Za-z_]\w*`.
+#pragma once
+
+namespace cellfi {
+
+class Rng {
+ public:
+  double Uniform() { return 0.5; }
+};
+
+}  // namespace cellfi

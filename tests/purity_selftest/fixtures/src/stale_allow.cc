@@ -1,0 +1,14 @@
+// Fixture: --strict-allow stale-suppression audit. Neither allow()
+// suppresses anything: the first names a real effect that never fires on
+// its line, the second names an effect that does not exist.
+namespace cellfi {
+
+int Plain() {
+  return 42;  // cellfi-purity: allow(draws_rng) — fixture: nothing fires here
+}
+
+int Typo() {
+  return 1;  // cellfi-purity: allow(no-such-effect) — fixture: unknown effect
+}
+
+}  // namespace cellfi

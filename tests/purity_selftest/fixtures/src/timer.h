@@ -1,0 +1,15 @@
+// Fixture: minimal stand-in for sim/timer.h. Timer::Arm is intrinsically
+// schedules_event via the functions rule.
+#pragma once
+
+namespace cellfi {
+
+class Timer {
+ public:
+  void Arm(long delay) { armed_at_ = delay; }
+
+ private:
+  long armed_at_ = 0;
+};
+
+}  // namespace cellfi

@@ -1,0 +1,18 @@
+// Fixture: planted schedules_event violation in an instrumentation path —
+// the obs-instrumentation root TraceSink::Emit reaches Timer::Arm through
+// MaybeRotate. TraceSink::Emit is deliberately NOT annotated with a
+// contract-root comment, so the annotation-drift check fires too.
+#include "timer.h"
+
+namespace cellfi {
+
+class TraceSink {
+ public:
+  void Emit(long now) { MaybeRotate(now); }
+
+ private:
+  void MaybeRotate(long now) { timer_.Arm(now + 10); }
+  Timer timer_;
+};
+
+}  // namespace cellfi

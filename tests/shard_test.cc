@@ -84,6 +84,38 @@ TEST(ShardThreadsTest, EnvKnobAppliesWhenConfigUnset) {
   ASSERT_EQ(unsetenv("CELLFI_SHARD_THREADS"), 0);
 }
 
+TEST(ShardThreadsTest, DegenerateShardCountClampsToOne) {
+  // shards < 1 is treated as a single shard, and the thread count can
+  // never exceed it — regardless of how parallel the request is.
+  EXPECT_EQ(ResolveShardThreads(/*requested=*/8, /*shards=*/0), 1);
+  EXPECT_EQ(ResolveShardThreads(/*requested=*/8, /*shards=*/-5), 1);
+  EXPECT_EQ(ResolveShardThreads(/*requested=*/0, /*shards=*/0), 1);
+}
+
+TEST(ShardThreadsTest, EnvGarbageAndNegativesFallThroughToDerivedDefault) {
+  // Non-numeric, negative and zero env values are all rejected (only
+  // strictly positive integers count), so resolution falls through to the
+  // derived default — pin it with all hardware threads claimed by sweep
+  // workers, where the default is exactly 1.
+  const int hw = HardwareConcurrency();
+  AddActiveSweepThreads(hw);
+  for (const char* junk : {"garbage", "-3", "0", ""}) {
+    ASSERT_EQ(setenv("CELLFI_SHARD_THREADS", junk, 1), 0);
+    EXPECT_EQ(ResolveShardThreads(0, /*shards=*/8), 1) << "env=" << junk;
+  }
+  ASSERT_EQ(unsetenv("CELLFI_SHARD_THREADS"), 0);
+  AddActiveSweepThreads(-hw);
+}
+
+TEST(ShardThreadsTest, NegativeRequestBehavesLikeUnset) {
+  // requested <= 0 means "unset": the env knob (when valid) takes over,
+  // and the [1, shards] clamp still applies to the env value.
+  ASSERT_EQ(setenv("CELLFI_SHARD_THREADS", "6", 1), 0);
+  EXPECT_EQ(ResolveShardThreads(-1, /*shards=*/8), 6);
+  EXPECT_EQ(ResolveShardThreads(-7, /*shards=*/3), 3);
+  ASSERT_EQ(unsetenv("CELLFI_SHARD_THREADS"), 0);
+}
+
 TEST(ShardThreadsTest, DerivedDefaultRespectsActiveSweepThreads) {
   // With every hardware thread claimed by sweep workers, the derived shard
   // default collapses to 1: sweep_threads x shard_threads never silently

@@ -7,9 +7,12 @@ Usage:
 Points are matched by label; wall time is normalized per replication so a
 baseline recorded with CELLFI_BENCH_REPS=4 compares cleanly against a
 1-rep smoke run. Exit status 1 when any matched point regresses by more
-than --max-regress-pct (default 20%), 2 on malformed input. Points present
-in only one artifact are reported but never fail the comparison (sweeps
-gain and lose points across PRs).
+than --max-regress-pct (default 20%), 2 on malformed input, 3 when the
+current artifact has labels the baseline lacks — an uncompared point is
+an unguarded point, and a silently-vacuous pass would hide it; re-record
+the baseline or pass --allow-new-labels when the new points are expected
+(a sweep legitimately gaining points mid-PR). Points present only in the
+baseline are reported but never fail (sweeps may lose points).
 
 Micro-benchmark wall times are noisy; 20% is deliberately loose — the gate
 exists to catch the engine accidentally falling off its fast path (2-4x),
@@ -42,6 +45,9 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--max-regress-pct", type=float, default=20.0,
                     help="fail when per-rep wall time grows by more than this")
+    ap.add_argument("--allow-new-labels", action="store_true",
+                    help="tolerate labels present only in the current "
+                         "artifact instead of failing with exit status 3")
     args = ap.parse_args()
 
     base_name, base = load_points(args.baseline)
@@ -73,6 +79,13 @@ def main():
               f"({delta_pct:+.1f}%, {speedup:.2f}x){marker}")
     for label in missing_from_baseline:
         print(f"  only in current (no baseline, not compared): {label}")
+    if missing_from_baseline and not args.allow_new_labels:
+        print(f"bench_compare: {len(missing_from_baseline)} label(s) in "
+              f"{base_name} have no baseline point — the comparison would be "
+              f"vacuous for them. Re-record the baseline artifact or pass "
+              f"--allow-new-labels if the new points are expected.",
+              file=sys.stderr)
+        sys.exit(3)
     if log_speedups:
         geomean = math.exp(sum(log_speedups) / len(log_speedups))
         print(f"  geometric-mean speedup over {len(log_speedups)} matched "

@@ -38,6 +38,13 @@ Modes:
   ... --expect FILE                      compare findings against FILE
                                          ("path:line: rule-id" lines) and
                                          fail on any difference
+  ... --strict-allow                     stale-suppression audit: an allow()
+                                         comment whose rule no longer fires
+                                         on its line (or that names an
+                                         unknown rule id) is reported as a
+                                         `stale-allow` finding, so
+                                         suppressions cannot outlive the
+                                         code they excused
   ... --list-rules                       print the loaded rule catalog
 """
 
@@ -60,6 +67,17 @@ ALLOW_RE = re.compile(r"cellfi-lint:\s*allow\(([^)]*)\)")
 #   std::unordered_set<std::uint64_t> cancelled_;
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)\s*(?:;|=|\{)"
+)
+# Type aliases that resolve to unordered containers, collected cross-file so
+# a `CellMap cells_;` member behind `using CellMap = std::unordered_map<...>`
+# still registers `cells_` as unordered:
+#   using CellMap = std::unordered_map<CellId, Entry>;
+#   typedef std::unordered_map<CellId, Entry> CellMap;
+UNORDERED_ALIAS_USING_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<"
+)
+UNORDERED_ALIAS_TYPEDEF_RE = re.compile(
+    r"\btypedef\s+(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s*(\w+)\s*;"
 )
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;)]*):([^)]*)\)")
 ENV_LOOKUP_RE = re.compile(r"\b(?:getenv|setenv)\s*\(\s*\"([A-Z][A-Z0-9_]+)\"")
@@ -149,32 +167,53 @@ def sanitize_lines(text: str) -> list[str]:
     return out
 
 
-def allowed_rules(raw_line: str) -> set[str]:
-    m = ALLOW_RE.search(raw_line)
-    if not m:
-        return set()
-    return {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
-
-
-def build_allow_map(raw: list[str], sanitized: list[str]) -> list[set[str]]:
-    """allow-set per 1-indexed line: same-line allow(), plus a comment-only
-    allow() line carrying through any further comment-only lines to the first
-    code line after it (NOLINTNEXTLINE-style, multi-line justifications ok)."""
+def build_allow_map(
+    raw: list[str], sanitized: list[str], allow_re: re.Pattern = ALLOW_RE
+) -> list[dict[str, int]]:
+    """allow-map per 1-indexed line: {rule-id: origin line of the allow()
+    comment}. Same-line allow(), plus a comment-only allow() line carrying
+    through any further comment-only lines to the first code line after it
+    (NOLINTNEXTLINE-style, multi-line justifications ok). Origin lines feed
+    the --strict-allow stale-suppression audit: an allow() whose rule never
+    fires on any line it covers is itself a finding."""
     n = len(raw)
-    allow: list[set[str]] = [set() for _ in range(n + 2)]
+    allow: list[dict[str, int]] = [{} for _ in range(n + 2)]
+
+    def grant(line: int, ids: set[str], origin: int) -> None:
+        for rule_id in ids:
+            allow[line].setdefault(rule_id, origin)
+
     for idx, raw_line in enumerate(raw, start=1):
-        ids = allowed_rules(raw_line)
+        m = allow_re.search(raw_line)
+        if not m:
+            continue
+        ids = {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
         if not ids:
             continue
-        allow[idx] |= ids
+        grant(idx, ids, idx)
         if not sanitized[idx - 1].strip():  # comment-only line
             nxt = idx + 1
             while nxt <= n and not sanitized[nxt - 1].strip():
-                allow[nxt] |= ids
+                grant(nxt, ids, idx)
                 nxt += 1
             if nxt <= n:
-                allow[nxt] |= ids
+                grant(nxt, ids, idx)
     return allow
+
+
+def collect_allow_origins(
+    raw: list[str], allow_re: re.Pattern = ALLOW_RE
+) -> list[tuple[int, str]]:
+    """Every (line, rule-id) pair declared by an allow() comment in `raw`."""
+    origins: list[tuple[int, str]] = []
+    for idx, raw_line in enumerate(raw, start=1):
+        m = allow_re.search(raw_line)
+        if not m:
+            continue
+        for tok in m.group(1).split(","):
+            if tok.strip():
+                origins.append((idx, tok.strip()))
+    return origins
 
 
 def rule_applies(rule: dict, rel_path: str) -> bool:
@@ -203,8 +242,12 @@ class Linter:
         self.findings: list[Finding] = []
         # Pass 1 products, shared by the context-sensitive rules.
         self.unordered_names: set[str] = set()
+        self.unordered_aliases: set[str] = set()
         self.sanitized: dict[Path, list[str]] = {}
         self.raw: dict[Path, list[str]] = {}
+        # (rel-path, allow-origin-line, rule-id) triples that suppressed at
+        # least one finding — the complement is the --strict-allow audit.
+        self.used_allows: set[tuple[str, int, str]] = set()
 
     def rel(self, path: Path) -> str:
         return path.relative_to(self.root).as_posix()
@@ -218,6 +261,24 @@ class Linter:
             for line in san:
                 for m in UNORDERED_DECL_RE.finditer(line):
                     self.unordered_names.add(m.group(1))
+                for m in UNORDERED_ALIAS_USING_RE.finditer(line):
+                    self.unordered_aliases.add(m.group(1))
+                for m in UNORDERED_ALIAS_TYPEDEF_RE.finditer(line):
+                    self.unordered_aliases.add(m.group(1))
+
+        # Pass 1.5: declarations typed by a collected alias register their
+        # variable exactly like a direct unordered declaration would. Aliases
+        # are collected across every file first, so a header's `using CellMap
+        # = std::unordered_map<...>` covers a .cc's `CellMap cells_;`.
+        if self.unordered_aliases:
+            alias_alt = "|".join(sorted(re.escape(a) for a in self.unordered_aliases))
+            alias_decl_re = re.compile(
+                rf"\b(?:{alias_alt})\s+(\w+)\s*(?:;|=|\{{)"
+            )
+            for path in self.files:
+                for line in self.sanitized[path]:
+                    for m in alias_decl_re.finditer(line):
+                        self.unordered_names.add(m.group(1))
 
         for path in self.files:
             rel = self.rel(path)
@@ -237,10 +298,29 @@ class Linter:
                     if not hit:
                         continue
                     if rule["id"] in allow[lineno]:
+                        self.used_allows.add((rel, allow[lineno][rule["id"]], rule["id"]))
                         continue
                     self.findings.append(Finding(rel, lineno, rule["id"], rule["message"]))
         self.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
         return self.findings
+
+    def stale_allow_findings(self, known_rules: set[str]) -> list[Finding]:
+        """--strict-allow audit: every allow() whose rule id never suppressed
+        a finding is stale — the hazard was fixed (drop the comment) or the
+        rule id is misspelled (the comment never protected anything)."""
+        stale = []
+        for path in self.files:
+            rel = self.rel(path)
+            for line, rule_id in collect_allow_origins(self.raw[path]):
+                if (rel, line, rule_id) in self.used_allows:
+                    continue
+                why = ("unknown rule id" if rule_id not in known_rules
+                       else "rule no longer fires on the suppressed line")
+                stale.append(Finding(
+                    rel, line, "stale-allow",
+                    f"allow({rule_id}) suppresses nothing ({why}); "
+                    f"delete the comment or fix the rule id"))
+        return stale
 
     def _unordered_iter_hit(self, code: str):
         for m in RANGE_FOR_RE.finditer(code):
@@ -248,6 +328,10 @@ class Linter:
             if "unordered_" in range_expr:
                 return True
             if trailing_identifier(range_expr) in self.unordered_names:
+                return True
+            # A temporary / cast spelled via a collected alias type.
+            if any(re.search(rf"\b{re.escape(a)}\b", range_expr)
+                   for a in self.unordered_aliases):
                 return True
         return False
 
@@ -269,6 +353,7 @@ def run_env_doc(linter: Linter, rule: dict, readme_text: str) -> list[Finding]:
                 if name in readme_text:
                     continue
                 if rule["id"] in allow[lineno]:
+                    linter.used_allows.add((rel, allow[lineno][rule["id"]], rule["id"]))
                     continue
                 findings.append(
                     Finding(rel, lineno, rule["id"], f"{rule['message']} (knob: {name})")
@@ -302,6 +387,9 @@ def main(argv: list[str]) -> int:
     mode.add_argument("--root", metavar="DIR", help="lint every C++ file under DIR (fixture mode)")
     ap.add_argument("--rules", metavar="DIR", help="rules directory (default: <script>/lint_rules)")
     ap.add_argument("--expect", metavar="FILE", help="selftest: compare findings to FILE")
+    ap.add_argument("--strict-allow", action="store_true",
+                    help="fail on allow() comments whose rule no longer fires "
+                         "on the suppressed line (stale-suppression audit)")
     ap.add_argument("--list-rules", action="store_true", help="print rule catalog and exit")
     args = ap.parse_args(argv)
 
@@ -333,6 +421,8 @@ def main(argv: list[str]) -> int:
     for rule in rules:
         if rule["kind"] == "env-doc":
             findings.extend(run_env_doc(linter, rule, readme_text))
+    if args.strict_allow:
+        findings.extend(linter.stale_allow_findings({r["id"] for r in rules}))
     findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
 
     if args.expect:

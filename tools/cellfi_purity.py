@@ -1,0 +1,696 @@
+#!/usr/bin/env python3
+"""cellfi_purity — cross-TU phase-purity analyzer for the CellFi tree.
+
+PR 7's parallel subframe phases and the DESIGN.md §13 observability layer
+both rest on *prose* purity contracts ("PlanDownlink is RNG-free",
+"instrumentation never draws Rng nor schedules events"). The bit-identity
+tests enforce them dynamically — but only along the scenarios a test
+happens to exercise. This tool proves them statically, at review time:
+
+  1. Extract every function definition in `src/` and an over-approximated
+     cross-TU call graph (an unresolvable callee is assumed effect-free;
+     a name shared by several definitions unions their effects).
+  2. Infer per-function effects from data-driven rules
+     (`tools/purity_rules/effects.json`):
+       draws_rng        stateful RNG use (Rng methods, std::mt19937,
+                        SplitMix64, std::random_device, rand)
+       schedules_event  event-queue / Timer scheduling
+       mutates_global   writes to process-global state (g_* convention,
+                        setenv) and to frozen shared epoch state
+                        (InterferenceMap's mutating API)
+       emits_trace      TraceSink / MetricsRegistry emission
+       takes_lock       lock acquisition
+  3. Propagate effects transitively from contract roots
+     (`tools/purity_rules/contracts.json`) and report every forbidden
+     effect reachable from a root, with the full call chain:
+
+       src/cellfi/lte/enodeb.cc:123: [parallel-shard-phase] \
+           EnodeB::PlanDownlink -> Helper -> Rng::Uniform: draws_rng
+
+Extraction prefers libclang (python bindings over the always-exported
+compile_commands.json); when the bindings are unavailable it degrades to a
+regex scanner with a non-silent notice, mirroring run_tidy.sh's graceful
+skip. The degraded mode is conservative-by-name: calls resolve to every
+indexed function with the same (optionally class-qualified) name.
+
+Contract roots must be *registered* at their definition site with
+
+  // cellfi-purity: contract-root(<contract>) <RootSpec>
+
+and listed in contracts.json; a root in only one of the two places is an
+annotation-drift finding, so a new parallel phase cannot appear without
+declaring its purity obligations (DESIGN.md §16).
+
+Suppression is per effect-site line, with stale-allow semantics identical
+to cellfi_lint.py:
+
+  h = HashWords(a, b);  // cellfi-purity: allow(draws_rng) — stateless hash
+
+Modes:
+  cellfi_purity.py --repo DIR             analyze DIR/src against the
+                                          frozen baseline (expected empty)
+  cellfi_purity.py --root DIR --rules D   fixture mode (purity_selftest)
+  ... --expect FILE                       compare findings to FILE exactly
+  ... --strict-allow                      fail on allow() comments whose
+                                          effect never fires on that line
+  ... --mode {auto,libclang,regex}        extraction backend (default auto)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from collections import deque
+from pathlib import Path
+
+from cellfi_lint import build_allow_map, collect_allow_origins, sanitize_lines
+
+CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp"}
+# Fixture trees contain planted violations; never analyze them in repo mode.
+REPO_EXCLUDE_PARTS = ("tests/purity_selftest", "tests/lint_selftest")
+
+ALLOW_RE = re.compile(r"cellfi-purity:\s*allow\(([^)]*)\)")
+ANNOTATION_RE = re.compile(r"cellfi-purity:\s*contract-root\(([\w-]+)\)\s+([\w:~]+)")
+CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*\(")
+QUALIFIER_RE = re.compile(r"([A-Za-z_]\w*)\s*::\s*$")
+MEMBER_RE = re.compile(r"(?:\.|->)\s*$")
+
+# Identifiers before '(' that are never call targets.
+NON_CALL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "decltype",
+    "static_assert", "noexcept", "catch", "throw", "new", "delete", "assert",
+    "defined", "alignas", "typeid", "co_await", "co_return", "co_yield",
+}
+SCOPE_KEYWORDS = NON_CALL_KEYWORDS | {"else", "do", "try", "case", "default"}
+
+CLASS_RE = re.compile(r"\b(?:class|struct|union|enum)\s+(?:class\s+|struct\s+)?"
+                      r"(?:\[\[[^\]]*\]\]\s*)?([A-Za-z_]\w*)")
+NAMESPACE_RE = re.compile(r"\bnamespace\s*([A-Za-z_][\w:]*)?\s*$")
+FUNC_NAME_RE = re.compile(r"([A-Za-z_~][\w]*(?:\s*::\s*[A-Za-z_~][\w]*)*)\s*$")
+
+
+class FunctionDef:
+    __slots__ = ("qual", "name", "path", "start", "end",
+                 "calls", "effect_sites")
+
+    def __init__(self, qual: str, path: str, start: int):
+        self.qual = qual
+        self.name = qual.rsplit("::", 1)[-1]
+        self.path = path
+        self.start = start
+        self.end = start
+        # (callee terminal name, explicit class qualifier or None, line)
+        self.calls: list[tuple[str, str | None, int]] = []
+        self.effect_sites: dict[str, list[int]] = {}
+
+    def display(self) -> str:
+        parts = self.qual.split("::")
+        if len(parts) >= 2 and parts[-2][:1].isupper():
+            return "::".join(parts[-2:])
+        return parts[-1]
+
+
+class Finding:
+    __slots__ = ("path", "line", "tag", "chain", "message")
+
+    def __init__(self, path: str, line: int, tag: str, chain: str, message: str):
+        self.path = path
+        self.line = line
+        self.tag = tag
+        self.chain = chain  # "Root -> f -> g: effect" or "" for meta findings
+        self.message = message
+
+    def key(self) -> str:
+        body = self.chain if self.chain else self.message
+        return f"{self.path}:{self.line}: [{self.tag}] {body}"
+
+    def render(self) -> str:
+        out = self.key()
+        if self.chain and self.message:
+            out += f"\n    {self.message}"
+        return out
+
+
+def blank_preprocessor(lines: list[str]) -> list[str]:
+    """Blank #directives (and their continuation lines) so macro bodies
+    never unbalance the brace scanner."""
+    out = []
+    cont = False
+    for line in lines:
+        is_pp = cont or line.lstrip().startswith("#")
+        cont = is_pp and line.rstrip().endswith("\\")
+        out.append("" if is_pp else line)
+    return out
+
+
+class RegexExtractor:
+    """Brace-tracking scanner: function definitions with qualified names
+    (namespace/class scope stack) and their body line ranges."""
+
+    def __init__(self, rel_path: str, sanitized: list[str]):
+        self.rel = rel_path
+        self.lines = blank_preprocessor(sanitized)
+        self.functions: list[FunctionDef] = []
+
+    def parse(self) -> list[FunctionDef]:
+        # Scope stack entries: (kind, name, FunctionDef | None).
+        stack: list[tuple[str, str, FunctionDef | None]] = []
+        buf: list[str] = []
+
+        def at_decl_scope() -> bool:
+            return all(kind in ("namespace", "class") for kind, _, _ in stack)
+
+        def qual_prefix() -> str:
+            parts = [name for kind, name, _ in stack
+                     if kind in ("namespace", "class") and name]
+            return "::".join(parts)
+
+        for lineno, line in enumerate(self.lines, start=1):
+            for ch in line:
+                if ch == "{":
+                    if at_decl_scope():
+                        kind, name = self._classify("".join(buf))
+                        fn = None
+                        if kind == "function" and name:
+                            qual = (qual_prefix() + "::" + name) if qual_prefix() else name
+                            fn = FunctionDef(qual, self.rel, lineno)
+                            self.functions.append(fn)
+                        stack.append((kind, name or "", fn))
+                        buf.clear()
+                    else:
+                        stack.append(("block", "", None))
+                elif ch == "}":
+                    if stack:
+                        kind, _, fn = stack.pop()
+                        if fn is not None:
+                            fn.end = lineno
+                elif ch == ";":
+                    if at_decl_scope():
+                        buf.clear()
+                else:
+                    if at_decl_scope():
+                        buf.append(ch)
+            if at_decl_scope():
+                buf.append("\n")
+        return self.functions
+
+    @staticmethod
+    def _classify(buf: str) -> tuple[str, str | None]:
+        s = " ".join(buf.split())
+        if not s:
+            return "block", None
+        m = NAMESPACE_RE.search(s)
+        if m is not None and "=" not in s:  # not a namespace alias
+            return "namespace", (m.group(1) or "(anon)").rsplit("::", 1)[-1]
+        cm = CLASS_RE.search(s)
+        # A braced initializer (`Foo x = {...}`) is never a definition scope.
+        if "=" in s.replace("==", "").replace("!=", "").replace("<=", "") \
+                   .replace(">=", "").split("(")[0]:
+            return "block", None
+        # Function: identifier immediately before the first top-level '('.
+        depth = 0
+        paren_at = -1
+        for i, ch in enumerate(s):
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth = max(0, depth - 1)
+            elif ch == "(" and depth == 0:
+                paren_at = i
+                break
+        if paren_at > 0:
+            head = s[:paren_at].rstrip()
+            if "operator" not in head:
+                fm = FUNC_NAME_RE.search(head)
+                if fm is not None:
+                    name = re.sub(r"\s*", "", fm.group(1))
+                    if name.rsplit("::", 1)[-1] not in SCOPE_KEYWORDS:
+                        return "function", name
+        if cm is not None:
+            return "class", cm.group(1)
+        return "block", None
+
+
+def extract_calls(fn: FunctionDef, sanitized: list[str]) -> None:
+    for lineno in range(fn.start, fn.end + 1):
+        text = sanitized[lineno - 1]
+        for m in CALL_RE.finditer(text):
+            name = m.group(1)
+            if name in NON_CALL_KEYWORDS:
+                continue
+            prefix = text[: m.start(1)]
+            qm = QUALIFIER_RE.search(prefix)
+            qualifier = qm.group(1) if qm else None
+            if qualifier in ("std", "cellfi", "obs", "lte", "json", "chaos",
+                            "scenario"):
+                qualifier = None  # namespace, not a class: resolve by name
+            fn.calls.append((name, qualifier, lineno))
+
+
+class Analyzer:
+    def __init__(self, root: Path, files: list[Path], rules_dir: Path):
+        self.root = root
+        self.files = files
+        self.rules_dir = rules_dir
+        self.effects = self._load_effects(rules_dir / "effects.json")
+        self.contracts = self._load_contracts(rules_dir / "contracts.json")
+        self.raw: dict[str, list[str]] = {}
+        self.sanitized: dict[str, list[str]] = {}
+        self.functions: list[FunctionDef] = []
+        self.by_name: dict[str, list[FunctionDef]] = {}
+        self.used_allows: set[tuple[str, int, str]] = set()
+        self.findings: list[Finding] = []
+
+    @staticmethod
+    def _load_effects(path: Path) -> dict:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        effects = {}
+        for name, spec in doc.items():
+            if name.startswith("_"):
+                continue
+            effects[name] = {
+                "message": spec.get("message", name),
+                "body": [re.compile(p) for p in spec.get("body", [])],
+                "functions": [re.compile(rf"(?:^|::)(?:{p})$")
+                              for p in spec.get("functions", [])],
+            }
+        if not effects:
+            raise SystemExit(f"cellfi_purity: no effects in {path}")
+        return effects
+
+    @staticmethod
+    def _load_contracts(path: Path) -> list[dict]:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        contracts = [c for c in doc if not c.get("_comment_only")]
+        for c in contracts:
+            for field in ("name", "roots", "forbid"):
+                if field not in c:
+                    raise SystemExit(
+                        f"cellfi_purity: contract in {path} missing '{field}'")
+        return contracts
+
+    def rel(self, path: Path) -> str:
+        return path.relative_to(self.root).as_posix()
+
+    # ---- extraction -----------------------------------------------------
+
+    def load_sources(self) -> None:
+        for path in self.files:
+            rel = self.rel(path)
+            text = path.read_text(encoding="utf-8", errors="replace")
+            self.raw[rel] = text.splitlines()
+            self.sanitized[rel] = sanitize_lines(text)
+
+    def extract_regex(self) -> None:
+        for path in self.files:
+            rel = self.rel(path)
+            fns = RegexExtractor(rel, self.sanitized[rel]).parse()
+            body_lines = blank_preprocessor(self.sanitized[rel])
+            for fn in fns:
+                extract_calls(fn, body_lines)
+            self.functions.extend(fns)
+        self.functions.sort(key=lambda f: (f.path, f.start, f.qual))
+        for fn in self.functions:
+            self.by_name.setdefault(fn.name, []).append(fn)
+
+    def extract_libclang(self, build_dir: Path) -> None:
+        """AST-precise extraction. Any failure (missing bindings, missing
+        compile database, parse errors) raises — the caller degrades to the
+        regex backend with a notice."""
+        import clang.cindex as ci  # noqa: F401 — ImportError => degrade
+
+        index = ci.Index.create()
+        db = ci.CompilationDatabase.fromDirectory(str(build_dir))
+        want = {str(p) for p in self.files}
+        seen: dict[str, FunctionDef] = {}
+
+        def qual_name(cursor) -> str:
+            parts = []
+            c = cursor
+            while c is not None and c.kind != ci.CursorKind.TRANSLATION_UNIT:
+                if c.spelling:
+                    parts.append(c.spelling)
+                c = c.semantic_parent
+            return "::".join(reversed(parts))
+
+        def visit(cursor, fn_stack):
+            kind = cursor.kind
+            is_fn = kind in (ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+                             ci.CursorKind.CONSTRUCTOR, ci.CursorKind.DESTRUCTOR)
+            current = fn_stack[-1] if fn_stack else None
+            pushed = False
+            if is_fn and cursor.is_definition() and cursor.location.file and \
+                    str(cursor.location.file) in want:
+                rel = Path(str(cursor.location.file)).resolve() \
+                    .relative_to(self.root).as_posix()
+                qual = qual_name(cursor)
+                fn = seen.get(qual + "@" + rel)
+                if fn is None:
+                    fn = FunctionDef(qual, rel, cursor.extent.start.line)
+                    fn.end = cursor.extent.end.line
+                    seen[qual + "@" + rel] = fn
+                fn_stack.append(fn)
+                pushed = True
+                current = fn
+            elif kind == ci.CursorKind.CALL_EXPR and current is not None:
+                ref = cursor.referenced
+                name = (ref.spelling if ref is not None else cursor.spelling) or ""
+                if name:
+                    current.calls.append((name, None, cursor.location.line))
+            for child in cursor.get_children():
+                visit(child, fn_stack)
+            if pushed:
+                fn_stack.pop()
+
+        for path in sorted(want):
+            if not path.endswith((".cc", ".cpp", ".cxx")):
+                continue
+            cmds = db.getCompileCommands(path)
+            args = []
+            if cmds:
+                args = [a for a in list(cmds[0].arguments)[1:-1]
+                        if a not in ("-c", "-o")]
+            tu = index.parse(path, args=args)
+            visit(tu.cursor, [])
+        self.functions = sorted(seen.values(), key=lambda f: (f.path, f.start, f.qual))
+        for fn in self.functions:
+            self.by_name.setdefault(fn.name, []).append(fn)
+
+    # ---- effects --------------------------------------------------------
+
+    def compute_direct_effects(self) -> None:
+        for fn in self.functions:
+            body = blank_preprocessor(self.sanitized[fn.path])
+            for effect, spec in self.effects.items():
+                sites: list[int] = []
+                if any(p.search(fn.qual) for p in spec["functions"]):
+                    sites.append(fn.start)
+                for lineno in range(fn.start, min(fn.end, len(body)) + 1):
+                    if any(p.search(body[lineno - 1]) for p in spec["body"]):
+                        sites.append(lineno)
+                if sites:
+                    fn.effect_sites[effect] = sorted(set(sites))
+
+    def resolve(self, name: str, qualifier: str | None,
+                caller_path: str) -> list[FunctionDef]:
+        cands = self.by_name.get(name, [])
+        if qualifier:
+            suffix = f"{qualifier}::{name}"
+            return [f for f in cands
+                    if f.qual == suffix or f.qual.endswith("::" + suffix)]
+        # Anonymous-namespace definitions have TU-local linkage: if the
+        # caller's file defines this name in an anonymous namespace, the call
+        # cannot reach same-named functions in other TUs.
+        local = [f for f in cands
+                 if f.path == caller_path and "(anon)" in f.qual]
+        return local if local else cands
+
+    # ---- contracts ------------------------------------------------------
+
+    def match_roots(self, spec: str) -> list[FunctionDef]:
+        return [f for f in self.functions
+                if f.qual == spec or f.qual.endswith("::" + spec)]
+
+    def check_contracts(self) -> None:
+        contracts_rel = self._rules_rel("contracts.json")
+        emitted: set[str] = set()
+        for contract in self.contracts:
+            cname = contract["name"]
+            forbid = contract["forbid"]
+            for spec in contract["roots"]:
+                roots = self.match_roots(spec)
+                if not roots:
+                    self.findings.append(Finding(
+                        contracts_rel, 1, cname, "",
+                        f"root '{spec}' matches no function definition in the "
+                        f"scanned tree (renamed or removed? update the "
+                        f"contract and its source annotation)"))
+                    continue
+                for root in roots:
+                    self._bfs(cname, spec, root, forbid, emitted)
+        self.findings.sort(key=lambda f: (f.path, f.line, f.tag, f.chain, f.message))
+
+    def _bfs(self, cname: str, spec: str, root: FunctionDef,
+             forbid: list[str], emitted: set[str]) -> None:
+        # Shortest chain from the root to every reachable forbidden effect
+        # site; deterministic because neighbors expand in sorted order.
+        start = (root.path, root.qual)
+        parents: dict[tuple[str, str], FunctionDef] = {start: root}
+        order: dict[tuple[str, str], tuple[str, str] | None] = {start: None}
+        queue = deque([start])
+        while queue:
+            key = queue.popleft()
+            fn = parents[key]
+            self._report_sites(cname, fn, key, order, parents, forbid, emitted)
+            callees: dict[tuple[str, str], FunctionDef] = {}
+            for name, qualifier, _line in fn.calls:
+                for callee in self.resolve(name, qualifier, fn.path):
+                    callees[(callee.path, callee.qual)] = callee
+            for ckey in sorted(callees):
+                if ckey in order:
+                    continue
+                parents[ckey] = callees[ckey]
+                order[ckey] = key
+                queue.append(ckey)
+
+    def _report_sites(self, cname, fn, key, order, parents, forbid, emitted):
+        for effect in forbid:
+            sites = fn.effect_sites.get(effect)
+            if not sites:
+                continue
+            chain_fns = []
+            k = key
+            while k is not None:
+                chain_fns.append(parents[k])
+                k = order[k]
+            chain = " -> ".join(f.display() for f in reversed(chain_fns))
+            # The reporting (and suppression) unit is the function's FIRST
+            # effect site: an allow() there declares the whole function's use
+            # of the effect deliberate (e.g. a stateless hash).
+            site = sites[0]
+            allow = self._allow_map(fn.path)
+            if effect in allow[site]:
+                self.used_allows.add((fn.path, allow[site][effect], effect))
+                continue
+            finding = Finding(fn.path, site, cname,
+                              f"{chain}: {effect}",
+                              self.effects[effect]["message"])
+            if finding.key() in emitted:
+                continue
+            emitted.add(finding.key())
+            self.findings.append(finding)
+
+    _allow_cache: dict[str, list] = {}
+
+    def _allow_map(self, rel: str):
+        cached = self._allow_cache.get(rel)
+        if cached is None:
+            cached = build_allow_map(self.raw[rel], self.sanitized[rel], ALLOW_RE)
+            self._allow_cache[rel] = cached
+        return cached
+
+    def _rules_rel(self, name: str) -> str:
+        p = self.rules_dir / name
+        try:
+            return p.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return p.as_posix()
+
+    # ---- annotations ----------------------------------------------------
+
+    def check_annotations(self) -> None:
+        """Two-way registration: every contracts.json root is annotated at a
+        definition/declaration site, and every annotation names a contract
+        root that exists — so adding a parallel phase without declaring its
+        purity obligations (or retiring one silently) is a finding."""
+        contracts_rel = self._rules_rel("contracts.json")
+        declared = {(c["name"], spec) for c in self.contracts for spec in c["roots"]}
+        annotated: dict[tuple[str, str], tuple[str, int]] = {}
+        for rel in sorted(self.raw):
+            for lineno, line in enumerate(self.raw[rel], start=1):
+                for m in ANNOTATION_RE.finditer(line):
+                    annotated.setdefault((m.group(1), m.group(2)), (rel, lineno))
+        for cname, spec in sorted(declared - set(annotated)):
+            self.findings.append(Finding(
+                contracts_rel, 1, cname, "",
+                f"root '{spec}' is not annotated at its definition — add "
+                f"'// cellfi-purity: contract-root({cname}) {spec}'"))
+        for (cname, spec), (rel, lineno) in sorted(annotated.items()):
+            if (cname, spec) not in declared:
+                self.findings.append(Finding(
+                    rel, lineno, cname, "",
+                    f"annotation contract-root({cname}) {spec} has no matching "
+                    f"entry in contracts.json — register the root there too"))
+
+    # ---- stale allows ---------------------------------------------------
+
+    def stale_allow_findings(self) -> list[Finding]:
+        stale = []
+        for rel in sorted(self.raw):
+            for line, effect in collect_allow_origins(self.raw[rel], ALLOW_RE):
+                if (rel, line, effect) in self.used_allows:
+                    continue
+                why = ("unknown effect" if effect not in self.effects
+                       else "no forbidden-effect chain ends on this line")
+                stale.append(Finding(
+                    rel, line, "stale-allow", "",
+                    f"allow({effect}) suppresses nothing ({why}); delete the "
+                    f"comment or fix the effect name"))
+        return stale
+
+
+def collect_files(root: Path, repo_mode: bool) -> list[Path]:
+    tops = [root / "src"] if repo_mode else [root]
+    files: list[Path] = []
+    for top in tops:
+        if not top.is_dir():
+            continue
+        for path in sorted(top.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            if repo_mode and any(part in rel for part in REPO_EXCLUDE_PARTS):
+                continue
+            files.append(path)
+    return files
+
+
+def load_baseline(path: Path) -> list[str]:
+    if not path.is_file():
+        return []
+    return [ln.strip() for ln in path.read_text(encoding="utf-8").splitlines()
+            if ln.strip() and not ln.lstrip().startswith("#")]
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode_group = ap.add_mutually_exclusive_group()
+    mode_group.add_argument("--repo", metavar="DIR",
+                            help="repo root; analyzes DIR/src vs the baseline")
+    mode_group.add_argument("--root", metavar="DIR",
+                            help="analyze every C++ file under DIR (fixtures)")
+    ap.add_argument("--rules", metavar="DIR",
+                    help="rules dir with effects.json + contracts.json "
+                         "(default: <script>/purity_rules)")
+    ap.add_argument("--baseline", metavar="FILE",
+                    help="frozen findings baseline "
+                         "(default: <script>/purity_baseline.txt; repo mode)")
+    ap.add_argument("--expect", metavar="FILE",
+                    help="selftest: compare findings to FILE exactly")
+    ap.add_argument("--mode", choices=("auto", "libclang", "regex"),
+                    default="auto", help="extraction backend (default auto)")
+    ap.add_argument("--build-dir", metavar="DIR",
+                    help="build dir with compile_commands.json (libclang mode; "
+                         "default <root>/build)")
+    ap.add_argument("--strict-allow", action="store_true",
+                    help="fail on allow() comments that suppress nothing")
+    ap.add_argument("--list-effects", action="store_true")
+    ap.add_argument("--list-contracts", action="store_true")
+    args = ap.parse_args(argv)
+
+    script_dir = Path(__file__).resolve().parent
+    rules_dir = Path(args.rules) if args.rules else script_dir / "purity_rules"
+    if args.repo is None and args.root is None:
+        ap.error("one of --repo or --root is required")
+    repo_mode = args.repo is not None
+    root = Path(args.repo if repo_mode else args.root).resolve()
+    if not root.is_dir():
+        print(f"cellfi_purity: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    files = collect_files(root, repo_mode)
+    if not files:
+        print(f"cellfi_purity: no C++ files under {root}", file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(root, files, rules_dir)
+    if args.list_effects:
+        for name, spec in analyzer.effects.items():
+            print(f"{name:<18} {spec['message']}")
+        return 0
+    if args.list_contracts:
+        for c in analyzer.contracts:
+            print(f"{c['name']}: forbid {','.join(c['forbid'])}")
+            for spec in c["roots"]:
+                print(f"    {spec}")
+        return 0
+
+    analyzer.load_sources()
+    backend = args.mode
+    if backend in ("auto", "libclang"):
+        build_dir = Path(args.build_dir) if args.build_dir else root / "build"
+        try:
+            analyzer.extract_libclang(build_dir)
+            backend = "libclang"
+        except Exception as exc:  # noqa: BLE001 — degrade on *any* failure
+            if args.mode == "libclang":
+                print(f"cellfi_purity: libclang extraction failed: {exc}",
+                      file=sys.stderr)
+                return 2
+            print("cellfi_purity: libclang unavailable "
+                  f"({type(exc).__name__}: {exc}) — degraded regex mode "
+                  "(name-resolved call graph; install python3-clang for "
+                  "AST-precise edges)")
+            backend = "regex"
+    if backend == "regex":
+        analyzer.extract_regex()
+
+    analyzer.compute_direct_effects()
+    analyzer.check_annotations()
+    analyzer.check_contracts()
+    if args.strict_allow:
+        analyzer.findings.extend(analyzer.stale_allow_findings())
+    analyzer.findings.sort(
+        key=lambda f: (f.path, f.line, f.tag, f.chain, f.message))
+    findings = analyzer.findings
+    stats = (f"{len(analyzer.functions)} functions in {len(files)} files, "
+             f"{len(analyzer.contracts)} contracts, backend={backend}")
+
+    if args.expect:
+        expected = [ln.strip()
+                    for ln in Path(args.expect).read_text(encoding="utf-8").splitlines()
+                    if ln.strip() and not ln.lstrip().startswith("#")]
+        actual = [f.key() for f in findings]
+        if actual == expected:
+            print(f"cellfi_purity selftest OK: {len(actual)} expected "
+                  f"finding(s) matched ({stats})")
+            return 0
+        print("cellfi_purity selftest FAILED — findings differ:")
+        for line in sorted(set(expected) - set(actual)):
+            print(f"  missing:    {line}")
+        for line in sorted(set(actual) - set(expected)):
+            print(f"  unexpected: {line}")
+        if actual != expected and set(actual) == set(expected):
+            print("  (same findings, different order)")
+        return 1
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else script_dir / "purity_baseline.txt")
+    baseline = load_baseline(baseline_path) if repo_mode or args.baseline else []
+    actual_keys = [f.key() for f in findings]
+    new = [f for f in findings if f.key() not in set(baseline)]
+    stale = sorted(set(baseline) - set(actual_keys))
+    frozen = len(actual_keys) - len(new)
+
+    if stale:
+        print("cellfi_purity: stale baseline entries (fixed debt — prune "
+              f"{baseline_path.name}):")
+        for line in stale:
+            print(f"  {line}")
+    if frozen:
+        print(f"cellfi_purity: {frozen} baselined finding(s) suppressed")
+    if new:
+        for f in new:
+            print(f.render())
+        print(f"\ncellfi_purity: {len(new)} new finding(s) ({stats})")
+        return 1
+    print(f"cellfi_purity: clean — {stats}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,6 +9,7 @@
 #                       (skips cleanly when clang-tidy is not installed)
 #
 # Usage: tools/check.sh [--fast] [--bench] [--trace] [--chaos] [--shard]
+#                       [--purity] [--static]
 #   --fast   skip the sanitizer stage (inner-loop use; CI runs everything)
 #   --bench  additionally run the bench_smoke suite (1-rep end-to-end runs
 #            of every sweep bench, including the bench_scale bit-identity
@@ -28,6 +29,15 @@
 #            suite (`ctest -L shard`: worker pool, neighbor graph, shard
 #            grid, multi-threaded subframe bit-identity) under
 #            ThreadSanitizer — the data-race gate for DESIGN.md §15.
+#   --purity additionally run the phase-purity analyzer
+#            (tools/cellfi_purity.py --repo . --strict-allow) against the
+#            frozen (empty) baseline — the static proof of the DESIGN.md
+#            §16 determinism contracts.
+#   --static run ONLY the static gates — determinism lint (--strict-allow),
+#            clang-tidy vs baseline, and the purity analyzer — with a
+#            configure-only cmake step for compile_commands.json and no
+#            builds or sanitizers. Seconds, not minutes; the pre-push
+#            inner loop.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -38,6 +48,8 @@ BENCH=0
 TRACE=0
 CHAOS=0
 SHARD=0
+PURITY=0
+STATIC=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -45,11 +57,31 @@ for arg in "$@"; do
     --trace) TRACE=1 ;;
     --chaos) CHAOS=1 ;;
     --shard) SHARD=1 ;;
+    --purity) PURITY=1 ;;
+    --static) STATIC=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
 
 step() { printf '\n=== check.sh: %s ===\n' "$*"; }
+
+if [[ "$STATIC" -eq 1 ]]; then
+  step "configure only (check preset, for compile_commands.json)"
+  cmake --preset check
+
+  step "determinism lint (cellfi_lint.py --strict-allow)"
+  python3 tools/cellfi_lint.py --repo "$ROOT" --strict-allow
+
+  step "clang-tidy vs frozen baseline"
+  tools/run_tidy.sh --build-dir "$ROOT/build-check"
+
+  step "phase-purity analyzer vs frozen baseline"
+  python3 tools/cellfi_purity.py --repo "$ROOT" --strict-allow \
+    --build-dir "$ROOT/build-check"
+
+  step "all static gates passed"
+  exit 0
+fi
 
 step "configure + build (check preset: hardened warnings, -Werror)"
 cmake --preset check
@@ -98,6 +130,12 @@ fi
 
 step "clang-tidy vs frozen baseline"
 tools/run_tidy.sh --build-dir "$ROOT/build-check"
+
+if [[ "$PURITY" -eq 1 ]]; then
+  step "phase-purity analyzer vs frozen baseline"
+  python3 tools/cellfi_purity.py --repo "$ROOT" --strict-allow \
+    --build-dir "$ROOT/build-check"
+fi
 
 if [[ "$BENCH" -eq 1 ]]; then
   step "bench_smoke suite (1-rep sweeps + bench_scale bit-identity gate)"

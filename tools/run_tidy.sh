@@ -45,6 +45,9 @@ if [[ -z "$TIDY" ]]; then
   echo "run_tidy: the lint_test / warning gates still cover this tree."
   exit 0
 fi
+# Print the resolved binary and version: baseline drift between clang-tidy
+# releases is the first thing to rule out when the gate fires in CI only.
+echo "run_tidy: using $TIDY ($("$TIDY" --version | sed -n 's/.*version */version /p' | head -n1))"
 
 if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
   echo "run_tidy: $BUILD_DIR/compile_commands.json missing — configure first:" >&2
