@@ -6,6 +6,7 @@
 #include "cellfi/chaos/invariants.h"
 #include "cellfi/common/fft.h"
 #include "cellfi/common/json.h"
+#include "cellfi/common/simd.h"
 #include "cellfi/core/interference_manager.h"
 #include "cellfi/lte/enodeb.h"
 #include "cellfi/phy/ofdm.h"
@@ -18,6 +19,15 @@
 using namespace cellfi;
 
 namespace {
+
+// RAII force-scalar toggle for the in-binary SIMD-vs-scalar A/B pairs
+// below. google-benchmark runs registrations sequentially in one thread,
+// which is exactly the single-threaded regime simd::ForceScalar requires.
+struct ScopedForceScalar {
+  explicit ScopedForceScalar(bool force) : prev(simd::ForceScalar(force)) {}
+  ~ScopedForceScalar() { simd::ForceScalar(prev); }
+  bool prev;
+};
 
 void BM_Fft(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -32,6 +42,24 @@ void BM_Fft(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Same transform pinned to the scalar reference kernels — the denominator
+// of the DftInto/Fft speedup claims in EXPERIMENTS.md. Results are
+// bit-identical to BM_Fft (DESIGN.md §17 contract); only the time differs.
+void BM_FftScalar(benchmark::State& state) {
+  ScopedForceScalar scalar_only(true);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<Complex> data(n);
+  for (auto& v : data) v = Complex(rng.Normal(), rng.Normal());
+  for (auto _ : state) {
+    auto copy = data;
+    Fft(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftScalar)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_BluesteinDft839(benchmark::State& state) {
   Rng rng(2);
@@ -56,6 +84,65 @@ void BM_BluesteinDftInto839(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BluesteinDftInto839);
+
+void BM_BluesteinDftInto839Scalar(benchmark::State& state) {
+  ScopedForceScalar scalar_only(true);
+  Rng rng(2);
+  std::vector<Complex> data(839);
+  for (auto& v : data) v = Complex(rng.Normal(), rng.Normal());
+  DftWorkspace ws;
+  std::vector<Complex> out;
+  for (auto _ : state) {
+    DftInto(data, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BluesteinDftInto839Scalar);
+
+// SINR denominator accumulation kernel in isolation, over the three
+// summation strategies: the pre-§17 serial left-to-right loop, the blocked
+// 8-lane order on the scalar path, and the dispatched SIMD kernel. The
+// blocked orders produce identical bits to each other (not to serial —
+// that reassociation is the one-time epsilon audited by
+// simd_kernels_test).
+void BM_DenomAccumSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> terms(n);
+  for (auto& t : terms) t = rng.Uniform(1e-12, 1e-6);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double t : terms) acc += t;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DenomAccumSerial)->Arg(256)->Arg(1024);
+
+void BM_DenomAccumBlockedScalar(benchmark::State& state) {
+  ScopedForceScalar scalar_only(true);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> terms(n);
+  for (auto& t : terms) t = rng.Uniform(1e-12, 1e-6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::BlockedSum8(terms.data(), terms.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DenomAccumBlockedScalar)->Arg(256)->Arg(1024);
+
+void BM_DenomAccumBlockedSimd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> terms(n);
+  for (auto& t : terms) t = rng.Uniform(1e-12, 1e-6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::BlockedSum8(terms.data(), terms.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DenomAccumBlockedSimd)->Arg(256)->Arg(1024);
 
 void BM_OfdmModulate(benchmark::State& state) {
   OfdmParams params;
@@ -93,6 +180,52 @@ void BM_PrachDetect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PrachDetect);
+
+// Multi-preamble search, K root sequences over one received window:
+// K independent PrachDetector::DetectAll calls (K forward DFTs of the
+// same signal) vs one PrachDetectorBank::DetectAll (one forward DFT,
+// K spectrum-multiplies + inverse DFTs). Detections are bit-identical;
+// the bank amortizes the forward transform.
+std::vector<int> BenchPrachRoots(int k) {
+  std::vector<int> roots;
+  for (int i = 0; i < k; ++i) roots.push_back(17 + 6 * i);
+  return roots;
+}
+
+void BM_PrachDetectAllPerDetector(benchmark::State& state) {
+  PrachConfig cfg;
+  const auto roots = BenchPrachRoots(static_cast<int>(state.range(0)));
+  std::vector<PrachDetector> detectors;
+  for (int r : roots) {
+    PrachConfig c = cfg;
+    c.root = r;
+    detectors.emplace_back(c);
+  }
+  Rng rng(3);
+  const auto rx = PassThroughAwgn(GeneratePreamble(cfg, 17), 5, -10.0, rng);
+  for (auto _ : state) {
+    for (auto& d : detectors) {
+      auto det = d.DetectAll(rx);
+      benchmark::DoNotOptimize(&det);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(roots.size()));
+}
+BENCHMARK(BM_PrachDetectAllPerDetector)->Arg(4)->Arg(8);
+
+void BM_PrachDetectAllBank(benchmark::State& state) {
+  PrachConfig cfg;
+  const auto roots = BenchPrachRoots(static_cast<int>(state.range(0)));
+  PrachDetectorBank bank(cfg, roots);
+  Rng rng(3);
+  const auto rx = PassThroughAwgn(GeneratePreamble(cfg, 17), 5, -10.0, rng);
+  for (auto _ : state) {
+    auto det = bank.DetectAll(rx);
+    benchmark::DoNotOptimize(&det);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(roots.size()));
+}
+BENCHMARK(BM_PrachDetectAllBank)->Arg(4)->Arg(8);
 
 void BM_SinrAggregation(benchmark::State& state) {
   static HataUrbanPathLoss pathloss;

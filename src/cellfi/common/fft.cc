@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
+
+#include "cellfi/common/simd.h"
 
 namespace cellfi {
 
@@ -15,71 +18,146 @@ std::size_t NextPowerOfTwo(std::size_t n) {
 
 namespace {
 
-void FftImpl(Complex* a, std::size_t n, bool inverse) {
-  assert(IsPowerOfTwo(n));
+// Per-size radix-2 plan: bit-reversal permutation plus per-stage twiddle
+// tables. Stage with half-length h (h = 1, 2, ..., n/2) owns h entries at
+// offset h-1 (the halves sum to h-1), each evaluated directly as
+// cos/sin(-pi k / h) — no w *= wlen recurrence, so the last butterfly of a
+// stage is as accurate as the first. Inverse twiddles are the exact
+// negation of the forward imaginary parts.
+struct FftPlan {
+  std::size_t n = 0;
+  std::vector<std::size_t> bitrev;
+  std::vector<double> tw_re;
+  std::vector<double> tw_im;      // forward: sin(-pi k / h)
+  std::vector<double> tw_im_inv;  // inverse: -tw_im (exact)
+};
 
-  // Bit-reversal permutation.
+FftPlan BuildPlan(std::size_t n) {
+  assert(IsPowerOfTwo(n));
+  FftPlan plan;
+  plan.n = n;
+  plan.bitrev.assign(n, 0);
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
+    plan.bitrev[i] = j;
   }
-
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1 : -1);
-    const Complex wlen(std::cos(ang), std::sin(ang));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = a[i + k];
-        const Complex v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
+  const std::size_t tw_total = n - 1;
+  plan.tw_re.resize(tw_total);
+  plan.tw_im.resize(tw_total);
+  plan.tw_im_inv.resize(tw_total);
+  for (std::size_t half = 1; half < n; half <<= 1) {
+    const std::size_t off = half - 1;
+    for (std::size_t k = 0; k < half; ++k) {
+      const double ang = -M_PI * static_cast<double>(k) / static_cast<double>(half);
+      plan.tw_re[off + k] = std::cos(ang);
+      plan.tw_im[off + k] = std::sin(ang);
+      plan.tw_im_inv[off + k] = -plan.tw_im[off + k];
     }
   }
+  return plan;
+}
 
+const FftPlan& PlanPow2(std::size_t n) {
+  thread_local std::vector<std::pair<std::size_t, FftPlan>> cache;
+  for (auto& entry : cache) {
+    if (entry.first == n) return entry.second;
+  }
+  cache.emplace_back(n, BuildPlan(n));
+  return cache.back().second;
+}
+
+// Split-complex in-place transform. All arithmetic runs through the
+// cellfi::simd kernels, whose scalar reference defines the op order, so
+// CELLFI_SIMD=OFF and =ON builds are bit-identical.
+void FftSplit(double* re, double* im, std::size_t n, bool inverse) {
+  const FftPlan& plan = PlanPow2(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  for (std::size_t half = 1; half < n; half <<= 1) {
+    const std::size_t off = half - 1;
+    const double* twr = plan.tw_re.data() + off;
+    const double* twi =
+        (inverse ? plan.tw_im_inv : plan.tw_im).data() + off;
+    for (std::size_t i = 0; i < n; i += 2 * half) {
+      simd::ButterflyBlock(re + i, im + i, twr, twi, half);
+    }
+  }
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n);
-    for (std::size_t i = 0; i < n; ++i) a[i] *= inv_n;
+    simd::Scale(re, n, inv_n);
+    simd::Scale(im, n, inv_n);
   }
+}
+
+// Interleaved entry point: deinterleave into the workspace, transform
+// split, reinterleave.
+void FftInterleaved(Complex* data, std::size_t n, bool inverse,
+                    DftWorkspace& ws) {
+  assert(IsPowerOfTwo(n));
+  ws.re.resize(n);
+  ws.im.resize(n);
+  const double* src = reinterpret_cast<const double*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.re[i] = src[2 * i];
+    ws.im[i] = src[2 * i + 1];
+  }
+  FftSplit(ws.re.data(), ws.im.data(), n, inverse);
+  double* dst = reinterpret_cast<double*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[2 * i] = ws.re[i];
+    dst[2 * i + 1] = ws.im[i];
+  }
+}
+
+DftWorkspace& LocalWorkspace() {
+  thread_local DftWorkspace ws;
+  return ws;
 }
 
 }  // namespace
 
-void Fft(std::vector<Complex>& data) { FftImpl(data.data(), data.size(), /*inverse=*/false); }
+void Fft(std::vector<Complex>& data) {
+  FftInterleaved(data.data(), data.size(), /*inverse=*/false, LocalWorkspace());
+}
 
-void Ifft(std::vector<Complex>& data) { FftImpl(data.data(), data.size(), /*inverse=*/true); }
+void Ifft(std::vector<Complex>& data) {
+  FftInterleaved(data.data(), data.size(), /*inverse=*/true, LocalWorkspace());
+}
 
-void Fft(Complex* data, std::size_t n) { FftImpl(data, n, /*inverse=*/false); }
+void Fft(Complex* data, std::size_t n) {
+  FftInterleaved(data, n, /*inverse=*/false, LocalWorkspace());
+}
 
-void Ifft(Complex* data, std::size_t n) { FftImpl(data, n, /*inverse=*/true); }
+void Ifft(Complex* data, std::size_t n) {
+  FftInterleaved(data, n, /*inverse=*/true, LocalWorkspace());
+}
 
-std::vector<Complex> CircularCorrelate(const std::vector<Complex>& a,
-                                       const std::vector<Complex>& b) {
-  assert(a.size() == b.size());
-  std::vector<Complex> fa = a;
-  std::vector<Complex> fb = b;
-  Fft(fa);
-  Fft(fb);
-  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= std::conj(fb[i]);
-  Ifft(fa);
-  return fa;
+void Fft(Complex* data, std::size_t n, DftWorkspace& ws) {
+  FftInterleaved(data, n, /*inverse=*/false, ws);
+}
+
+void Ifft(Complex* data, std::size_t n, DftWorkspace& ws) {
+  FftInterleaved(data, n, /*inverse=*/true, ws);
 }
 
 namespace {
 
 // Bluestein: X[k] = conj(w[k]) * sum_n (x[n] conj(w[n])) w[k-n],
 // with w[n] = exp(-i pi n^2 / N); the convolution runs over a padded
-// power-of-two FFT. The chirp and the chirp-filter spectrum depend only on
-// (n, direction), so they are planned once and cached — the PRACH detector
-// calls this at line rate.
+// power-of-two FFT, entirely in split-complex form. The chirp and the
+// chirp-filter spectrum depend only on (n, direction), so they are planned
+// once and cached — the PRACH detector calls this at line rate.
 struct BluesteinPlan {
-  std::vector<Complex> w;       // chirp
-  std::vector<Complex> b_freq;  // FFT of the symmetric conj-chirp filter
-  std::size_t m = 0;            // padded length
+  std::vector<double> w_re, w_im;  // chirp
+  std::vector<double> b_re, b_im;  // spectrum of the symmetric conj-chirp filter
+  std::size_t m = 0;               // padded length
 };
 
 const BluesteinPlan& PlanFor(std::size_t n, bool inverse) {
@@ -90,20 +168,25 @@ const BluesteinPlan& PlanFor(std::size_t n, bool inverse) {
   }
   BluesteinPlan plan;
   const double sign = inverse ? 1.0 : -1.0;
-  plan.w.resize(n);
+  plan.w_re.resize(n);
+  plan.w_im.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     // i^2 mod 2n avoids precision loss for large i.
     const std::size_t sq = (i * i) % (2 * n);
     const double ang = sign * M_PI * static_cast<double>(sq) / static_cast<double>(n);
-    plan.w[i] = Complex(std::cos(ang), std::sin(ang));
+    plan.w_re[i] = std::cos(ang);
+    plan.w_im[i] = std::sin(ang);
   }
   plan.m = NextPowerOfTwo(2 * n - 1);
-  plan.b_freq.assign(plan.m, Complex(0, 0));
-  plan.b_freq[0] = std::conj(plan.w[0]);
+  plan.b_re.assign(plan.m, 0.0);
+  plan.b_im.assign(plan.m, 0.0);
+  plan.b_re[0] = plan.w_re[0];
+  plan.b_im[0] = -plan.w_im[0];
   for (std::size_t i = 1; i < n; ++i) {
-    plan.b_freq[i] = plan.b_freq[plan.m - i] = std::conj(plan.w[i]);
+    plan.b_re[i] = plan.b_re[plan.m - i] = plan.w_re[i];
+    plan.b_im[i] = plan.b_im[plan.m - i] = -plan.w_im[i];
   }
-  Fft(plan.b_freq);
+  FftSplit(plan.b_re.data(), plan.b_im.data(), plan.m, /*inverse=*/false);
   entries.emplace_back(n, std::move(plan));
   return entries.back().second;
 }
@@ -115,22 +198,36 @@ void BluesteinInto(const std::vector<Complex>& x, std::vector<Complex>& out,
   assert(&x != &out);
   if (IsPowerOfTwo(n)) {
     out = x;
-    FftImpl(out.data(), n, inverse);
+    FftInterleaved(out.data(), n, inverse, ws);
     return;
   }
 
   const BluesteinPlan& plan = PlanFor(n, inverse);
-  std::vector<Complex>& a = ws.padded;
-  a.assign(plan.m, Complex(0, 0));
-  for (std::size_t i = 0; i < n; ++i) a[i] = x[i] * plan.w[i];
-  FftImpl(a.data(), plan.m, /*inverse=*/false);
-  for (std::size_t i = 0; i < plan.m; ++i) a[i] *= plan.b_freq[i];
-  FftImpl(a.data(), plan.m, /*inverse=*/true);
+  const std::size_t m = plan.m;
+  ws.re.assign(m, 0.0);
+  ws.im.assign(m, 0.0);
+  const double* src = reinterpret_cast<const double*>(x.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xr = src[2 * i];
+    const double xi = src[2 * i + 1];
+    ws.re[i] = xr * plan.w_re[i] - xi * plan.w_im[i];
+    ws.im[i] = xr * plan.w_im[i] + xi * plan.w_re[i];
+  }
+  FftSplit(ws.re.data(), ws.im.data(), m, /*inverse=*/false);
+  simd::CMulSplit(ws.re.data(), ws.im.data(), plan.b_re.data(),
+                  plan.b_im.data(), m);
+  FftSplit(ws.re.data(), ws.im.data(), m, /*inverse=*/true);
 
   out.resize(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * plan.w[i];
+  double* dst = reinterpret_cast<double*>(out.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ar = ws.re[i];
+    const double ai = ws.im[i];
+    dst[2 * i] = ar * plan.w_re[i] - ai * plan.w_im[i];
+    dst[2 * i + 1] = ar * plan.w_im[i] + ai * plan.w_re[i];
+  }
   if (inverse) {
-    for (auto& v : out) v /= static_cast<double>(n);
+    simd::Scale(dst, 2 * n, 1.0 / static_cast<double>(n));
   }
 }
 
@@ -147,26 +244,50 @@ void IdftInto(const std::vector<Complex>& in, std::vector<Complex>& out,
 }
 
 std::vector<Complex> Dft(const std::vector<Complex>& data) {
-  DftWorkspace ws;
   std::vector<Complex> out;
-  DftInto(data, out, ws);
+  DftInto(data, out, LocalWorkspace());
   return out;
 }
 
 std::vector<Complex> Idft(const std::vector<Complex>& data) {
-  DftWorkspace ws;
   std::vector<Complex> out;
-  IdftInto(data, out, ws);
+  IdftInto(data, out, LocalWorkspace());
+  return out;
+}
+
+void CircularCorrelateAnyInto(const std::vector<Complex>& a,
+                              const std::vector<Complex>& b,
+                              std::vector<Complex>& out, DftWorkspace& ws) {
+  assert(a.size() == b.size());
+  assert(&out != &a && &out != &b);
+  DftInto(a, ws.fa, ws);
+  DftInto(b, ws.fb, ws);
+  simd::ConjMulInterleaved(reinterpret_cast<double*>(ws.fa.data()),
+                           reinterpret_cast<const double*>(ws.fa.data()),
+                           reinterpret_cast<const double*>(ws.fb.data()),
+                           ws.fa.size());
+  IdftInto(ws.fa, out, ws);
+}
+
+void CircularCorrelateInto(const std::vector<Complex>& a,
+                           const std::vector<Complex>& b,
+                           std::vector<Complex>& out, DftWorkspace& ws) {
+  assert(IsPowerOfTwo(a.size()));
+  CircularCorrelateAnyInto(a, b, out, ws);
+}
+
+std::vector<Complex> CircularCorrelate(const std::vector<Complex>& a,
+                                       const std::vector<Complex>& b) {
+  std::vector<Complex> out;
+  CircularCorrelateInto(a, b, out, LocalWorkspace());
   return out;
 }
 
 std::vector<Complex> CircularCorrelateAny(const std::vector<Complex>& a,
                                           const std::vector<Complex>& b) {
-  assert(a.size() == b.size());
-  std::vector<Complex> fa = Dft(a);
-  std::vector<Complex> fb = Dft(b);
-  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= std::conj(fb[i]);
-  return Idft(fa);
+  std::vector<Complex> out;
+  CircularCorrelateAnyInto(a, b, out, LocalWorkspace());
+  return out;
 }
 
 }  // namespace cellfi

@@ -1,7 +1,13 @@
-// In-place iterative radix-2 FFT.
+// Iterative radix-2 FFT with precomputed per-stage twiddle tables and
+// split-complex (separate re/im arrays) butterfly kernels (DESIGN.md §17).
 //
-// Used by the PRACH generator/detector (`cellfi/phy/prach*`). Sizes must be
-// powers of two; PRACH sequences of prime length are zero-padded by callers.
+// Used by the PRACH generator/detector (`cellfi/phy/prach*`) and the OFDM
+// modem. Sizes must be powers of two; PRACH sequences of prime length go
+// through the Bluestein chirp-z path (Dft/DftInto). Twiddles are tabulated
+// per stage with a direct cos/sin evaluation per index — the previous
+// `w *= wlen` recurrence accumulated rounding error across a stage — and
+// the butterflies run on the cellfi::simd kernel layer, so scalar and SIMD
+// builds produce bit-identical transforms.
 #pragma once
 
 #include <complex>
@@ -24,17 +30,31 @@ void Fft(std::vector<Complex>& data);
 void Ifft(std::vector<Complex>& data);
 
 /// Raw in-place variants over `n` (power of two) samples, for callers that
-/// manage their own buffers.
+/// manage their own buffers. These borrow a thread-local workspace for the
+/// split-complex deinterleave scratch.
 void Fft(Complex* data, std::size_t n);
 void Ifft(Complex* data, std::size_t n);
 
-/// Reusable workspace for the arbitrary-length DFT path. Holding one
-/// across calls makes DftInto/IdftInto allocation-free after the first
-/// call at a given length; the Bluestein chirp tables are planned and
-/// cached per thread independently of this buffer. A workspace is cheap to
-/// default-construct and must not be shared between threads.
+struct DftWorkspace;
+
+/// Workspace variants of the raw in-place transforms: reuse `ws` instead
+/// of the thread-local scratch (symbol-rate modem paths).
+void Fft(Complex* data, std::size_t n, DftWorkspace& ws);
+void Ifft(Complex* data, std::size_t n, DftWorkspace& ws);
+
+/// Reusable workspace for the transform paths. Holding one across calls
+/// makes DftInto/IdftInto/CircularCorrelate*Into allocation-free after the
+/// first call at a given length; the twiddle tables and Bluestein chirp
+/// tables are planned and cached per thread independently of this buffer.
+/// A workspace is cheap to default-construct and must not be shared
+/// between threads.
 struct DftWorkspace {
-  std::vector<Complex> padded;  // power-of-two convolution buffer
+  // Split-complex deinterleave / Bluestein convolution scratch.
+  std::vector<double> re;
+  std::vector<double> im;
+  // Spectrum scratch for the *Into correlation variants.
+  std::vector<Complex> fa;
+  std::vector<Complex> fb;
 };
 
 /// Forward DFT of `in` into `out` (resized to in.size()), reusing `ws`.
@@ -51,6 +71,13 @@ void IdftInto(const std::vector<Complex>& in, std::vector<Complex>& out,
 std::vector<Complex> CircularCorrelate(const std::vector<Complex>& a,
                                        const std::vector<Complex>& b);
 
+/// Scratch-buffer variant of CircularCorrelate: writes into `out` (resized)
+/// reusing `ws`, allocation-free once the workspace is warm. `out` must be
+/// distinct from `a`, `b` and the workspace vectors.
+void CircularCorrelateInto(const std::vector<Complex>& a,
+                           const std::vector<Complex>& b,
+                           std::vector<Complex>& out, DftWorkspace& ws);
+
 /// Forward DFT of arbitrary length via Bluestein's chirp-z algorithm
 /// (O(N log N) using the radix-2 FFT above). Needed for LTE PRACH
 /// sequences, whose length (839) is prime.
@@ -62,5 +89,11 @@ std::vector<Complex> Idft(const std::vector<Complex>& data);
 /// Circular cross-correlation for arbitrary (equal) lengths via Dft/Idft.
 std::vector<Complex> CircularCorrelateAny(const std::vector<Complex>& a,
                                           const std::vector<Complex>& b);
+
+/// Scratch-buffer variant of CircularCorrelateAny (same contract as
+/// CircularCorrelateInto, any equal length).
+void CircularCorrelateAnyInto(const std::vector<Complex>& a,
+                              const std::vector<Complex>& b,
+                              std::vector<Complex>& out, DftWorkspace& ws);
 
 }  // namespace cellfi

@@ -108,7 +108,8 @@ std::vector<Complex> AddAwgn(const std::vector<Complex>& symbols, double snr_db,
 }
 
 void OfdmModulate(const OfdmParams& params, const std::vector<Complex>& subcarriers,
-                  std::vector<Complex>& time_out, std::vector<Complex>& bins_scratch) {
+                  std::vector<Complex>& time_out, std::vector<Complex>& bins_scratch,
+                  DftWorkspace& ws) {
   assert(static_cast<int>(subcarriers.size()) == params.used_subcarriers);
   assert(params.used_subcarriers < params.fft_size);
   assert(IsPowerOfTwo(static_cast<std::size_t>(params.fft_size)));
@@ -116,7 +117,7 @@ void OfdmModulate(const OfdmParams& params, const std::vector<Complex>& subcarri
   for (int i = 0; i < params.used_subcarriers; ++i) {
     bins_scratch[static_cast<std::size_t>(i + 1)] = subcarriers[static_cast<std::size_t>(i)];
   }
-  Ifft(bins_scratch);
+  Ifft(bins_scratch.data(), bins_scratch.size(), ws);
   time_out.resize(static_cast<std::size_t>(params.fft_size + params.cp_len));
   std::size_t w = 0;
   for (int i = params.fft_size - params.cp_len; i < params.fft_size; ++i) {
@@ -125,6 +126,12 @@ void OfdmModulate(const OfdmParams& params, const std::vector<Complex>& subcarri
   for (int i = 0; i < params.fft_size; ++i) {
     time_out[w++] = bins_scratch[static_cast<std::size_t>(i)];
   }
+}
+
+void OfdmModulate(const OfdmParams& params, const std::vector<Complex>& subcarriers,
+                  std::vector<Complex>& time_out, std::vector<Complex>& bins_scratch) {
+  thread_local DftWorkspace ws;
+  OfdmModulate(params, subcarriers, time_out, bins_scratch, ws);
 }
 
 std::vector<Complex> OfdmModulate(const OfdmParams& params,
@@ -137,13 +144,20 @@ std::vector<Complex> OfdmModulate(const OfdmParams& params,
 
 void OfdmDemodulate(const OfdmParams& params, const std::vector<Complex>& time_samples,
                     std::vector<Complex>& subcarriers_out,
-                    std::vector<Complex>& bins_scratch) {
+                    std::vector<Complex>& bins_scratch, DftWorkspace& ws) {
   assert(static_cast<int>(time_samples.size()) >= params.fft_size + params.cp_len);
   bins_scratch.assign(time_samples.begin() + params.cp_len,
                       time_samples.begin() + params.cp_len + params.fft_size);
-  Fft(bins_scratch);
+  Fft(bins_scratch.data(), bins_scratch.size(), ws);
   subcarriers_out.assign(bins_scratch.begin() + 1,
                          bins_scratch.begin() + 1 + params.used_subcarriers);
+}
+
+void OfdmDemodulate(const OfdmParams& params, const std::vector<Complex>& time_samples,
+                    std::vector<Complex>& subcarriers_out,
+                    std::vector<Complex>& bins_scratch) {
+  thread_local DftWorkspace ws;
+  OfdmDemodulate(params, time_samples, subcarriers_out, bins_scratch, ws);
 }
 
 std::vector<Complex> OfdmDemodulate(const OfdmParams& params,

@@ -55,6 +55,13 @@ std::vector<Complex> OfdmModulate(const OfdmParams& params,
 void OfdmModulate(const OfdmParams& params, const std::vector<Complex>& subcarriers,
                   std::vector<Complex>& time_out, std::vector<Complex>& bins_scratch);
 
+/// As above, additionally reusing `ws` for the FFT's split-complex scratch
+/// instead of the thread-local workspace (callers that own a DftWorkspace
+/// anyway, e.g. a modem also running PRACH detection).
+void OfdmModulate(const OfdmParams& params, const std::vector<Complex>& subcarriers,
+                  std::vector<Complex>& time_out, std::vector<Complex>& bins_scratch,
+                  DftWorkspace& ws);
+
 /// Inverse of OfdmModulate: strip CP, FFT, extract the used bins.
 std::vector<Complex> OfdmDemodulate(const OfdmParams& params,
                                     const std::vector<Complex>& time_samples);
@@ -64,6 +71,11 @@ std::vector<Complex> OfdmDemodulate(const OfdmParams& params,
 void OfdmDemodulate(const OfdmParams& params, const std::vector<Complex>& time_samples,
                     std::vector<Complex>& subcarriers_out,
                     std::vector<Complex>& bins_scratch);
+
+/// As above with an explicit FFT workspace (see the OfdmModulate overload).
+void OfdmDemodulate(const OfdmParams& params, const std::vector<Complex>& time_samples,
+                    std::vector<Complex>& subcarriers_out,
+                    std::vector<Complex>& bins_scratch, DftWorkspace& ws);
 
 /// Convolve with a (short) channel impulse response, linearly.
 std::vector<Complex> ApplyChannel(const std::vector<Complex>& samples,

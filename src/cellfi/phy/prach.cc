@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
+#include "cellfi/common/simd.h"
 #include "cellfi/common/units.h"
 
 namespace cellfi {
@@ -43,23 +45,26 @@ std::vector<Complex> GeneratePreamble(const PrachConfig& config, int preamble_in
   return out;
 }
 
-PrachDetector::PrachDetector(const PrachConfig& config) : config_(config) {
-  root_freq_ = Dft(ZadoffChu(config.root, config.sequence_length));
+namespace {
+
+// dst = rx_spectrum * conj(root_spectrum), through the SIMD kernel layer.
+// Shared by PrachDetector and PrachDetectorBank so the two produce
+// bit-identical correlations (the bank-vs-detector identity gate in
+// tests/simd_kernels_test.cc rests on this).
+void CorrelationSpectrum(std::vector<Complex>& dst,
+                         const std::vector<Complex>& rx_freq,
+                         const std::vector<Complex>& root_freq) {
+  assert(rx_freq.size() == root_freq.size());
+  dst.resize(rx_freq.size());
+  simd::ConjMulInterleaved(reinterpret_cast<double*>(dst.data()),
+                           reinterpret_cast<const double*>(rx_freq.data()),
+                           reinterpret_cast<const double*>(root_freq.data()),
+                           rx_freq.size());
 }
 
-PrachDetection PrachDetector::Detect(const std::vector<Complex>& received) const {
-  assert(static_cast<int>(received.size()) == config_.sequence_length);
-
-  // Correlation 1: one frequency-domain circular correlation against the
-  // root sequence covers every cyclic shift at once.
-  std::vector<Complex>& rx_freq = freq_scratch_;
-  DftInto(received, rx_freq, ws_);
-  for (std::size_t i = 0; i < rx_freq.size(); ++i) rx_freq[i] *= std::conj(root_freq_[i]);
-  const std::vector<Complex>& corr = corr_scratch_;
-  IdftInto(rx_freq, corr_scratch_, ws_);
-
-  // Correlation 2 (the "check"): compare the strongest lag's power against
-  // the average correlation power.
+// Single-peak detection metric over one correlation (Detect).
+PrachDetection StrongestPeak(const PrachConfig& config,
+                             const std::vector<Complex>& corr) {
   double total_power = 0.0;
   double peak_power = 0.0;
   std::size_t peak_lag = 0;
@@ -75,22 +80,18 @@ PrachDetection PrachDetector::Detect(const std::vector<Complex>& received) const
 
   PrachDetection det;
   det.peak_to_average = avg > 0.0 ? peak_power / avg : 0.0;
-  det.detected = det.peak_to_average >= config_.detection_threshold;
+  det.detected = det.peak_to_average >= config.detection_threshold;
   det.shift_estimate = static_cast<int>(peak_lag);
-  det.preamble_estimate = det.shift_estimate / config_.cyclic_shift_step;
+  det.preamble_estimate = det.shift_estimate / config.cyclic_shift_step;
   return det;
 }
 
-std::vector<PrachDetection> PrachDetector::DetectAll(
-    const std::vector<Complex>& received) const {
-  assert(static_cast<int>(received.size()) == config_.sequence_length);
-  std::vector<Complex>& rx_freq = freq_scratch_;
-  DftInto(received, rx_freq, ws_);
-  for (std::size_t i = 0; i < rx_freq.size(); ++i) rx_freq[i] *= std::conj(root_freq_[i]);
-  const std::vector<Complex>& corr = corr_scratch_;
-  IdftInto(rx_freq, corr_scratch_, ws_);
-
-  std::vector<double>& power = power_scratch_;
+// Iterative peak peeling over one correlation (DetectAll): every peak
+// above threshold, re-estimating the noise floor after each peel so a
+// strong preamble does not mask a weak one. `power` is caller scratch.
+std::vector<PrachDetection> PeelPeaks(const PrachConfig& config,
+                                      const std::vector<Complex>& corr,
+                                      std::vector<double>& power) {
   power.resize(corr.size());
   double total = 0.0;
   for (std::size_t i = 0; i < corr.size(); ++i) {
@@ -99,13 +100,12 @@ std::vector<PrachDetection> PrachDetector::DetectAll(
   }
 
   std::vector<PrachDetection> found;
-  const int guard = config_.cyclic_shift_step;
+  const int guard = config.cyclic_shift_step;
   double remaining = total;
   std::size_t remaining_lags = power.size();
-  // Iteratively peel peaks; the noise floor re-estimates after each peel so
-  // a strong preamble does not mask a weak one.
-  for (int iter = 0; iter < NumPreambles(config_); ++iter) {
-    const double avg = remaining / static_cast<double>(std::max<std::size_t>(remaining_lags, 1));
+  for (int iter = 0; iter < NumPreambles(config); ++iter) {
+    const double avg =
+        remaining / static_cast<double>(std::max<std::size_t>(remaining_lags, 1));
     std::size_t peak_lag = 0;
     double peak_power = 0.0;
     for (std::size_t i = 0; i < power.size(); ++i) {
@@ -114,21 +114,21 @@ std::vector<PrachDetection> PrachDetector::DetectAll(
         peak_lag = i;
       }
     }
-    if (avg <= 0.0 || peak_power / avg < config_.detection_threshold) break;
+    if (avg <= 0.0 || peak_power / avg < config.detection_threshold) break;
 
     PrachDetection det;
     det.detected = true;
     det.peak_to_average = peak_power / avg;
     det.shift_estimate = static_cast<int>(peak_lag);
-    det.preamble_estimate = det.shift_estimate / config_.cyclic_shift_step;
+    det.preamble_estimate = det.shift_estimate / config.cyclic_shift_step;
     found.push_back(det);
 
     // Erase the whole cyclic-shift zone around the peak.
     for (int off = -guard + 1; off < guard; ++off) {
       const std::size_t idx = static_cast<std::size_t>(
-          ((static_cast<int>(peak_lag) + off) % config_.sequence_length +
-           config_.sequence_length) %
-          config_.sequence_length);
+          ((static_cast<int>(peak_lag) + off) % config.sequence_length +
+           config.sequence_length) %
+          config.sequence_length);
       if (power[idx] > 0.0) {
         remaining -= power[idx];
         power[idx] = 0.0;
@@ -137,6 +137,64 @@ std::vector<PrachDetection> PrachDetector::DetectAll(
     }
   }
   return found;
+}
+
+}  // namespace
+
+PrachDetector::PrachDetector(const PrachConfig& config) : config_(config) {
+  root_freq_ = Dft(ZadoffChu(config.root, config.sequence_length));
+}
+
+PrachDetection PrachDetector::Detect(const std::vector<Complex>& received) {
+  assert(static_cast<int>(received.size()) == config_.sequence_length);
+
+  // Correlation 1: one frequency-domain circular correlation against the
+  // root sequence covers every cyclic shift at once.
+  DftInto(received, freq_scratch_, ws_);
+  CorrelationSpectrum(freq_scratch_, freq_scratch_, root_freq_);
+  IdftInto(freq_scratch_, corr_scratch_, ws_);
+
+  // Correlation 2 (the "check"): compare the strongest lag's power against
+  // the average correlation power.
+  return StrongestPeak(config_, corr_scratch_);
+}
+
+std::vector<PrachDetection> PrachDetector::DetectAll(
+    const std::vector<Complex>& received) {
+  assert(static_cast<int>(received.size()) == config_.sequence_length);
+  DftInto(received, freq_scratch_, ws_);
+  CorrelationSpectrum(freq_scratch_, freq_scratch_, root_freq_);
+  IdftInto(freq_scratch_, corr_scratch_, ws_);
+  return PeelPeaks(config_, corr_scratch_, power_scratch_);
+}
+
+PrachDetectorBank::PrachDetectorBank(const PrachConfig& config,
+                                     std::vector<int> roots)
+    : config_(config), roots_(std::move(roots)) {
+  root_freq_.reserve(roots_.size());
+  for (int root : roots_) {
+    // Same spectrum construction as PrachDetector's constructor, so the
+    // cached spectra — and hence the correlations — match bit for bit.
+    root_freq_.push_back(Dft(ZadoffChu(root, config_.sequence_length)));
+  }
+}
+
+std::vector<PrachDetectorBank::RootDetections> PrachDetectorBank::DetectAll(
+    const std::vector<Complex>& received) {
+  assert(static_cast<int>(received.size()) == config_.sequence_length);
+  // The single forward DFT all roots share; every transform below reuses
+  // the same thread-cached Bluestein plan (common/fft.cc PlanFor) and this
+  // bank's workspace.
+  DftInto(received, rx_freq_, ws_);
+  std::vector<RootDetections> out;
+  out.reserve(roots_.size());
+  for (std::size_t k = 0; k < roots_.size(); ++k) {
+    CorrelationSpectrum(prod_scratch_, rx_freq_, root_freq_[k]);
+    IdftInto(prod_scratch_, corr_scratch_, ws_);
+    out.push_back(RootDetections{
+        roots_[k], PeelPeaks(config_, corr_scratch_, power_scratch_)});
+  }
+  return out;
 }
 
 std::vector<Complex> PassThroughAwgn(const std::vector<Complex>& preamble,

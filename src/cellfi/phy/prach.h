@@ -49,33 +49,85 @@ struct PrachDetection {
 
 /// Blind PRACH detector: correlates received samples against the root
 /// sequence only (no per-preamble correlation, no timing knowledge).
+///
+/// Threading contract: Detect/DetectAll are non-const — they reuse the
+/// detector's scratch buffers so line-rate detection does not allocate per
+/// call. A detector instance therefore must NOT be shared between threads
+/// or called concurrently; each cell (and each simulation replication)
+/// owns its own detector. Cross-shard PRACH parallelism (ROADMAP item 1)
+/// relies on this per-cell ownership, pinned by
+/// tests/phy_prach_test.cc:PerCellDetectorOwnership.
 class PrachDetector {
  public:
   explicit PrachDetector(const PrachConfig& config);
 
   /// Detect a preamble in `received` (must be sequence_length samples).
-  PrachDetection Detect(const std::vector<Complex>& received) const;
+  PrachDetection Detect(const std::vector<Complex>& received);
 
   /// Detect MULTIPLE superimposed preambles in one occasion: every
   /// correlation peak above the threshold, peaks separated by at least one
   /// cyclic-shift step (each zone belongs to one preamble index). This is
   /// what lets a CellFi AP count several contenders answering the same
   /// PDCCH-order solicitation.
-  std::vector<PrachDetection> DetectAll(const std::vector<Complex>& received) const;
+  std::vector<PrachDetection> DetectAll(const std::vector<Complex>& received);
 
   const PrachConfig& config() const { return config_; }
 
  private:
   PrachConfig config_;
   std::vector<Complex> root_freq_;  // precomputed DFT of the root sequence
-  // Reusable scratch so line-rate detection does not allocate per call.
-  // Detect/DetectAll are logically const but mutate these buffers: a
-  // detector instance must not be shared between threads (each simulation
-  // replication owns its own detectors).
-  mutable DftWorkspace ws_;
-  mutable std::vector<Complex> freq_scratch_;
-  mutable std::vector<Complex> corr_scratch_;
-  mutable std::vector<double> power_scratch_;
+  // Reusable scratch (see the class threading contract above).
+  DftWorkspace ws_;
+  std::vector<Complex> freq_scratch_;
+  std::vector<Complex> corr_scratch_;
+  std::vector<double> power_scratch_;
+};
+
+/// Batched blind detection against MANY Zadoff-Chu roots at once — the
+/// "one wideband pass, many narrowband consumers" idiom: an AP overhears
+/// the preambles of every neighboring cell (each cell plans on its own
+/// root), and all K correlations share the single forward DFT of the
+/// received window. Per occasion: 1 forward DFT + K cached-spectrum
+/// conjugate multiplies (simd::ConjMulInterleaved) + K inverse DFTs, every
+/// transform sharing one thread-cached Bluestein plan and this bank's
+/// workspace — versus K forward + K inverse DFTs for K independent
+/// detectors.
+///
+/// Detections are bit-identical to running PrachDetector::DetectAll per
+/// root over the same window: the multiply kernel and the peak-peeling
+/// pass are the very code the per-root detector runs (gated by
+/// tests/simd_kernels_test.cc).
+///
+/// Same threading contract as PrachDetector: one bank per owner, no
+/// concurrent calls.
+class PrachDetectorBank {
+ public:
+  /// `config.root` is ignored; each entry of `roots` must be coprime with
+  /// config.sequence_length (as for ZadoffChu).
+  PrachDetectorBank(const PrachConfig& config, std::vector<int> roots);
+
+  struct RootDetections {
+    int root = 0;
+    std::vector<PrachDetection> detections;
+  };
+
+  /// DetectAll against every configured root (received must be
+  /// sequence_length samples). Result order follows the constructor's
+  /// `roots` order.
+  std::vector<RootDetections> DetectAll(const std::vector<Complex>& received);
+
+  const PrachConfig& config() const { return config_; }
+  const std::vector<int>& roots() const { return roots_; }
+
+ private:
+  PrachConfig config_;
+  std::vector<int> roots_;
+  std::vector<std::vector<Complex>> root_freq_;  // cached per-root spectra
+  DftWorkspace ws_;
+  std::vector<Complex> rx_freq_;
+  std::vector<Complex> prod_scratch_;
+  std::vector<Complex> corr_scratch_;
+  std::vector<double> power_scratch_;
 };
 
 /// Test-channel helper: delay a preamble by `timing_offset` samples

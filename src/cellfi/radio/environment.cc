@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "cellfi/common/simd.h"
+
 namespace cellfi {
 
 RadioEnvironment::RadioEnvironment(const PathLossModel& pathloss,
@@ -107,15 +109,24 @@ double RadioEnvironment::SinrDb(RadioNodeId tx, RadioNodeId rx, std::uint32_t su
   if (std::isnan(signal_mw)) signal_mw = row[tx] = DbmToMw(MeanRxPowerDbm(tx, rx));
   signal_mw *= signal_scale;
   if (config_.enable_fading) signal_mw *= fading_.PowerGain(tx, rx, subchannel, now);
-  double denom_mw = NoiseMw(rx, bandwidth_hz);
+  // Blocked accumulation (DESIGN.md §17): contributing term i goes to lane
+  // i mod 8, lanes combine with the fixed ReduceLanes8 tree. Skipped
+  // entries are compacted out (they never occupy a lane), so the value
+  // depends only on the contributing-term sequence — the same sequence
+  // InterferenceMap::AggregateDenomMw feeds simd::BlockedSum8, keeping the
+  // engine and this per-link path bit-identical.
+  double lanes[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  std::size_t m = 0;
   for (const ActiveTransmitter& it : interferers) {
     if (it.node == tx || it.node == rx || it.power_scale <= 0.0) continue;
     double p = row[it.node];
     if (std::isnan(p)) p = row[it.node] = DbmToMw(MeanRxPowerDbm(it.node, rx));
     p *= it.power_scale;
     if (config_.enable_fading) p *= fading_.PowerGain(it.node, rx, subchannel, now);
-    denom_mw += p;
+    lanes[m & 7] += p;
+    ++m;
   }
+  const double denom_mw = NoiseMw(rx, bandwidth_hz) + simd::ReduceLanes8(lanes);
   return LinearToDb(signal_mw / denom_mw);
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "cellfi/common/simd.h"
 #include "cellfi/common/units.h"
 #include "cellfi/radio/shard_grid.h"
 
@@ -88,6 +89,24 @@ void InterferenceMap::Seal() const {
     }
     group_of_[static_cast<std::size_t>(s)] = group;
   }
+  // Flatten each group's representative list into structure-of-arrays term
+  // rows. power_scale <= 0 entries are dropped here once — both query
+  // paths skip them unconditionally, so the contributing-term sequence is
+  // unchanged — leaving the aggregation two dense arrays to stream.
+  if (group_terms_.size() < static_cast<std::size_t>(num_groups_)) {
+    group_terms_.resize(static_cast<std::size_t>(num_groups_));
+  }
+  for (int g = 0; g < num_groups_; ++g) {
+    GroupTerms& gt = group_terms_[static_cast<std::size_t>(g)];
+    gt.node.clear();
+    gt.scale.clear();
+    for (const ActiveTransmitter& it : per_subchannel_[static_cast<std::size_t>(
+             group_rep_[static_cast<std::size_t>(g)])]) {
+      if (it.power_scale <= 0.0) continue;
+      gt.node.push_back(it.node);
+      gt.scale.push_back(it.power_scale);
+    }
+  }
   // Presize the receiver rows here, at the (serial) barrier, so concurrent
   // queries never see a resize — each worker then only writes the rows of
   // receivers it owns.
@@ -95,18 +114,28 @@ void InterferenceMap::Seal() const {
 }
 
 double InterferenceMap::AggregateDenomMw(RadioNodeId tx, RadioNodeId rx,
-                                         int subchannel) const {
-  // Same accumulation as RadioEnvironment::SinrDb: start from the noise
-  // floor, add interferers in list order. Keeping the order (and the
-  // cached mean powers) identical is what makes the engine bit-identical
-  // to the per-link path when the cull is off.
-  double denom_mw = env_.NoiseMw(rx, bandwidth_hz_);
-  const double cull_floor_mw = denom_mw * cull_scale_;
-  for (const ActiveTransmitter& it :
-       per_subchannel_[static_cast<std::size_t>(subchannel)]) {
-    if (it.node == tx || it.node == rx || it.power_scale <= 0.0) continue;
-    if (graph_active_ && it.power_scale <= 1.0 &&
-        !neighbor_graph_->Contains(it.node, rx)) {
+                                         int group,
+                                         std::vector<double>& terms) const {
+  // Same contributing-term sequence as RadioEnvironment::SinrDb — the same
+  // cached mean powers gathered in list order — compacted into `terms` and
+  // summed in the fixed 8-lane blocked order (simd::BlockedSum8, DESIGN.md
+  // §17). Keeping sequence and order identical is what makes the engine
+  // bit-identical to the per-link path when the cull is off, in scalar and
+  // SIMD builds alike.
+  const double noise_mw = env_.NoiseMw(rx, bandwidth_hz_);
+  const double cull_floor_mw = noise_mw * cull_scale_;
+  const GroupTerms& gt = group_terms_[static_cast<std::size_t>(group)];
+  const std::size_t count = gt.node.size();
+  // Presized index stores, not push_back: no per-element capacity branch
+  // in the hot loop (capacity persists across epochs in the receiver row).
+  if (terms.size() < count) terms.resize(count);
+  double* out = terms.data();
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const RadioNodeId node = gt.node[i];
+    const double scale = gt.scale[i];
+    if (node == tx || node == rx) continue;
+    if (graph_active_ && scale <= 1.0 && !neighbor_graph_->Contains(node, rx)) {
       // Non-neighbor => mean rx power < floor, so power_scale <= 1 makes
       // this exactly a term the check below would cull — same result, same
       // counters, without touching the power cache.
@@ -114,15 +143,15 @@ double InterferenceMap::AggregateDenomMw(RadioNodeId tx, RadioNodeId rx,
       culled_total_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    const double p = env_.MeanRxPowerMw(it.node, rx) * it.power_scale;
+    const double p = env_.MeanRxPowerMw(node, rx) * scale;
     if (p < cull_floor_mw) {  // never true with the cull off (p > 0 >= floor)
       culled_epoch_.fetch_add(1, std::memory_order_relaxed);
       culled_total_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    denom_mw += p;
+    out[m++] = p;
   }
-  return denom_mw;
+  return noise_mw + simd::BlockedSum8(out, m);
 }
 
 double InterferenceMap::SinrDb(RadioNodeId tx, RadioNodeId rx, int subchannel,
@@ -176,7 +205,7 @@ double InterferenceMap::SinrDb(RadioNodeId tx, RadioNodeId rx, int subchannel,
   const std::size_t g =
       static_cast<std::size_t>(group_of_[static_cast<std::size_t>(subchannel)]);
   if (!row.built[g]) {
-    row.denom_mw[g] = AggregateDenomMw(tx, rx, group_rep_[g]);
+    row.denom_mw[g] = AggregateDenomMw(tx, rx, static_cast<int>(g), row.terms);
     row.built[g] = 1;
   }
   const double signal_mw = env_.MeanRxPowerMw(tx, rx) * signal_scale;

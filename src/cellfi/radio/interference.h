@@ -15,11 +15,15 @@
 //
 // Determinism contract: with culling off, SinrDb returns bit-identical
 // values to RadioEnvironment::SinrDb over the same interferer sequence.
-// Aggregation starts from the receiver's noise floor and adds interferers
-// in exactly the order they were appended — the same receiver-major
-// rx-power cache rows and the same floating-point addition sequence as the
-// per-link path. Subchannels whose transmitter lists compare equal share
-// one aggregation (identical addition sequence, hence identical value).
+// Both paths gather contributing terms from the same receiver-major
+// rx-power cache rows in append order and accumulate them in the fixed
+// 8-lane blocked order of DESIGN.md §17 (contributing term i -> lane
+// i mod 8, fixed lane-combine tree; here via simd::BlockedSum8 over a
+// compacted structure-of-arrays term row, in the per-link path via inline
+// lanes) — the same floating-point addition sequence, hence identical
+// values, in scalar and SIMD builds alike. Subchannels whose transmitter
+// lists compare equal share one aggregation (identical addition sequence,
+// hence identical value).
 #pragma once
 
 #include <atomic>
@@ -129,10 +133,27 @@ class InterferenceMap {
     RadioNodeId excluded = 0;          // signal source baked out of the sum
     std::vector<double> denom_mw;      // per aggregation group
     std::vector<std::uint8_t> built;   // per aggregation group
+    /// Compacted contributing-term powers (mW) fed to simd::BlockedSum8.
+    /// Receiver-owned, so concurrent queries of distinct receivers never
+    /// share it (same ownership rule as the row itself).
+    std::vector<double> terms;
   };
 
+  /// Structure-of-arrays view of one aggregation group's transmitter list
+  /// (power_scale <= 0 entries dropped at Seal — both query paths skip
+  /// them unconditionally), so the aggregation walks two flat arrays
+  /// instead of striding over ActiveTransmitter records.
+  struct GroupTerms {
+    std::vector<RadioNodeId> node;
+    std::vector<double> scale;
+  };
+
+  /// Aggregate denominator for aggregation group `group`: noise floor plus
+  /// the blocked-order sum (simd::BlockedSum8) of the surviving terms,
+  /// compacted into `terms` (the querying receiver's row scratch).
   // cellfi-purity: contract-root(imap-sealed-read) InterferenceMap::AggregateDenomMw
-  double AggregateDenomMw(RadioNodeId tx, RadioNodeId rx, int subchannel) const;
+  double AggregateDenomMw(RadioNodeId tx, RadioNodeId rx, int group,
+                          std::vector<double>& terms) const;
   /// The graph-vs-cull equivalence only holds when the graph describes the
   /// current geometry and floor; recomputed each BeginEpoch.
   bool GraphMatchesEpoch() const;
@@ -152,6 +173,7 @@ class InterferenceMap {
   mutable int num_groups_ = 0;
   mutable std::vector<int> group_of_;   // subchannel -> aggregation group
   mutable std::vector<int> group_rep_;  // group -> representative subchannel
+  mutable std::vector<GroupTerms> group_terms_;  // group -> SoA term row
   mutable std::vector<ReceiverRow> rows_;
   mutable std::vector<ActiveTransmitter> cull_scratch_;
   mutable std::atomic<std::uint64_t> culled_epoch_{0};

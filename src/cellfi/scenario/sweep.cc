@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "cellfi/common/json.h"
+#include "cellfi/common/simd.h"
 #include "cellfi/scenario/report.h"
 #include "cellfi/sim/worker_pool.h"
 
@@ -284,6 +285,10 @@ std::string BenchReport::Write() const {
   doc["bench"] = name_;
   doc["threads"] = threads_;
   doc["reps"] = reps_;
+  // Which simd.h kernel variant produced these numbers ("avx2", "sse2",
+  // "neon" or "scalar") — recorded so baselines are only compared against
+  // runs of the same kernel.
+  doc["simd_kernel"] = simd::ActiveKernelName();
   doc["points"] = points;
   // `wall_s` is the bench's elapsed wall clock; `replication_wall_s` sums
   // the per-replication clocks, so their ratio is the achieved parallelism.

@@ -199,5 +199,31 @@ TEST(CorrelateTest, AnyLengthAgreesWithPowerOfTwoVersion) {
   }
 }
 
+TEST(CorrelateTest, IntoVariantsMatchAllocatingVariants) {
+  Rng rng(23);
+  DftWorkspace ws;
+  std::vector<Complex> out;
+  for (std::size_t n : {64u, 100u, 839u}) {
+    std::vector<Complex> a(n), b(n);
+    for (auto& v : a) v = Complex(rng.Normal(), rng.Normal());
+    for (auto& v : b) v = Complex(rng.Normal(), rng.Normal());
+    const auto expected = CircularCorrelateAny(a, b);
+    CircularCorrelateAnyInto(a, b, out, ws);
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(out[i].real(), expected[i].real());
+      EXPECT_DOUBLE_EQ(out[i].imag(), expected[i].imag());
+    }
+    if (IsPowerOfTwo(n)) {
+      const auto pow2 = CircularCorrelate(a, b);
+      CircularCorrelateInto(a, b, out, ws);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_DOUBLE_EQ(out[i].real(), pow2[i].real());
+        EXPECT_DOUBLE_EQ(out[i].imag(), pow2[i].imag());
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cellfi

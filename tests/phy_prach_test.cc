@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -157,6 +158,62 @@ TEST(PrachDetectAllTest, NoiseYieldsNothing) {
   Rng rng(53);
   for (int t = 0; t < 50; ++t) {
     EXPECT_TRUE(det.DetectAll(NoiseOnly(cfg.sequence_length, rng)).empty());
+  }
+}
+
+// The detector's threading contract (prach.h): Detect/DetectAll mutate
+// the instance's scratch buffers, so concurrency is achieved by giving
+// every cell its OWN detector, never by sharing one. Each thread here owns
+// a detector and must reproduce the serial reference bit-for-bit; a shared
+// detector would race on the scratch and (under TSan or by corrupted
+// peaks) fail.
+TEST(PrachDetectorTest, PerCellDetectorOwnership) {
+  PrachConfig cfg;
+  constexpr int kCells = 4;
+  constexpr int kOccasions = 8;
+
+  // Fixed per-cell occasion inputs, generated serially.
+  std::vector<std::vector<std::vector<Complex>>> rx(kCells);
+  Rng rng(77);
+  for (int c = 0; c < kCells; ++c) {
+    for (int t = 0; t < kOccasions; ++t) {
+      rx[static_cast<std::size_t>(c)].push_back(
+          PassThroughAwgn(GeneratePreamble(cfg, 8 * c + t), c + t, -8.0, rng));
+    }
+  }
+
+  // Serial reference: a fresh detector per cell.
+  std::vector<std::vector<PrachDetection>> expected(kCells);
+  for (int c = 0; c < kCells; ++c) {
+    PrachDetector det(cfg);
+    for (const auto& occasion : rx[static_cast<std::size_t>(c)]) {
+      expected[static_cast<std::size_t>(c)].push_back(det.Detect(occasion));
+    }
+  }
+
+  // Concurrent run, one detector per cell-thread.
+  std::vector<std::vector<PrachDetection>> got(kCells);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kCells; ++c) {
+    threads.emplace_back([&, c] {
+      PrachDetector det(cfg);
+      for (const auto& occasion : rx[static_cast<std::size_t>(c)]) {
+        got[static_cast<std::size_t>(c)].push_back(det.Detect(occasion));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int c = 0; c < kCells; ++c) {
+    ASSERT_EQ(got[static_cast<std::size_t>(c)].size(),
+              expected[static_cast<std::size_t>(c)].size());
+    for (int t = 0; t < kOccasions; ++t) {
+      const auto& e = expected[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)];
+      const auto& g = got[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)];
+      EXPECT_EQ(g.detected, e.detected) << "cell " << c << " occasion " << t;
+      EXPECT_EQ(g.shift_estimate, e.shift_estimate) << "cell " << c;
+      EXPECT_EQ(g.peak_to_average, e.peak_to_average) << "cell " << c;
+    }
   }
 }
 

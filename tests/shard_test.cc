@@ -249,7 +249,9 @@ TEST(ShardGridTest, PartitionCoversBalancedAndConsistent) {
     min_size = std::min(min_size, cells.size());
     max_size = std::max(max_size, cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      if (i > 0) EXPECT_LT(cells[i - 1], cells[i]);  // ascending
+      if (i > 0) {
+        EXPECT_LT(cells[i - 1], cells[i]);  // ascending
+      }
       ASSERT_GE(cells[i], 0);
       ASSERT_LT(cells[i], static_cast<int>(pos.size()));
       EXPECT_EQ(owner[static_cast<std::size_t>(cells[i])], -1)

@@ -9,14 +9,15 @@
 #                       (skips cleanly when clang-tidy is not installed)
 #
 # Usage: tools/check.sh [--fast] [--bench] [--trace] [--chaos] [--shard]
-#                       [--purity] [--static]
+#                       [--simd] [--purity] [--static]
 #   --fast   skip the sanitizer stage (inner-loop use; CI runs everything)
 #   --bench  additionally run the bench_smoke suite (1-rep end-to-end runs
 #            of every sweep bench, including the bench_scale bit-identity
-#            gate). When CELLFI_BENCH_BASELINE points at a directory of
-#            baseline BENCH_*.json artifacts, each fresh artifact is
-#            diffed against it with tools/bench_compare.py and a >20%
-#            per-point wall-time regression fails the gate.
+#            gate). Each fresh BENCH_*.json artifact is diffed against the
+#            baseline directory (CELLFI_BENCH_BASELINE, default
+#            bench/baselines/) with tools/bench_compare.py; a >20%
+#            per-point wall-time regression fails the gate, while brand-new
+#            labels are reported but pass (--allow-new-labels).
 #   --trace  additionally run the observability suite (`ctest -L trace`:
 #            golden trace, vacate trace checks, trace_check.py selftest)
 #            under the ASan+UBSan build. Implies the sanitize configure
@@ -29,6 +30,12 @@
 #            suite (`ctest -L shard`: worker pool, neighbor graph, shard
 #            grid, multi-threaded subframe bit-identity) under
 #            ThreadSanitizer — the data-race gate for DESIGN.md §15.
+#   --simd   additionally build the simd-off preset (CELLFI_SIMD=OFF,
+#            scalar reference kernels) and run the SIMD parity suite
+#            (`ctest -L simd`) in BOTH trees, threading a kernel-output
+#            digest from the SIMD build to the scalar build
+#            (CELLFI_SIMD_DIGEST_OUT/_EXPECT) — the cross-build
+#            bit-identity gate for DESIGN.md §17.
 #   --purity additionally run the phase-purity analyzer
 #            (tools/cellfi_purity.py --repo . --strict-allow) against the
 #            frozen (empty) baseline — the static proof of the DESIGN.md
@@ -48,6 +55,7 @@ BENCH=0
 TRACE=0
 CHAOS=0
 SHARD=0
+SIMD=0
 PURITY=0
 STATIC=0
 for arg in "$@"; do
@@ -57,6 +65,7 @@ for arg in "$@"; do
     --trace) TRACE=1 ;;
     --chaos) CHAOS=1 ;;
     --shard) SHARD=1 ;;
+    --simd) SIMD=1 ;;
     --purity) PURITY=1 ;;
     --static) STATIC=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
@@ -128,6 +137,26 @@ if [[ "$SHARD" -eq 1 ]]; then
   ctest --test-dir "$ROOT/build-sanitize-tsan" -L shard --output-on-failure
 fi
 
+if [[ "$SIMD" -eq 1 ]]; then
+  step "configure + build (simd-off preset: CELLFI_SIMD=OFF scalar reference)"
+  cmake --preset simd-off
+  cmake --build --preset simd-off -j "$(nproc)"
+
+  step "SIMD parity suite, CELLFI_SIMD=ON tree (ctest -L simd)"
+  digest="$ROOT/build-check/simd_digest.txt"
+  rm -f "$digest"
+  CELLFI_SIMD_DIGEST_OUT="$digest" \
+    ctest --test-dir "$ROOT/build-check" -L simd --output-on-failure
+
+  step "SIMD parity suite, CELLFI_SIMD=OFF tree + cross-build digest"
+  if [[ ! -s "$digest" ]]; then
+    echo "check.sh: SIMD digest was not produced by the ON-tree suite" >&2
+    exit 1
+  fi
+  CELLFI_SIMD_DIGEST_EXPECT="$digest" ctest --preset simd-off
+  echo "cross-build kernel digest: $(cat "$digest")"
+fi
+
 step "clang-tidy vs frozen baseline"
 tools/run_tidy.sh --build-dir "$ROOT/build-check"
 
@@ -141,21 +170,29 @@ if [[ "$BENCH" -eq 1 ]]; then
   step "bench_smoke suite (1-rep sweeps + bench_scale bit-identity gate)"
   ctest --test-dir "$ROOT/build-check" -C bench_smoke -L bench_smoke --output-on-failure
 
-  if [[ -n "${CELLFI_BENCH_BASELINE:-}" ]]; then
-    step "bench wall-time comparison vs $CELLFI_BENCH_BASELINE"
+  # Default to the committed seed baselines; point CELLFI_BENCH_BASELINE
+  # elsewhere (or at an empty dir) to compare against a local capture.
+  BASELINE_DIR="${CELLFI_BENCH_BASELINE:-$ROOT/bench/baselines}"
+  if [[ -d "$BASELINE_DIR" ]]; then
+    step "bench wall-time comparison vs $BASELINE_DIR"
     compared=0
     for cur in "$ROOT"/build-check/bench/BENCH_*.json; do
       [[ -e "$cur" ]] || continue
-      base="$CELLFI_BENCH_BASELINE/$(basename "$cur")"
+      base="$BASELINE_DIR/$(basename "$cur")"
       if [[ -f "$base" ]]; then
         echo "-- $(basename "$cur")"
-        python3 tools/bench_compare.py "$base" "$cur"
+        # --allow-new-labels: freshly added bench points have no baseline
+        # yet; they are listed, not failed (bench_compare's exit-3 path
+        # would otherwise precede — and mask — the regression check).
+        python3 tools/bench_compare.py --allow-new-labels "$base" "$cur"
         compared=$((compared + 1))
       else
         echo "-- $(basename "$cur"): no baseline, skipped"
       fi
     done
     echo "compared $compared artifact(s)"
+  else
+    echo "bench baseline dir $BASELINE_DIR missing — comparison skipped"
   fi
 fi
 
