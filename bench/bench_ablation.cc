@@ -93,7 +93,8 @@ int main() {
       for (int rep = 0; rep < reps; ++rep) {
         ScenarioConfig cfg = variants[v].second;
         cfg.seed = 7000 + static_cast<std::uint64_t>(rep);
-        jobs.push_back(Replication{cfg, nullptr, static_cast<int>(v), rep});
+        jobs.push_back(Replication{cfg, nullptr, static_cast<int>(v), rep,
+                                   variants[v].first});
       }
     }
     const auto outcomes = runner.Run(jobs);
@@ -190,7 +191,8 @@ int main() {
         auto cfg = BaseConfig(Technology::kWifi80211af, 10, 6,
                               7300 + static_cast<std::uint64_t>(rep));
         cfg.wifi_clock_scale = clocks[ci];
-        jobs.push_back(Replication{cfg, nullptr, ci, rep});
+        jobs.push_back(Replication{cfg, nullptr, ci, rep,
+                                   "clock=" + Table::Num(clocks[ci], 0)});
       }
     }
     const auto outcomes = runner.Run(jobs);

@@ -39,8 +39,9 @@ int main() {
       auto topo = std::make_shared<const Topology>(
           GenerateTopology(BaseConfig(Technology::kCellFi, num_aps, 6, seed).topology, rng));
       for (int ti = 0; ti < 3; ++ti) {
-        jobs.push_back(Replication{BaseConfig(techs[ti], num_aps, 6, seed), topo,
-                                   di * 3 + ti, rep});
+        jobs.push_back(Replication{
+            BaseConfig(techs[ti], num_aps, 6, seed), topo, di * 3 + ti, rep,
+            "aps=" + std::to_string(num_aps) + "/" + TechName(techs[ti])});
       }
     }
   }
@@ -75,7 +76,8 @@ int main() {
     for (int rep = 0; rep < dense_reps; ++rep) {
       const std::uint64_t seed = 9900 + static_cast<std::uint64_t>(rep);
       dense_jobs.push_back(
-          Replication{BaseConfig(techs[ti], 14, 16, seed), nullptr, ti, rep});
+          Replication{BaseConfig(techs[ti], 14, 16, seed), nullptr, ti, rep,
+                      std::string("dense/") + TechName(techs[ti])});
     }
   }
   const auto dense_outcomes = runner.Run(dense_jobs);

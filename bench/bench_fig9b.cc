@@ -39,7 +39,8 @@ int main() {
     auto topo = std::make_shared<const Topology>(
         GenerateTopology(BaseConfig(Technology::kCellFi, 14, 6, seed).topology, rng));
     for (int i = 0; i < 4; ++i) {
-      jobs.push_back(Replication{BaseConfig(techs[i], 14, 6, seed), topo, i, rep});
+      jobs.push_back(Replication{BaseConfig(techs[i], 14, 6, seed), topo, i, rep,
+                                 TechName(techs[i])});
     }
   }
   const auto outcomes = runner.Run(jobs);

@@ -39,7 +39,7 @@ int main() {
     for (int i = 0; i < 3; ++i) {
       auto cfg = base;
       cfg.tech = techs[i];
-      jobs.push_back(Replication{cfg, topo, i, rep});
+      jobs.push_back(Replication{cfg, topo, i, rep, TechName(techs[i])});
     }
   }
   const auto outcomes = runner.Run(jobs);

@@ -162,8 +162,9 @@ int main() {
         cfg.use_interference_engine = variants[vi].engine;
         cfg.interference_floor_db = variants[vi].floor_db;
         cfg.shards = variants[vi].shards;
-        jobs.push_back(
-            Replication{cfg, topo, first_point + static_cast<int>(vi), rep});
+        jobs.push_back(Replication{
+            cfg, topo, first_point + static_cast<int>(vi), rep,
+            "cells=" + std::to_string(counts[ci]) + "/" + variants[vi].name});
       }
     }
   }

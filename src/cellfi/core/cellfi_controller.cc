@@ -44,6 +44,12 @@ CellfiController::CellfiController(Simulator& sim, lte::LteNetwork& net,
   };
 }
 
+void CellfiController::SetAggregateContenders(CellId observer, CellId serving,
+                                              int count) {
+  sensors_[static_cast<std::size_t>(observer)].SetAggregateContenders(
+      serving, count, sim_.Now());
+}
+
 void CellfiController::Start() {
   for (std::size_t c = 0; c < managers_.size(); ++c) {
     const CellId cell = static_cast<CellId>(c);

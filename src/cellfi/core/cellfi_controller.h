@@ -50,6 +50,13 @@ class CellfiController {
     return sensors_[static_cast<std::size_t>(cell)];
   }
 
+  /// Aggregate traffic tier (DESIGN.md §18): `observer` currently hears
+  /// `count` synthetic background clients attached to `serving`. Counts
+  /// flow into the observer's PrachSensor with the standard one-epoch
+  /// expiry, so NP_i / N_i bookkeeping is exact: each injected client is
+  /// one contender, own clients are those with serving == observer.
+  void SetAggregateContenders(lte::CellId observer, lte::CellId serving, int count);
+
   /// Total bucket-exhaustion hops across all cells (convergence metric).
   std::uint64_t total_hops() const;
 

@@ -12,11 +12,24 @@ void PrachSensor::OnPreamble(lte::UeId ue, lte::CellId serving, SimTime now) {
   }
 }
 
+void PrachSensor::SetAggregateContenders(lte::CellId serving, int count,
+                                         SimTime now) {
+  aggregate_[serving] = AggregateEntry{now, count < 0 ? 0 : count};
+  if (obs::TraceSink* tr = obs::ActiveTrace()) {
+    tr->Emit(now, "prach", "aggregate",
+             {{"cell", self_}, {"serving", serving}, {"count", count}});
+  }
+}
+
 int PrachSensor::EstimateContenders(SimTime now) const {
   int n = 0;
   // cellfi-lint: allow(no-unordered-iter) — commutative integer count, order-free
   for (const auto& [ue, e] : heard_) {
     if (now - e.last_heard <= expiry_) ++n;
+  }
+  // cellfi-lint: allow(no-unordered-iter) — commutative integer count, order-free
+  for (const auto& [serving, e] : aggregate_) {
+    if (now - e.last_reported <= expiry_) n += e.count;
   }
   return n;
 }
@@ -26,6 +39,10 @@ int PrachSensor::OwnActive(SimTime now) const {
   // cellfi-lint: allow(no-unordered-iter) — commutative integer count, order-free
   for (const auto& [ue, e] : heard_) {
     if (e.serving == self_ && now - e.last_heard <= expiry_) ++n;
+  }
+  const auto it = aggregate_.find(self_);
+  if (it != aggregate_.end() && now - it->second.last_reported <= expiry_) {
+    n += it->second.count;
   }
   return n;
 }

@@ -21,10 +21,20 @@ class PrachSensor {
   /// Record a detected preamble from `ue` (attached to `serving`).
   void OnPreamble(lte::UeId ue, lte::CellId serving, SimTime now);
 
-  /// NP_i: number of distinct active clients heard recently (own + foreign).
+  /// Aggregate-tier injection (DESIGN.md §18): this sensor currently hears
+  /// `count` synthetic background clients attached to `serving`. The
+  /// latest report per serving cell wins and expires exactly like an
+  /// individual preamble, so a tier that stops reporting stops being
+  /// counted within one epoch — the same staleness contract the paper
+  /// gives per-UE estimates.
+  void SetAggregateContenders(lte::CellId serving, int count, SimTime now);
+
+  /// NP_i: number of distinct active clients heard recently (own + foreign),
+  /// including non-expired aggregate-tier counts.
   int EstimateContenders(SimTime now) const;
 
-  /// N_i: own active clients among the recent preambles.
+  /// N_i: own active clients among the recent preambles, including the
+  /// aggregate-tier count reported for this cell itself.
   int OwnActive(SimTime now) const;
 
   lte::CellId self() const { return self_; }
@@ -34,9 +44,15 @@ class PrachSensor {
     SimTime last_heard = 0;
     lte::CellId serving = lte::kInvalidCell;
   };
+  struct AggregateEntry {
+    SimTime last_reported = 0;
+    int count = 0;
+  };
   lte::CellId self_;
   SimTime expiry_;
   std::unordered_map<lte::UeId, Entry> heard_;
+  /// Synthetic background contenders keyed by serving cell.
+  std::unordered_map<lte::CellId, AggregateEntry> aggregate_;
 };
 
 }  // namespace cellfi::core

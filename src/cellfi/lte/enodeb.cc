@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "cellfi/common/units.h"
 #include "cellfi/phy/cqi_mcs.h"
@@ -43,6 +44,10 @@ int EnodeB::allowed_count() const {
   return static_cast<int>(std::count(allowed_mask_.begin(), allowed_mask_.end(), true));
 }
 
+void EnodeB::SetBackgroundPrbDemand(double fraction) {
+  background_prb_demand_ = std::clamp(fraction, 0.0, 1.0);
+}
+
 Transmission EnodeB::MakeNewBlock(UeContext& ue, int ue_index,
                                   std::vector<int> subchannels, bool uplink) const {
   Transmission tx;
@@ -77,12 +82,45 @@ TxPlan EnodeB::PlanDownlink() {
   TxPlan plan;
   plan.data_active.assign(allowed_mask_.size(), false);
 
+  // Aggregate background reservation (DESIGN.md §18): round(frac * allowed)
+  // allowed subchannels go to the background tier — active on air, masked
+  // from the real-UE scheduler. The start offset rotates by one allowed
+  // subchannel per planned subframe (counter, not RNG: the purity contract
+  // on this function forbids stateful draws), so over a control epoch the
+  // occupancy spreads evenly and every allowed subchannel is still sampled
+  // by real-UE CQI probes. With zero demand this block is skipped and the
+  // plan is byte-identical to the pre-tier code.
+  const std::vector<bool>* sched_mask = &allowed_mask_;
+  if (background_prb_demand_ > 0.0) {
+    background_mask_scratch_ = allowed_mask_;
+    const int allowed =
+        static_cast<int>(std::count(allowed_mask_.begin(), allowed_mask_.end(), true));
+    const int reserve = std::min(
+        allowed,
+        static_cast<int>(std::lround(background_prb_demand_ * allowed)));
+    if (allowed > 0 && reserve > 0) {
+      const int offset = static_cast<int>(
+          background_rotation_ % static_cast<std::uint64_t>(allowed));
+      int ordinal = 0;  // position among the allowed subchannels
+      for (std::size_t s = 0; s < allowed_mask_.size(); ++s) {
+        if (!allowed_mask_[s]) continue;
+        if ((ordinal - offset + allowed) % allowed < reserve) {
+          background_mask_scratch_[s] = false;
+          plan.data_active[s] = true;
+        }
+        ++ordinal;
+      }
+    }
+    ++background_rotation_;
+    sched_mask = &background_mask_scratch_;
+  }
+
   std::vector<UeContext*> ue_ptrs;
   ue_ptrs.reserve(ues_.size());
   for (const auto& u : ues_) ue_ptrs.push_back(u.get());
 
   const SubchannelAssignment assignment =
-      scheduler_->AssignDownlink(ue_ptrs, allowed_mask_);
+      scheduler_->AssignDownlink(ue_ptrs, *sched_mask);
 
   // Group subchannels per UE.
   std::vector<std::vector<int>> per_ue(ues_.size());

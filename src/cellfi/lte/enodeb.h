@@ -71,6 +71,21 @@ class EnodeB {
   /// Number of subchannels currently allowed.
   int allowed_count() const;
 
+  // --- Aggregate background load (DESIGN.md §18) -----------------------------
+  /// Fraction of the allowed subchannels the aggregate traffic tier
+  /// occupies each DL subframe, in [0, 1]. PlanDownlink reserves
+  /// round(fraction * allowed) subchannels at a per-subframe rotating
+  /// offset: they carry data on air (real interference toward neighbours)
+  /// and are withheld from the real-UE scheduler (real scheduler
+  /// pressure). The rotation spreads occupancy over every allowed
+  /// subchannel so CQI probes of the fully-simulated UEs still sample all
+  /// of them. 0 restores the pre-tier behavior byte-identically.
+  void SetBackgroundPrbDemand(double fraction);
+  double background_prb_demand() const { return background_prb_demand_; }
+  /// True when the cell has anything to put on air: attached UEs or
+  /// background demand from the aggregate tier.
+  bool has_load() const { return !ues_.empty() || background_prb_demand_ > 0.0; }
+
   // --- Per-subframe MAC ------------------------------------------------------
   /// Build the downlink plan for this subframe (only meaningful on DL
   /// subframes). Runs on shard workers; everything it reaches must be
@@ -122,6 +137,14 @@ class EnodeB {
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<std::unique_ptr<UeContext>> ues_;
   std::vector<bool> allowed_mask_;
+  double background_prb_demand_ = 0.0;
+  /// Rotating start offset for the background reservation. A plain
+  /// counter, bumped once per planned DL subframe: cell-owned state, so
+  /// PlanDownlink stays RNG-free and shard-deterministic (DESIGN.md §16).
+  std::uint64_t background_rotation_ = 0;
+  /// Scratch for the background-masked allowed set (avoids a per-subframe
+  /// allocation on the hot path).
+  std::vector<bool> background_mask_scratch_;
   std::uint64_t total_dl_bits_ = 0;
   std::uint64_t total_ul_bits_ = 0;
   ScheduleStats schedule_stats_;

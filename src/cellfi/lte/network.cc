@@ -60,6 +60,10 @@ void LteNetwork::SetAllowedMask(CellId id, std::vector<bool> mask) {
   cells_[static_cast<std::size_t>(id)].mac->SetAllowedMask(std::move(mask));
 }
 
+void LteNetwork::SetBackgroundLoad(CellId id, double fraction) {
+  cells_[static_cast<std::size_t>(id)].mac->SetBackgroundPrbDemand(fraction);
+}
+
 void LteNetwork::OfferDownlink(UeId ue_id, std::uint64_t bytes) {
   UeInfo& info = ues_[static_cast<std::size_t>(ue_id)];
   if (info.state != UeState::kConnected) return;  // flow stalls while detached
@@ -543,9 +547,11 @@ void LteNetwork::RunDownlinkSubframe() {
   std::fill(plan_pending_.begin(), plan_pending_.end(), 0);
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     CellRec& rec = cells_[c];
-    if (!rec.active || !rec.mac->has_ues()) continue;
+    if (!rec.active || !rec.mac->has_load()) continue;
     if (rec.mac->config().access_mode == AccessMode::kListenBeforeTalk) {
-      bool has_data = false;
+      // Background demand keeps the cell contending even with every real
+      // queue empty (the aggregate tier always has data to move).
+      bool has_data = rec.mac->background_prb_demand() > 0.0;
       for (const auto& ue : rec.mac->ues()) {
         has_data |= ue->dl_queue_bytes() > 0 || ue->harq_dl().active;
       }

@@ -162,6 +162,13 @@ class LteNetwork {
   /// Restrict a cell's scheduler (CellFi interference management).
   void SetAllowedMask(CellId id, std::vector<bool> mask);
 
+  /// Aggregate background PRB demand for a cell (DESIGN.md §18): fraction
+  /// of its allowed subchannels occupied by unmodelled background users
+  /// each DL subframe. A cell with background demand transmits (and
+  /// interferes, and contends for LBT) even with no fully-simulated UEs
+  /// attached; 0 restores the pre-tier gates byte-identically.
+  void SetBackgroundLoad(CellId id, double fraction);
+
   // --- Run ----------------------------------------------------------------------
   /// Schedule the subframe loop and attach procedures. Call once.
   void Start();

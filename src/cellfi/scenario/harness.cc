@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <sstream>
+#include <string>
 
 #include "cellfi/baseline/oracle_allocator.h"
 #include "cellfi/chaos/fault_scheduler.h"
+#include "cellfi/common/units.h"
 #include "cellfi/core/cellfi_controller.h"
 #include "cellfi/lte/network.h"
 #include "cellfi/radio/pathloss.h"
@@ -19,6 +24,12 @@
 namespace cellfi::scenario {
 
 namespace {
+
+/// PRACH format 0 bandwidth — must match the constant LteNetwork::EmitPrach
+/// uses so the aggregate tier's audibility precomputation applies the exact
+/// detection rule real UEs face.
+constexpr double kPrachBandwidthHz = 839 * 1250.0;
+constexpr double kTau = 6.283185307179586;
 
 const PathLossModel& PathLossFor(PropagationKind kind) {
   static const HataUrbanPathLoss hata(15.0, 1.5);
@@ -236,6 +247,140 @@ ScenarioResult RunLteBased(const ScenarioConfig& cfg, const Topology& topo) {
     ctl.seed = cfg.seed ^ 0x51;
     controller = std::make_unique<core::CellfiController>(sim, net, ctl);
     controller->Start();
+  }
+
+  // --- Aggregate background-load tier (DESIGN.md §18) ------------------------
+  // A fluid per-cell population rides alongside the fully-simulated UEs:
+  // PRB occupancy enters through SetBackgroundLoad (real on-air
+  // interference plus real scheduler pressure), PRACH contention through
+  // the controller's aggregate sensor input. Every quantity below is
+  // counter-drawn from the derived seed — no stateful RNG and no events
+  // beyond the serial epoch tick — so enabling the tier preserves all
+  // bit-identity gates (threads, shards, SIMD).
+  traffic::AggregateLoadConfig agg_cfg = cfg.aggregate_load;
+  if (agg_cfg.users_per_cell <= 0) {
+    if (const char* users = std::getenv("CELLFI_AGG_LOAD")) {
+      agg_cfg.users_per_cell = std::max(0, std::atoi(users));
+    }
+  }
+  std::optional<traffic::AggregateLoad> agg;
+  if (agg_cfg.users_per_cell > 0 && !topo.aps.empty()) {
+    agg_cfg.seed = cfg.seed ^ 0xA66A;
+    agg.emplace(agg_cfg);
+    const int num_cells = static_cast<int>(topo.aps.size());
+    const int clusters = std::max(1, agg_cfg.clusters_per_cell);
+
+    // Cluster anchors stand in for the population's spatial mass: placed
+    // uniformly in the client disc of their AP, they never transmit — the
+    // environment only answers link-gain queries here, once, to decide
+    // which observer cells would hear each cluster's preambles under the
+    // same open-loop power control + detection threshold
+    // LteNetwork::EmitPrach applies to real UEs.
+    std::vector<std::vector<int>> audible(
+        static_cast<std::size_t>(num_cells) * static_cast<std::size_t>(clusters));
+    std::vector<std::uint8_t> pair_audible(
+        static_cast<std::size_t>(num_cells) * static_cast<std::size_t>(num_cells), 0);
+    for (int c = 0; c < num_cells; ++c) {
+      for (int k = 0; k < clusters; ++k) {
+        const double u1 = traffic::AggregateLoad::NormalizedDraw(
+            agg_cfg.seed, static_cast<std::uint64_t>(c),
+            static_cast<std::uint64_t>(k), 0xC1);
+        const double u2 = traffic::AggregateLoad::NormalizedDraw(
+            agg_cfg.seed, static_cast<std::uint64_t>(c),
+            static_cast<std::uint64_t>(k), 0xC2);
+        const double r = cfg.topology.client_radius_m * std::sqrt(u1);
+        const Point ap = topo.aps[static_cast<std::size_t>(c)];
+        const RadioNodeId cluster_radio = env.AddNode(
+            {.position = Point{ap.x + r * std::cos(kTau * u2),
+                               ap.y + r * std::sin(kTau * u2)},
+             .tx_power_dbm = cfg.client_power_dbm});
+        const double gain_to_serving =
+            env.LinkGainDb(cluster_radio, ap_radios[static_cast<std::size_t>(c)]);
+        const double tx_dbm =
+            net_cfg.prach_power_control
+                ? std::min(net_cfg.prach_target_rx_dbm - gain_to_serving,
+                           cfg.client_power_dbm)
+                : cfg.client_power_dbm;
+        for (int o = 0; o < num_cells; ++o) {
+          const double rx_dbm =
+              tx_dbm + env.LinkGainDb(cluster_radio,
+                                      ap_radios[static_cast<std::size_t>(o)]);
+          const double snr =
+              rx_dbm -
+              NoisePowerDbm(kPrachBandwidthHz,
+                            env.node(ap_radios[static_cast<std::size_t>(o)])
+                                .noise_figure_db);
+          if (snr < net_cfg.prach_detect_snr_db) continue;
+          audible[static_cast<std::size_t>(c * clusters + k)].push_back(o);
+          pair_audible[static_cast<std::size_t>(o * num_cells + c)] = 1;
+        }
+      }
+    }
+
+    const SimTime agg_period =
+        static_cast<SimTime>(std::llround(agg_cfg.epoch_s * kSecond));
+    // One tick per generator epoch, run serially on the event loop: push
+    // each cell's utilization into the MAC, refresh every audible
+    // (observer, serving) contender count (zeros included, so loads that
+    // fall expire into fresh zeros instead of lingering), and emit the
+    // per-cell offered-load gauge / utilization histogram / trace event.
+    auto agg_step = std::make_shared<std::function<void()>>(
+        [&sim, &net, &controller, &agg, num_cells, clusters,
+         audible = std::move(audible), pair_audible = std::move(pair_audible),
+         counts = std::vector<int>(
+             static_cast<std::size_t>(num_cells) * static_cast<std::size_t>(num_cells),
+             0),
+         epoch = std::int64_t{0}]() mutable {
+          std::fill(counts.begin(), counts.end(), 0);
+          for (int c = 0; c < num_cells; ++c) {
+            const traffic::CellLoadSample s = agg->Sample(c, epoch);
+            net.SetBackgroundLoad(static_cast<lte::CellId>(c), s.utilization);
+            if (controller != nullptr) {
+              const std::vector<int> split = agg->ClusterSplit(s.active_users);
+              for (int k = 0; k < clusters; ++k) {
+                if (split[static_cast<std::size_t>(k)] == 0) continue;
+                for (int o : audible[static_cast<std::size_t>(c * clusters + k)]) {
+                  counts[static_cast<std::size_t>(o * num_cells + c)] +=
+                      split[static_cast<std::size_t>(k)];
+                }
+              }
+            }
+            if (obs::MetricsRegistry* m = obs::ActiveMetrics()) {
+              m->Set(m->Gauge("traffic.agg.offered_bps.c" + std::to_string(c)),
+                     s.offered_bps);
+              m->Observe(m->Histogram("traffic.agg.utilization",
+                                      obs::FractionBounds()),
+                         s.utilization);
+            }
+            if (obs::TraceSink* tr = obs::ActiveTrace()) {
+              // Integer fields only (rounded percent for utilization) so
+              // the golden diurnal trace stays byte-stable.
+              tr->Emit(sim.Now(), "traffic", "agg_load",
+                       {{"cell", c},
+                        {"epoch", epoch},
+                        {"active", s.active_users},
+                        {"util_pct",
+                         static_cast<int>(std::lround(s.utilization * 100.0))}});
+            }
+          }
+          if (controller != nullptr) {
+            for (int o = 0; o < num_cells; ++o) {
+              for (int c = 0; c < num_cells; ++c) {
+                if (!pair_audible[static_cast<std::size_t>(o * num_cells + c)]) continue;
+                controller->SetAggregateContenders(
+                    static_cast<lte::CellId>(o), static_cast<lte::CellId>(c),
+                    counts[static_cast<std::size_t>(o * num_cells + c)]);
+              }
+            }
+          }
+          ++epoch;
+        });
+    // Epoch 0 applies at t = 0 (the tier is live from the first subframe),
+    // then once per generator epoch.
+    sim.ScheduleAfter(0, [&sim, agg_step, agg_period] {
+      (*agg_step)();
+      sim.SchedulePeriodic(agg_period, [agg_step] { (*agg_step)(); });
+    });
   }
 
   // --- Chaos injection (DESIGN.md §14) ---------------------------------------

@@ -20,6 +20,7 @@
 #include "cellfi/obs/trace.h"
 #include "cellfi/phy/resource_grid.h"
 #include "cellfi/scenario/topology.h"
+#include "cellfi/traffic/aggregate_load.h"
 #include "cellfi/traffic/web_workload.h"
 
 namespace cellfi::scenario {
@@ -109,6 +110,17 @@ struct ScenarioConfig {
   core::CellfiControllerConfig cellfi;
 
   traffic::WebWorkloadConfig web;
+
+  /// Aggregate background-load tier (DESIGN.md §18): a fluid per-cell
+  /// population riding alongside the fully-simulated UEs. Drives PRB
+  /// occupancy (LteNetwork::SetBackgroundLoad) and synthetic PRACH
+  /// contender counts (CellfiController::SetAggregateContenders) on every
+  /// generator epoch. users_per_cell == 0 disables the tier; the
+  /// CELLFI_AGG_LOAD env knob (background users per cell) provides an
+  /// ad-hoc fallback when unset. The generator seed is derived from the
+  /// scenario seed per run. LTE-based technologies only.
+  traffic::AggregateLoadConfig aggregate_load;
+
   std::uint64_t seed = 1;
 
   /// Observability; defaults to fully off (and to the CELLFI_TRACE env

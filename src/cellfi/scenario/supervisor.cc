@@ -139,6 +139,7 @@ std::vector<ReplicationOutcome> SweepSupervisor::Run(
         out.point = job.point;
         out.rep = job.rep;
         out.seed = job.config.seed;
+        out.label = job.label;
         out.sim_seconds = ToSeconds(job.config.duration);
         const auto start = std::chrono::steady_clock::now();
         try {
@@ -183,6 +184,7 @@ std::vector<ReplicationOutcome> SweepSupervisor::Run(
       std::lock_guard<std::mutex> lock(mu_);
       ++quarantined_;
       failures_.push_back({job.point, job.rep, out.seed, out.attempts,
+                           job.label,
                            out.error_text.empty() ? "unknown exception"
                                                   : out.error_text,
                            true});
@@ -206,6 +208,7 @@ json::Value SweepSupervisor::FailuresToJson() const {
     v["point"] = f.point;
     v["rep"] = f.rep;
     v["seed"] = std::to_string(f.seed);
+    if (!f.label.empty()) v["label"] = f.label;
     v["attempts"] = f.attempts;
     v["error"] = f.error;
     v["quarantined"] = f.quarantined;

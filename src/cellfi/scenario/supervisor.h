@@ -58,6 +58,9 @@ struct FailureRecord {
   int rep = 0;
   std::uint64_t seed = 0;
   int attempts = 0;
+  /// Scenario label of the failing replication (Replication::label) —
+  /// a failure record identifies WHICH scenario died, not just its seed.
+  std::string label;
   std::string error;
   bool quarantined = false;
 };

@@ -130,6 +130,7 @@ ReplicationOutcome RunOneReplication(const Replication& job) {
   out.point = job.point;
   out.rep = job.rep;
   out.seed = job.config.seed;
+  out.label = job.label;
   out.sim_seconds = ToSeconds(job.config.duration);
   const auto start = std::chrono::steady_clock::now();
   try {
@@ -161,6 +162,7 @@ std::vector<ReplicationOutcome> SweepRunner::Run(const std::vector<Replication>&
       out.point = job.point;
       out.rep = job.rep;
       out.seed = job.config.seed;
+      out.label = job.label;
       out.sim_seconds = ToSeconds(job.config.duration);
       const auto start = std::chrono::steady_clock::now();
       try {
@@ -247,6 +249,7 @@ void BenchReport::AddPoint(const std::string& label,
       json::Value failure;
       failure["rep"] = out.rep;
       failure["seed"] = std::to_string(out.seed);
+      if (!out.label.empty()) failure["label"] = out.label;
       failure["error"] = out.error_text.empty() ? "unknown exception" : out.error_text;
       if (out.attempts > 0) failure["attempts"] = out.attempts;
       if (out.quarantined) failure["quarantined"] = true;

@@ -62,6 +62,10 @@ struct Replication {
   std::shared_ptr<const Topology> topology;
   int point = 0;  ///< sweep-point index (aggregation key)
   int rep = 0;    ///< replication index within the point
+  /// Human-readable scenario label (the bench point's name). Carried into
+  /// failure records so a failing replication identifies its scenario, not
+  /// just its seed.
+  std::string label;
 };
 
 struct ReplicationOutcome {
@@ -77,6 +81,8 @@ struct ReplicationOutcome {
   int rep = 0;
   /// Seed the replication ran with (for reproducing failures).
   std::uint64_t seed = 0;
+  /// Scenario label copied from the Replication (failure forensics).
+  std::string label;
   /// Attempts the supervisor spent on this replication (0 = plain runner).
   int attempts = 0;
   /// Failed every supervised attempt; recorded and excluded from stats.

@@ -1,0 +1,116 @@
+#include "cellfi/traffic/aggregate_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cellfi/radio/fading.h"
+
+namespace cellfi::traffic {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+AggregateLoad::AggregateLoad(AggregateLoadConfig config) : config_(config) {
+  config_.users_per_cell = std::max(0, config_.users_per_cell);
+  config_.clusters_per_cell = std::max(1, config_.clusters_per_cell);
+  if (config_.epoch_s <= 0.0) config_.epoch_s = 1.0;
+}
+
+double AggregateLoad::NormalizedDraw(std::uint64_t seed, std::uint64_t cell,
+                                     std::uint64_t epoch, std::uint64_t salt) {
+  // The sanctioned stateless hash (radio/fading.h). Top 53 bits -> [0, 1),
+  // the usual exact double construction (kept local instead of
+  // HashToUnitInterval: that one offsets by half an ulp, and the tier's
+  // goldens pin this exact mapping).
+  const std::uint64_t h = HashWords(seed, cell, epoch, salt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double AggregateLoad::FlashMultiplierAt(int cell, std::int64_t epoch) const {
+  double mult = 1.0;
+  const double t = static_cast<double>(epoch) * config_.epoch_s;
+  for (const FlashCrowdEvent& e : config_.flash_events) {
+    if (e.cell >= 0 && e.cell != cell) continue;
+    if (t >= e.start_s && t < e.start_s + e.duration_s) {
+      mult *= e.multiplier > 0.0 ? e.multiplier : 1.0;
+    }
+  }
+  if (config_.flash_rate_per_s > 0.0 && config_.flash_duration_s > 0.0) {
+    // An episode starting at epoch e0 covers [e0, e0 + window). Whether any
+    // episode covers `epoch` is a pure function of the Bernoulli start
+    // draws in the bounded back-window — stateless, so any epoch can be
+    // sampled in isolation and in any order.
+    const auto window = static_cast<std::int64_t>(
+        std::ceil(config_.flash_duration_s / config_.epoch_s));
+    const double p =
+        std::min(1.0, config_.flash_rate_per_s * config_.epoch_s);
+    for (std::int64_t e0 = std::max<std::int64_t>(0, epoch - window + 1);
+         e0 <= epoch; ++e0) {
+      const double u =
+          NormalizedDraw(config_.seed, static_cast<std::uint64_t>(cell),
+                         static_cast<std::uint64_t>(e0), /*salt=*/0xF1A5);
+      if (u < p) {
+        mult *= config_.flash_multiplier > 0.0 ? config_.flash_multiplier : 1.0;
+        break;  // overlapping episodes merge rather than compound
+      }
+    }
+  }
+  return mult;
+}
+
+CellLoadSample AggregateLoad::Sample(int cell, std::int64_t epoch) const {
+  CellLoadSample sample;
+  if (config_.users_per_cell <= 0 || epoch < 0) return sample;
+
+  double activity = config_.steady_activity;
+  if (config_.diurnal_period_s > 0.0 && config_.diurnal_amplitude != 0.0) {
+    // Per-cell phase drawn once from the counter stream (epoch/salt pinned
+    // so it is constant over the run).
+    const double phase =
+        config_.diurnal_phase_spread *
+        NormalizedDraw(config_.seed, static_cast<std::uint64_t>(cell),
+                       /*epoch=*/0, /*salt=*/0xD1);
+    const double t = static_cast<double>(epoch) * config_.epoch_s;
+    const double wave =
+        0.5 * (1.0 - std::cos(kTwoPi * (t / config_.diurnal_period_s + phase)));
+    activity += config_.diurnal_amplitude * wave;
+  }
+  if (config_.activity_jitter > 0.0) {
+    const double u =
+        NormalizedDraw(config_.seed, static_cast<std::uint64_t>(cell),
+                       static_cast<std::uint64_t>(epoch), /*salt=*/0x717);
+    activity *= 1.0 + config_.activity_jitter * (2.0 * u - 1.0);
+  }
+  activity = std::clamp(activity, 0.0, 1.0);
+
+  sample.flash_multiplier = FlashMultiplierAt(cell, epoch);
+  sample.active_users = static_cast<int>(std::lround(
+      static_cast<double>(config_.users_per_cell) * activity *
+      sample.flash_multiplier));
+  sample.offered_bps =
+      static_cast<double>(sample.active_users) * config_.per_user_demand_bps;
+  sample.utilization =
+      config_.cell_capacity_bps > 0.0
+          ? std::clamp(sample.offered_bps / config_.cell_capacity_bps, 0.0, 1.0)
+          : 0.0;
+  return sample;
+}
+
+std::vector<int> AggregateLoad::ClusterSplit(int active_users) const {
+  const int k = config_.clusters_per_cell;
+  std::vector<int> split(static_cast<std::size_t>(k), 0);
+  if (active_users <= 0) return split;
+  const int base = active_users / k;
+  const int remainder = active_users % k;
+  // Largest remainder with equal quotas degenerates to "first `remainder`
+  // clusters get one extra" — deterministic and exactly summing.
+  for (int i = 0; i < k; ++i) {
+    split[static_cast<std::size_t>(i)] = base + (i < remainder ? 1 : 0);
+  }
+  return split;
+}
+
+}  // namespace cellfi::traffic

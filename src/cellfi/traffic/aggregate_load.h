@@ -1,0 +1,130 @@
+// Aggregate background-load tier (DESIGN.md §18).
+//
+// The paper's share calculation S_i = N_i * S / NP_i and the hopping
+// dynamics are driven by per-UE discrete events, which caps realistic
+// population sizes far below "heavy traffic from millions of users". This
+// module is the fluid half of a two-tier traffic model: each cell carries a
+// small set of fully-simulated UEs (HARQ/CQI/mobility untouched) plus an
+// aggregate population whose only observable footprints are exactly the
+// three quantities the CellFi control loop senses —
+//   * PRB utilization (background subchannel occupancy, which both crowds
+//     out the real scheduler and radiates real interference),
+//   * PRACH contention counts NP_i (synthetic preamble counts injected
+//     into the per-cell PrachSensors), and
+//   * own-client demand N_i (the serving cell's share of those counts).
+//
+// Every draw is counter-based: sample(cell, epoch) is a pure function of
+// (seed, cell, epoch) through a SplitMix64 chain — no stateful RNG, no
+// wall clock, no mutation. That makes the tier trivially bit-identical
+// across thread counts, shard counts and evaluation order, and lets the
+// cross-validation suite replay any epoch in isolation. Per-epoch cost is
+// O(cells x clusters), independent of the population size: one million
+// background users cost the same as one thousand (bench_users measures
+// exactly this).
+//
+// Load envelopes follow the TVWS secondary-network capacity analysis
+// (PAPERS.md, arXiv 1304.1785): a per-cell capacity in bps bounds how much
+// offered aggregate demand translates into PRB occupancy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cellfi::traffic {
+
+/// One scripted flash-crowd episode: `multiplier` x the active population
+/// on `cell` (every cell when < 0) for [start_s, start_s + duration_s).
+struct FlashCrowdEvent {
+  int cell = -1;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double multiplier = 1.0;
+};
+
+struct AggregateLoadConfig {
+  /// Background users per cell; 0 disables the tier entirely (every hook
+  /// in the stack reduces to the pre-tier behavior, byte-identical).
+  int users_per_cell = 0;
+  /// Mean downlink demand per active background user.
+  double per_user_demand_bps = 25e3;
+  /// Per-cell capacity envelope bounding offered load -> PRB occupancy
+  /// (arXiv 1304.1785: ~2 bps/Hz over a TVWS channel; default 12 Mbps
+  /// matches the 5/6 MHz setups used throughout the benches).
+  double cell_capacity_bps = 12e6;
+
+  /// Steady activity level: fraction of the population active with no
+  /// diurnal wave and no flash crowd.
+  double steady_activity = 0.5;
+  /// Diurnal wave: adds amplitude * 0.5*(1 - cos(2*pi*(t/period + phase)))
+  /// on top of steady_activity. period_s <= 0 disables the wave.
+  double diurnal_period_s = 0.0;
+  double diurnal_amplitude = 0.0;
+  /// Per-cell phase offset, as a fraction of the period, drawn once per
+  /// cell from the counter stream (cells need no mutual synchronization).
+  double diurnal_phase_spread = 1.0;
+  /// Multiplicative per-epoch activity jitter amplitude (0 = none):
+  /// activity *= 1 + jitter * (2u - 1), u ~ U[0,1) counter-drawn.
+  double activity_jitter = 0.0;
+
+  /// Scripted flash crowds (deterministic, testable).
+  std::vector<FlashCrowdEvent> flash_events;
+  /// Stochastic flash-crowd generator: per-cell episode start probability
+  /// per second (0 disables). Episodes last flash_duration_s and multiply
+  /// the active population by flash_multiplier. Starts are counter-drawn
+  /// Bernoulli trials, so whether an episode covers epoch e is recomputed
+  /// statelessly by scanning the bounded back-window of start draws.
+  double flash_rate_per_s = 0.0;
+  double flash_duration_s = 10.0;
+  double flash_multiplier = 4.0;
+
+  /// Generator epoch (matches the CellFi control epoch of 1 s).
+  double epoch_s = 1.0;
+  /// Spatial clusters the population is split into for PRACH-audibility
+  /// purposes (largest-remainder split, deterministic).
+  int clusters_per_cell = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Load sample for one (cell, epoch).
+struct CellLoadSample {
+  int active_users = 0;
+  double offered_bps = 0.0;
+  /// offered / capacity, clamped to [0, 1]: the fraction of the cell's
+  /// allowed subchannels the background tier occupies.
+  double utilization = 0.0;
+  /// Flash-crowd population multiplier in force this epoch (1 = none).
+  double flash_multiplier = 1.0;
+};
+
+class AggregateLoad {
+ public:
+  explicit AggregateLoad(AggregateLoadConfig config);
+
+  const AggregateLoadConfig& config() const { return config_; }
+  bool enabled() const { return config_.users_per_cell > 0; }
+
+  /// The load of `cell` during epoch index `epoch` (epoch e covers sim
+  /// time [e * epoch_s, (e+1) * epoch_s)). Pure function of (config, cell,
+  /// epoch): stateless, order-free, clock-free.
+  // cellfi-purity: contract-root(aggregate-load-generator) AggregateLoad::Sample
+  CellLoadSample Sample(int cell, std::int64_t epoch) const;
+
+  /// Split `active_users` over the configured clusters by largest
+  /// remainder (deterministic; entries sum to active_users exactly).
+  // cellfi-purity: contract-root(aggregate-load-generator) AggregateLoad::ClusterSplit
+  std::vector<int> ClusterSplit(int active_users) const;
+
+  /// Counter-based uniform draw in [0, 1): SplitMix64 chain over
+  /// (seed, cell, epoch, salt). Exposed so harness-side placement (e.g.
+  /// cluster positions) shares the generator's determinism contract.
+  // cellfi-purity: contract-root(aggregate-load-generator) AggregateLoad::NormalizedDraw
+  static double NormalizedDraw(std::uint64_t seed, std::uint64_t cell,
+                               std::uint64_t epoch, std::uint64_t salt);
+
+ private:
+  double FlashMultiplierAt(int cell, std::int64_t epoch) const;
+
+  AggregateLoadConfig config_;
+};
+
+}  // namespace cellfi::traffic

@@ -15,6 +15,7 @@
 
 #include "cellfi/common/json.h"
 #include "cellfi/scenario/report.h"
+#include "cellfi/scenario/supervisor.h"
 #include "cellfi/scenario/sweep.h"
 
 namespace cellfi::scenario {
@@ -37,7 +38,7 @@ std::vector<Replication> SmallJobs() {
   std::vector<Replication> jobs;
   for (int rep = 0; rep < 4; ++rep) {
     jobs.push_back(Replication{SmallConfig(100 + static_cast<std::uint64_t>(rep)),
-                               nullptr, 0, rep});
+                               nullptr, 0, rep, {}});
   }
   return jobs;
 }
@@ -221,6 +222,68 @@ TEST(BenchReportTest, WritesValidArtifact) {
   EXPECT_EQ(p0["label"].as_string(), "p0");
   EXPECT_DOUBLE_EQ(p0["wall_s"].as_number(), 0.75);
   EXPECT_DOUBLE_EQ(p0["sim_s"].as_number(), 20.0);
+}
+
+// Regression: failure records used to carry only the seed and the exception
+// text. In a multi-scenario sweep that left the reader reverse-engineering
+// which scenario died from the seed alone — Replication::label must survive
+// into the plain runner's BENCH_* failure entries, the supervisor's
+// FailureRecord, and FailuresToJson.
+TEST(FailureRecordTest, LabelIdentifiesTheFailingScenario) {
+  auto jobs = SmallJobs();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].label = "scenario-" + std::to_string(i);
+  }
+  const ReplicationBody body = [](const Replication& job) -> ScenarioResult {
+    if (job.rep == 2) throw std::runtime_error("died mid-epoch");
+    return ScenarioResult{};
+  };
+
+  // Plain runner path: the label rides the outcome into the artifact.
+  SweepOptions opts;
+  opts.threads = 2;
+  const auto outcomes = SweepRunner(opts).Run(jobs, body);
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].label, "scenario-0");
+  EXPECT_EQ(outcomes[2].label, "scenario-2");
+  ASSERT_NE(outcomes[2].error, nullptr);
+
+  ::setenv("CELLFI_BENCH_OUT", ::testing::TempDir().c_str(), 1);
+  BenchReport report("label_test", 2, 4);
+  report.AddPoint("p0", outcomes, 0);
+  const std::string path = report.Write();
+  ::unsetenv("CELLFI_BENCH_OUT");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream artifact;
+  artifact << in.rdbuf();
+  const auto parsed = json::Parse(artifact.str());
+  ASSERT_TRUE(parsed.has_value());
+  json::Value doc = *parsed;
+  ASSERT_EQ(doc["points"].as_array().size(), 1u);
+  json::Value p0 = doc["points"].as_array()[0];
+  ASSERT_EQ(p0["failures"].as_array().size(), 1u);
+  json::Value failure = p0["failures"].as_array()[0];
+  EXPECT_EQ(failure["rep"].as_int(), 2);
+  EXPECT_EQ(failure["label"].as_string(), "scenario-2");
+  EXPECT_EQ(failure["error"].as_string(), "died mid-epoch");
+
+  // Supervised path: the FailureRecord and its JSON form carry the label.
+  SupervisorOptions sup_opts;
+  sup_opts.threads = 2;
+  sup_opts.max_attempts = 1;
+  SweepSupervisor supervisor(sup_opts);
+  const auto supervised = supervisor.Run(jobs, body);
+  ASSERT_EQ(supervised.size(), 4u);
+  EXPECT_EQ(supervised[1].label, "scenario-1");
+  ASSERT_EQ(supervisor.failures().size(), 1u);
+  EXPECT_EQ(supervisor.failures()[0].rep, 2);
+  EXPECT_EQ(supervisor.failures()[0].label, "scenario-2");
+  json::Value failures_doc = supervisor.FailuresToJson();
+  ASSERT_EQ(failures_doc["failures"].as_array().size(), 1u);
+  json::Value record = failures_doc["failures"].as_array()[0];
+  EXPECT_EQ(record["label"].as_string(), "scenario-2");
+  EXPECT_EQ(record["error"].as_string(), "died mid-epoch");
 }
 
 }  // namespace

@@ -421,5 +421,22 @@ TEST(ShardBitIdentityTest, CellFiControllerStackUnaffectedByShards) {
   ExpectBitIdentical(ref, sharded, "cellfi shards=4");
 }
 
+TEST(ShardBitIdentityTest, AggregateLoadTierUnaffectedByShards) {
+  // The aggregate background-load tier (DESIGN.md §18) is counter-drawn
+  // and runs serially on the event loop: its PRB reservations and PRACH
+  // injections must be invisible to the shard partition.
+  auto with_agg = [](int shards) {
+    auto cfg = ShardScenario(scenario::Technology::kCellFi, false, true, 0.0,
+                             shards);
+    cfg.aggregate_load.users_per_cell = 300;
+    cfg.aggregate_load.activity_jitter = 0.2;
+    cfg.aggregate_load.flash_rate_per_s = 0.05;
+    return cfg;
+  };
+  const auto ref = scenario::RunScenario(with_agg(1));
+  const auto sharded = scenario::RunScenario(with_agg(4));
+  ExpectBitIdentical(ref, sharded, "agg-load shards=4");
+}
+
 }  // namespace
 }  // namespace cellfi

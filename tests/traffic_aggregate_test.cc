@@ -1,0 +1,629 @@
+// Aggregate background-load tier (DESIGN.md §18).
+//
+// Three layers of coverage:
+//  * generator units — the counter-based fluid process (steady arithmetic,
+//    diurnal envelope, scripted + stochastic flash crowds, cluster split)
+//    is a pure function of (config, cell, epoch);
+//  * sensor bookkeeping — synthetic PRACH contender counts add to, expire
+//    with, and never corrupt the per-UE estimates;
+//  * cross-validation — the headline contract: at small scale a run using
+//    the aggregate tier must reproduce the share trajectory of a reference
+//    run that fully simulates the same population as real UEs, and the
+//    tier must preserve every bit-identity gate (two-run, sweep thread
+//    count; shard count lives in shard_test.cc).
+//
+// The golden diurnal trace pins the 4-AP agg_load event stream byte-for-
+// byte; regenerate deliberately with
+// `CELLFI_UPDATE_GOLDEN=1 ./build/tests/traffic_aggregate_test`.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cellfi/core/prach_sensor.h"
+#include "cellfi/scenario/harness.h"
+#include "cellfi/scenario/report.h"
+#include "cellfi/scenario/sweep.h"
+#include "cellfi/traffic/aggregate_load.h"
+
+namespace cellfi {
+namespace {
+
+using scenario::RunScenario;
+using scenario::RunScenarioOn;
+using scenario::ScenarioConfig;
+using scenario::ScenarioResult;
+using scenario::Technology;
+using scenario::Topology;
+using scenario::WorkloadKind;
+using traffic::AggregateLoad;
+using traffic::AggregateLoadConfig;
+using traffic::CellLoadSample;
+using traffic::FlashCrowdEvent;
+
+// ---------------------------------------------------------------------------
+// Generator units.
+
+AggregateLoadConfig SteadyConfig() {
+  AggregateLoadConfig cfg;
+  cfg.users_per_cell = 1000;
+  cfg.steady_activity = 0.5;
+  cfg.per_user_demand_bps = 20e3;
+  cfg.cell_capacity_bps = 12e6;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(AggregateLoadTest, DisabledTierSamplesZero) {
+  AggregateLoadConfig cfg = SteadyConfig();
+  cfg.users_per_cell = 0;
+  const AggregateLoad gen(cfg);
+  EXPECT_FALSE(gen.enabled());
+  const CellLoadSample s = gen.Sample(0, 5);
+  EXPECT_EQ(s.active_users, 0);
+  EXPECT_EQ(s.offered_bps, 0.0);
+  EXPECT_EQ(s.utilization, 0.0);
+}
+
+TEST(AggregateLoadTest, NegativeEpochSamplesZero) {
+  const AggregateLoad gen(SteadyConfig());
+  const CellLoadSample s = gen.Sample(0, -1);
+  EXPECT_EQ(s.active_users, 0);
+  EXPECT_EQ(s.utilization, 0.0);
+}
+
+TEST(AggregateLoadTest, SteadyStateArithmeticIsExact) {
+  const AggregateLoad gen(SteadyConfig());
+  const CellLoadSample s = gen.Sample(3, 17);
+  // 1000 users x 0.5 active x 20 kbps = 10 Mbps over a 12 Mbps envelope.
+  EXPECT_EQ(s.active_users, 500);
+  EXPECT_DOUBLE_EQ(s.offered_bps, 10e6);
+  EXPECT_DOUBLE_EQ(s.utilization, 10e6 / 12e6);
+  EXPECT_DOUBLE_EQ(s.flash_multiplier, 1.0);
+}
+
+TEST(AggregateLoadTest, UtilizationClampsToOne) {
+  AggregateLoadConfig cfg = SteadyConfig();
+  cfg.per_user_demand_bps = 1e6;  // 500 Mbps offered over 12 Mbps
+  const AggregateLoad gen(cfg);
+  EXPECT_DOUBLE_EQ(gen.Sample(0, 0).utilization, 1.0);
+}
+
+TEST(AggregateLoadTest, SampleIsPureAndOrderFree) {
+  AggregateLoadConfig cfg = SteadyConfig();
+  cfg.activity_jitter = 0.3;
+  cfg.diurnal_period_s = 60.0;
+  cfg.diurnal_amplitude = 0.2;
+  cfg.flash_rate_per_s = 0.02;
+  const AggregateLoad a(cfg);
+  const AggregateLoad b(cfg);
+  // Sample b in reverse order: a stateless generator cannot notice.
+  std::vector<CellLoadSample> forward;
+  for (std::int64_t e = 0; e < 50; ++e) forward.push_back(a.Sample(2, e));
+  for (std::int64_t e = 49; e >= 0; --e) {
+    const CellLoadSample s = b.Sample(2, e);
+    const CellLoadSample& f = forward[static_cast<std::size_t>(e)];
+    EXPECT_EQ(s.active_users, f.active_users);
+    EXPECT_DOUBLE_EQ(s.offered_bps, f.offered_bps);
+    EXPECT_DOUBLE_EQ(s.utilization, f.utilization);
+    EXPECT_DOUBLE_EQ(s.flash_multiplier, f.flash_multiplier);
+  }
+}
+
+TEST(AggregateLoadTest, NormalizedDrawRepeatableAndSaltSensitive) {
+  const double u = AggregateLoad::NormalizedDraw(1, 2, 3, 4);
+  EXPECT_EQ(u, AggregateLoad::NormalizedDraw(1, 2, 3, 4));
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+  EXPECT_NE(u, AggregateLoad::NormalizedDraw(1, 2, 3, 5));
+  EXPECT_NE(u, AggregateLoad::NormalizedDraw(1, 2, 4, 4));
+  EXPECT_NE(u, AggregateLoad::NormalizedDraw(1, 3, 3, 4));
+  EXPECT_NE(u, AggregateLoad::NormalizedDraw(2, 2, 3, 4));
+}
+
+TEST(AggregateLoadTest, ClusterSplitSumsExactly) {
+  AggregateLoadConfig cfg = SteadyConfig();
+  cfg.clusters_per_cell = 4;
+  const AggregateLoad gen(cfg);
+  for (int n : {0, 1, 3, 4, 7, 8, 100, 1001}) {
+    const std::vector<int> split = gen.ClusterSplit(n);
+    ASSERT_EQ(split.size(), 4u);
+    int sum = 0;
+    int lo = split[0];
+    int hi = split[0];
+    for (int v : split) {
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_EQ(sum, n) << "n=" << n;
+    EXPECT_LE(hi - lo, 1) << "n=" << n;  // largest-remainder balance
+  }
+}
+
+TEST(AggregateLoadTest, DiurnalWaveStaysInsideItsEnvelope) {
+  AggregateLoadConfig cfg = SteadyConfig();
+  cfg.steady_activity = 0.3;
+  cfg.diurnal_period_s = 8.0;
+  cfg.diurnal_amplitude = 0.4;
+  const AggregateLoad gen(cfg);
+  int lo = cfg.users_per_cell;
+  int hi = 0;
+  for (std::int64_t e = 0; e < 16; ++e) {
+    const CellLoadSample s = gen.Sample(0, e);
+    // activity in [steady, steady + amplitude].
+    EXPECT_GE(s.active_users, std::lround(0.3 * cfg.users_per_cell) - 1);
+    EXPECT_LE(s.active_users, std::lround(0.7 * cfg.users_per_cell) + 1);
+    lo = std::min(lo, s.active_users);
+    hi = std::max(hi, s.active_users);
+  }
+  // A full period passed, so the wave actually moved the population.
+  EXPECT_GT(hi - lo, cfg.users_per_cell / 10);
+}
+
+TEST(AggregateLoadTest, ScriptedFlashWindowIsHalfOpen) {
+  AggregateLoadConfig cfg = SteadyConfig();
+  cfg.flash_events = {FlashCrowdEvent{.cell = 1, .start_s = 3.0, .duration_s = 2.0, .multiplier = 4.0}};
+  const AggregateLoad gen(cfg);
+  EXPECT_DOUBLE_EQ(gen.Sample(1, 2).flash_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(gen.Sample(1, 3).flash_multiplier, 4.0);
+  EXPECT_DOUBLE_EQ(gen.Sample(1, 4).flash_multiplier, 4.0);
+  EXPECT_DOUBLE_EQ(gen.Sample(1, 5).flash_multiplier, 1.0);  // end excluded
+  // Other cells unaffected; cell = -1 would hit every cell.
+  EXPECT_DOUBLE_EQ(gen.Sample(0, 3).flash_multiplier, 1.0);
+  cfg.flash_events[0].cell = -1;
+  const AggregateLoad all(cfg);
+  EXPECT_DOUBLE_EQ(all.Sample(0, 3).flash_multiplier, 4.0);
+  EXPECT_DOUBLE_EQ(all.Sample(7, 4).flash_multiplier, 4.0);
+}
+
+TEST(AggregateLoadTest, StochasticFlashEpisodesMergeNotCompound) {
+  AggregateLoadConfig cfg = SteadyConfig();
+  cfg.flash_rate_per_s = 1.0;  // an episode starts every single epoch
+  cfg.flash_duration_s = 10.0;
+  cfg.flash_multiplier = 3.0;
+  const AggregateLoad gen(cfg);
+  for (std::int64_t e = 0; e < 40; ++e) {
+    // Ten overlapping episodes cover every epoch; they merge into one
+    // multiplier, never 3^10.
+    EXPECT_DOUBLE_EQ(gen.Sample(0, e).flash_multiplier, 3.0) << "epoch " << e;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sensor bookkeeping: synthetic counts alongside real preambles.
+
+TEST(PrachSensorAggregateTest, CountsAddToPreamblesExactly) {
+  core::PrachSensor sensor(/*self=*/0);
+  sensor.OnPreamble(/*ue=*/7, /*serving=*/0, /*now=*/0);
+  sensor.SetAggregateContenders(/*serving=*/0, 40, /*now=*/0);
+  sensor.SetAggregateContenders(/*serving=*/1, 25, /*now=*/0);
+  // NP = 1 real + 40 own-cell aggregate + 25 foreign aggregate.
+  EXPECT_EQ(sensor.EstimateContenders(0), 66);
+  // N = 1 real own + the aggregate count reported for this cell itself.
+  EXPECT_EQ(sensor.OwnActive(0), 41);
+}
+
+TEST(PrachSensorAggregateTest, LatestReportPerServingWins) {
+  core::PrachSensor sensor(/*self=*/0);
+  sensor.SetAggregateContenders(1, 25, 0);
+  sensor.SetAggregateContenders(1, 10, kSecond / 2);
+  EXPECT_EQ(sensor.EstimateContenders(kSecond / 2), 10);
+}
+
+TEST(PrachSensorAggregateTest, ReportsExpireLikePreambles) {
+  core::PrachSensor sensor(/*self=*/0, /*expiry=*/1 * kSecond);
+  sensor.SetAggregateContenders(0, 12, 0);
+  EXPECT_EQ(sensor.EstimateContenders(0), 12);
+  EXPECT_EQ(sensor.EstimateContenders(1 * kSecond), 12);  // fresh at expiry
+  EXPECT_EQ(sensor.EstimateContenders(1 * kSecond + 1), 0);
+  EXPECT_EQ(sensor.OwnActive(1 * kSecond + 1), 0);
+}
+
+TEST(PrachSensorAggregateTest, NegativeCountsClampToZero) {
+  core::PrachSensor sensor(/*self=*/0);
+  sensor.SetAggregateContenders(0, -5, 0);
+  EXPECT_EQ(sensor.EstimateContenders(0), 0);
+  EXPECT_EQ(sensor.OwnActive(0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation against the fully-simulated reference.
+
+// Must match the harness's cluster-anchor placement exactly: salts 0xC1 /
+// 0xC2 over the derived seed, uniform-in-disc via r = R * sqrt(u1).
+constexpr double kTau = 6.283185307179586;
+constexpr std::uint64_t kAggSeedSalt = 0xA66A;
+
+Point ClusterPosition(std::uint64_t agg_seed, const Point& ap, double radius_m,
+                      int cell, int k) {
+  const double u1 = AggregateLoad::NormalizedDraw(
+      agg_seed, static_cast<std::uint64_t>(cell), static_cast<std::uint64_t>(k),
+      0xC1);
+  const double u2 = AggregateLoad::NormalizedDraw(
+      agg_seed, static_cast<std::uint64_t>(cell), static_cast<std::uint64_t>(k),
+      0xC2);
+  const double r = radius_m * std::sqrt(u1);
+  return Point{ap.x + r * std::cos(kTau * u2), ap.y + r * std::sin(kTau * u2)};
+}
+
+struct CellShareState {
+  std::int64_t share = -1;
+  std::int64_t own = -1;
+  std::int64_t contenders = -1;
+};
+
+std::vector<CellShareState> FinalShareState(const obs::TraceSink& trace,
+                                            int num_cells) {
+  std::vector<CellShareState> out(static_cast<std::size_t>(num_cells));
+  for (const auto& ev : trace.Events("im", "share_recalc")) {
+    const auto* cell = ev.Find("cell");
+    if (cell == nullptr) continue;
+    const auto c = static_cast<std::size_t>(cell->as_int());
+    if (c >= out.size()) continue;
+    out[c].share = ev.Find("share")->as_int();
+    out[c].own = ev.Find("own")->as_int();
+    out[c].contenders = ev.Find("contenders")->as_int();
+  }
+  return out;
+}
+
+constexpr std::uint64_t kXvalSeed = 404;
+constexpr double kXvalClusterRadiusM = 150.0;
+
+ScenarioConfig XvalBase() {
+  ScenarioConfig cfg;
+  cfg.tech = Technology::kCellFi;
+  cfg.workload = WorkloadKind::kBacklogged;
+  cfg.propagation = scenario::PropagationKind::kSuburbanUhf;
+  cfg.topology.area_m = 800.0;
+  cfg.topology.num_aps = 2;
+  cfg.topology.clients_per_ap = 2;
+  cfg.topology.client_radius_m = kXvalClusterRadiusM;
+  // Fading off: the reference run adds radio nodes, and the comparison is
+  // about contender counts and shares, not shadowing realizations.
+  cfg.enable_fading = false;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.warmup = 500 * kMillisecond;
+  cfg.duration = 10 * kSecond;
+  cfg.seed = kXvalSeed;
+  cfg.obs.enabled = true;
+  return cfg;
+}
+
+Topology XvalTopology() {
+  Topology topo;
+  topo.aps = {Point{200.0, 400.0}, Point{600.0, 400.0}};
+  // Two fully-simulated probe clients per AP, close in (clean links): their
+  // outcomes ride identically through both runs.
+  topo.clients = {Point{170.0, 400.0}, Point{230.0, 400.0},
+                  Point{570.0, 400.0}, Point{630.0, 400.0}};
+  topo.client_home_ap = {0, 0, 1, 1};
+  return topo;
+}
+
+TEST(AggregateCrossValidationTest, SharesMatchFullySimulatedReference) {
+  constexpr int kUsersPerCell = 8;
+  constexpr int kClusters = 4;
+
+  // Aggregate run: 8 background users per cell ride as synthetic PRACH
+  // counts. Demand is kept tiny so the background PRB reservation rounds
+  // to zero — both runs then radiate identically (the backlogged probes
+  // fill the allowed mask either way) and the comparison isolates the
+  // share calculation S_i = N_i * S / NP_i.
+  ScenarioConfig agg_cfg = XvalBase();
+  agg_cfg.aggregate_load.users_per_cell = kUsersPerCell;
+  agg_cfg.aggregate_load.clusters_per_cell = kClusters;
+  agg_cfg.aggregate_load.steady_activity = 1.0;
+  agg_cfg.aggregate_load.per_user_demand_bps = 1e3;
+  const ScenarioResult agg = RunScenarioOn(agg_cfg, XvalTopology());
+  ASSERT_NE(agg.trace, nullptr);
+
+  // Reference run: the tier is off; the same population is fully simulated
+  // instead. Cluster anchors are a pure function of the derived seed, so
+  // the reference can place its extra real UEs at exactly the aggregate
+  // run's cluster positions — identical geometry, hence identical PRACH
+  // audibility structure, is what makes the counts comparable.
+  ScenarioConfig ref_cfg = XvalBase();
+  Topology ref_topo = XvalTopology();
+  const std::uint64_t agg_seed = kXvalSeed ^ kAggSeedSalt;
+  for (int c = 0; c < 2; ++c) {
+    for (int k = 0; k < kClusters; ++k) {
+      const Point pos =
+          ClusterPosition(agg_seed, ref_topo.aps[static_cast<std::size_t>(c)],
+                          kXvalClusterRadiusM, c, k);
+      for (int u = 0; u < kUsersPerCell / kClusters; ++u) {
+        ref_topo.clients.push_back(pos);
+        ref_topo.client_home_ap.push_back(c);
+      }
+    }
+  }
+  const ScenarioResult ref = RunScenarioOn(ref_cfg, ref_topo);
+  ASSERT_NE(ref.trace, nullptr);
+
+  // Every probe (and every reference UE) must have attached — a detached
+  // population would trivialize the comparison.
+  for (std::size_t i = 0; i < agg.clients.size(); ++i) {
+    EXPECT_TRUE(agg.clients[i].attached) << "agg probe " << i;
+  }
+  for (std::size_t i = 0; i < ref.clients.size(); ++i) {
+    EXPECT_TRUE(ref.clients[i].attached) << "ref client " << i;
+  }
+
+  const auto agg_state = FinalShareState(*agg.trace, 2);
+  const auto ref_state = FinalShareState(*ref.trace, 2);
+  for (int c = 0; c < 2; ++c) {
+    SCOPED_TRACE("cell " + std::to_string(c));
+    const auto& a = agg_state[static_cast<std::size_t>(c)];
+    const auto& r = ref_state[static_cast<std::size_t>(c)];
+    ASSERT_GE(a.share, 0) << "aggregate run emitted no share_recalc";
+    ASSERT_GE(r.share, 0) << "reference run emitted no share_recalc";
+    // The tier really injected its population: the serving cell hears its
+    // own 8 background users plus the 2 probes.
+    EXPECT_GE(a.own, kUsersPerCell);
+    EXPECT_GE(a.contenders, kUsersPerCell);
+    // Documented tolerances: real UEs refresh their PRACH estimate on a
+    // solicitation clock while the tier reports on epoch boundaries, so
+    // steady-state counts may sit one report apart around the 1 s expiry.
+    EXPECT_NEAR(static_cast<double>(a.own), static_cast<double>(r.own), 2.0);
+    EXPECT_NEAR(static_cast<double>(a.contenders),
+                static_cast<double>(r.contenders), 2.0);
+    // Shares are quantized subchannel counts of near-identical (N, NP):
+    // at most one subchannel apart.
+    EXPECT_NEAR(static_cast<double>(a.share), static_cast<double>(r.share), 1.0);
+  }
+
+  // Event-sequence envelope: the hop/grow/shrink dynamics of the two runs
+  // track each other (identical radiated interference, near-identical
+  // shares). Hop totals may differ slightly where bucket timing interacts
+  // with the count flutter above.
+  const auto agg_hops = agg.im_total_hops;
+  const auto ref_hops = ref.im_total_hops;
+  EXPECT_LE(agg_hops > ref_hops ? agg_hops - ref_hops : ref_hops - agg_hops, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Flash crowd: a background surge triggers hops where the control does not.
+
+TEST(AggregateFlashCrowdTest, FlashCrowdTriggersHopsControlDoesNot) {
+  // Two suburban cells 600 m apart. Cell 0 serves one fully-simulated
+  // victim 260 m out, near the cell edge toward cell 1 (340 m away): the
+  // clean channel sits around CQI 12, and when cell 1 radiates the ~4 dB
+  // SIR pushes it to CQI ~5 — far below the detector's 60 %-of-max rule.
+  // Cell 1 has no real clients, only the aggregate tier. At steady load
+  // the background reservation rounds to zero subchannels, so cell 1
+  // stays silent and (with ideal sensing: no false positives) the
+  // victim's cell never hops. The flash crowd pushes cell 1 to full
+  // utilization: its background reservation radiates on-air across its
+  // allowed mask, the victim's sub-band CQI collapses on the overlap
+  // while cell 1's one unowned subchannel keeps the spectral rule's clean
+  // reference alive, and sustained bucket pressure forces cell 0 to hop.
+  auto base = [] {
+    ScenarioConfig cfg;
+    cfg.tech = Technology::kCellFi;
+    cfg.workload = WorkloadKind::kBacklogged;
+    cfg.propagation = scenario::PropagationKind::kSuburbanUhf;
+    cfg.topology.area_m = 2000.0;
+    cfg.topology.num_aps = 2;
+    cfg.topology.clients_per_ap = 1;
+    cfg.topology.client_radius_m = 100.0;  // clusters hug their AP
+    cfg.enable_fading = false;
+    cfg.shadowing_sigma_db = 0.0;
+    // Ideal sensing isolates the mechanism under test: the control run
+    // cannot hop on a false positive, and every real detection converts
+    // to bucket pressure.
+    cfg.cellfi.detection_probability = 1.0;
+    cfg.cellfi.false_positive_rate = 0.0;
+    cfg.warmup = 1 * kSecond;
+    cfg.duration = 20 * kSecond;
+    cfg.seed = 7;
+    cfg.aggregate_load.users_per_cell = 100;
+    cfg.aggregate_load.steady_activity = 0.3;
+    cfg.aggregate_load.per_user_demand_bps = 10e3;  // util 0.025 -> 0 PRBs
+    cfg.aggregate_load.cell_capacity_bps = 12e6;
+    return cfg;
+  };
+  Topology topo;
+  topo.aps = {Point{700.0, 1000.0}, Point{1300.0, 1000.0}};
+  topo.clients = {Point{960.0, 1000.0}};
+  topo.client_home_ap = {0};
+
+  const ScenarioResult control_result = RunScenarioOn(base(), topo);
+
+  ScenarioConfig flash = base();
+  // x40 population on cell 1 from t = 2 s: utilization saturates at 1.0,
+  // the full allowed mask radiates, and sustained pressure ~1 drains the
+  // exponential(lambda = 10) buckets across the 12-subchannel overlap.
+  flash.aggregate_load.flash_events = {
+      FlashCrowdEvent{.cell = 1, .start_s = 2.0, .duration_s = 30.0, .multiplier = 40.0}};
+  const ScenarioResult flash_result = RunScenarioOn(flash, topo);
+
+  EXPECT_TRUE(control_result.clients[0].attached);
+  EXPECT_TRUE(flash_result.clients[0].attached);
+  EXPECT_EQ(control_result.im_total_hops, 0u)
+      << "control run hopped with the background tier silent";
+  EXPECT_GE(flash_result.im_total_hops, 1u)
+      << "flash crowd failed to force a hop";
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the tier preserves every bit-identity gate.
+
+ScenarioConfig StressConfig(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.tech = Technology::kCellFi;
+  cfg.workload = WorkloadKind::kBacklogged;
+  cfg.topology.area_m = 900.0;
+  cfg.topology.num_aps = 4;
+  cfg.topology.clients_per_ap = 2;
+  cfg.warmup = 200 * kMillisecond;
+  cfg.duration = 3 * kSecond;
+  cfg.seed = seed;
+  cfg.aggregate_load.users_per_cell = 500;
+  cfg.aggregate_load.steady_activity = 0.5;
+  cfg.aggregate_load.activity_jitter = 0.2;
+  cfg.aggregate_load.flash_rate_per_s = 0.05;
+  cfg.aggregate_load.flash_duration_s = 2.0;
+  cfg.aggregate_load.flash_multiplier = 3.0;
+  return cfg;
+}
+
+TEST(AggregateDeterminismTest, TwoRunsBitIdentical) {
+  const ScenarioResult a = RunScenario(StressConfig(21));
+  const ScenarioResult b = RunScenario(StressConfig(21));
+  EXPECT_EQ(scenario::ResultToJson(a).Dump(), scenario::ResultToJson(b).Dump());
+}
+
+TEST(AggregateDeterminismTest, SweepThreadCountInvariant) {
+  std::vector<scenario::Replication> jobs;
+  for (int rep = 0; rep < 3; ++rep) {
+    scenario::Replication job;
+    job.config = StressConfig(900 + static_cast<std::uint64_t>(rep));
+    job.rep = rep;
+    jobs.push_back(std::move(job));
+  }
+  scenario::SweepOptions seq;
+  seq.threads = 1;
+  const auto a = scenario::SweepRunner(seq).Run(jobs);
+  scenario::SweepOptions par;
+  par.threads = 4;
+  const auto b = scenario::SweepRunner(par).Run(jobs);
+  ASSERT_EQ(a.size(), jobs.size());
+  ASSERT_EQ(b.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(a[i].error, nullptr);
+    ASSERT_EQ(b[i].error, nullptr);
+    EXPECT_EQ(scenario::ResultToJson(a[i].result).Dump(),
+              scenario::ResultToJson(b[i].result).Dump());
+  }
+}
+
+TEST(AggregateTierTest, TierChangesOutcomesWhenEnabled) {
+  ScenarioConfig off = StressConfig(33);
+  off.aggregate_load.users_per_cell = 0;
+  ScenarioConfig on = StressConfig(33);
+  on.aggregate_load.per_user_demand_bps = 40e3;  // heavy background load
+  const ScenarioResult without = RunScenario(off);
+  const ScenarioResult with = RunScenario(on);
+  // Guard against silent no-op wiring: a heavy background population must
+  // move the probes' outcomes.
+  EXPECT_NE(scenario::ResultToJson(without).Dump(),
+            scenario::ResultToJson(with).Dump());
+}
+
+TEST(AggregateTierTest, ObsSurfacesAggregateActivity) {
+  ScenarioConfig cfg = StressConfig(44);
+  cfg.obs.enabled = true;
+  const ScenarioResult result = RunScenario(cfg);
+  ASSERT_NE(result.trace, nullptr);
+  ASSERT_NE(result.metrics, nullptr);
+  EXPECT_FALSE(result.trace->Events("traffic", "agg_load").empty());
+  EXPECT_GT(result.metrics->gauge("traffic.agg.offered_bps.c0"), 0.0);
+  const auto* hist = result.metrics->histogram("traffic.agg.utilization");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GT(hist->total, 0u);
+}
+
+TEST(AggregateTierTest, EnvKnobEnablesTheTier) {
+  ScenarioConfig cfg = StressConfig(55);
+  cfg.aggregate_load.users_per_cell = 0;  // config leaves the tier off
+  cfg.obs.enabled = true;
+  ::setenv("CELLFI_AGG_LOAD", "200", 1);
+  const ScenarioResult result = RunScenario(cfg);
+  ::unsetenv("CELLFI_AGG_LOAD");
+  ASSERT_NE(result.trace, nullptr);
+  EXPECT_FALSE(result.trace->Events("traffic", "agg_load").empty());
+  // And a config-off, env-off run really has no tier.
+  cfg.obs.enabled = true;
+  const ScenarioResult off = RunScenario(cfg);
+  ASSERT_NE(off.trace, nullptr);
+  EXPECT_TRUE(off.trace->Events("traffic", "agg_load").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Golden diurnal trace.
+
+ScenarioConfig GoldenAggConfig() {
+  ScenarioConfig cfg;
+  cfg.tech = Technology::kCellFi;
+  cfg.workload = WorkloadKind::kBacklogged;
+  cfg.topology.area_m = 600.0;
+  cfg.topology.num_aps = 4;
+  cfg.topology.clients_per_ap = 2;
+  cfg.warmup = 100 * kMillisecond;
+  cfg.duration = 10 * kSecond;
+  cfg.seed = 13;
+  cfg.obs.enabled = true;
+  cfg.aggregate_load.users_per_cell = 400;
+  cfg.aggregate_load.steady_activity = 0.3;
+  cfg.aggregate_load.diurnal_period_s = 8.0;
+  cfg.aggregate_load.diurnal_amplitude = 0.4;
+  return cfg;
+}
+
+std::vector<std::string> GoldenAggLines(const ScenarioConfig& cfg) {
+  const ScenarioResult result = RunScenario(cfg);
+  std::vector<std::string> lines;
+  if (result.trace == nullptr) {
+    ADD_FAILURE() << "obs.enabled run returned no trace sink";
+    return lines;
+  }
+  EXPECT_EQ(result.trace->dropped(), 0u)
+      << "golden scenario overflowed the trace ring";
+  for (const auto& ev : result.trace->Events("traffic", "agg_load")) {
+    lines.push_back(obs::TraceSink::ToJsonl(ev));
+  }
+  return lines;
+}
+
+std::string Joined(const std::vector<std::string>& lines) {
+  std::ostringstream out;
+  for (const auto& line : lines) out << line << "\n";
+  return out.str();
+}
+
+TEST(GoldenAggTraceTest, MatchesCheckedInGolden) {
+  const std::string golden_path =
+      std::string(CELLFI_SOURCE_DIR) + "/tests/golden/traffic_agg_4ap.jsonl";
+  const auto lines = GoldenAggLines(GoldenAggConfig());
+  ASSERT_FALSE(lines.empty())
+      << "diurnal 4-AP scenario emitted no traffic/agg_load events";
+
+  if (std::getenv("CELLFI_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << golden_path;
+    out << Joined(lines);
+    std::cout << "updated " << golden_path << " (" << lines.size()
+              << " events)\n";
+    return;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.is_open())
+      << "missing " << golden_path
+      << " — regenerate with CELLFI_UPDATE_GOLDEN=1 "
+         "./build/tests/traffic_aggregate_test";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), Joined(lines))
+      << "golden aggregate trace drifted; if the change is intentional "
+         "regenerate with CELLFI_UPDATE_GOLDEN=1 "
+         "./build/tests/traffic_aggregate_test";
+}
+
+TEST(GoldenAggTraceTest, SensitiveToPopulationPerturbation) {
+  auto cfg = GoldenAggConfig();
+  cfg.aggregate_load.users_per_cell = 300;
+  const auto perturbed = GoldenAggLines(cfg);
+  const auto baseline = GoldenAggLines(GoldenAggConfig());
+  // A tripwire, not a tautology: the trace must notice a population change.
+  EXPECT_NE(baseline, perturbed);
+}
+
+}  // namespace
+}  // namespace cellfi

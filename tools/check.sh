@@ -9,7 +9,7 @@
 #                       (skips cleanly when clang-tidy is not installed)
 #
 # Usage: tools/check.sh [--fast] [--bench] [--trace] [--chaos] [--shard]
-#                       [--simd] [--purity] [--static]
+#                       [--simd] [--purity] [--traffic] [--static]
 #   --fast   skip the sanitizer stage (inner-loop use; CI runs everything)
 #   --bench  additionally run the bench_smoke suite (1-rep end-to-end runs
 #            of every sweep bench, including the bench_scale bit-identity
@@ -40,6 +40,11 @@
 #            (tools/cellfi_purity.py --repo . --strict-allow) against the
 #            frozen (empty) baseline — the static proof of the DESIGN.md
 #            §16 determinism contracts.
+#   --traffic additionally run the aggregate-load suite (`ctest -L
+#            traffic`: generator units, sensor bookkeeping, aggregate-vs-
+#            full-sim cross-validation, flash-crowd hop trigger, golden
+#            diurnal trace, tier bit-identity) under the ASan+UBSan build.
+#            Implies the sanitize configure even with --fast.
 #   --static run ONLY the static gates — determinism lint (--strict-allow),
 #            clang-tidy vs baseline, and the purity analyzer — with a
 #            configure-only cmake step for compile_commands.json and no
@@ -57,6 +62,7 @@ CHAOS=0
 SHARD=0
 SIMD=0
 PURITY=0
+TRAFFIC=0
 STATIC=0
 for arg in "$@"; do
   case "$arg" in
@@ -67,6 +73,7 @@ for arg in "$@"; do
     --shard) SHARD=1 ;;
     --simd) SIMD=1 ;;
     --purity) PURITY=1 ;;
+    --traffic) TRAFFIC=1 ;;
     --static) STATIC=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
@@ -110,9 +117,9 @@ else
   step "skipping sanitize stage (--fast)"
 fi
 
-if [[ "$TRACE" -eq 1 || "$CHAOS" -eq 1 ]]; then
+if [[ "$TRACE" -eq 1 || "$CHAOS" -eq 1 || "$TRAFFIC" -eq 1 ]]; then
   if [[ "$FAST" -eq 1 ]]; then
-    step "configure + build (sanitize preset, for --trace/--chaos)"
+    step "configure + build (sanitize preset, for --trace/--chaos/--traffic)"
     cmake --preset sanitize
     cmake --build --preset sanitize -j "$(nproc)"
   fi
@@ -126,6 +133,11 @@ fi
 if [[ "$CHAOS" -eq 1 ]]; then
   step "chaos suite under ASan+UBSan (ctest -L chaos)"
   ctest --test-dir "$ROOT/build-sanitize" -L chaos --output-on-failure
+fi
+
+if [[ "$TRAFFIC" -eq 1 ]]; then
+  step "aggregate-load traffic suite under ASan+UBSan (ctest -L traffic)"
+  ctest --test-dir "$ROOT/build-sanitize" -L traffic --output-on-failure
 fi
 
 if [[ "$SHARD" -eq 1 ]]; then
